@@ -1,0 +1,249 @@
+//! A simulated-annealing body (extension; ablation partner for Avala).
+//!
+//! Local search from the current deployment: each step moves one random
+//! component to another admissible host and accepts worsening moves with a
+//! Boltzmann probability under a geometric cooling schedule. Included as an
+//! ablation point: it shows what a *local* improver achieves compared to
+//! Avala's constructive strategy at equal evaluation budgets.
+
+use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use redep_model::{ConstraintChecker, Deployment, DeploymentModel, Objective};
+use std::time::Instant;
+
+/// Configuration of the annealing schedule.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AnnealingConfig {
+    /// Number of proposed moves.
+    pub iterations: u32,
+    /// Initial temperature (in objective units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration, in `(0, 1)`.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            iterations: 5_000,
+            initial_temperature: 0.1,
+            cooling: 0.999,
+            seed: 0,
+        }
+    }
+}
+
+/// Simulated annealing over single-component moves.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct AnnealingAlgorithm {
+    config: AnnealingConfig,
+}
+
+impl AnnealingAlgorithm {
+    /// Creates the algorithm with default parameters.
+    pub fn new() -> Self {
+        AnnealingAlgorithm::default()
+    }
+
+    /// Creates the algorithm with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cooling` is not in `(0, 1)` or the temperature is not
+    /// positive.
+    pub fn with_config(config: AnnealingConfig) -> Self {
+        assert!(
+            config.cooling > 0.0 && config.cooling < 1.0,
+            "cooling factor must be in (0, 1)"
+        );
+        assert!(
+            config.initial_temperature > 0.0,
+            "temperature must be positive"
+        );
+        AnnealingAlgorithm { config }
+    }
+}
+
+impl RedeploymentAlgorithm for AnnealingAlgorithm {
+    fn name(&self) -> &str {
+        "annealing"
+    }
+
+    fn run(
+        &self,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+    ) -> Result<AlgoResult, AlgoError> {
+        let started = Instant::now();
+        let (hosts, components) = preflight(model)?;
+        let cfg = self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut evaluations = 0u64;
+
+        // Starting point: the initial deployment, if valid; otherwise a
+        // shuffled first-fit like the stochastic body's.
+        let mut current = match initial {
+            Some(d) if constraints.check(model, d).is_ok() => d.clone(),
+            _ => {
+                let mut d = Deployment::new();
+                let mut ok = true;
+                'comp: for &c in &components {
+                    let start = rng.random_range(0..hosts.len().max(1));
+                    for i in 0..hosts.len() {
+                        let h = hosts[(start + i) % hosts.len()];
+                        if constraints.admits(model, &d, c, h) {
+                            d.assign(c, h);
+                            continue 'comp;
+                        }
+                    }
+                    ok = false;
+                    break;
+                }
+                if !ok || constraints.check(model, &d).is_err() {
+                    return Err(AlgoError::NoFeasibleDeployment);
+                }
+                d
+            }
+        };
+
+        if components.is_empty() {
+            let value = objective.evaluate(model, &current);
+            return Ok(AlgoResult {
+                algorithm: self.name().to_owned(),
+                deployment: current,
+                value,
+                evaluations: 1,
+                wall_time: started.elapsed(),
+            });
+        }
+
+        let mut current_value = objective.evaluate(model, &current);
+        evaluations += 1;
+        let mut best = current.clone();
+        let mut best_value = current_value;
+        let mut temperature = cfg.initial_temperature;
+
+        for _ in 0..cfg.iterations {
+            let c = components[rng.random_range(0..components.len())];
+            let old = current.host_of(c).expect("complete deployment");
+            let h = hosts[rng.random_range(0..hosts.len())];
+            if h == old {
+                temperature *= cfg.cooling;
+                continue;
+            }
+            current.unassign(c);
+            if !constraints.admits(model, &current, c, h) {
+                current.assign(c, old);
+                temperature *= cfg.cooling;
+                continue;
+            }
+            current.assign(c, h);
+            if constraints.check(model, &current).is_err() {
+                current.assign(c, old);
+                temperature *= cfg.cooling;
+                continue;
+            }
+            let value = objective.evaluate(model, &current);
+            evaluations += 1;
+            // Signed gain: positive when the move improves the objective.
+            let gain = if objective.is_improvement(current_value, value) {
+                (value - current_value).abs()
+            } else {
+                -(value - current_value).abs()
+            };
+            let accept = gain >= 0.0 || rng.random_bool((gain / temperature).exp().clamp(0.0, 1.0));
+            if accept {
+                current_value = value;
+                if objective.is_improvement(best_value, value) {
+                    best = current.clone();
+                    best_value = value;
+                }
+            } else {
+                current.assign(c, old);
+            }
+            temperature *= cfg.cooling;
+        }
+
+        let (deployment, value) = keep_best(
+            model,
+            objective,
+            constraints,
+            initial,
+            Some((best, best_value)),
+        )
+        .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            evaluations,
+            wall_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Availability, Generator, GeneratorConfig};
+
+    fn generated(seed: u64) -> (DeploymentModel, Deployment) {
+        let s = Generator::generate(&GeneratorConfig::sized(4, 10).with_seed(seed)).unwrap();
+        (s.model, s.initial)
+    }
+
+    #[test]
+    fn produces_valid_deployments() {
+        let (m, init) = generated(1);
+        let r = AnnealingAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        r.deployment.validate(&m).unwrap();
+        m.constraints().check(&m, &r.deployment).unwrap();
+    }
+
+    #[test]
+    fn never_regresses() {
+        let (m, init) = generated(2);
+        let before = Availability.evaluate(&m, &init);
+        let r = AnnealingAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        assert!(r.value >= before - 1e-12);
+    }
+
+    #[test]
+    fn works_without_an_initial_deployment() {
+        let (m, _) = generated(3);
+        let r = AnnealingAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        r.deployment.validate(&m).unwrap();
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (m, init) = generated(4);
+        let a = AnnealingAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        let b = AnnealingAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        assert_eq!(a.deployment, b.deployment);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn invalid_cooling_panics() {
+        let _ = AnnealingAlgorithm::with_config(AnnealingConfig {
+            cooling: 1.5,
+            ..AnnealingConfig::default()
+        });
+    }
+}

@@ -1,0 +1,247 @@
+//! Avala: the greedy best-host / best-component algorithm.
+//!
+//! "Avala is a greedy algorithm that incrementally assigns software
+//! components to the hardware hosts. At each step of the algorithm, the goal
+//! is to select the assignment that will maximally contribute to the
+//! objective function, by selecting the 'best' host and 'best' software
+//! component. Selecting the best hardware host is performed by choosing a
+//! host with the highest sum of network reliabilities and bandwidths with
+//! other hosts in the system, and the highest memory capacity. Similarly,
+//! selecting the best software component is performed by choosing the
+//! component with the highest frequency of interaction with other components
+//! in the system, and the lowest required memory. […] The complexity of this
+//! algorithm is O(n³)." (§5.1)
+
+use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use redep_model::{ComponentId, ConstraintChecker, Deployment, DeploymentModel, HostId, Objective};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// The paper's greedy algorithm. Deterministic (no randomness).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AvalaAlgorithm;
+
+impl AvalaAlgorithm {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        AvalaAlgorithm
+    }
+
+    /// Host desirability: Σ (reliability + normalized bandwidth) to other
+    /// hosts, plus normalized memory capacity.
+    fn host_rank(model: &DeploymentModel, h: HostId, max_bandwidth: f64, max_memory: f64) -> f64 {
+        let mut rank = 0.0;
+        for other in model.host_ids() {
+            if other == h {
+                continue;
+            }
+            rank += model.reliability(h, other);
+            let bw = model.bandwidth(h, other);
+            if bw.is_finite() && max_bandwidth > 0.0 {
+                rank += bw / max_bandwidth;
+            } else if bw.is_infinite() {
+                rank += 1.0;
+            }
+        }
+        let mem = model.host(h).map(|x| x.memory()).unwrap_or(0.0);
+        if mem.is_finite() && max_memory > 0.0 {
+            rank += mem / max_memory;
+        } else if mem.is_infinite() {
+            rank += 1.0;
+        }
+        rank
+    }
+
+    /// First component on a host: highest total interaction frequency,
+    /// lowest memory.
+    fn seed_rank(model: &DeploymentModel, c: ComponentId, max_memory: f64) -> f64 {
+        let freq: f64 = model
+            .logical_neighbors(c)
+            .into_iter()
+            .map(|d| model.frequency(c, d))
+            .sum();
+        let mem = model.component(c).map(|x| x.required_memory()).unwrap_or(0.0);
+        let mem_norm = if max_memory > 0.0 { mem / max_memory } else { 0.0 };
+        freq - mem_norm
+    }
+
+    /// Subsequent components: highest interaction frequency with the
+    /// components already placed on the current host.
+    fn affinity(model: &DeploymentModel, c: ComponentId, on_host: &BTreeSet<ComponentId>) -> f64 {
+        on_host.iter().map(|&d| model.frequency(c, d)).sum()
+    }
+}
+
+impl RedeploymentAlgorithm for AvalaAlgorithm {
+    fn name(&self) -> &str {
+        "avala"
+    }
+
+    fn run(
+        &self,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+    ) -> Result<AlgoResult, AlgoError> {
+        let started = Instant::now();
+        let (hosts, components) = preflight(model)?;
+        let max_bandwidth = model
+            .physical_links()
+            .map(|l| l.bandwidth())
+            .filter(|b| b.is_finite())
+            .fold(0.0f64, f64::max);
+        let max_comp_memory = components
+            .iter()
+            .filter_map(|&c| model.component(c).ok())
+            .map(|c| c.required_memory())
+            .fold(0.0f64, f64::max);
+        let max_host_memory = hosts
+            .iter()
+            .filter_map(|&h| model.host(h).ok())
+            .map(|h| h.memory())
+            .filter(|m| m.is_finite())
+            .fold(0.0f64, f64::max);
+
+        let mut host_order: Vec<HostId> = hosts.clone();
+        host_order.sort_by(|&a, &b| {
+            let ra = Self::host_rank(model, a, max_bandwidth, max_host_memory);
+            let rb = Self::host_rank(model, b, max_bandwidth, max_host_memory);
+            rb.partial_cmp(&ra).expect("ranks are finite").then(a.cmp(&b))
+        });
+
+        let mut unassigned: BTreeSet<ComponentId> = components.iter().copied().collect();
+        let mut d = Deployment::new();
+        let mut evaluations = 0u64;
+
+        for &h in &host_order {
+            if unassigned.is_empty() {
+                break;
+            }
+            let mut on_host: BTreeSet<ComponentId> = BTreeSet::new();
+            loop {
+                // Pick the best admissible component for this host.
+                let mut best: Option<(ComponentId, f64)> = None;
+                for &c in &unassigned {
+                    if !constraints.admits(model, &d, c, h) {
+                        continue;
+                    }
+                    let score = if on_host.is_empty() {
+                        Self::seed_rank(model, c, max_comp_memory)
+                    } else {
+                        Self::affinity(model, c, &on_host)
+                    };
+                    let better = match best {
+                        Some((bc, bs)) => score > bs || (score == bs && c < bc),
+                        None => true,
+                    };
+                    if better {
+                        best = Some((c, score));
+                    }
+                }
+                let Some((c, _)) = best else {
+                    break; // host full (or nothing admissible): next host
+                };
+                d.assign(c, h);
+                on_host.insert(c);
+                unassigned.remove(&c);
+            }
+        }
+
+        let candidate = if unassigned.is_empty() && constraints.check(model, &d).is_ok() {
+            evaluations += 1;
+            let value = objective.evaluate(model, &d);
+            Some((d, value))
+        } else {
+            None
+        };
+        let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+            .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            evaluations,
+            wall_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Availability, Constraint, Generator, GeneratorConfig};
+
+    fn generated(seed: u64) -> (DeploymentModel, Deployment) {
+        let s = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(seed)).unwrap();
+        (s.model, s.initial)
+    }
+
+    #[test]
+    fn produces_valid_deployments() {
+        let (m, init) = generated(1);
+        let r = AvalaAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        r.deployment.validate(&m).unwrap();
+        m.constraints().check(&m, &r.deployment).unwrap();
+    }
+
+    #[test]
+    fn collocates_the_chatty_pair() {
+        let mut m = DeploymentModel::new();
+        let h0 = m.add_host("h0").unwrap();
+        let h1 = m.add_host("h1").unwrap();
+        m.set_physical_link(h0, h1, |l| l.set_reliability(0.3)).unwrap();
+        let a = m.add_component("a").unwrap();
+        let b = m.add_component("b").unwrap();
+        let c = m.add_component("c").unwrap();
+        m.set_logical_link(a, b, |l| l.set_frequency(10.0)).unwrap();
+        m.set_logical_link(a, c, |l| l.set_frequency(0.1)).unwrap();
+        let r = AvalaAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert!(r.deployment.collocated(a, b));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (m, _) = generated(2);
+        let a = AvalaAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        let b = AvalaAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert_eq!(a.deployment, b.deployment);
+    }
+
+    #[test]
+    fn respects_pinning() {
+        let (mut m, _) = generated(3);
+        let c0 = m.component_ids()[0];
+        let h3 = m.host_ids()[3];
+        m.constraints_mut().add(Constraint::PinnedTo {
+            component: c0,
+            hosts: std::collections::BTreeSet::from([h3]),
+        });
+        let r = AvalaAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert_eq!(r.deployment.host_of(c0), Some(h3));
+    }
+
+    #[test]
+    fn greedy_beats_or_matches_a_single_random_placement() {
+        let (m, init) = generated(4);
+        let random = Availability.evaluate(&m, &init);
+        let r = AvalaAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert!(
+            r.value >= random - 1e-9,
+            "avala {} vs random {random}",
+            r.value
+        );
+    }
+}

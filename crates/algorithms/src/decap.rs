@@ -1,0 +1,299 @@
+//! DecAp: the decentralized auction-based redeployment algorithm (§5.2).
+//!
+//! "In DecAp, each Decentralized Algorithm component acts as an agent and
+//! may conduct or participate in auctions. Each host's agent initiates an
+//! auction for the redeployment of its local components, assuming none of
+//! its neighboring (i.e., connected) hosts is already conducting an auction.
+//! […] The bidding agent on a given host calculates an initial bid for the
+//! auctioned component, by considering the frequency and volume of
+//! interaction between components on its host and the auctioned component.
+//! […] The host with the highest bid is selected as the winner and the
+//! component is redeployed to it. The complexity of this algorithm is
+//! O(k·n³)."
+//!
+//! The implementation emulates the auction protocol deterministically over
+//! [`AwarenessGraph`] partial views: every bid is computed from what the
+//! bidder can actually see, never from global knowledge, so results degrade
+//! gracefully with lower awareness (experiment E9 sweeps this).
+
+use crate::coordination::AuctionProtocol;
+use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use redep_model::{
+    AwarenessGraph, ComponentId, ConstraintChecker, Deployment, DeploymentModel, HostId, Objective,
+};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// The decentralized auction algorithm.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DecApAlgorithm {
+    max_rounds: usize,
+    awareness: Option<AwarenessGraph>,
+}
+
+impl Default for DecApAlgorithm {
+    fn default() -> Self {
+        DecApAlgorithm::new()
+    }
+}
+
+impl DecApAlgorithm {
+    /// Default bound on auction rounds.
+    pub const DEFAULT_MAX_ROUNDS: usize = 10;
+
+    /// Creates the algorithm; awareness defaults to the model's physical
+    /// connectivity (each host knows its direct neighbors), per the paper.
+    pub fn new() -> Self {
+        DecApAlgorithm {
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+            awareness: None,
+        }
+    }
+
+    /// Uses an explicit awareness graph instead of physical connectivity.
+    pub fn with_awareness(mut self, awareness: AwarenessGraph) -> Self {
+        self.awareness = Some(awareness);
+        self
+    }
+
+    /// Bounds the number of auction rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds > 0, "at least one auction round is required");
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// A host's valuation of holding component `c`, computed strictly from
+    /// its own partial view: interactions with `c` that would become local
+    /// count fully; interactions with visible components elsewhere count at
+    /// the connecting link's reliability.
+    fn bid(
+        model: &DeploymentModel,
+        awareness: &AwarenessGraph,
+        deployment: &Deployment,
+        bidder: HostId,
+        c: ComponentId,
+    ) -> Option<f64> {
+        let view = awareness.partial_view(model, deployment, bidder).ok()?;
+        if !view.model.contains_component(c) {
+            return None; // cannot even see the auctioned component
+        }
+        let mut value = 0.0;
+        for d in view.model.logical_neighbors(c) {
+            let freq = view.model.frequency(c, d);
+            let size = view.model.event_size(c, d);
+            let volume = freq * size;
+            match view.deployment.host_of(d) {
+                Some(hd) if hd == bidder => value += volume, // would be local
+                Some(hd) => value += volume * view.model.reliability(bidder, hd),
+                None => {}
+            }
+        }
+        Some(value)
+    }
+}
+
+impl RedeploymentAlgorithm for DecApAlgorithm {
+    fn name(&self) -> &str {
+        "decap"
+    }
+
+    fn run(
+        &self,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+    ) -> Result<AlgoResult, AlgoError> {
+        let started = Instant::now();
+        let (hosts, _components) = preflight(model)?;
+        let awareness = self
+            .awareness
+            .clone()
+            .unwrap_or_else(|| AwarenessGraph::from_connectivity(model));
+
+        // DecAp improves a *running* deployment; without one, start from a
+        // deterministic first-fit.
+        let mut current = match initial {
+            Some(d) if constraints.check(model, d).is_ok() => d.clone(),
+            _ => {
+                let mut d = Deployment::new();
+                'comp: for c in model.component_ids() {
+                    for &h in &hosts {
+                        if constraints.admits(model, &d, c, h) {
+                            d.assign(c, h);
+                            continue 'comp;
+                        }
+                    }
+                    return Err(AlgoError::NoFeasibleDeployment);
+                }
+                d
+            }
+        };
+
+        let mut evaluations = 0u64;
+        for _round in 0..self.max_rounds {
+            let mut moved = false;
+            // Auction scheduling: a host may conduct an auction only if no
+            // host it is aware of already conducted one this round.
+            let mut conducted: BTreeSet<HostId> = BTreeSet::new();
+            for &auctioneer in &hosts {
+                let aware = awareness.aware_of(auctioneer);
+                if aware.iter().any(|a| conducted.contains(a)) {
+                    continue;
+                }
+                conducted.insert(auctioneer);
+
+                for c in current.components_on(auctioneer) {
+                    // Retention value: the auctioneer's own bid.
+                    let retention =
+                        Self::bid(model, &awareness, &current, auctioneer, c).unwrap_or(0.0);
+                    // Collect bids from aware peers that could legally host c.
+                    let mut without_c = current.clone();
+                    without_c.unassign(c);
+                    let mut bids: Vec<(HostId, f64)> = Vec::new();
+                    for &bidder in aware.iter().filter(|&&b| b != auctioneer) {
+                        if !constraints.admits(model, &without_c, c, bidder) {
+                            continue;
+                        }
+                        if let Some(b) = Self::bid(model, &awareness, &current, bidder, c) {
+                            bids.push((bidder, b));
+                        }
+                    }
+                    if let Some((winner, bid)) = AuctionProtocol::winner(&bids) {
+                        if bid > retention {
+                            let mut candidate = current.clone();
+                            candidate.assign(c, winner);
+                            if constraints.check(model, &candidate).is_ok() {
+                                current = candidate;
+                                moved = true;
+                            }
+                        }
+                    }
+                }
+            }
+            evaluations += 1;
+            if !moved {
+                break;
+            }
+        }
+
+        let value = objective.evaluate(model, &current);
+        let (deployment, value) = keep_best(
+            model,
+            objective,
+            constraints,
+            initial,
+            Some((current, value)),
+        )
+        .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            evaluations,
+            wall_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Availability, Generator, GeneratorConfig};
+
+    fn generated(seed: u64) -> (DeploymentModel, Deployment) {
+        let s = Generator::generate(&GeneratorConfig::sized(5, 15).with_seed(seed)).unwrap();
+        (s.model, s.initial)
+    }
+
+    #[test]
+    fn produces_valid_deployments() {
+        let (m, init) = generated(1);
+        let r = DecApAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        r.deployment.validate(&m).unwrap();
+        m.constraints().check(&m, &r.deployment).unwrap();
+    }
+
+    #[test]
+    fn improves_availability_over_the_initial_deployment() {
+        let (m, init) = generated(2);
+        let before = Availability.evaluate(&m, &init);
+        let r = DecApAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        assert!(
+            r.value >= before - 1e-12,
+            "decap {} vs initial {before}",
+            r.value
+        );
+    }
+
+    #[test]
+    fn moves_chatty_components_together() {
+        let mut m = DeploymentModel::new();
+        let h0 = m.add_host("h0").unwrap();
+        let h1 = m.add_host("h1").unwrap();
+        m.set_physical_link(h0, h1, |l| l.set_reliability(0.4)).unwrap();
+        let a = m.add_component("a").unwrap();
+        let b = m.add_component("b").unwrap();
+        m.set_logical_link(a, b, |l| l.set_frequency(10.0)).unwrap();
+        let split: Deployment = [(a, h0), (b, h1)].into_iter().collect();
+        let r = DecApAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&split))
+            .unwrap();
+        assert!(r.deployment.collocated(a, b), "{}", r.deployment);
+        assert_eq!(r.value, 1.0);
+    }
+
+    #[test]
+    fn zero_awareness_means_no_moves() {
+        let (m, init) = generated(3);
+        let isolated = AwarenessGraph::isolated(m.host_ids());
+        let r = DecApAlgorithm::new()
+            .with_awareness(isolated)
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        // No host can see any peer: the deployment cannot change.
+        assert_eq!(r.deployment, init);
+    }
+
+    #[test]
+    fn full_awareness_is_at_least_as_good_as_low_awareness() {
+        let (m, init) = generated(4);
+        let hosts = m.host_ids();
+        let low = DecApAlgorithm::new()
+            .with_awareness(AwarenessGraph::random(&hosts, 0.3, 1))
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        let full = DecApAlgorithm::new()
+            .with_awareness(AwarenessGraph::complete(hosts))
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        assert!(full.value >= low.value - 0.05, "full {} low {}", full.value, low.value);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (m, init) = generated(5);
+        let a = DecApAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        let b = DecApAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        assert_eq!(a.deployment, b.deployment);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one auction round")]
+    fn zero_rounds_panics() {
+        let _ = DecApAlgorithm::new().with_max_rounds(0);
+    }
+}

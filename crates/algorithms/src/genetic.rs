@@ -1,0 +1,296 @@
+//! A genetic algorithm body.
+//!
+//! DeSi's algorithm-development methodology (Figure 7) names "genetic
+//! algorithm" alongside "greedy algorithm" as a possible main body; this is
+//! that body, composed with the same objective and constraint variation
+//! points as every other algorithm in the crate.
+
+use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use redep_model::{ComponentId, ConstraintChecker, Deployment, DeploymentModel, HostId, Objective};
+use std::time::Instant;
+
+/// Configuration of the genetic search.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct GeneticConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        GeneticConfig {
+            population: 40,
+            generations: 60,
+            mutation_rate: 0.05,
+            tournament: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// Genetic search over deployment chromosomes (one host gene per component).
+///
+/// Infeasible individuals are repaired where possible and otherwise scored
+/// as the objective's worst value, so the population drifts into the
+/// feasible region.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct GeneticAlgorithm {
+    config: GeneticConfig,
+}
+
+impl GeneticAlgorithm {
+    /// Creates the algorithm with default parameters.
+    pub fn new() -> Self {
+        GeneticAlgorithm::default()
+    }
+
+    /// Creates the algorithm with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population or tournament size is zero or the mutation
+    /// rate is outside `[0, 1]`.
+    pub fn with_config(config: GeneticConfig) -> Self {
+        assert!(config.population > 0, "population must be positive");
+        assert!(config.tournament > 0, "tournament size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.mutation_rate),
+            "mutation rate must be in [0, 1]"
+        );
+        GeneticAlgorithm { config }
+    }
+
+    fn decode(components: &[ComponentId], genes: &[HostId]) -> Deployment {
+        components.iter().copied().zip(genes.iter().copied()).collect()
+    }
+
+    fn fitness(
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        components: &[ComponentId],
+        genes: &[HostId],
+        evaluations: &mut u64,
+    ) -> f64 {
+        let d = Self::decode(components, genes);
+        if constraints.check(model, &d).is_err() {
+            return objective.worst();
+        }
+        *evaluations += 1;
+        objective.evaluate(model, &d)
+    }
+}
+
+impl RedeploymentAlgorithm for GeneticAlgorithm {
+    fn name(&self) -> &str {
+        "genetic"
+    }
+
+    fn run(
+        &self,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+    ) -> Result<AlgoResult, AlgoError> {
+        let started = Instant::now();
+        let (hosts, components) = preflight(model)?;
+        if components.is_empty() {
+            let d = Deployment::new();
+            let value = objective.evaluate(model, &d);
+            return Ok(AlgoResult {
+                algorithm: self.name().to_owned(),
+                deployment: d,
+                value,
+                evaluations: 1,
+                wall_time: started.elapsed(),
+            });
+        }
+        let cfg = self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut evaluations = 0u64;
+
+        // Seed the population: the initial deployment (if valid) plus
+        // greedy-feasible random individuals.
+        let mut population: Vec<Vec<HostId>> = Vec::with_capacity(cfg.population);
+        if let Some(init) = initial {
+            if init.validate(model).is_ok() {
+                let genes: Vec<HostId> = components
+                    .iter()
+                    .map(|&c| init.host_of(c).expect("validated"))
+                    .collect();
+                population.push(genes);
+            }
+        }
+        while population.len() < cfg.population {
+            let mut d = Deployment::new();
+            let genes: Vec<HostId> = components
+                .iter()
+                .map(|&c| {
+                    // Prefer admissible hosts; fall back to uniform-random.
+                    let admissible: Vec<HostId> = hosts
+                        .iter()
+                        .copied()
+                        .filter(|&h| constraints.admits(model, &d, c, h))
+                        .collect();
+                    let h = *admissible
+                        .choose(&mut rng)
+                        .unwrap_or(&hosts[rng.random_range(0..hosts.len())]);
+                    d.assign(c, h);
+                    h
+                })
+                .collect();
+            population.push(genes);
+        }
+
+        let mut scores: Vec<f64> = population
+            .iter()
+            .map(|g| Self::fitness(model, objective, constraints, &components, g, &mut evaluations))
+            .collect();
+
+        let better = |a: f64, b: f64| objective.is_improvement(b, a); // a better than b
+
+        for _ in 0..cfg.generations {
+            let mut next: Vec<Vec<HostId>> = Vec::with_capacity(cfg.population);
+            // Elitism: carry the best individual over.
+            let best_idx = (0..population.len())
+                .reduce(|x, y| if better(scores[y], scores[x]) { y } else { x })
+                .expect("population non-empty");
+            next.push(population[best_idx].clone());
+
+            while next.len() < cfg.population {
+                let pick = |rng: &mut ChaCha8Rng| {
+                    let mut best = rng.random_range(0..population.len());
+                    for _ in 1..cfg.tournament {
+                        let other = rng.random_range(0..population.len());
+                        if better(scores[other], scores[best]) {
+                            best = other;
+                        }
+                    }
+                    best
+                };
+                let pa = pick(&mut rng);
+                let pb = pick(&mut rng);
+                let mut child: Vec<HostId> = (0..components.len())
+                    .map(|i| {
+                        if rng.random_bool(0.5) {
+                            population[pa][i]
+                        } else {
+                            population[pb][i]
+                        }
+                    })
+                    .collect();
+                for gene in child.iter_mut() {
+                    if rng.random_bool(cfg.mutation_rate) {
+                        *gene = hosts[rng.random_range(0..hosts.len())];
+                    }
+                }
+                next.push(child);
+            }
+            population = next;
+            scores = population
+                .iter()
+                .map(|g| {
+                    Self::fitness(model, objective, constraints, &components, g, &mut evaluations)
+                })
+                .collect();
+        }
+
+        let best_idx = (0..population.len())
+            .reduce(|x, y| if better(scores[y], scores[x]) { y } else { x })
+            .expect("population non-empty");
+        let candidate = if scores[best_idx] == objective.worst() {
+            None
+        } else {
+            Some((
+                Self::decode(&components, &population[best_idx]),
+                scores[best_idx],
+            ))
+        };
+        let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+            .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            evaluations,
+            wall_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Availability, Generator, GeneratorConfig};
+
+    fn generated(seed: u64) -> (DeploymentModel, Deployment) {
+        let s = Generator::generate(&GeneratorConfig::sized(4, 10).with_seed(seed)).unwrap();
+        (s.model, s.initial)
+    }
+
+    #[test]
+    fn produces_valid_deployments() {
+        let (m, init) = generated(1);
+        let r = GeneticAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        r.deployment.validate(&m).unwrap();
+        m.constraints().check(&m, &r.deployment).unwrap();
+    }
+
+    #[test]
+    fn improves_on_the_initial_deployment() {
+        let (m, init) = generated(2);
+        let before = Availability.evaluate(&m, &init);
+        let r = GeneticAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        assert!(r.value >= before - 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (m, _) = generated(3);
+        let cfg = GeneticConfig {
+            generations: 10,
+            ..GeneticConfig::default()
+        };
+        let a = GeneticAlgorithm::with_config(cfg)
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        let b = GeneticAlgorithm::with_config(cfg)
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert_eq!(a.deployment, b.deployment);
+    }
+
+    #[test]
+    fn handles_empty_models() {
+        let m = DeploymentModel::new();
+        let r = GeneticAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert!(r.deployment.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mutation rate")]
+    fn invalid_mutation_rate_panics() {
+        let _ = GeneticAlgorithm::with_config(GeneticConfig {
+            mutation_rate: 1.5,
+            ..GeneticConfig::default()
+        });
+    }
+}

@@ -1,0 +1,185 @@
+//! The Stochastic algorithm: repeated randomized first-fit.
+//!
+//! "The Stochastic algorithm randomly orders all the hosts and all the
+//! components. Then, going in order, it assigns as many components to a
+//! given host as can fit on that host, ensuring that all of the constraints
+//! are satisfied. […] This process is repeated a desired number of times,
+//! and the best obtained deployment is selected." (§5.1)
+
+use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use redep_model::{ConstraintChecker, Deployment, DeploymentModel, Objective};
+use std::time::Instant;
+
+/// Randomized first-fit, repeated `iterations` times; O(n²) per iteration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StochasticAlgorithm {
+    iterations: u32,
+    seed: u64,
+}
+
+impl Default for StochasticAlgorithm {
+    fn default() -> Self {
+        StochasticAlgorithm::new()
+    }
+}
+
+impl StochasticAlgorithm {
+    /// Default number of randomized placements tried.
+    pub const DEFAULT_ITERATIONS: u32 = 100;
+
+    /// Creates the algorithm with the default iteration count and seed 0.
+    pub fn new() -> Self {
+        StochasticAlgorithm {
+            iterations: Self::DEFAULT_ITERATIONS,
+            seed: 0,
+        }
+    }
+
+    /// Creates the algorithm with explicit iterations and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn with_config(iterations: u32, seed: u64) -> Self {
+        assert!(iterations > 0, "at least one iteration is required");
+        StochasticAlgorithm { iterations, seed }
+    }
+}
+
+impl RedeploymentAlgorithm for StochasticAlgorithm {
+    fn name(&self) -> &str {
+        "stochastic"
+    }
+
+    fn run(
+        &self,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+    ) -> Result<AlgoResult, AlgoError> {
+        let started = Instant::now();
+        let (hosts, components) = preflight(model)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut best: Option<(Deployment, f64)> = None;
+        let mut evaluations = 0;
+
+        let mut host_order = hosts.clone();
+        let mut comp_order = components.clone();
+        for _ in 0..self.iterations {
+            host_order.shuffle(&mut rng);
+            comp_order.shuffle(&mut rng);
+            let mut d = Deployment::new();
+            let mut remaining = comp_order.clone();
+            for &h in &host_order {
+                // Fill this host with as many of the remaining components
+                // as fit, in their random order.
+                remaining.retain(|&c| {
+                    if constraints.admits(model, &d, c, h) {
+                        d.assign(c, h);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            if !remaining.is_empty() || constraints.check(model, &d).is_err() {
+                continue;
+            }
+            evaluations += 1;
+            let value = objective.evaluate(model, &d);
+            let improved = match &best {
+                Some((_, bv)) => objective.is_improvement(*bv, value),
+                None => true,
+            };
+            if improved {
+                best = Some((d, value));
+            }
+        }
+
+        let (deployment, value) = keep_best(model, objective, constraints, initial, best)
+            .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            evaluations,
+            wall_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Availability, Generator, GeneratorConfig};
+
+    fn generated() -> (DeploymentModel, Deployment) {
+        let s = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(5)).unwrap();
+        (s.model, s.initial)
+    }
+
+    #[test]
+    fn produces_valid_deployments() {
+        let (m, init) = generated();
+        let r = StochasticAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        r.deployment.validate(&m).unwrap();
+        m.constraints().check(&m, &r.deployment).unwrap();
+    }
+
+    #[test]
+    fn never_regresses_below_the_initial_deployment() {
+        let (m, init) = generated();
+        let before = Availability.evaluate(&m, &init);
+        let r = StochasticAlgorithm::with_config(1, 9)
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        assert!(r.value >= before - 1e-12);
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt() {
+        let (m, _) = generated();
+        let few = StochasticAlgorithm::with_config(2, 3)
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        let many = StochasticAlgorithm::with_config(200, 3)
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert!(many.value >= few.value - 1e-12);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let (m, _) = generated();
+        let a = StochasticAlgorithm::with_config(50, 7)
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        let b = StochasticAlgorithm::with_config(50, 7)
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert_eq!(a.deployment, b.deployment);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn evaluations_count_feasible_placements_only() {
+        let (m, _) = generated();
+        let r = StochasticAlgorithm::with_config(50, 1)
+            .run(&m, &Availability, m.constraints(), None)
+            .unwrap();
+        assert!(r.evaluations <= 50);
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let _ = StochasticAlgorithm::with_config(0, 0);
+    }
+}

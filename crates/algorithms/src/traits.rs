@@ -1,0 +1,213 @@
+//! The pluggable-algorithm interface and its result/error types.
+
+use redep_model::{ConstraintChecker, Deployment, DeploymentModel, Objective};
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// What a redeployment algorithm produced.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AlgoResult {
+    /// The algorithm's name.
+    pub algorithm: String,
+    /// The best deployment found.
+    pub deployment: Deployment,
+    /// The objective value of that deployment.
+    pub value: f64,
+    /// How many complete deployments the algorithm scored (a
+    /// machine-independent cost measure alongside `wall_time`).
+    pub evaluations: u64,
+    /// Wall-clock running time.
+    pub wall_time: Duration,
+}
+
+impl fmt::Display for AlgoResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: value {:.4} ({} evaluations, {:?})",
+            self.algorithm, self.value, self.evaluations, self.wall_time
+        )
+    }
+}
+
+/// Why an algorithm failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum AlgoError {
+    /// No deployment satisfying the constraints was found.
+    NoFeasibleDeployment,
+    /// The instance exceeds the algorithm's configured budget (e.g. the
+    /// Exact algorithm refuses kⁿ beyond its evaluation cap).
+    BudgetExceeded {
+        /// Deployments the instance would require scoring.
+        needed: u128,
+        /// The configured cap.
+        budget: u64,
+    },
+    /// The model is degenerate (no hosts while components exist, …).
+    DegenerateModel(String),
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::NoFeasibleDeployment => {
+                f.write_str("no deployment satisfies the constraints")
+            }
+            AlgoError::BudgetExceeded { needed, budget } => write!(
+                f,
+                "instance needs {needed} evaluations, exceeding the budget of {budget}"
+            ),
+            AlgoError::DegenerateModel(msg) => write!(f, "degenerate model: {msg}"),
+        }
+    }
+}
+
+impl Error for AlgoError {}
+
+/// A pluggable redeployment algorithm.
+///
+/// Implementations are pure with respect to their inputs (all randomness is
+/// seeded at construction), so a run is reproducible and side-effect free;
+/// *effecting* the returned deployment is the Effector's job, not the
+/// algorithm's.
+pub trait RedeploymentAlgorithm: fmt::Debug {
+    /// The algorithm's name (e.g. `"avala"`).
+    fn name(&self) -> &str;
+
+    /// Searches for a deployment of `model`'s components improving
+    /// `objective` subject to `constraints`.
+    ///
+    /// `initial` is the currently running deployment, when one exists;
+    /// algorithms use it as a baseline (they never return something worse)
+    /// and local-search bodies use it as the starting point.
+    ///
+    /// # Errors
+    ///
+    /// * [`AlgoError::NoFeasibleDeployment`] when the constraints admit no
+    ///   complete deployment the algorithm could find;
+    /// * [`AlgoError::BudgetExceeded`] when the instance is too large for
+    ///   the algorithm's configured budget;
+    /// * [`AlgoError::DegenerateModel`] for models with components but no
+    ///   hosts.
+    fn run(
+        &self,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+    ) -> Result<AlgoResult, AlgoError>;
+}
+
+/// Shared pre-flight validation and baseline handling for algorithm bodies.
+pub(crate) fn preflight(
+    model: &DeploymentModel,
+) -> Result<(Vec<redep_model::HostId>, Vec<redep_model::ComponentId>), AlgoError> {
+    let hosts = model.host_ids();
+    let components = model.component_ids();
+    if components.is_empty() {
+        return Ok((hosts, components));
+    }
+    if hosts.is_empty() {
+        return Err(AlgoError::DegenerateModel(
+            "components exist but there are no hosts".into(),
+        ));
+    }
+    Ok((hosts, components))
+}
+
+/// Picks the better of a candidate and the (validated) initial deployment,
+/// so algorithms never regress below the running system.
+pub(crate) fn keep_best(
+    model: &DeploymentModel,
+    objective: &dyn Objective,
+    constraints: &dyn ConstraintChecker,
+    initial: Option<&Deployment>,
+    candidate: Option<(Deployment, f64)>,
+) -> Option<(Deployment, f64)> {
+    let baseline = initial.and_then(|d| {
+        constraints
+            .check(model, d)
+            .ok()
+            .map(|()| (d.clone(), objective.evaluate(model, d)))
+    });
+    match (candidate, baseline) {
+        (Some((cd, cv)), Some((bd, bv))) => {
+            if objective.is_improvement(bv, cv) {
+                Some((cd, cv))
+            } else {
+                Some((bd, bv))
+            }
+        }
+        (Some(c), None) => Some(c),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Availability, DeploymentModel};
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(AlgoError::NoFeasibleDeployment.to_string().contains("constraints"));
+        let e = AlgoError::BudgetExceeded {
+            needed: 1_000_000,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("1000000"));
+    }
+
+    #[test]
+    fn preflight_rejects_components_without_hosts() {
+        let mut m = DeploymentModel::new();
+        m.add_component("c").unwrap();
+        assert!(matches!(preflight(&m), Err(AlgoError::DegenerateModel(_))));
+    }
+
+    #[test]
+    fn preflight_accepts_empty_model() {
+        let m = DeploymentModel::new();
+        assert!(preflight(&m).is_ok());
+    }
+
+    #[test]
+    fn keep_best_prefers_the_better_side() {
+        let mut m = DeploymentModel::new();
+        let h0 = m.add_host("h0").unwrap();
+        let h1 = m.add_host("h1").unwrap();
+        m.set_physical_link(h0, h1, |l| l.set_reliability(0.5)).unwrap();
+        let a = m.add_component("a").unwrap();
+        let b = m.add_component("b").unwrap();
+        m.set_logical_link(a, b, |l| l.set_frequency(1.0)).unwrap();
+
+        let local: Deployment = [(a, h0), (b, h0)].into_iter().collect();
+        let remote: Deployment = [(a, h0), (b, h1)].into_iter().collect();
+        let lv = Availability.evaluate(&m, &local);
+
+        let picked = keep_best(
+            &m,
+            &Availability,
+            m.constraints(),
+            Some(&remote),
+            Some((local.clone(), lv)),
+        )
+        .unwrap();
+        assert_eq!(picked.0, local);
+
+        // With a better baseline, the baseline wins.
+        let rv = Availability.evaluate(&m, &remote);
+        let picked = keep_best(
+            &m,
+            &Availability,
+            m.constraints(),
+            Some(&local),
+            Some((remote, rv)),
+        )
+        .unwrap();
+        assert_eq!(picked.0, local);
+    }
+}

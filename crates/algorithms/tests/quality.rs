@@ -1,0 +1,109 @@
+//! Cross-algorithm quality checks on small instances where the Exact
+//! optimum is computable — the premise of experiment E4.
+
+use redep_algorithms::{
+    AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
+    RedeploymentAlgorithm, StochasticAlgorithm,
+};
+use redep_model::{Availability, Generator, GeneratorConfig, Latency, Objective};
+
+fn small_instance(seed: u64) -> (redep_model::DeploymentModel, redep_model::Deployment) {
+    let s = Generator::generate(&GeneratorConfig::sized(3, 8).with_seed(seed)).unwrap();
+    (s.model, s.initial)
+}
+
+#[test]
+fn approximative_algorithms_are_near_optimal_on_small_instances() {
+    let mut ratios: Vec<(&str, f64)> = Vec::new();
+    for seed in 0..5 {
+        let (m, init) = small_instance(seed);
+        let optimal = ExactAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap()
+            .value;
+        assert!(optimal > 0.0);
+
+        let algos: Vec<(&str, Box<dyn RedeploymentAlgorithm>)> = vec![
+            ("avala", Box::new(AvalaAlgorithm::new())),
+            ("stochastic", Box::new(StochasticAlgorithm::new())),
+            ("genetic", Box::new(GeneticAlgorithm::new())),
+            ("annealing", Box::new(AnnealingAlgorithm::new())),
+            ("decap", Box::new(DecApAlgorithm::new())),
+        ];
+        for (name, algo) in algos {
+            let r = algo.run(&m, &Availability, m.constraints(), Some(&init)).unwrap();
+            assert!(
+                r.value <= optimal + 1e-9,
+                "{name} beat the optimum?! {} > {optimal}",
+                r.value
+            );
+            ratios.push((name, r.value / optimal));
+        }
+    }
+    // Every approximative algorithm should land within 25% of optimal on
+    // these tiny instances, and the mean should be well above 85%.
+    for (name, ratio) in &ratios {
+        assert!(*ratio > 0.75, "{name} achieved only {ratio:.3} of optimal");
+    }
+    let mean: f64 = ratios.iter().map(|(_, r)| r).sum::<f64>() / ratios.len() as f64;
+    assert!(mean > 0.85, "mean quality ratio {mean:.3}");
+}
+
+#[test]
+fn exact_dominates_every_other_algorithm() {
+    let (m, init) = small_instance(7);
+    let optimal = ExactAlgorithm::new()
+        .run(&m, &Availability, m.constraints(), Some(&init))
+        .unwrap();
+    let avala = AvalaAlgorithm::new()
+        .run(&m, &Availability, m.constraints(), Some(&init))
+        .unwrap();
+    assert!(optimal.value >= avala.value - 1e-12);
+}
+
+#[test]
+fn algorithms_also_reduce_latency_when_asked_to() {
+    // Variation point 1: swap the objective, keep the bodies.
+    let (m, init) = small_instance(9);
+    let before = Latency::new().evaluate(&m, &init);
+    for algo in [
+        Box::new(ExactAlgorithm::new()) as Box<dyn RedeploymentAlgorithm>,
+        Box::new(AvalaAlgorithm::new()),
+        Box::new(StochasticAlgorithm::new()),
+    ] {
+        let r = algo
+            .run(&m, &Latency::new(), m.constraints(), Some(&init))
+            .unwrap();
+        assert!(
+            r.value <= before + 1e-9,
+            "{} raised latency: {} -> {}",
+            algo.name(),
+            before,
+            r.value
+        );
+    }
+}
+
+#[test]
+fn paper_claim_availability_improvement_also_tends_to_reduce_latency() {
+    // §5.1: "The algorithms used in this scenario also typically decrease
+    // the system's overall latency." Check the tendency across seeds.
+    let mut improved = 0;
+    let mut total = 0;
+    for seed in 0..10 {
+        let (m, init) = small_instance(seed);
+        let before = Latency::new().evaluate(&m, &init);
+        let r = AvalaAlgorithm::new()
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        let after = Latency::new().evaluate(&m, &r.deployment);
+        total += 1;
+        if after <= before + 1e-9 {
+            improved += 1;
+        }
+    }
+    assert!(
+        improved * 2 > total,
+        "latency improved in only {improved}/{total} cases"
+    );
+}

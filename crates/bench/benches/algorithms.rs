@@ -1,0 +1,63 @@
+//! Criterion benches: redeployment-algorithm running time vs system size
+//! (the wall-clock counterpart of experiment E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redep_algorithms::{
+    AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm, RedeploymentAlgorithm,
+    StochasticAlgorithm,
+};
+use redep_model::{Availability, Deployment, DeploymentModel, Generator, GeneratorConfig};
+
+fn instance(hosts: usize, comps: usize) -> (DeploymentModel, Deployment) {
+    let s = Generator::generate(&GeneratorConfig::sized(hosts, comps).with_seed(3)).unwrap();
+    (s.model, s.initial)
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(10);
+    for (hosts, comps) in [(2, 8), (3, 8), (4, 9)] {
+        let (model, initial) = instance(hosts, comps);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{hosts}x{comps}")),
+            &(model, initial),
+            |b, (model, initial)| {
+                b.iter(|| {
+                    ExactAlgorithm::new()
+                        .run(model, &Availability, model.constraints(), Some(initial))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_approximative(c: &mut Criterion) {
+    for (name, algo) in [
+        ("stochastic", Box::new(StochasticAlgorithm::with_config(20, 0)) as Box<dyn RedeploymentAlgorithm>),
+        ("avala", Box::new(AvalaAlgorithm::new())),
+        ("genetic", Box::new(GeneticAlgorithm::new())),
+        ("decap", Box::new(DecApAlgorithm::new())),
+    ] {
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+        for (hosts, comps) in [(4, 16), (8, 40), (12, 80)] {
+            let (model, initial) = instance(hosts, comps);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{hosts}x{comps}")),
+                &(model, initial),
+                |b, (model, initial)| {
+                    b.iter(|| {
+                        algo.run(model, &Availability, model.constraints(), Some(initial))
+                            .unwrap()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_exact, bench_approximative);
+criterion_main!(benches);

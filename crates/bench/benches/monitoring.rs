@@ -1,0 +1,59 @@
+//! Criterion benches: the cost of monitoring (experiment E5's counterpart)
+//! and of the objective evaluations at the algorithms' core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redep_model::{Availability, Generator, GeneratorConfig, HostId, Latency, Objective};
+use redep_netsim::{Duration, SimTime};
+use redep_prism::{Architecture, ComponentBehavior, ComponentCtx, Event, EventFrequencyMonitor};
+
+struct Bouncer {
+    remaining: u32,
+}
+impl ComponentBehavior for Bouncer {
+    fn type_name(&self) -> &str {
+        "bouncer"
+    }
+    fn handle(&mut self, ctx: &mut ComponentCtx<'_>, _event: &Event) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.emit(Event::notification("bounce").with_size(64));
+        }
+    }
+}
+
+fn pump(monitored: bool, events: u32) -> u64 {
+    let mut arch = Architecture::new("bench", HostId::new(0));
+    let a = arch.add_component("a", Bouncer { remaining: events }).unwrap();
+    let b = arch.add_component("b", Bouncer { remaining: events }).unwrap();
+    let bus = arch.add_connector("bus");
+    arch.weld(a, bus).unwrap();
+    arch.weld(b, bus).unwrap();
+    if monitored {
+        arch.attach_monitor(bus, EventFrequencyMonitor::new(Duration::from_secs_f64(1.0)))
+            .unwrap();
+    }
+    arch.publish("a", Event::notification("bounce")).unwrap();
+    arch.pump(SimTime::ZERO)
+}
+
+fn bench_monitoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_pump_10k");
+    group.bench_function("monitors_off", |b| b.iter(|| pump(false, 10_000)));
+    group.bench_function("monitors_on", |b| b.iter(|| pump(true, 10_000)));
+    group.finish();
+}
+
+fn bench_objectives(c: &mut Criterion) {
+    let s = Generator::generate(&GeneratorConfig::sized(8, 40).with_seed(1)).unwrap();
+    let mut group = c.benchmark_group("objective_eval_8x40");
+    group.bench_function("availability", |b| {
+        b.iter(|| Availability.evaluate(&s.model, &s.initial))
+    });
+    group.bench_function("latency", |b| {
+        b.iter(|| Latency::new().evaluate(&s.model, &s.initial))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitoring, bench_objectives);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! E4 (§5.1): solution quality of the approximative algorithms against the
+//! Exact optimum on small instances — the paper's justification for using
+//! Avala on large systems.
+
+use redep_algorithms::{
+    AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
+    RedeploymentAlgorithm, StochasticAlgorithm,
+};
+use redep_bench::{fmt_f, mean, print_table, std_dev};
+use redep_model::{Availability, Generator, GeneratorConfig};
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SEEDS: u64 = 10;
+    let mut ratios: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let mut initial_ratios: Vec<f64> = Vec::new();
+
+    for seed in 0..SEEDS {
+        // Harder instances than the defaults: sparse, unreliable networks
+        // and real memory pressure, so placement genuinely matters.
+        let config = GeneratorConfig {
+            reliability: redep_model::Range::new(0.1, 0.7),
+            physical_density: 0.3,
+            host_memory: redep_model::Range::new(40.0, 60.0),
+            component_memory: redep_model::Range::new(5.0, 15.0),
+            ..GeneratorConfig::sized(3, 9).with_seed(seed)
+        };
+        let system = Generator::generate(&config)?;
+        let optimum = ExactAlgorithm::new()
+            .run(
+                &system.model,
+                &Availability,
+                system.model.constraints(),
+                Some(&system.initial),
+            )?
+            .value;
+        initial_ratios.push(
+            redep_model::Objective::evaluate(&Availability, &system.model, &system.initial)
+                / optimum,
+        );
+
+        let algos: Vec<(&str, Box<dyn RedeploymentAlgorithm>)> = vec![
+            ("avala", Box::new(AvalaAlgorithm::new())),
+            ("stochastic", Box::new(StochasticAlgorithm::new())),
+            ("genetic", Box::new(GeneticAlgorithm::new())),
+            ("annealing", Box::new(AnnealingAlgorithm::new())),
+            ("decap", Box::new(DecApAlgorithm::new())),
+        ];
+        for (name, algo) in algos {
+            let r = algo.run(
+                &system.model,
+                &Availability,
+                system.model.constraints(),
+                Some(&system.initial),
+            )?;
+            ratios.entry(name).or_default().push(r.value / optimum);
+        }
+    }
+
+    let mut rows = vec![vec![
+        "initial (random)".to_owned(),
+        fmt_f(mean(&initial_ratios)),
+        fmt_f(std_dev(&initial_ratios)),
+        fmt_f(initial_ratios.iter().cloned().fold(f64::INFINITY, f64::min)),
+    ]];
+    for (name, rs) in &ratios {
+        rows.push(vec![
+            (*name).to_owned(),
+            fmt_f(mean(rs)),
+            fmt_f(std_dev(rs)),
+            fmt_f(rs.iter().cloned().fold(f64::INFINITY, f64::min)),
+        ]);
+    }
+    print_table(
+        &format!("E4: fraction of Exact-optimal availability ({SEEDS} instances, 3 hosts × 9 components)"),
+        &["algorithm", "mean", "std", "worst"],
+        &rows,
+    );
+
+    for (name, rs) in &ratios {
+        assert!(
+            mean(rs) > mean(&initial_ratios),
+            "E4 FAILED: {name} no better than random"
+        );
+        // Centralized bodies must be near-optimal; DecAp sees only
+        // awareness-bounded views, so beating the initial deployment is its
+        // contract (§5.2), not near-optimality.
+        if *name != "decap" {
+            assert!(mean(rs) > 0.85, "E4 FAILED: {name} mean ratio {:.3}", mean(rs));
+        }
+    }
+    println!(
+        "\nE4 PASS: every centralized approximative algorithm achieves >85% of \
+         optimal on average; DecAp (partial knowledge) still beats the random \
+         initial deployment."
+    );
+    Ok(())
+}

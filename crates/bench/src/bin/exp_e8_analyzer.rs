@@ -1,0 +1,137 @@
+//! E8 (§5.1): the analyzer's decision policy.
+//!
+//! * Algorithm selection by architecture size and availability-profile
+//!   stability (Exact for small+stable, Avala for large+stable, Stochastic
+//!   while unstable);
+//! * the latency guard, which "disallows the results of the algorithms to
+//!   take effect" when they would significantly increase latency.
+
+use redep_algorithms::{AvalaAlgorithm, ExactAlgorithm, StochasticAlgorithm};
+use redep_bench::print_table;
+use redep_core::{AnalyzerConfig, CentralizedAnalyzer};
+use redep_desi::DeSi;
+use redep_model::{Availability, GeneratorConfig};
+
+fn desi(hosts: usize, comps: usize, seed: u64) -> DeSi {
+    let mut d = DeSi::generate(&GeneratorConfig::sized(hosts, comps).with_seed(seed)).unwrap();
+    d.container_mut().register(ExactAlgorithm::new());
+    d.container_mut().register(AvalaAlgorithm::new());
+    d.container_mut().register(StochasticAlgorithm::new());
+    d
+}
+
+fn analyzer(stable: bool) -> CentralizedAnalyzer {
+    let mut a = CentralizedAnalyzer::new(AnalyzerConfig::default());
+    if stable {
+        for i in 0..4 {
+            a.observe(i as f64, 0.70);
+        }
+    } else {
+        for (i, v) in [0.9, 0.3, 0.8, 0.2].into_iter().enumerate() {
+            a.observe(i as f64, v);
+        }
+    }
+    a
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- selection policy grid ---------------------------------------
+    let mut rows = Vec::new();
+    for (label, hosts, comps) in [("small (3×7)", 3, 7), ("large (8×40)", 8, 40)] {
+        for stable in [true, false] {
+            let d = desi(hosts, comps, 5);
+            let a = analyzer(stable);
+            rows.push(vec![
+                label.to_owned(),
+                if stable { "stable" } else { "unstable" }.to_owned(),
+                a.select_algorithm(d.system().model()).to_owned(),
+            ]);
+        }
+    }
+    print_table(
+        "E8a: algorithm selection by size × stability",
+        &["architecture", "availability profile", "selected algorithm"],
+        &rows,
+    );
+    assert_eq!(rows[0][2], "exact");
+    assert_eq!(rows[1][2], "stochastic");
+    assert_eq!(rows[2][2], "avala");
+    assert_eq!(rows[3][2], "stochastic");
+
+    // ---- latency guard --------------------------------------------------
+    // A genuine conflict: the reliable path is slow, the fast path is flaky.
+    // The current deployment uses the fast/flaky link; the availability
+    // optimum uses the slow/reliable one and therefore raises latency.
+    let conflicted = || -> Result<DeSi, Box<dyn std::error::Error>> {
+        use redep_model::{Deployment, DeploymentModel};
+        let mut model = DeploymentModel::new();
+        let a = model.add_host("a")?;
+        let b = model.add_host("b")?;
+        let c = model.add_host("c")?;
+        model.set_physical_link(a, b, |l| {
+            l.set_reliability(0.95);
+            l.set_delay(2.0); // reliable but slow
+            l.set_bandwidth(1_000.0);
+        })?;
+        model.set_physical_link(a, c, |l| {
+            l.set_reliability(0.5);
+            l.set_delay(0.001); // fast but flaky
+            l.set_bandwidth(1_000_000.0);
+        })?;
+        let x = model.add_component("x")?;
+        let y = model.add_component("y")?;
+        model.set_logical_link(x, y, |l| l.set_frequency(5.0))?;
+        // x stays at a; y may not join it (separate devices).
+        use redep_model::Constraint;
+        use std::collections::BTreeSet;
+        model.constraints_mut().add(Constraint::PinnedTo {
+            component: x,
+            hosts: BTreeSet::from([a]),
+        });
+        model.constraints_mut().add(Constraint::Separated {
+            components: BTreeSet::from([x, y]),
+        });
+        let current: Deployment = [(x, a), (y, c)].into_iter().collect();
+        let mut d = DeSi::new(model, current);
+        d.container_mut().register(ExactAlgorithm::new());
+        d.container_mut().register(AvalaAlgorithm::new());
+        d.container_mut().register(StochasticAlgorithm::new());
+        Ok(d)
+    };
+    let mut rows = Vec::new();
+    for (label, guard, slack) in [("permissive (+1000%, slack 5s)", 10.0, 5.0), ("strict (+25%, slack 0.1s)", 0.25, 0.1)] {
+        let mut d = conflicted()?;
+        let mut a = CentralizedAnalyzer::new(AnalyzerConfig {
+            latency_guard: guard,
+            latency_slack: slack,
+            min_gain: 0.01,
+            ..AnalyzerConfig::default()
+        });
+        for i in 0..4 {
+            a.observe(i as f64, 0.5);
+        }
+        let decision = a.analyze(&mut d, &Availability)?;
+        rows.push(vec![
+            label.to_owned(),
+            decision.algorithm.clone(),
+            format!(
+                "{:.3} → {:.3}",
+                decision.current_availability, decision.record.availability
+            ),
+            format!(
+                "{:.3} → {:.3}",
+                decision.current_latency, decision.record.latency
+            ),
+            decision.accepted.to_string(),
+        ]);
+    }
+    print_table(
+        "E8b: the latency guard on an availability-optimal proposal",
+        &["guard", "algorithm", "availability", "latency", "accepted"],
+        &rows,
+    );
+    assert_eq!(rows[0][4], "true");
+    assert_eq!(rows[1][4], "false");
+    println!("\nE8 PASS: selection follows the §5.1 policy; the latency guard vetoes latency regressions.");
+    Ok(())
+}

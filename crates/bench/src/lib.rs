@@ -1,0 +1,111 @@
+//! # redep-bench
+//!
+//! The experiment harness regenerating every table and figure of the DSN'04
+//! evaluation (see `DESIGN.md` for the experiment index E1–E12 and
+//! `EXPERIMENTS.md` for recorded results).
+//!
+//! Each experiment is a binary (`cargo run -p redep-bench --release --bin
+//! exp_e3_scaling`) that prints the table/series the paper reports;
+//! wall-clock-sensitive measurements additionally live in Criterion benches
+//! (`cargo bench`).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// Prints a titled ASCII table: experiment binaries share one look.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", render_table(title, headers, rows));
+}
+
+/// Renders a titled ASCII table to a string.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## {title}");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Arithmetic mean of a sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("## demo"));
+        assert!(t.contains("long-header"));
+        assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(std_dev(&[1.0, 1.0, 1.0]) < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.6), "1235");
+        assert_eq!(fmt_f(4.5678), "4.568");
+        assert_eq!(fmt_f(0.12345), "0.1235");
+    }
+}

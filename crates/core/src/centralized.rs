@@ -1,0 +1,295 @@
+//! The centralized instantiation (Figure 2): a Master Host with global
+//! knowledge runs the Centralized Model, Analyzer and Algorithms (DeSi) and
+//! the Master Monitor/Effector (the Prism deployer); every Slave Host runs
+//! a Slave Monitor and Slave Effector (its Prism admin).
+
+use crate::analyzer::{AnalyzerConfig, AnalyzerDecision, CentralizedAnalyzer};
+use crate::error::CoreError;
+use crate::runtime::{RuntimeConfig, SystemRuntime};
+use redep_algorithms::{
+    AnnealingAlgorithm, AvalaAlgorithm, ExactAlgorithm, GeneticAlgorithm, RedeploymentAlgorithm,
+    StochasticAlgorithm,
+};
+use redep_desi::{DeSi, MiddlewareAdapter};
+use redep_model::{Deployment, DeploymentModel, Objective};
+use redep_netsim::Duration;
+
+/// The outcome of one monitoring/analysis/redeployment cycle.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CycleReport {
+    /// Simulated time at the end of the cycle (seconds).
+    pub time_secs: f64,
+    /// Monitoring snapshots pulled into the model this cycle.
+    pub snapshots_applied: usize,
+    /// The analyzer's decision, when analysis ran (it requires monitoring
+    /// data from every host).
+    pub decision: Option<AnalyzerDecision>,
+    /// Whether an accepted redeployment completed within the cycle.
+    pub redeployment_completed: bool,
+    /// Measured availability (ground truth) up to the end of the cycle.
+    pub measured_availability: f64,
+}
+
+/// The complete centralized framework: running system + DeSi + analyzer,
+/// connected by the middleware adapter.
+pub struct CentralizedFramework {
+    runtime: SystemRuntime,
+    desi: DeSi,
+    adapter: MiddlewareAdapter,
+    analyzer: CentralizedAnalyzer,
+}
+
+impl std::fmt::Debug for CentralizedFramework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CentralizedFramework")
+            .field("runtime", &self.runtime)
+            .finish()
+    }
+}
+
+impl CentralizedFramework {
+    /// Assembles the framework around a model and its initial deployment.
+    ///
+    /// The standard §5.1 algorithm suite (Exact, Stochastic, Avala, plus the
+    /// genetic extension) is pre-registered; more can be added through
+    /// [`CentralizedFramework::desi_mut`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime assembly failures. Requires a master host.
+    pub fn new(
+        model: DeploymentModel,
+        initial: Deployment,
+        runtime_config: &RuntimeConfig,
+        analyzer_config: AnalyzerConfig,
+    ) -> Result<Self, CoreError> {
+        let runtime = SystemRuntime::build(&model, &initial, runtime_config)?;
+        let master = runtime
+            .master()
+            .ok_or_else(|| CoreError::Build("centralized framework needs a master host".into()))?;
+        let mut desi = DeSi::new(model, initial);
+        desi.container_mut().register(ExactAlgorithm::new());
+        desi.container_mut().register(StochasticAlgorithm::new());
+        desi.container_mut().register(AvalaAlgorithm::new());
+        desi.container_mut().register(GeneticAlgorithm::new());
+        desi.container_mut().register(AnnealingAlgorithm::new());
+        Ok(CentralizedFramework {
+            runtime,
+            desi,
+            adapter: MiddlewareAdapter::new(master),
+            analyzer: CentralizedAnalyzer::new(analyzer_config),
+        })
+    }
+
+    /// The running system.
+    pub fn runtime(&self) -> &SystemRuntime {
+        &self.runtime
+    }
+
+    /// The running system, mutable (fault injection between cycles).
+    pub fn runtime_mut(&mut self) -> &mut SystemRuntime {
+        &mut self.runtime
+    }
+
+    /// The DeSi environment (model, results, views).
+    pub fn desi(&self) -> &DeSi {
+        &self.desi
+    }
+
+    /// The DeSi environment, mutable (registering algorithms, constraints).
+    pub fn desi_mut(&mut self) -> &mut DeSi {
+        &mut self.desi
+    }
+
+    /// The analyzer.
+    pub fn analyzer(&self) -> &CentralizedAnalyzer {
+        &self.analyzer
+    }
+
+    /// Runs the system without analysis (e.g. to warm up monitoring).
+    pub fn advance(&mut self, span: Duration) {
+        self.runtime.run_for(span);
+    }
+
+    /// Runs one full framework cycle:
+    ///
+    /// 1. advance the system for `monitor_for` (monitoring accumulates),
+    /// 2. pull monitoring data into the centralized model (Master Monitor),
+    /// 3. let the analyzer observe / select / run an algorithm,
+    /// 4. effect an accepted result (Master Effector) and wait up to
+    ///    `effect_wait` for completion.
+    ///
+    /// Analysis is skipped (decision `None`) until every host has reported.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adapter and analyzer failures;
+    /// [`CoreError::RedeploymentTimeout`] when an accepted redeployment does
+    /// not complete within `effect_wait`.
+    pub fn cycle(
+        &mut self,
+        objective: &dyn Objective,
+        monitor_for: Duration,
+        effect_wait: Duration,
+    ) -> Result<CycleReport, CoreError> {
+        self.runtime.run_for(monitor_for);
+        let snapshots = self
+            .adapter
+            .pull_monitoring_data(self.runtime.sim(), self.desi.system_mut())?;
+
+        let now = self.runtime.sim().now().as_secs_f64();
+        let mut decision = None;
+        let mut completed = false;
+
+        if snapshots == self.runtime.hosts().len() {
+            let availability = redep_model::Availability
+                .evaluate(self.desi.system().model(), self.desi.system().deployment());
+            self.analyzer.observe(now, availability);
+            let d = self.analyzer.analyze(&mut self.desi, objective)?;
+            if d.accepted {
+                self.adapter.push_deployment(
+                    self.runtime.sim_mut(),
+                    self.desi.system(),
+                    &d.record.result.deployment,
+                )?;
+                // Drive the system until the deployer confirms completion.
+                let step = Duration::from_millis(500);
+                let mut waited = Duration::ZERO;
+                while waited < effect_wait {
+                    self.runtime.run_for(step);
+                    waited = waited + step;
+                    if self.adapter.redeployment_complete(self.runtime.sim())? {
+                        completed = true;
+                        break;
+                    }
+                }
+                if !completed {
+                    let master = self.runtime.master().expect("centralized");
+                    let stuck = self
+                        .runtime
+                        .host(master)
+                        .and_then(|h| h.deployer().map(|d| d.status().in_flight))
+                        .unwrap_or_default();
+                    return Err(CoreError::RedeploymentTimeout(stuck));
+                }
+                self.desi.adopt_deployment(d.record.result.deployment.clone());
+            }
+            decision = Some(d);
+        }
+
+        Ok(CycleReport {
+            time_secs: self.runtime.sim().now().as_secs_f64(),
+            snapshots_applied: snapshots,
+            decision,
+            redeployment_completed: completed,
+            measured_availability: self.runtime.measured_availability(),
+        })
+    }
+
+    /// Convenience: run `cycles` cycles and return their reports.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing cycle.
+    pub fn run_cycles(
+        &mut self,
+        objective: &dyn Objective,
+        cycles: usize,
+        monitor_for: Duration,
+        effect_wait: Duration,
+    ) -> Result<Vec<CycleReport>, CoreError> {
+        let mut reports = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            reports.push(self.cycle(objective, monitor_for, effect_wait)?);
+        }
+        Ok(reports)
+    }
+}
+
+/// Registers a custom algorithm in a framework (helper for examples).
+pub fn register_algorithm(
+    framework: &mut CentralizedFramework,
+    algorithm: impl RedeploymentAlgorithm + 'static,
+) {
+    framework.desi_mut().container_mut().register(algorithm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Availability, Generator, GeneratorConfig};
+
+    fn framework() -> CentralizedFramework {
+        let s = Generator::generate(&GeneratorConfig::sized(3, 8).with_seed(11)).unwrap();
+        CentralizedFramework::new(
+            s.model,
+            s.initial,
+            &RuntimeConfig::default(),
+            AnalyzerConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cycles_eventually_analyze_and_do_not_regress() {
+        let mut fw = framework();
+        let mut analyzed = false;
+        let before =
+            Availability.evaluate(fw.desi().system().model(), fw.desi().system().deployment());
+        for _ in 0..8 {
+            let report = fw
+                .cycle(
+                    &Availability,
+                    Duration::from_secs_f64(4.0),
+                    Duration::from_secs_f64(30.0),
+                )
+                .unwrap();
+            if report.decision.is_some() {
+                analyzed = true;
+            }
+        }
+        assert!(analyzed, "no cycle gathered full monitoring data");
+        let after =
+            Availability.evaluate(fw.desi().system().model(), fw.desi().system().deployment());
+        assert!(after >= before - 0.15, "availability regressed: {before} -> {after}");
+    }
+
+    #[test]
+    fn accepted_redeployments_change_the_running_system() {
+        let mut fw = framework();
+        let mut effected = None;
+        for _ in 0..10 {
+            let report = fw
+                .cycle(
+                    &Availability,
+                    Duration::from_secs_f64(4.0),
+                    Duration::from_secs_f64(60.0),
+                )
+                .unwrap();
+            if let Some(d) = &report.decision {
+                if d.accepted {
+                    assert!(report.redeployment_completed);
+                    effected = Some(d.record.result.deployment.clone());
+                    break;
+                }
+            }
+        }
+        if let Some(target) = effected {
+            // The running system's actual placement matches the target.
+            assert_eq!(fw.runtime().actual_deployment_by_id(), target);
+        }
+    }
+
+    #[test]
+    fn master_is_required() {
+        let s = Generator::generate(&GeneratorConfig::sized(3, 6)).unwrap();
+        let cfg = RuntimeConfig {
+            master: None,
+            ..RuntimeConfig::default()
+        };
+        assert!(matches!(
+            CentralizedFramework::new(s.model, s.initial, &cfg, AnalyzerConfig::default()),
+            Err(CoreError::Build(_))
+        ));
+    }
+}

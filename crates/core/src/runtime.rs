@@ -1,0 +1,364 @@
+//! The system runtime: a whole distributed Prism-MW system assembled from a
+//! deployment model and executed on the network simulator.
+//!
+//! This is the "Implementation Platform" box of the paper's Figure 1: the
+//! running system the framework monitors and reconfigures. Both the
+//! centralized and the decentralized instantiations build on it.
+
+use crate::error::CoreError;
+use redep_model::{ComponentId, Deployment, DeploymentModel, HostId};
+use redep_netsim::{Duration, NetworkTopology, Simulator};
+use redep_prism::workload::{InteractionSpec, WORKLOAD_TYPE};
+use redep_prism::{host::HostConfig, ComponentFactory, PrismHost, WorkloadComponent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of a system runtime.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RuntimeConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// The master host (runs the deployer) — `None` for decentralized
+    /// systems without a single point of control.
+    pub master: Option<HostId>,
+    /// Monitoring window length.
+    pub monitor_window: Duration,
+    /// ε for the hosts' stability gauges.
+    pub epsilon: f64,
+    /// Consecutive stable differences required before hosts report.
+    pub stable_windows: usize,
+    /// Whether hosts park events for absent components during migrations
+    /// (disable only for the buffering ablation).
+    pub buffer_during_migration: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            seed: 0,
+            master: Some(HostId::new(0)),
+            monitor_window: Duration::from_secs_f64(2.0),
+            epsilon: 0.5,
+            stable_windows: 2,
+            buffer_during_migration: true,
+        }
+    }
+}
+
+/// A running distributed system: one [`PrismHost`] per model host, workload
+/// components realizing the model's logical links, all executing inside a
+/// [`Simulator`] whose topology mirrors the model's physical links.
+pub struct SystemRuntime {
+    sim: Simulator,
+    hosts: Vec<HostId>,
+    master: Option<HostId>,
+    names: BTreeMap<ComponentId, String>,
+}
+
+impl std::fmt::Debug for SystemRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemRuntime")
+            .field("hosts", &self.hosts.len())
+            .field("components", &self.names.len())
+            .field("master", &self.master)
+            .finish()
+    }
+}
+
+impl SystemRuntime {
+    /// Assembles and starts a runtime for `model` deployed as `deployment`.
+    ///
+    /// Each model component becomes a migratable [`WorkloadComponent`] whose
+    /// interaction specs realize the model's logical links (the lower-id
+    /// endpoint of each link acts as the sender).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Build`] when component names are not unique or
+    /// the deployment is incomplete, and propagates model errors.
+    pub fn build(
+        model: &DeploymentModel,
+        deployment: &Deployment,
+        config: &RuntimeConfig,
+    ) -> Result<Self, CoreError> {
+        deployment.validate(model)?;
+
+        // Component instance names must be unique: they are the middleware's
+        // addressing scheme.
+        let mut names: BTreeMap<ComponentId, String> = BTreeMap::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for c in model.components() {
+            if !seen.insert(c.name().to_owned()) {
+                return Err(CoreError::Build(format!(
+                    "duplicate component name '{}'",
+                    c.name()
+                )));
+            }
+            names.insert(c.id(), c.name().to_owned());
+        }
+
+        // Interaction specs: one sender per logical link.
+        let mut specs: BTreeMap<ComponentId, Vec<InteractionSpec>> = BTreeMap::new();
+        for link in model.logical_links() {
+            let (lo, hi) = (link.ends().lo(), link.ends().hi());
+            if link.frequency() <= 0.0 {
+                continue;
+            }
+            specs.entry(lo).or_default().push(InteractionSpec {
+                peer: names[&hi].clone(),
+                frequency: link.frequency(),
+                event_size: link.event_size().max(1.0) as u64,
+            });
+        }
+
+        let directory: BTreeMap<String, HostId> = deployment
+            .iter()
+            .map(|(c, h)| (names[&c].clone(), h))
+            .collect();
+
+        let mut sim = Simulator::new(config.seed);
+        let hosts = model.host_ids();
+        let routes = routing_tables(model);
+        let master = config.master;
+        // Even without a master, control traffic needs a mediation address;
+        // unreachable mediation is simply dropped.
+        let mediation = master.or_else(|| hosts.first().copied());
+        for &h in &hosts {
+            let mut factory = ComponentFactory::new();
+            factory.register(WORKLOAD_TYPE, WorkloadComponent::build);
+            let host_config = HostConfig {
+                deployer_host: mediation.unwrap_or(h),
+                neighbors: model.neighbors(h).into_iter().collect(),
+                routes: routes.get(&h).cloned().unwrap_or_default(),
+                monitor_window: config.monitor_window,
+                epsilon: config.epsilon,
+                stable_windows: config.stable_windows,
+                buffer_during_migration: config.buffer_during_migration,
+                ..HostConfig::default()
+            };
+            let mut prism = PrismHost::new(h, factory, host_config);
+            if Some(h) == master {
+                prism.enable_deployer();
+            }
+            for c in deployment.components_on(h) {
+                let behavior = WorkloadComponent::new(specs.remove(&c).unwrap_or_default());
+                prism
+                    .add_app_component(names[&c].clone(), behavior)
+                    .map_err(CoreError::Prism)?;
+            }
+            prism.set_initial_directory(directory.clone());
+            sim.add_host(h, prism);
+        }
+
+        // Network topology mirrors the model's physical links.
+        let topo = NetworkTopology::from_model(model);
+        for (pair, state) in topo.links() {
+            sim.set_link(pair.lo(), pair.hi(), state.spec);
+        }
+
+        Ok(SystemRuntime {
+            sim,
+            hosts,
+            master,
+            names,
+        })
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The underlying simulator, mutable (fault injection, fluctuation, …).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// Advances the system by `span` of simulated time.
+    pub fn run_for(&mut self, span: Duration) {
+        self.sim.run_for(span);
+    }
+
+    /// All host ids.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// The master host, when one exists.
+    pub fn master(&self) -> Option<HostId> {
+        self.master
+    }
+
+    /// Component instance names by model id.
+    pub fn component_names(&self) -> &BTreeMap<ComponentId, String> {
+        &self.names
+    }
+
+    /// Borrows the Prism runtime of one host.
+    pub fn host(&self, h: HostId) -> Option<&PrismHost> {
+        self.sim.node_ref::<PrismHost>(h)
+    }
+
+    /// Mutably borrows the Prism runtime of one host.
+    pub fn host_mut(&mut self, h: HostId) -> Option<&mut PrismHost> {
+        self.sim.node_mut::<PrismHost>(h)
+    }
+
+    /// The *measured* availability so far: the fraction of emitted
+    /// application events that were actually delivered, summed over all
+    /// hosts (ground truth, independent of the model's estimate).
+    pub fn measured_availability(&self) -> f64 {
+        let mut emitted = 0;
+        let mut received = 0;
+        for &h in &self.hosts {
+            if let Some(host) = self.host(h) {
+                let stats = host.services().stats();
+                emitted += stats.app_events_emitted;
+                received += stats.app_events_received;
+            }
+        }
+        if emitted == 0 {
+            1.0
+        } else {
+            received as f64 / emitted as f64
+        }
+    }
+
+    /// Where each component *actually* lives right now, by instance name
+    /// (read from the running architectures, not from any model).
+    pub fn actual_deployment(&self) -> BTreeMap<String, HostId> {
+        let mut out = BTreeMap::new();
+        for &h in &self.hosts {
+            if let Some(host) = self.host(h) {
+                for (name, ty) in host.architecture().component_inventory() {
+                    if ty == WORKLOAD_TYPE {
+                        out.insert(name, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The actual deployment translated back to model ids.
+    pub fn actual_deployment_by_id(&self) -> Deployment {
+        let by_name = self.actual_deployment();
+        self.names
+            .iter()
+            .filter_map(|(id, name)| by_name.get(name).map(|h| (*id, *h)))
+            .collect()
+    }
+}
+
+/// Computes per-host next-hop routing tables over the model's physical
+/// topology (BFS shortest paths). Entry `tables[h][d] = n` means host `h`
+/// relays frames for `d` through its neighbor `n`; direct neighbors are
+/// omitted (they need no relay).
+fn routing_tables(model: &DeploymentModel) -> BTreeMap<HostId, BTreeMap<HostId, HostId>> {
+    let hosts = model.host_ids();
+    let mut tables: BTreeMap<HostId, BTreeMap<HostId, HostId>> = BTreeMap::new();
+    for &src in &hosts {
+        let mut parent: BTreeMap<HostId, HostId> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([src]);
+        let mut seen: BTreeSet<HostId> = BTreeSet::from([src]);
+        while let Some(u) = queue.pop_front() {
+            for v in model.neighbors(u) {
+                if seen.insert(v) {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let neighbors: BTreeSet<HostId> = model.neighbors(src).into_iter().collect();
+        let table = tables.entry(src).or_default();
+        for &dst in &hosts {
+            if dst == src || neighbors.contains(&dst) || !parent.contains_key(&dst) {
+                continue;
+            }
+            // Walk back from dst until the node whose parent is src.
+            let mut hop = dst;
+            while parent[&hop] != src {
+                hop = parent[&hop];
+            }
+            table.insert(dst, hop);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Generator, GeneratorConfig};
+    use redep_netsim::SimTime;
+
+    fn system() -> (DeploymentModel, Deployment) {
+        let s = Generator::generate(&GeneratorConfig::sized(3, 8).with_seed(2)).unwrap();
+        (s.model, s.initial)
+    }
+
+    #[test]
+    fn builds_and_runs() {
+        let (m, d) = system();
+        let mut rt = SystemRuntime::build(&m, &d, &RuntimeConfig::default()).unwrap();
+        rt.run_for(Duration::from_secs_f64(5.0));
+        assert_eq!(rt.sim().now(), SimTime::from_secs_f64(5.0));
+        // Workload flowed.
+        let availability = rt.measured_availability();
+        assert!((0.0..=1.0).contains(&availability));
+        assert!(rt.sim().stats().sent > 0);
+    }
+
+    #[test]
+    fn actual_deployment_matches_initial() {
+        let (m, d) = system();
+        let rt = SystemRuntime::build(&m, &d, &RuntimeConfig::default()).unwrap();
+        assert_eq!(rt.actual_deployment_by_id(), d);
+    }
+
+    #[test]
+    fn master_runs_the_deployer() {
+        let (m, d) = system();
+        let rt = SystemRuntime::build(&m, &d, &RuntimeConfig::default()).unwrap();
+        let master = rt.master().unwrap();
+        assert!(rt.host(master).unwrap().is_deployer());
+        for &h in rt.hosts() {
+            if h != master {
+                assert!(!rt.host(h).unwrap().is_deployer());
+            }
+        }
+    }
+
+    #[test]
+    fn decentralized_runtime_has_no_deployer_anywhere() {
+        let (m, d) = system();
+        let cfg = RuntimeConfig {
+            master: None,
+            ..RuntimeConfig::default()
+        };
+        let rt = SystemRuntime::build(&m, &d, &cfg).unwrap();
+        // master() falls back to the first host for mediation addressing,
+        // but no deployer component exists.
+        for &h in rt.hosts() {
+            assert!(!rt.host(h).unwrap().is_deployer());
+        }
+    }
+
+    #[test]
+    fn duplicate_component_names_are_rejected() {
+        let mut m = DeploymentModel::new();
+        let h = m.add_host("h").unwrap();
+        let a = m.add_component("same").unwrap();
+        let b = m.add_component("same").unwrap();
+        let d: Deployment = [(a, h), (b, h)].into_iter().collect();
+        assert!(matches!(
+            SystemRuntime::build(&m, &d, &RuntimeConfig::default()),
+            Err(CoreError::Build(_))
+        ));
+    }
+
+    #[test]
+    fn incomplete_deployment_is_rejected() {
+        let (m, _) = system();
+        assert!(SystemRuntime::build(&m, &Deployment::new(), &RuntimeConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The paper's §1 motivating application: distributed deployment of
+//! personnel for natural disasters, search-and-rescue efforts, and military
+//! crises.
+//!
+//! "A computer at 'Headquarters' gathers information from the field and
+//! displays the current status […] The headquarters computer is networked
+//! to a set of PDAs used by 'Commanders' in the field. The commander PDAs
+//! are connected directly to each other and to a large number of 'troop'
+//! PDAs."
+
+use crate::error::CoreError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use redep_model::{ComponentId, Deployment, DeploymentModel, HostId};
+
+/// Parameters of the generated scenario.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScenarioConfig {
+    /// Number of commander PDAs.
+    pub commanders: usize,
+    /// Number of troop PDAs.
+    pub troops: usize,
+    /// RNG seed for link qualities and interaction rates.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            commanders: 3,
+            troops: 6,
+            seed: 0,
+        }
+    }
+}
+
+/// The built scenario: model, initial deployment, and the notable parts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Scenario {
+    /// The deployment-architecture model.
+    pub model: DeploymentModel,
+    /// The natural initial deployment (every app on its owner's device).
+    pub initial: Deployment,
+    /// The headquarters host.
+    pub headquarters: HostId,
+    /// Commander hosts.
+    pub commanders: Vec<HostId>,
+    /// Troop hosts.
+    pub troops: Vec<HostId>,
+    /// The status-display component at headquarters.
+    pub status_display: ComponentId,
+}
+
+impl Scenario {
+    /// Builds the scenario.
+    ///
+    /// Topology: HQ ↔ every commander (reliable, capacious); commanders
+    /// pairwise (decent); each troop ↔ its commander (flaky wireless) and
+    /// occasionally ↔ a neighboring troop. Components: HQ runs the status
+    /// display, map server and database; each commander a coordination
+    /// agent; each troop a position tracker and a messenger.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Build`] for degenerate configurations (zero
+    /// commanders with troops present).
+    pub fn build(config: &ScenarioConfig) -> Result<Self, CoreError> {
+        if config.commanders == 0 && config.troops > 0 {
+            return Err(CoreError::Build(
+                "troops need at least one commander to report to".into(),
+            ));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut model = DeploymentModel::new();
+        let mut initial = Deployment::new();
+
+        // ---- hosts ----------------------------------------------------
+        let headquarters = model.add_host("headquarters")?;
+        model.host_mut(headquarters)?.set_memory(4096.0);
+
+        let commanders: Vec<HostId> = (0..config.commanders)
+            .map(|i| {
+                let h = model.add_host(format!("commander-{i}"))?;
+                model.host_mut(h)?.set_memory(256.0);
+                Ok(h)
+            })
+            .collect::<Result<_, redep_model::ModelError>>()?;
+        let troops: Vec<HostId> = (0..config.troops)
+            .map(|i| {
+                let h = model.add_host(format!("troop-{i}"))?;
+                model.host_mut(h)?.set_memory(64.0);
+                Ok(h)
+            })
+            .collect::<Result<_, redep_model::ModelError>>()?;
+
+        // ---- physical links --------------------------------------------
+        for &c in &commanders {
+            let rel = rng.random_range(0.85..0.99);
+            let bw = rng.random_range(500_000.0..2_000_000.0);
+            model.set_physical_link(headquarters, c, |l| {
+                l.set_reliability(rel);
+                l.set_bandwidth(bw);
+                l.set_delay(rng.random_range(0.005..0.05));
+            })?;
+        }
+        for i in 0..commanders.len() {
+            for j in (i + 1)..commanders.len() {
+                let rel = rng.random_range(0.7..0.95);
+                model.set_physical_link(commanders[i], commanders[j], |l| {
+                    l.set_reliability(rel);
+                    l.set_bandwidth(rng.random_range(200_000.0..800_000.0));
+                    l.set_delay(rng.random_range(0.01..0.1));
+                })?;
+            }
+        }
+        for (i, &t) in troops.iter().enumerate() {
+            let commander = commanders[i % commanders.len()];
+            let rel = rng.random_range(0.4..0.85); // flaky field wireless
+            model.set_physical_link(t, commander, |l| {
+                l.set_reliability(rel);
+                l.set_bandwidth(rng.random_range(10_000.0..50_000.0));
+                l.set_delay(rng.random_range(0.02..0.2));
+            })?;
+            if i > 0 && rng.random_bool(0.5) {
+                let peer = troops[i - 1];
+                let rel = rng.random_range(0.3..0.7);
+                model.set_physical_link(t, peer, |l| {
+                    l.set_reliability(rel);
+                    l.set_bandwidth(rng.random_range(5_000.0..20_000.0));
+                    l.set_delay(rng.random_range(0.02..0.3));
+                })?;
+            }
+        }
+
+        // ---- components and interactions --------------------------------
+        let status_display = model.add_component("status-display")?;
+        model.component_mut(status_display)?.set_required_memory(48.0);
+        initial.assign(status_display, headquarters);
+
+        let map_server = model.add_component("map-server")?;
+        model.component_mut(map_server)?.set_required_memory(96.0);
+        initial.assign(map_server, headquarters);
+
+        let database = model.add_component("field-database")?;
+        model.component_mut(database)?.set_required_memory(128.0);
+        initial.assign(database, headquarters);
+
+        model.set_logical_link(status_display, database, |l| {
+            l.set_frequency(6.0);
+            l.set_event_size(200.0);
+        })?;
+        model.set_logical_link(map_server, database, |l| {
+            l.set_frequency(2.0);
+            l.set_event_size(1_000.0);
+        })?;
+
+        let mut agents = Vec::new();
+        for (i, &c) in commanders.iter().enumerate() {
+            let agent = model.add_component(format!("coordination-agent-{i}"))?;
+            model.component_mut(agent)?.set_required_memory(24.0);
+            initial.assign(agent, c);
+            agents.push(agent);
+            // Commanders report to HQ's display and pull maps.
+            model.set_logical_link(agent, status_display, |l| {
+                l.set_frequency(rng.random_range(2.0..6.0));
+                l.set_event_size(rng.random_range(50.0..200.0));
+            })?;
+            model.set_logical_link(agent, map_server, |l| {
+                l.set_frequency(rng.random_range(0.5..2.0));
+                l.set_event_size(rng.random_range(500.0..2_000.0));
+            })?;
+        }
+        // Commanders coordinate with each other.
+        for i in 0..agents.len() {
+            for j in (i + 1)..agents.len() {
+                model.set_logical_link(agents[i], agents[j], |l| {
+                    l.set_frequency(rng.random_range(1.0..3.0));
+                    l.set_event_size(rng.random_range(50.0..150.0));
+                })?;
+            }
+        }
+
+        for (i, &t) in troops.iter().enumerate() {
+            let tracker = model.add_component(format!("position-tracker-{i}"))?;
+            model.component_mut(tracker)?.set_required_memory(8.0);
+            initial.assign(tracker, t);
+            let messenger = model.add_component(format!("messenger-{i}"))?;
+            model.component_mut(messenger)?.set_required_memory(8.0);
+            initial.assign(messenger, t);
+
+            let agent = agents[i % agents.len()];
+            // Trackers stream positions to their commander's agent and HQ.
+            model.set_logical_link(tracker, agent, |l| {
+                l.set_frequency(rng.random_range(3.0..8.0));
+                l.set_event_size(rng.random_range(20.0..80.0));
+            })?;
+            model.set_logical_link(tracker, status_display, |l| {
+                l.set_frequency(rng.random_range(0.5..2.0));
+                l.set_event_size(rng.random_range(20.0..80.0));
+            })?;
+            // Messengers chat with the commander agent.
+            model.set_logical_link(messenger, agent, |l| {
+                l.set_frequency(rng.random_range(1.0..4.0));
+                l.set_event_size(rng.random_range(50.0..300.0));
+            })?;
+        }
+
+        // Location constraints (§3.1 "User Input"): the status display must
+        // stay in front of the HQ operators, the database is too big for a
+        // PDA, and each position tracker must run on the very device whose
+        // position it reports — only agents, messengers and the map server
+        // are free to move.
+        use redep_model::Constraint;
+        use std::collections::BTreeSet;
+        model.constraints_mut().add(Constraint::PinnedTo {
+            component: status_display,
+            hosts: BTreeSet::from([headquarters]),
+        });
+        model.constraints_mut().add(Constraint::PinnedTo {
+            component: database,
+            hosts: BTreeSet::from([headquarters]),
+        });
+        for (i, &t) in troops.iter().enumerate() {
+            let tracker = model
+                .components()
+                .find(|c| c.name() == format!("position-tracker-{i}"))
+                .map(|c| c.id())
+                .expect("tracker just created");
+            model.constraints_mut().add(Constraint::PinnedTo {
+                component: tracker,
+                hosts: BTreeSet::from([t]),
+            });
+        }
+
+        Ok(Scenario {
+            model,
+            initial,
+            headquarters,
+            commanders,
+            troops,
+            status_display,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Availability, ConstraintChecker, Objective};
+
+    #[test]
+    fn builds_a_consistent_system() {
+        let s = Scenario::build(&ScenarioConfig::default()).unwrap();
+        s.model.validate().unwrap();
+        s.initial.validate(&s.model).unwrap();
+        s.model.constraints().check(&s.model, &s.initial).unwrap();
+        assert_eq!(s.model.host_count(), 1 + 3 + 6);
+        // HQ: 3 apps; commanders: 1 each; troops: 2 each.
+        assert_eq!(s.model.component_count(), 3 + 3 + 12);
+    }
+
+    #[test]
+    fn initial_availability_is_imperfect() {
+        // Flaky troop links make the natural deployment lossy — the very
+        // motivation for redeployment.
+        let s = Scenario::build(&ScenarioConfig::default()).unwrap();
+        let availability = Availability.evaluate(&s.model, &s.initial);
+        assert!(availability < 0.99, "scenario too perfect: {availability}");
+        assert!(availability > 0.3, "scenario degenerate: {availability}");
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = Scenario::build(&ScenarioConfig::default()).unwrap();
+        let b = Scenario::build(&ScenarioConfig::default()).unwrap();
+        assert_eq!(a.model, b.model);
+        let c = Scenario::build(&ScenarioConfig {
+            seed: 9,
+            ..ScenarioConfig::default()
+        })
+        .unwrap();
+        assert_ne!(a.model, c.model);
+    }
+
+    #[test]
+    fn scales_with_configuration() {
+        let s = Scenario::build(&ScenarioConfig {
+            commanders: 5,
+            troops: 20,
+            seed: 1,
+        })
+        .unwrap();
+        assert_eq!(s.model.host_count(), 26);
+        assert_eq!(s.commanders.len(), 5);
+        assert_eq!(s.troops.len(), 20);
+    }
+
+    #[test]
+    fn troops_without_commanders_are_rejected() {
+        assert!(Scenario::build(&ScenarioConfig {
+            commanders: 0,
+            troops: 3,
+            seed: 0
+        })
+        .is_err());
+    }
+}

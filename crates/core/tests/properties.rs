@@ -1,0 +1,82 @@
+//! Property-based tests on the framework layer: scenario construction,
+//! runtime assembly, and routing invariants.
+
+use proptest::prelude::*;
+use redep_core::{RuntimeConfig, Scenario, ScenarioConfig, SystemRuntime};
+use redep_model::{Availability, ConstraintChecker, Objective};
+use redep_netsim::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scenarios_are_always_consistent(
+        commanders in 1usize..5,
+        troops in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let s = Scenario::build(&ScenarioConfig { commanders, troops, seed }).unwrap();
+        s.model.validate().unwrap();
+        s.initial.validate(&s.model).unwrap();
+        s.model.constraints().check(&s.model, &s.initial).unwrap();
+        prop_assert_eq!(s.model.host_count(), 1 + commanders + troops);
+        prop_assert_eq!(s.model.component_count(), 3 + commanders + 2 * troops);
+        // Scenario availability is meaningful (interactions exist).
+        let availability = Availability.evaluate(&s.model, &s.initial);
+        prop_assert!((0.0..=1.0).contains(&availability));
+    }
+
+    #[test]
+    fn runtimes_assemble_and_run_for_any_scenario(
+        commanders in 1usize..4,
+        troops in 0usize..6,
+        seed in 0u64..100,
+    ) {
+        let s = Scenario::build(&ScenarioConfig { commanders, troops, seed }).unwrap();
+        let mut rt = SystemRuntime::build(&s.model, &s.initial, &RuntimeConfig::default()).unwrap();
+        rt.run_for(Duration::from_secs_f64(3.0));
+        // Placement in the running system matches the requested deployment.
+        prop_assert_eq!(rt.actual_deployment_by_id(), s.initial);
+        // Conservation: every sent message is accounted for.
+        let st = rt.sim().stats();
+        prop_assert!(st.delivered + st.dropped_loss + st.dropped_disconnected <= st.sent);
+    }
+
+    #[test]
+    fn monitoring_reports_eventually_reach_the_master(
+        commanders in 1usize..4,
+        troops in 0usize..5,
+    ) {
+        // Whatever the topology shape, routed reporting must cover all hosts.
+        let s = Scenario::build(&ScenarioConfig { commanders, troops, seed: 42 }).unwrap();
+        let mut rt = SystemRuntime::build(&s.model, &s.initial, &RuntimeConfig::default()).unwrap();
+        rt.run_for(Duration::from_secs_f64(40.0));
+        let master = rt.master().unwrap();
+        let reported = rt
+            .host(master)
+            .unwrap()
+            .deployer()
+            .unwrap()
+            .snapshots()
+            .len();
+        prop_assert_eq!(reported, rt.hosts().len());
+    }
+}
+
+/// Deterministic replay of a whole framework run (not proptest: one heavy
+/// case suffices).
+#[test]
+fn whole_runtime_is_deterministic() {
+    let run = || {
+        let s = Scenario::build(&ScenarioConfig::default()).unwrap();
+        let mut rt =
+            SystemRuntime::build(&s.model, &s.initial, &RuntimeConfig::default()).unwrap();
+        rt.run_for(Duration::from_secs_f64(15.0));
+        (
+            rt.sim().stats().sent,
+            rt.sim().stats().delivered,
+            rt.measured_availability(),
+        )
+    };
+    assert_eq!(run(), run());
+}

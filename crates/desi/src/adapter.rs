@@ -1,0 +1,224 @@
+//! The `MiddlewareAdapter`: DeSi's interface to a running system.
+//!
+//! "The MiddlewareAdapter component … provides DeSi with the same
+//! information from a running, real system. MiddlewareAdapter's Monitor
+//! subcomponent captures the run-time data from the external
+//! MiddlewarePlatform and stores it inside the Model's SystemData component.
+//! MiddlewareAdapter's Effector subcomponent … issues a set of commands to
+//! the MiddlewarePlatform to modify the running system's deployment
+//! architecture."
+//!
+//! Here the middleware platform is a [`redep_prism::PrismHost`] fleet inside
+//! a [`redep_netsim::Simulator`]; the adapter exchanges data with the
+//! deployer host between simulation steps.
+
+use crate::error::DesiError;
+use crate::system_data::SystemData;
+use redep_model::{keys, Deployment, HostId};
+use redep_netsim::Simulator;
+use redep_prism::{MonitoringSnapshot, PrismHost};
+use std::collections::BTreeMap;
+
+/// Connects DeSi to a simulated Prism-MW system.
+#[derive(Clone, Copy, Debug)]
+pub struct MiddlewareAdapter {
+    deployer_host: HostId,
+}
+
+impl MiddlewareAdapter {
+    /// Creates an adapter talking to the deployer on `deployer_host`.
+    pub fn new(deployer_host: HostId) -> Self {
+        MiddlewareAdapter { deployer_host }
+    }
+
+    /// The Monitor subcomponent: pulls the deployer's collected monitoring
+    /// snapshots into the system model — logical-link frequencies and event
+    /// sizes, physical-link reliabilities, and the actual deployment.
+    ///
+    /// Returns the number of snapshots applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesiError::Adapter`] when the deployer host is absent or
+    /// not running a deployer.
+    pub fn pull_monitoring_data(
+        &self,
+        sim: &Simulator,
+        system: &mut SystemData,
+    ) -> Result<usize, DesiError> {
+        let host = sim
+            .node_ref::<PrismHost>(self.deployer_host)
+            .ok_or_else(|| DesiError::Adapter(format!("no Prism host at {}", self.deployer_host)))?;
+        let deployer = host
+            .deployer()
+            .ok_or_else(|| DesiError::Adapter(format!("{} runs no deployer", self.deployer_host)))?;
+        let snapshots: Vec<MonitoringSnapshot> = deployer.snapshots().values().cloned().collect();
+        self.apply_snapshots(system, &snapshots)?;
+        Ok(snapshots.len())
+    }
+
+    /// Applies already-extracted snapshots (exposed separately so the
+    /// decentralized configuration can feed per-host snapshots through the
+    /// same code path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesiError::Adapter`] if a snapshot names a component the
+    /// model does not know.
+    pub fn apply_snapshots(
+        &self,
+        system: &mut SystemData,
+        snapshots: &[MonitoringSnapshot],
+    ) -> Result<(), DesiError> {
+        let ids = system.component_ids_by_name();
+        let mut deployment = system.deployment().clone();
+        for snap in snapshots {
+            // Deployment: the snapshot's components live on the reporting host.
+            for name in snap.components.keys() {
+                let id = *ids
+                    .get(name)
+                    .ok_or_else(|| DesiError::Adapter(format!("unknown component '{name}'")))?;
+                deployment.assign(id, snap.host);
+            }
+            // Interaction parameters.
+            for ((a, b), freq) in &snap.frequencies {
+                let (Some(&ca), Some(&cb)) = (ids.get(a), ids.get(b)) else {
+                    continue;
+                };
+                let size = snap.event_sizes.get(&(a.clone(), b.clone())).copied();
+                system.model_mut().set_logical_link(ca, cb, |l| {
+                    l.set_frequency(*freq);
+                    if let Some(s) = size {
+                        if s > 0.0 {
+                            l.set_event_size(s);
+                        }
+                    }
+                })?;
+            }
+            // Link reliabilities (the monitored halves; architect-provided
+            // parameters like security are left untouched).
+            for (peer, rel) in &snap.reliabilities {
+                if system.model().contains_host(*peer) && *peer != snap.host {
+                    system.model_mut().set_physical_link(snap.host, *peer, |l| {
+                        l.params_mut().set(keys::LINK_RELIABILITY, rel.clamp(0.0, 1.0));
+                    })?;
+                }
+            }
+        }
+        system.set_deployment(deployment);
+        Ok(())
+    }
+
+    /// The Effector subcomponent: pushes an improved deployment to the
+    /// running system by handing the deployer a redeployment command
+    /// (executed by the admins as the simulation continues).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesiError::Adapter`] when the deployer host is absent or
+    /// not running a deployer.
+    pub fn push_deployment(
+        &self,
+        sim: &mut Simulator,
+        system: &SystemData,
+        target: &Deployment,
+    ) -> Result<(), DesiError> {
+        let mut by_name: BTreeMap<String, HostId> = BTreeMap::new();
+        for (c, h) in target.iter() {
+            let name = system
+                .model()
+                .component(c)
+                .map_err(DesiError::Model)?
+                .name()
+                .to_owned();
+            by_name.insert(name, h);
+        }
+        let host = sim
+            .node_mut::<PrismHost>(self.deployer_host)
+            .ok_or_else(|| DesiError::Adapter(format!("no Prism host at {}", self.deployer_host)))?;
+        host.effect_redeployment(by_name)
+            .map_err(|e| DesiError::Adapter(e.to_string()))
+    }
+
+    /// Whether the last pushed redeployment has completed in the running
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesiError::Adapter`] when the deployer host is absent or
+    /// not running a deployer.
+    pub fn redeployment_complete(&self, sim: &Simulator) -> Result<bool, DesiError> {
+        let host = sim
+            .node_ref::<PrismHost>(self.deployer_host)
+            .ok_or_else(|| DesiError::Adapter(format!("no Prism host at {}", self.deployer_host)))?;
+        let deployer = host
+            .deployer()
+            .ok_or_else(|| DesiError::Adapter(format!("{} runs no deployer", self.deployer_host)))?;
+        Ok(deployer.status().is_complete())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::DeploymentModel;
+
+    fn simple_system() -> SystemData {
+        let mut m = DeploymentModel::new();
+        let h0 = m.add_host("h0").unwrap();
+        let h1 = m.add_host("h1").unwrap();
+        m.set_physical_link(h0, h1, |_| {}).unwrap();
+        let a = m.add_component("a").unwrap();
+        let b = m.add_component("b").unwrap();
+        m.set_logical_link(a, b, |_| {}).unwrap();
+        let d: Deployment = [(a, h0), (b, h1)].into_iter().collect();
+        SystemData::new(m, d)
+    }
+
+    #[test]
+    fn snapshots_update_frequencies_reliabilities_and_deployment() {
+        let mut sys = simple_system();
+        let h0 = HostId::new(0);
+        let h1 = HostId::new(1);
+        let mut snap = MonitoringSnapshot {
+            host: h0,
+            ..MonitoringSnapshot::default()
+        };
+        snap.components.insert("a".into(), "w".into());
+        snap.components.insert("b".into(), "w".into()); // b moved to h0!
+        snap.frequencies.insert(("a".into(), "b".into()), 7.5);
+        snap.event_sizes.insert(("a".into(), "b".into()), 256.0);
+        snap.reliabilities.insert(h1, 0.65);
+
+        MiddlewareAdapter::new(h0)
+            .apply_snapshots(&mut sys, &[snap])
+            .unwrap();
+
+        let (a, b) = (sys.model().component_ids()[0], sys.model().component_ids()[1]);
+        assert_eq!(sys.model().frequency(a, b), 7.5);
+        assert_eq!(sys.model().event_size(a, b), 256.0);
+        assert_eq!(sys.model().reliability(h0, h1), 0.65);
+        assert_eq!(sys.deployment().host_of(b), Some(h0));
+    }
+
+    #[test]
+    fn unknown_component_names_are_rejected() {
+        let mut sys = simple_system();
+        let mut snap = MonitoringSnapshot {
+            host: HostId::new(0),
+            ..MonitoringSnapshot::default()
+        };
+        snap.components.insert("ghost".into(), "w".into());
+        assert!(matches!(
+            MiddlewareAdapter::new(HostId::new(0)).apply_snapshots(&mut sys, &[snap]),
+            Err(DesiError::Adapter(_))
+        ));
+    }
+
+    #[test]
+    fn adapter_errors_on_missing_deployer() {
+        let sim = Simulator::new(0);
+        let adapter = MiddlewareAdapter::new(HostId::new(0));
+        assert!(adapter.redeployment_complete(&sim).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! The DeSi command-line tool: generate, inspect, and improve deployment
+//! architectures from the shell.
+//!
+//! ```sh
+//! # Fabricate a hypothetical architecture and save it as an ADL document:
+//! desi generate --hosts 4 --components 12 --seed 7 --out system.json
+//!
+//! # Render the Figure 9 table and the Figure 10 graph:
+//! desi view --adl system.json --svg system.svg
+//!
+//! # Run an algorithm and write the improved architecture back out:
+//! desi improve --adl system.json --algorithm avala --objective availability \
+//!              --adopt --out improved.json
+//! ```
+
+use redep_algorithms::{
+    AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
+    StochasticAlgorithm,
+};
+use redep_desi::DeSi;
+use redep_model::{
+    Availability, CommunicationVolume, GeneratorConfig, Latency, LinkSecurity, Objective,
+};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            flags.insert(key.to_owned(), args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(key.to_owned(), "true".to_owned());
+            i += 1;
+        }
+    }
+    Ok(flags)
+}
+
+fn objective_by_name(name: &str) -> Result<Box<dyn Objective>, String> {
+    match name {
+        "availability" => Ok(Box::new(Availability)),
+        "latency" => Ok(Box::new(Latency::new())),
+        "volume" | "communication" => Ok(Box::new(CommunicationVolume)),
+        "security" => Ok(Box::new(LinkSecurity)),
+        other => Err(format!(
+            "unknown objective '{other}' (try availability, latency, volume, security)"
+        )),
+    }
+}
+
+fn register_suite(desi: &mut DeSi) {
+    let c = desi.container_mut();
+    c.register(ExactAlgorithm::new());
+    c.register(AvalaAlgorithm::new());
+    c.register(StochasticAlgorithm::new());
+    c.register(GeneticAlgorithm::new());
+    c.register(AnnealingAlgorithm::new());
+    c.register(DecApAlgorithm::new());
+}
+
+fn load(flags: &BTreeMap<String, String>) -> Result<DeSi, String> {
+    let path = flags
+        .get("adl")
+        .ok_or("missing --adl <file> (an architecture description document)")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    DeSi::from_adl(&json).map_err(|e| e.to_string())
+}
+
+fn save(desi: &DeSi, path: &str) -> Result<(), String> {
+    let json = desi.to_adl().map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn cmd_generate(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let get_usize = |key: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse().map_err(|_| format!("--{key} must be a number")))
+            .unwrap_or(Ok(default))
+    };
+    let config = GeneratorConfig {
+        seed: get_usize("seed", 0)? as u64,
+        ..GeneratorConfig::sized(get_usize("hosts", 4)?, get_usize("components", 12)?)
+    };
+    let desi = DeSi::generate(&config).map_err(|e| e.to_string())?;
+    match flags.get("out") {
+        Some(path) => save(&desi, path),
+        None => {
+            println!("{}", desi.render_table());
+            Ok(())
+        }
+    }
+}
+
+fn cmd_view(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let desi = load(flags)?;
+    println!("{}", desi.render_table());
+    println!("{}", desi.render_ascii());
+    if let Some(path) = flags.get("svg") {
+        let zoom: f64 = flags
+            .get("zoom")
+            .map(|v| v.parse().map_err(|_| "--zoom must be a number"))
+            .unwrap_or(Ok(1.0))?;
+        std::fs::write(path, desi.render_svg(zoom))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_improve(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let mut desi = load(flags)?;
+    register_suite(&mut desi);
+    let objective = objective_by_name(flags.get("objective").map(String::as_str).unwrap_or("availability"))?;
+    let algorithm = flags.get("algorithm").map(String::as_str).unwrap_or("avala");
+
+    let record = desi
+        .run_algorithm(algorithm, objective.as_ref())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{algorithm}: {} = {:.4} (availability {:.4}, latency {:.4}, {} moves, {:?})",
+        objective.name(),
+        record.result.value,
+        record.availability,
+        record.latency,
+        record.moves,
+        record.result.wall_time
+    );
+    println!("proposed deployment: {}", record.result.deployment);
+
+    if flags.contains_key("adopt") {
+        desi.adopt_deployment(record.result.deployment.clone());
+    }
+    if let Some(path) = flags.get("out") {
+        save(&desi, path)?;
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "DeSi — deployment exploration from the command line
+
+USAGE:
+  desi generate [--hosts N] [--components M] [--seed S] [--out file.json]
+  desi view     --adl file.json [--svg out.svg] [--zoom Z]
+  desi improve  --adl file.json [--algorithm NAME] [--objective NAME]
+                [--adopt] [--out file.json]
+
+ALGORITHMS:  exact, avala, stochastic, genetic, annealing, decap
+OBJECTIVES:  availability, latency, volume, security"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = parse_flags(rest).and_then(|flags| match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "view" => cmd_view(&flags),
+        "improve" => cmd_improve(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

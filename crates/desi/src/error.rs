@@ -1,0 +1,64 @@
+//! DeSi's error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by the DeSi environment.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum DesiError {
+    /// No algorithm with this name is registered in the container.
+    UnknownAlgorithm(String),
+    /// The underlying model operation failed.
+    Model(redep_model::ModelError),
+    /// The invoked algorithm failed.
+    Algorithm(redep_algorithms::AlgoError),
+    /// The middleware adapter could not complete an exchange.
+    Adapter(String),
+}
+
+impl fmt::Display for DesiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesiError::UnknownAlgorithm(name) => write!(f, "no algorithm named '{name}'"),
+            DesiError::Model(e) => write!(f, "model error: {e}"),
+            DesiError::Algorithm(e) => write!(f, "algorithm error: {e}"),
+            DesiError::Adapter(msg) => write!(f, "middleware adapter error: {msg}"),
+        }
+    }
+}
+
+impl Error for DesiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DesiError::Model(e) => Some(e),
+            DesiError::Algorithm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<redep_model::ModelError> for DesiError {
+    fn from(e: redep_model::ModelError) -> Self {
+        DesiError::Model(e)
+    }
+}
+
+impl From<redep_algorithms::AlgoError> for DesiError {
+    fn from(e: redep_algorithms::AlgoError) -> Self {
+        DesiError::Algorithm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        let e = DesiError::UnknownAlgorithm("ghost".into());
+        assert!(e.to_string().contains("ghost"));
+        let e = DesiError::from(redep_algorithms::AlgoError::NoFeasibleDeployment);
+        assert!(e.source().is_some());
+    }
+}

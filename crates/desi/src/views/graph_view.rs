@@ -1,0 +1,192 @@
+//! The graph-oriented view (Figure 10): hosts as white boxes, components as
+//! shaded boxes inside them, solid lines for physical links, thin lines for
+//! logical links. Rendered as SVG (faithful) and ASCII (terminal-friendly
+//! thumbnail — the figure's overview pane).
+
+use crate::graph_view_data::GraphViewData;
+use crate::system_data::SystemData;
+use std::fmt::Write as _;
+
+/// Renders deployment graphs from a [`GraphViewData`] layout.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GraphView;
+
+impl GraphView {
+    /// Creates the view.
+    pub fn new() -> Self {
+        GraphView
+    }
+
+    /// Renders the full SVG graph (Figure 10's main pane).
+    pub fn render_svg(&self, system: &SystemData, layout: &GraphViewData) -> String {
+        let model = system.model();
+        let (w, h) = layout.canvas();
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+        );
+        let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+
+        // Physical links first (solid black, under the boxes).
+        for link in model.physical_links() {
+            let ends = link.ends();
+            if let (Some((x1, y1)), Some((x2, y2))) =
+                (layout.host_center(ends.lo()), layout.host_center(ends.hi()))
+            {
+                let _ = writeln!(
+                    svg,
+                    r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="black" stroke-width="2"><title>{} rel={:.2}</title></line>"#,
+                    ends, link.reliability()
+                );
+            }
+        }
+        // Logical links (thin gray).
+        for link in model.logical_links() {
+            let ends = link.ends();
+            if let (Some((x1, y1)), Some((x2, y2))) = (
+                layout.component_center(ends.lo()),
+                layout.component_center(ends.hi()),
+            ) {
+                let _ = writeln!(
+                    svg,
+                    r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#888888" stroke-width="0.7"><title>{} freq={:.2}</title></line>"##,
+                    ends, link.frequency()
+                );
+            }
+        }
+        // Host boxes (white) with their components (shaded).
+        let comp = GraphViewData::COMPONENT_SIZE * layout.zoom();
+        for (hid, hl) in layout.layouts() {
+            let name = model.host(hid).map(|x| x.name().to_owned()).unwrap_or_default();
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="black" stroke-width="{}"/>"#,
+                hl.x,
+                hl.y,
+                hl.width,
+                hl.height,
+                layout.host_style().fill,
+                layout.host_style().border
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="{:.0}" font-family="sans-serif">{name} ({hid})</text>"#,
+                hl.x + 4.0,
+                hl.y + 11.0 * layout.zoom(),
+                10.0 * layout.zoom()
+            );
+            for (cid, (x, y)) in &hl.components {
+                let cname = model
+                    .component(*cid)
+                    .map(|c| c.name().to_owned())
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    svg,
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{comp:.1}" height="{comp:.1}" fill="{}" stroke="black" stroke-width="{}"><title>{cname}</title></rect>"#,
+                    layout.component_style().fill,
+                    layout.component_style().border
+                );
+                let _ = writeln!(
+                    svg,
+                    r#"<text x="{:.1}" y="{:.1}" font-size="{:.0}" font-family="sans-serif">{cid}</text>"#,
+                    x + 3.0,
+                    y + comp / 2.0 + 3.0,
+                    8.0 * layout.zoom()
+                );
+            }
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Renders the ASCII thumbnail: one line per host listing its
+    /// components, plus the physical topology (Figure 10's overview pane).
+    pub fn render_ascii(&self, system: &SystemData) -> String {
+        let model = system.model();
+        let deployment = system.deployment();
+        let mut out = String::new();
+        for host in model.hosts() {
+            let comps: Vec<String> = deployment
+                .components_on(host.id())
+                .into_iter()
+                .filter_map(|c| model.component(c).ok().map(|x| x.name().to_owned()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "[{} {}]: {}",
+                host.id(),
+                host.name(),
+                if comps.is_empty() {
+                    "(empty)".to_owned()
+                } else {
+                    comps.join(", ")
+                }
+            );
+        }
+        let _ = writeln!(out, "links:");
+        for link in model.physical_links() {
+            let _ = writeln!(
+                out,
+                "  {}  rel={:.2} bw={:.0} delay={:.2}",
+                link.ends(),
+                link.reliability(),
+                link.bandwidth(),
+                link.delay()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redep_model::{Generator, GeneratorConfig};
+
+    fn system() -> SystemData {
+        let s = Generator::generate(&GeneratorConfig::sized(3, 6)).unwrap();
+        SystemData::new(s.model, s.initial)
+    }
+
+    #[test]
+    fn svg_contains_every_entity() {
+        let sys = system();
+        let layout = GraphViewData::layout(sys.model(), sys.deployment());
+        let svg = GraphView::new().render_svg(&sys, &layout);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One white rect per host, one shaded per component.
+        assert_eq!(svg.matches(r##"fill="#ffffff""##).count(), 3);
+        assert_eq!(svg.matches(r##"fill="#d9d9d9""##).count(), 6);
+        // Physical links drawn solid, logical thin.
+        assert_eq!(
+            svg.matches(r#"stroke="black" stroke-width="2""#).count(),
+            sys.model().physical_link_count()
+        );
+        assert_eq!(
+            svg.matches(r##"stroke="#888888""##).count(),
+            sys.model().logical_link_count()
+        );
+    }
+
+    #[test]
+    fn ascii_lists_hosts_components_and_links() {
+        let sys = system();
+        let text = GraphView::new().render_ascii(&sys);
+        assert!(text.contains("host-0"));
+        assert!(text.contains("comp-"));
+        assert!(text.contains("links:"));
+        assert!(text.contains("rel="));
+    }
+
+    #[test]
+    fn zoomed_svg_is_larger() {
+        let sys = system();
+        let z1 = GraphViewData::layout_zoomed(sys.model(), sys.deployment(), 1.0);
+        let z2 = GraphViewData::layout_zoomed(sys.model(), sys.deployment(), 2.0);
+        let svg1 = GraphView::new().render_svg(&sys, &z1);
+        let svg2 = GraphView::new().render_svg(&sys, &z2);
+        assert_ne!(svg1, svg2);
+    }
+}

@@ -1,0 +1,12 @@
+//! DeSi's View subsystem: renderers over the Model.
+//!
+//! "The current architecture of the View subsystem contains two components —
+//! GraphView and TableView." Both are pure functions of the Model (the
+//! decoupling the paper calls out: new visualizations of the same models,
+//! or the same visualizations on new models).
+
+mod graph_view;
+mod table_view;
+
+pub use graph_view::GraphView;
+pub use table_view::TableView;

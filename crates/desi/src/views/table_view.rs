@@ -1,0 +1,186 @@
+//! The tabular editor view (Figure 9), rendered as text.
+//!
+//! The page layout follows the figure: a **Parameters** table ("the
+//! properties of every host, component, or link within a software system"),
+//! a **Constraints** panel, an **Algorithms** panel, and a **Results**
+//! panel.
+
+use crate::results::AlgoResultData;
+use crate::system_data::SystemData;
+use std::fmt::Write as _;
+
+/// Renders the Figure 9 table-oriented page as plain text.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TableView;
+
+impl TableView {
+    /// Creates the view.
+    pub fn new() -> Self {
+        TableView
+    }
+
+    /// Renders the parameters / constraints / algorithms / results page.
+    pub fn render(&self, system: &SystemData, results: &AlgoResultData) -> String {
+        let mut out = String::new();
+        self.render_parameters(&mut out, system);
+        self.render_constraints(&mut out, system);
+        self.render_results(&mut out, system, results);
+        out
+    }
+
+    fn rule(out: &mut String, title: &str) {
+        let _ = writeln!(out, "\n=== {title} {}", "=".repeat(60usize.saturating_sub(title.len())));
+    }
+
+    fn render_parameters(&self, out: &mut String, system: &SystemData) {
+        let model = system.model();
+        Self::rule(out, "Parameters");
+        let _ = writeln!(out, "{:<10} {:<18} PARAMETERS", "HOST", "NAME");
+        for host in model.hosts() {
+            let params: Vec<String> =
+                host.params().iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "{:<10} {:<18} {}", host.id().to_string(), host.name(), params.join(", "));
+        }
+        let _ = writeln!(out, "\n{:<10} {:<18} {:<8} PARAMETERS", "COMPONENT", "NAME", "HOST");
+        for component in model.components() {
+            let params: Vec<String> = component
+                .params()
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let host = system
+                .deployment()
+                .host_of(component.id())
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "{:<10} {:<18} {:<8} {}",
+                component.id().to_string(),
+                component.name(),
+                host,
+                params.join(", ")
+            );
+        }
+        let _ = writeln!(out, "\n{:<12} PARAMETERS", "PHYS.LINK");
+        for link in model.physical_links() {
+            let params: Vec<String> =
+                link.params().iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "{:<12} {}", link.ends().to_string(), params.join(", "));
+        }
+        let _ = writeln!(out, "\n{:<12} PARAMETERS", "LOG.LINK");
+        for link in model.logical_links() {
+            let params: Vec<String> =
+                link.params().iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "{:<12} {}", link.ends().to_string(), params.join(", "));
+        }
+    }
+
+    fn render_constraints(&self, out: &mut String, system: &SystemData) {
+        Self::rule(out, "Constraints");
+        let constraints = system.model().constraints();
+        if constraints.is_empty() {
+            let _ = writeln!(out, "(none)");
+        }
+        for c in constraints.iter() {
+            let _ = writeln!(out, "- {c}");
+        }
+        let _ = writeln!(
+            out,
+            "memory capacity check: {}",
+            if constraints.enforces_memory() { "on" } else { "off" }
+        );
+    }
+
+    fn render_results(&self, out: &mut String, _system: &SystemData, results: &AlgoResultData) {
+        Self::rule(out, "Results");
+        let _ = writeln!(
+            out,
+            "{:<12} {:<14} {:>12} {:>10} {:>7} {:>12} {:>12}",
+            "ALGORITHM", "OBJECTIVE", "VALUE", "AVAIL", "MOVES", "EST.EFFECT", "RUNTIME"
+        );
+        for r in results.records() {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<14} {:>12.4} {:>10.4} {:>7} {:>10}ms {:>10}µs",
+                r.result.algorithm,
+                r.objective,
+                r.result.value,
+                r.availability,
+                r.moves,
+                r.estimated_effect_time.as_millis(),
+                r.result.wall_time.as_micros(),
+            );
+        }
+        if results.is_empty() {
+            let _ = writeln!(out, "(no algorithms run yet)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::RecordedResult;
+    use redep_algorithms::{AvalaAlgorithm, RedeploymentAlgorithm};
+    use redep_model::{Availability, Constraint, Generator, GeneratorConfig};
+
+    fn system() -> SystemData {
+        let s = Generator::generate(&GeneratorConfig::sized(3, 6)).unwrap();
+        SystemData::new(s.model, s.initial)
+    }
+
+    #[test]
+    fn renders_all_four_sections() {
+        let sys = system();
+        let text = TableView::new().render(&sys, &AlgoResultData::new());
+        for section in ["Parameters", "Constraints", "Results"] {
+            assert!(text.contains(section), "missing section {section}");
+        }
+        assert!(text.contains("host-0"));
+        assert!(text.contains("comp-0"));
+        assert!(text.contains("(no algorithms run yet)"));
+    }
+
+    #[test]
+    fn lists_every_entity() {
+        let sys = system();
+        let text = TableView::new().render(&sys, &AlgoResultData::new());
+        for host in sys.model().hosts() {
+            assert!(text.contains(host.name()));
+        }
+        for component in sys.model().components() {
+            assert!(text.contains(component.name()));
+        }
+    }
+
+    #[test]
+    fn shows_constraints_and_results() {
+        let mut sys = system();
+        let c0 = sys.model().component_ids()[0];
+        let h0 = sys.model().host_ids()[0];
+        sys.model_mut().constraints_mut().add(Constraint::PinnedTo {
+            component: c0,
+            hosts: std::collections::BTreeSet::from([h0]),
+        });
+        let mut results = AlgoResultData::new();
+        let raw = AvalaAlgorithm::new()
+            .run(
+                sys.model(),
+                &Availability,
+                sys.model().constraints(),
+                Some(sys.deployment()),
+            )
+            .unwrap();
+        results.push(RecordedResult::new(
+            sys.model(),
+            sys.deployment(),
+            &Availability,
+            raw,
+        ));
+        let text = TableView::new().render(&sys, &results);
+        assert!(text.contains("pinned to"));
+        assert!(text.contains("avala"));
+        assert!(text.contains("availability"));
+    }
+}

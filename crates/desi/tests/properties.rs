@@ -1,0 +1,82 @@
+//! Property-based tests: layout invariants and view totality over arbitrary
+//! generated systems.
+
+use proptest::prelude::*;
+use redep_desi::{AlgoResultData, GraphView, GraphViewData, SystemData, TableView};
+use redep_model::{Generator, GeneratorConfig, Range};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (1usize..=6, 0usize..=16, any::<u64>(), 0.5f64..=3.0).prop_map(
+        |(hosts, components, seed, _zoom)| GeneratorConfig {
+            hosts,
+            components,
+            seed,
+            host_memory: Range::new(1_000.0, 2_000.0),
+            component_memory: Range::new(1.0, 10.0),
+            ..GeneratorConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn layout_places_everything_without_overlap(
+        config in config_strategy(),
+        zoom in 0.5f64..3.0,
+    ) {
+        let s = Generator::generate(&config).unwrap();
+        let layout = GraphViewData::layout_zoomed(&s.model, &s.initial, zoom);
+        // Every host has a box; every component a position inside its host.
+        prop_assert_eq!(layout.layouts().count(), s.model.host_count());
+        for c in s.model.component_ids() {
+            prop_assert!(layout.component_center(c).is_some());
+        }
+        let comp = GraphViewData::COMPONENT_SIZE * zoom;
+        for (h, l) in layout.layouts() {
+            for c in s.initial.components_on(h) {
+                let (x, y) = l.components[&c];
+                prop_assert!(x >= l.x - 1e-9 && x + comp <= l.x + l.width + 1e-9);
+                prop_assert!(y >= l.y - 1e-9 && y + comp <= l.y + l.height + 1e-9);
+            }
+        }
+        // Host boxes never overlap.
+        let boxes: Vec<_> = layout.layouts().map(|(_, l)| l).collect();
+        for i in 0..boxes.len() {
+            for j in (i + 1)..boxes.len() {
+                let (a, b) = (boxes[i], boxes[j]);
+                let disjoint = a.x + a.width <= b.x + 1e-9
+                    || b.x + b.width <= a.x + 1e-9
+                    || a.y + a.height <= b.y + 1e-9
+                    || b.y + b.height <= a.y + 1e-9;
+                prop_assert!(disjoint, "boxes {} and {} overlap", i, j);
+            }
+        }
+        // Everything fits on the canvas.
+        let (w, hgt) = layout.canvas();
+        for l in boxes {
+            prop_assert!(l.x >= 0.0 && l.y >= 0.0);
+            prop_assert!(l.x + l.width <= w + 1e-9 && l.y + l.height <= hgt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn views_render_every_generated_system(config in config_strategy()) {
+        let s = Generator::generate(&config).unwrap();
+        let sys = SystemData::new(s.model.clone(), s.initial.clone());
+        let table = TableView::new().render(&sys, &AlgoResultData::new());
+        for host in s.model.hosts() {
+            prop_assert!(table.contains(host.name()));
+        }
+        let layout = GraphViewData::layout(&s.model, &s.initial);
+        let svg = GraphView::new().render_svg(&sys, &layout);
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+        // One shaded rect per component.
+        prop_assert_eq!(
+            svg.matches(r##"fill="#d9d9d9""##).count(),
+            s.model.component_count()
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Deployments: mappings of components onto hosts.
+
+use crate::ids::{ComponentId, HostId};
+use crate::model::DeploymentModel;
+use crate::ModelError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A deployment architecture: an assignment of components to hosts.
+///
+/// A `Deployment` is data, independent of any particular
+/// [`DeploymentModel`] — algorithms produce candidate deployments, objectives
+/// score them against a model, and effectors realize them in a running system.
+///
+/// # Example
+///
+/// ```
+/// use redep_model::{Deployment, ComponentId, HostId};
+/// let mut d = Deployment::new();
+/// d.assign(ComponentId::new(0), HostId::new(1));
+/// assert_eq!(d.host_of(ComponentId::new(0)), Some(HostId::new(1)));
+/// assert_eq!(d.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Deployment {
+    assignment: BTreeMap<ComponentId, HostId>,
+}
+
+impl Deployment {
+    /// Creates an empty deployment.
+    pub fn new() -> Self {
+        Deployment::default()
+    }
+
+    /// Assigns `component` to `host`, returning the previous host if any.
+    pub fn assign(&mut self, component: ComponentId, host: HostId) -> Option<HostId> {
+        self.assignment.insert(component, host)
+    }
+
+    /// Removes the assignment of `component`, returning its host if any.
+    pub fn unassign(&mut self, component: ComponentId) -> Option<HostId> {
+        self.assignment.remove(&component)
+    }
+
+    /// Returns the host `component` is deployed on.
+    pub fn host_of(&self, component: ComponentId) -> Option<HostId> {
+        self.assignment.get(&component).copied()
+    }
+
+    /// Returns `true` if the two components are deployed on the same host.
+    ///
+    /// Unassigned components are on no host, hence never collocated.
+    pub fn collocated(&self, a: ComponentId, b: ComponentId) -> bool {
+        match (self.host_of(a), self.host_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Returns the components deployed on `host`, in id order.
+    pub fn components_on(&self, host: HostId) -> Vec<ComponentId> {
+        self.assignment
+            .iter()
+            .filter(|(_, h)| **h == host)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Number of assigned components.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Returns `true` if no component is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Iterates over `(component, host)` pairs in component order.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, HostId)> + '_ {
+        self.assignment.iter().map(|(c, h)| (*c, *h))
+    }
+
+    /// Checks that every component of `model` is assigned to an existing host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IncompleteDeployment`] for the first unassigned
+    /// component, [`ModelError::UnknownComponent`] for an assignment of a
+    /// component the model does not contain, and [`ModelError::UnknownHost`]
+    /// for an assignment onto a host the model does not contain.
+    pub fn validate(&self, model: &DeploymentModel) -> Result<(), ModelError> {
+        for (c, h) in self.iter() {
+            if !model.contains_component(c) {
+                return Err(ModelError::UnknownComponent(c));
+            }
+            if !model.contains_host(h) {
+                return Err(ModelError::UnknownHost(h));
+            }
+        }
+        for c in model.component_ids() {
+            if self.host_of(c).is_none() {
+                return Err(ModelError::IncompleteDeployment(c));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the migrations needed to turn `self` into `target`.
+    ///
+    /// Components present only in `target` appear with `from: None`
+    /// (fresh installation); components present in both but on different
+    /// hosts appear with `from: Some(old_host)`. Components missing from
+    /// `target` are not reported — redeployment never silently drops
+    /// components; removal is an explicit model edit.
+    pub fn diff(&self, target: &Deployment) -> Vec<Migration> {
+        let mut migrations = Vec::new();
+        for (c, to) in target.iter() {
+            match self.host_of(c) {
+                Some(from) if from == to => {}
+                from => migrations.push(Migration {
+                    component: c,
+                    from,
+                    to,
+                }),
+            }
+        }
+        migrations
+    }
+}
+
+impl FromIterator<(ComponentId, HostId)> for Deployment {
+    fn from_iter<I: IntoIterator<Item = (ComponentId, HostId)>>(iter: I) -> Self {
+        Deployment {
+            assignment: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(ComponentId, HostId)> for Deployment {
+    fn extend<I: IntoIterator<Item = (ComponentId, HostId)>>(&mut self, iter: I) {
+        self.assignment.extend(iter);
+    }
+}
+
+impl fmt::Display for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (c, h)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}→{h}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A single component relocation produced by [`Deployment::diff`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Migration {
+    /// The component being moved.
+    pub component: ComponentId,
+    /// The host the component currently resides on (`None` = fresh install).
+    pub from: Option<HostId>,
+    /// The destination host.
+    pub to: HostId,
+}
+
+impl fmt::Display for Migration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.from {
+            Some(from) => write!(f, "{}: {} → {}", self.component, from, self.to),
+            None => write!(f, "{}: (new) → {}", self.component, self.to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u32) -> HostId {
+        HostId::new(n)
+    }
+    fn c(n: u32) -> ComponentId {
+        ComponentId::new(n)
+    }
+
+    #[test]
+    fn assign_and_reassign() {
+        let mut d = Deployment::new();
+        assert_eq!(d.assign(c(0), h(0)), None);
+        assert_eq!(d.assign(c(0), h(1)), Some(h(0)));
+        assert_eq!(d.host_of(c(0)), Some(h(1)));
+    }
+
+    #[test]
+    fn unassign_removes() {
+        let mut d = Deployment::new();
+        d.assign(c(0), h(0));
+        assert_eq!(d.unassign(c(0)), Some(h(0)));
+        assert_eq!(d.host_of(c(0)), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn collocation_requires_both_assigned() {
+        let mut d = Deployment::new();
+        d.assign(c(0), h(0));
+        assert!(!d.collocated(c(0), c(1)));
+        d.assign(c(1), h(0));
+        assert!(d.collocated(c(0), c(1)));
+        d.assign(c(1), h(1));
+        assert!(!d.collocated(c(0), c(1)));
+    }
+
+    #[test]
+    fn components_on_host_is_ordered() {
+        let mut d = Deployment::new();
+        d.assign(c(3), h(0));
+        d.assign(c(1), h(0));
+        d.assign(c(2), h(1));
+        assert_eq!(d.components_on(h(0)), vec![c(1), c(3)]);
+        assert_eq!(d.components_on(h(1)), vec![c(2)]);
+        assert!(d.components_on(h(9)).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_moves_and_installs() {
+        let mut before = Deployment::new();
+        before.assign(c(0), h(0));
+        before.assign(c(1), h(0));
+        let mut after = Deployment::new();
+        after.assign(c(0), h(1)); // moved
+        after.assign(c(1), h(0)); // unchanged
+        after.assign(c(2), h(2)); // new
+
+        let migrations = before.diff(&after);
+        assert_eq!(migrations.len(), 2);
+        assert!(migrations.contains(&Migration {
+            component: c(0),
+            from: Some(h(0)),
+            to: h(1)
+        }));
+        assert!(migrations.contains(&Migration {
+            component: c(2),
+            from: None,
+            to: h(2)
+        }));
+    }
+
+    #[test]
+    fn diff_of_identical_deployments_is_empty() {
+        let d: Deployment = [(c(0), h(0)), (c(1), h(1))].into_iter().collect();
+        assert!(d.diff(&d.clone()).is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let d: Deployment = [(c(0), h(1))].into_iter().collect();
+        assert_eq!(d.to_string(), "{c0→h1}");
+    }
+
+    #[test]
+    fn migration_display() {
+        let m = Migration {
+            component: c(1),
+            from: Some(h(0)),
+            to: h(2),
+        };
+        assert_eq!(m.to_string(), "c1: h0 → h2");
+        let m = Migration {
+            component: c(1),
+            from: None,
+            to: h(2),
+        };
+        assert_eq!(m.to_string(), "c1: (new) → h2");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d: Deployment = [(c(0), h(1)), (c(5), h(2))].into_iter().collect();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Deployment = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for model construction and manipulation.
+
+use crate::ids::{ComponentId, HostId};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while building or manipulating a [`DeploymentModel`].
+///
+/// [`DeploymentModel`]: crate::DeploymentModel
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The referenced host does not exist in the model.
+    UnknownHost(HostId),
+    /// The referenced component does not exist in the model.
+    UnknownComponent(ComponentId),
+    /// No physical link exists between the two hosts.
+    NoPhysicalLink(HostId, HostId),
+    /// No logical link exists between the two components.
+    NoLogicalLink(ComponentId, ComponentId),
+    /// A deployment does not assign every component to a host.
+    IncompleteDeployment(ComponentId),
+    /// A host still carries deployed components and cannot be removed.
+    HostInUse(HostId),
+    /// An architecture-description document could not be parsed or is
+    /// incompatible with this library version.
+    Adl(String),
+    /// The generator could not produce a valid system for the given
+    /// configuration (e.g. components cannot fit into host memories).
+    Generation(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            ModelError::UnknownComponent(c) => write!(f, "unknown component {c}"),
+            ModelError::NoPhysicalLink(a, b) => {
+                write!(f, "no physical link between {a} and {b}")
+            }
+            ModelError::NoLogicalLink(a, b) => {
+                write!(f, "no logical link between {a} and {b}")
+            }
+            ModelError::IncompleteDeployment(c) => {
+                write!(f, "deployment does not assign component {c} to any host")
+            }
+            ModelError::HostInUse(h) => {
+                write!(f, "host {h} still has deployed components")
+            }
+            ModelError::Adl(msg) => write!(f, "invalid architecture description: {msg}"),
+            ModelError::Generation(msg) => write!(f, "generation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ModelError::UnknownHost(HostId::new(3));
+        assert_eq!(e.to_string(), "unknown host h3");
+        let e = ModelError::IncompleteDeployment(ComponentId::new(1));
+        assert!(e.to_string().contains("c1"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,457 @@
+//! Random architecture generation — the backend of DeSi's `Generator`
+//! controller component.
+//!
+//! The generator fabricates hypothetical deployment architectures from a
+//! [`GeneratorConfig`]: numbers of hosts and components plus ranges for every
+//! built-in parameter, exactly as DeSi's Generator takes "the desired number
+//! of hardware hosts, software components, and a set of ranges for system
+//! parameters".
+
+use crate::deployment::Deployment;
+use crate::ids::{ComponentId, HostId};
+use crate::model::DeploymentModel;
+use crate::ModelError;
+use rand_chacha::ChaCha8Rng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An inclusive parameter range `[lo, hi]` sampled uniformly.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Range {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Range {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "range lower bound {lo} exceeds upper bound {hi}");
+        Range { lo, hi }
+    }
+
+    /// Samples the range uniformly.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+}
+
+impl From<(f64, f64)> for Range {
+    fn from((lo, hi): (f64, f64)) -> Self {
+        Range::new(lo, hi)
+    }
+}
+
+/// Configuration for [`Generator::generate`].
+///
+/// The defaults mirror the scale the paper's centralized examples operate at
+/// (tens of components over a handful of hosts) and guarantee that the
+/// generated system admits at least one valid deployment.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of hardware hosts.
+    pub hosts: usize,
+    /// Number of software components.
+    pub components: usize,
+    /// Available memory per host.
+    pub host_memory: Range,
+    /// Required memory per component.
+    pub component_memory: Range,
+    /// Reliability per physical link.
+    pub reliability: Range,
+    /// Bandwidth per physical link.
+    pub bandwidth: Range,
+    /// Transmission delay per physical link.
+    pub delay: Range,
+    /// Interaction frequency per logical link.
+    pub frequency: Range,
+    /// Average event size per logical link.
+    pub event_size: Range,
+    /// Probability that any given host pair is physically linked
+    /// (a random spanning tree keeps the network connected regardless).
+    pub physical_density: f64,
+    /// Probability that any given component pair interacts.
+    pub logical_density: f64,
+    /// RNG seed; equal configs with equal seeds generate identical systems.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            hosts: 4,
+            components: 12,
+            host_memory: Range::new(80.0, 120.0),
+            component_memory: Range::new(5.0, 15.0),
+            reliability: Range::new(0.3, 1.0),
+            bandwidth: Range::new(50_000.0, 1_000_000.0),
+            delay: Range::new(0.1, 5.0),
+            frequency: Range::new(0.0, 10.0),
+            event_size: Range::new(1.0, 100.0),
+            physical_density: 0.8,
+            logical_density: 0.4,
+            seed: 0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Convenience constructor fixing the system size, keeping other defaults.
+    pub fn sized(hosts: usize, components: usize) -> Self {
+        GeneratorConfig {
+            hosts,
+            components,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated system: a model plus a valid initial deployment.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GeneratedSystem {
+    /// The fabricated deployment-architecture model.
+    pub model: DeploymentModel,
+    /// A random valid initial deployment of the model's components.
+    pub initial: Deployment,
+}
+
+/// Fabricates random deployment architectures.
+///
+/// # Example
+///
+/// ```
+/// use redep_model::{Generator, GeneratorConfig};
+/// let system = Generator::generate(&GeneratorConfig::sized(4, 12))?;
+/// assert_eq!(system.model.host_count(), 4);
+/// assert_eq!(system.model.component_count(), 12);
+/// assert!(system.initial.validate(&system.model).is_ok());
+/// # Ok::<(), redep_model::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Generator;
+
+impl Generator {
+    /// Generates a model and a valid random initial deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Generation`] when the configuration is
+    /// degenerate (zero hosts with nonzero components) or when no valid
+    /// initial deployment could be found (components too big for the hosts).
+    pub fn generate(config: &GeneratorConfig) -> Result<GeneratedSystem, ModelError> {
+        if config.hosts == 0 && config.components > 0 {
+            return Err(ModelError::Generation(
+                "cannot deploy components onto zero hosts".into(),
+            ));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut model = DeploymentModel::new();
+
+        let mut hosts = Vec::with_capacity(config.hosts);
+        for i in 0..config.hosts {
+            let id = model.add_host(format!("host-{i}"))?;
+            let memory = config.host_memory.sample(&mut rng);
+            model.host_mut(id)?.set_memory(memory);
+            hosts.push(id);
+        }
+
+        let mut components = Vec::with_capacity(config.components);
+        for i in 0..config.components {
+            let id = model.add_component(format!("comp-{i}"))?;
+            let memory = config.component_memory.sample(&mut rng);
+            model.component_mut(id)?.set_required_memory(memory);
+            components.push(id);
+        }
+
+        Self::wire_physical(&mut model, &hosts, config, &mut rng)?;
+        Self::wire_logical(&mut model, &components, config, &mut rng)?;
+
+        let initial = Self::random_valid_deployment(&model, &mut rng)?;
+        Ok(GeneratedSystem { model, initial })
+    }
+
+    /// Connects hosts: a random spanning tree for connectivity, then extra
+    /// links with probability `physical_density`.
+    fn wire_physical(
+        model: &mut DeploymentModel,
+        hosts: &[HostId],
+        config: &GeneratorConfig,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(), ModelError> {
+        let mut shuffled = hosts.to_vec();
+        shuffled.shuffle(rng);
+        for i in 1..shuffled.len() {
+            let parent = shuffled[rng.random_range(0..i)];
+            Self::link_hosts(model, parent, shuffled[i], config, rng)?;
+        }
+        for i in 0..hosts.len() {
+            for j in (i + 1)..hosts.len() {
+                if model.physical_link(hosts[i], hosts[j]).is_none()
+                    && rng.random_bool(config.physical_density.clamp(0.0, 1.0))
+                {
+                    Self::link_hosts(model, hosts[i], hosts[j], config, rng)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn link_hosts(
+        model: &mut DeploymentModel,
+        a: HostId,
+        b: HostId,
+        config: &GeneratorConfig,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(), ModelError> {
+        let reliability = config.reliability.sample(rng).clamp(0.0, 1.0);
+        let bandwidth = config.bandwidth.sample(rng).max(f64::MIN_POSITIVE);
+        let delay = config.delay.sample(rng).max(0.0);
+        model.set_physical_link(a, b, |l| {
+            l.set_reliability(reliability);
+            l.set_bandwidth(bandwidth);
+            l.set_delay(delay);
+        })
+    }
+
+    /// Connects components: a random spanning tree so no component is
+    /// isolated, then extra interactions with probability `logical_density`.
+    fn wire_logical(
+        model: &mut DeploymentModel,
+        components: &[ComponentId],
+        config: &GeneratorConfig,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(), ModelError> {
+        let mut shuffled = components.to_vec();
+        shuffled.shuffle(rng);
+        for i in 1..shuffled.len() {
+            let parent = shuffled[rng.random_range(0..i)];
+            Self::link_components(model, parent, shuffled[i], config, rng)?;
+        }
+        for i in 0..components.len() {
+            for j in (i + 1)..components.len() {
+                if model.logical_link(components[i], components[j]).is_none()
+                    && rng.random_bool(config.logical_density.clamp(0.0, 1.0))
+                {
+                    Self::link_components(model, components[i], components[j], config, rng)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn link_components(
+        model: &mut DeploymentModel,
+        a: ComponentId,
+        b: ComponentId,
+        config: &GeneratorConfig,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(), ModelError> {
+        let frequency = config.frequency.sample(rng).max(0.0);
+        let size = config.event_size.sample(rng).max(f64::MIN_POSITIVE);
+        model.set_logical_link(a, b, |l| {
+            l.set_frequency(frequency);
+            l.set_event_size(size);
+        })
+    }
+
+    /// Finds a random deployment satisfying the model's constraints by
+    /// shuffled first-fit, retrying a bounded number of times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Generation`] when no valid deployment was found
+    /// within the retry budget.
+    pub fn random_valid_deployment(
+        model: &DeploymentModel,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Deployment, ModelError> {
+        use crate::constraints::ConstraintChecker;
+        const ATTEMPTS: usize = 200;
+        let hosts = model.host_ids();
+        let mut components = model.component_ids();
+        for _ in 0..ATTEMPTS {
+            components.shuffle(rng);
+            let mut order = hosts.clone();
+            order.shuffle(rng);
+            let mut d = Deployment::new();
+            let mut ok = true;
+            'comp: for &c in &components {
+                for &h in &order {
+                    if model.constraints().admits(model, &d, c, h) {
+                        d.assign(c, h);
+                        continue 'comp;
+                    }
+                }
+                ok = false;
+                break;
+            }
+            if ok && model.constraints().check(model, &d).is_ok() {
+                return Ok(d);
+            }
+        }
+        Err(ModelError::Generation(format!(
+            "no valid deployment found in {ATTEMPTS} attempts; \
+             constraints may be unsatisfiable"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ConstraintChecker;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let s = Generator::generate(&GeneratorConfig::sized(5, 20)).unwrap();
+        assert_eq!(s.model.host_count(), 5);
+        assert_eq!(s.model.component_count(), 20);
+    }
+
+    #[test]
+    fn initial_deployment_is_complete_and_valid() {
+        let s = Generator::generate(&GeneratorConfig::sized(4, 16)).unwrap();
+        s.initial.validate(&s.model).unwrap();
+        s.model.constraints().check(&s.model, &s.initial).unwrap();
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(7)).unwrap();
+        let b = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(7)).unwrap();
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.initial, b.initial);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(1)).unwrap();
+        let b = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(2)).unwrap();
+        assert_ne!(a.model, b.model);
+    }
+
+    #[test]
+    fn network_is_connected() {
+        let s = Generator::generate(&GeneratorConfig {
+            physical_density: 0.0, // only the spanning tree
+            ..GeneratorConfig::sized(8, 8)
+        })
+        .unwrap();
+        // BFS from the first host must reach all hosts.
+        let hosts = s.model.host_ids();
+        let mut seen = std::collections::BTreeSet::from([hosts[0]]);
+        let mut queue = vec![hosts[0]];
+        while let Some(h) = queue.pop() {
+            for n in s.model.neighbors(h) {
+                if seen.insert(n) {
+                    queue.push(n);
+                }
+            }
+        }
+        assert_eq!(seen.len(), hosts.len());
+    }
+
+    #[test]
+    fn no_component_is_isolated() {
+        let s = Generator::generate(&GeneratorConfig {
+            logical_density: 0.0, // only the spanning tree
+            ..GeneratorConfig::sized(4, 10)
+        })
+        .unwrap();
+        for c in s.model.component_ids() {
+            assert!(
+                !s.model.logical_neighbors(c).is_empty(),
+                "component {c} has no interactions"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_hosts_with_components_is_an_error() {
+        let cfg = GeneratorConfig {
+            hosts: 0,
+            components: 3,
+            ..GeneratorConfig::default()
+        };
+        assert!(matches!(
+            Generator::generate(&cfg),
+            Err(ModelError::Generation(_))
+        ));
+    }
+
+    #[test]
+    fn impossible_memory_reports_generation_failure() {
+        let cfg = GeneratorConfig {
+            host_memory: Range::new(1.0, 1.0),
+            component_memory: Range::new(50.0, 50.0),
+            ..GeneratorConfig::sized(2, 4)
+        };
+        assert!(matches!(
+            Generator::generate(&cfg),
+            Err(ModelError::Generation(_))
+        ));
+    }
+
+    #[test]
+    fn generated_parameters_respect_ranges() {
+        let cfg = GeneratorConfig::sized(4, 10).with_seed(3);
+        let s = Generator::generate(&cfg).unwrap();
+        for host in s.model.hosts() {
+            let m = host.memory();
+            assert!(m >= cfg.host_memory.lo && m <= cfg.host_memory.hi);
+        }
+        for link in s.model.physical_links() {
+            assert!(link.reliability() >= cfg.reliability.lo);
+            assert!(link.reliability() <= cfg.reliability.hi);
+        }
+    }
+
+    #[test]
+    fn respects_location_constraints_in_initial_deployment() {
+        use crate::constraints::Constraint;
+        use std::collections::BTreeSet;
+        let mut s = Generator::generate(&GeneratorConfig::sized(3, 6).with_seed(1)).unwrap();
+        let c0 = s.model.component_ids()[0];
+        let h0 = s.model.host_ids()[0];
+        s.model.constraints_mut().add(Constraint::PinnedTo {
+            component: c0,
+            hosts: BTreeSet::from([h0]),
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let d = Generator::random_valid_deployment(&s.model, &mut rng).unwrap();
+        assert_eq!(d.host_of(c0), Some(h0));
+        s.model.constraints().check(&s.model, &d).unwrap();
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let r = Range::new(2.0, 3.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            let v = r.sample(&mut rng);
+            assert!((2.0..=3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_range_panics() {
+        let _ = Range::new(3.0, 2.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Strongly typed identifiers for hosts and components.
+//!
+//! Newtypes keep host and component identifiers statically distinct
+//! (C-NEWTYPE): an API that needs a [`HostId`] cannot accidentally be handed a
+//! [`ComponentId`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a hardware host in a [`DeploymentModel`].
+///
+/// Host ids are allocated by [`DeploymentModel::add_host`] and are unique
+/// within one model.
+///
+/// [`DeploymentModel`]: crate::DeploymentModel
+/// [`DeploymentModel::add_host`]: crate::DeploymentModel::add_host
+///
+/// # Example
+///
+/// ```
+/// use redep_model::HostId;
+/// let h = HostId::new(3);
+/// assert_eq!(h.raw(), 3);
+/// assert_eq!(h.to_string(), "h3");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct HostId(u32);
+
+impl HostId {
+    /// Creates a host id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        HostId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl From<u32> for HostId {
+    fn from(raw: u32) -> Self {
+        HostId(raw)
+    }
+}
+
+/// Identifier of a software component in a [`DeploymentModel`].
+///
+/// Component ids are allocated by [`DeploymentModel::add_component`] and are
+/// unique within one model.
+///
+/// [`DeploymentModel`]: crate::DeploymentModel
+/// [`DeploymentModel::add_component`]: crate::DeploymentModel::add_component
+///
+/// # Example
+///
+/// ```
+/// use redep_model::ComponentId;
+/// let c = ComponentId::new(7);
+/// assert_eq!(c.raw(), 7);
+/// assert_eq!(c.to_string(), "c7");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// Creates a component id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        ComponentId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for ComponentId {
+    fn from(raw: u32) -> Self {
+        ComponentId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_id_roundtrip() {
+        let h = HostId::new(42);
+        assert_eq!(h.raw(), 42);
+        assert_eq!(HostId::from(42), h);
+    }
+
+    #[test]
+    fn component_id_roundtrip() {
+        let c = ComponentId::new(9);
+        assert_eq!(c.raw(), 9);
+        assert_eq!(ComponentId::from(9), c);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(HostId::new(0).to_string(), "h0");
+        assert_eq!(ComponentId::new(15).to_string(), "c15");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(HostId::new(1) < HostId::new(2));
+        assert!(ComponentId::new(3) > ComponentId::new(2));
+    }
+
+    #[test]
+    fn ids_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HostId>();
+        assert_send_sync::<ComponentId>();
+    }
+}

@@ -1,0 +1,434 @@
+//! Physical (host-to-host) and logical (component-to-component) links.
+//!
+//! Both kinds of link are *undirected*: the pair types normalize their
+//! endpoint order so that `(a, b)` and `(b, a)` name the same link.
+
+use crate::ids::{ComponentId, HostId};
+use crate::params::{keys, ParamTable, ParamValue};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An unordered pair of distinct hosts, used to key physical links.
+///
+/// # Example
+///
+/// ```
+/// use redep_model::{HostPair, HostId};
+/// let a = HostId::new(1);
+/// let b = HostId::new(2);
+/// assert_eq!(HostPair::new(a, b), HostPair::new(b, a));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct HostPair {
+    lo: HostId,
+    hi: HostId,
+}
+
+impl HostPair {
+    /// Creates a normalized pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`; a host has no physical link to itself.
+    pub fn new(a: HostId, b: HostId) -> Self {
+        assert_ne!(a, b, "a physical link must connect two distinct hosts");
+        if a < b {
+            HostPair { lo: a, hi: b }
+        } else {
+            HostPair { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn lo(self) -> HostId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    pub fn hi(self) -> HostId {
+        self.hi
+    }
+
+    /// Returns `true` if `h` is one of the endpoints.
+    pub fn contains(self, h: HostId) -> bool {
+        self.lo == h || self.hi == h
+    }
+
+    /// Given one endpoint, returns the other; `None` if `h` is not an endpoint.
+    pub fn other(self, h: HostId) -> Option<HostId> {
+        if h == self.lo {
+            Some(self.hi)
+        } else if h == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for HostPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}–{}", self.lo, self.hi)
+    }
+}
+
+/// An unordered pair of distinct components, used to key logical links.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ComponentPair {
+    lo: ComponentId,
+    hi: ComponentId,
+}
+
+impl ComponentPair {
+    /// Creates a normalized pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`; a component has no logical link to itself.
+    pub fn new(a: ComponentId, b: ComponentId) -> Self {
+        assert_ne!(a, b, "a logical link must connect two distinct components");
+        if a < b {
+            ComponentPair { lo: a, hi: b }
+        } else {
+            ComponentPair { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn lo(self) -> ComponentId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    pub fn hi(self) -> ComponentId {
+        self.hi
+    }
+
+    /// Returns `true` if `c` is one of the endpoints.
+    pub fn contains(self, c: ComponentId) -> bool {
+        self.lo == c || self.hi == c
+    }
+
+    /// Given one endpoint, returns the other; `None` if `c` is not an endpoint.
+    pub fn other(self, c: ComponentId) -> Option<ComponentId> {
+        if c == self.lo {
+            Some(self.hi)
+        } else if c == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ComponentPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}–{}", self.lo, self.hi)
+    }
+}
+
+/// A network link between two hosts.
+///
+/// The built-in objectives read three parameters, all optional:
+/// reliability (default `1.0`), bandwidth (default unlimited) and
+/// transmission delay (default `0.0`). Absence of a physical link between two
+/// hosts means they cannot communicate at all (reliability `0.0`).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PhysicalLink {
+    ends: HostPair,
+    params: ParamTable,
+}
+
+impl PhysicalLink {
+    /// Creates a link between `a` and `b` with an empty parameter table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: HostId, b: HostId) -> Self {
+        PhysicalLink {
+            ends: HostPair::new(a, b),
+            params: ParamTable::new(),
+        }
+    }
+
+    /// Returns the link's endpoints.
+    pub fn ends(&self) -> HostPair {
+        self.ends
+    }
+
+    /// Returns the link's parameter table.
+    pub fn params(&self) -> &ParamTable {
+        &self.params
+    }
+
+    /// Returns the link's parameter table for modification.
+    pub fn params_mut(&mut self) -> &mut ParamTable {
+        &mut self.params
+    }
+
+    /// Link reliability in `[0, 1]` ([`keys::LINK_RELIABILITY`]); default `1.0`.
+    pub fn reliability(&self) -> f64 {
+        self.params.get_f64_or(keys::LINK_RELIABILITY, 1.0)
+    }
+
+    /// Sets the link reliability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reliability` is not within `[0, 1]`.
+    pub fn set_reliability(&mut self, reliability: f64) -> Option<ParamValue> {
+        assert!(
+            (0.0..=1.0).contains(&reliability),
+            "reliability must be in [0, 1], got {reliability}"
+        );
+        self.params.set(keys::LINK_RELIABILITY, reliability)
+    }
+
+    /// Link bandwidth ([`keys::LINK_BANDWIDTH`]); default unlimited.
+    pub fn bandwidth(&self) -> f64 {
+        self.params.get_f64_or(keys::LINK_BANDWIDTH, f64::INFINITY)
+    }
+
+    /// Sets the link bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not positive.
+    pub fn set_bandwidth(&mut self, bandwidth: f64) -> Option<ParamValue> {
+        assert!(bandwidth > 0.0, "bandwidth must be positive, got {bandwidth}");
+        self.params.set(keys::LINK_BANDWIDTH, bandwidth)
+    }
+
+    /// Transmission delay ([`keys::LINK_DELAY`]); default `0.0`.
+    pub fn delay(&self) -> f64 {
+        self.params.get_f64_or(keys::LINK_DELAY, 0.0)
+    }
+
+    /// Sets the transmission delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn set_delay(&mut self, delay: f64) -> Option<ParamValue> {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.params.set(keys::LINK_DELAY, delay)
+    }
+
+    /// Link security level in `[0, 1]` ([`keys::LINK_SECURITY`]); default `1.0`.
+    pub fn security(&self) -> f64 {
+        self.params.get_f64_or(keys::LINK_SECURITY, 1.0)
+    }
+
+    /// Sets the link security level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `security` is not within `[0, 1]`.
+    pub fn set_security(&mut self, security: f64) -> Option<ParamValue> {
+        assert!(
+            (0.0..=1.0).contains(&security),
+            "security must be in [0, 1], got {security}"
+        );
+        self.params.set(keys::LINK_SECURITY, security)
+    }
+}
+
+impl fmt::Display for PhysicalLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "physical link {}", self.ends)
+    }
+}
+
+/// An interaction path between two components.
+///
+/// The built-in objectives read two parameters: interaction frequency
+/// (default `0.0`: no interaction) and average event size (default `1.0`).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LogicalLink {
+    ends: ComponentPair,
+    params: ParamTable,
+}
+
+impl LogicalLink {
+    /// Creates a link between `a` and `b` with an empty parameter table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: ComponentId, b: ComponentId) -> Self {
+        LogicalLink {
+            ends: ComponentPair::new(a, b),
+            params: ParamTable::new(),
+        }
+    }
+
+    /// Returns the link's endpoints.
+    pub fn ends(&self) -> ComponentPair {
+        self.ends
+    }
+
+    /// Returns the link's parameter table.
+    pub fn params(&self) -> &ParamTable {
+        &self.params
+    }
+
+    /// Returns the link's parameter table for modification.
+    pub fn params_mut(&mut self) -> &mut ParamTable {
+        &mut self.params
+    }
+
+    /// Interaction frequency ([`keys::INTERACTION_FREQUENCY`]); default `0.0`.
+    pub fn frequency(&self) -> f64 {
+        self.params.get_f64_or(keys::INTERACTION_FREQUENCY, 0.0)
+    }
+
+    /// Sets the interaction frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is negative.
+    pub fn set_frequency(&mut self, frequency: f64) -> Option<ParamValue> {
+        assert!(
+            frequency >= 0.0,
+            "frequency must be non-negative, got {frequency}"
+        );
+        self.params.set(keys::INTERACTION_FREQUENCY, frequency)
+    }
+
+    /// Average event size ([`keys::EVENT_SIZE`]); default `1.0`.
+    pub fn event_size(&self) -> f64 {
+        self.params.get_f64_or(keys::EVENT_SIZE, 1.0)
+    }
+
+    /// Sets the average event size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not positive.
+    pub fn set_event_size(&mut self, size: f64) -> Option<ParamValue> {
+        assert!(size > 0.0, "event size must be positive, got {size}");
+        self.params.set(keys::EVENT_SIZE, size)
+    }
+}
+
+impl fmt::Display for LogicalLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "logical link {}", self.ends)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u32) -> HostId {
+        HostId::new(n)
+    }
+    fn c(n: u32) -> ComponentId {
+        ComponentId::new(n)
+    }
+
+    #[test]
+    fn host_pair_normalizes_order() {
+        let p = HostPair::new(h(5), h(2));
+        assert_eq!(p.lo(), h(2));
+        assert_eq!(p.hi(), h(5));
+        assert_eq!(p, HostPair::new(h(2), h(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct hosts")]
+    fn host_pair_rejects_self_loop() {
+        let _ = HostPair::new(h(1), h(1));
+    }
+
+    #[test]
+    fn host_pair_other_endpoint() {
+        let p = HostPair::new(h(1), h(2));
+        assert_eq!(p.other(h(1)), Some(h(2)));
+        assert_eq!(p.other(h(2)), Some(h(1)));
+        assert_eq!(p.other(h(3)), None);
+        assert!(p.contains(h(1)) && p.contains(h(2)) && !p.contains(h(9)));
+    }
+
+    #[test]
+    fn component_pair_normalizes_order() {
+        assert_eq!(ComponentPair::new(c(9), c(1)), ComponentPair::new(c(1), c(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct components")]
+    fn component_pair_rejects_self_loop() {
+        let _ = ComponentPair::new(c(4), c(4));
+    }
+
+    #[test]
+    fn physical_link_defaults() {
+        let l = PhysicalLink::new(h(0), h(1));
+        assert_eq!(l.reliability(), 1.0);
+        assert_eq!(l.bandwidth(), f64::INFINITY);
+        assert_eq!(l.delay(), 0.0);
+        assert_eq!(l.security(), 1.0);
+    }
+
+    #[test]
+    fn physical_link_setters() {
+        let mut l = PhysicalLink::new(h(0), h(1));
+        l.set_reliability(0.5);
+        l.set_bandwidth(100.0);
+        l.set_delay(2.0);
+        l.set_security(0.3);
+        assert_eq!(l.reliability(), 0.5);
+        assert_eq!(l.bandwidth(), 100.0);
+        assert_eq!(l.delay(), 2.0);
+        assert_eq!(l.security(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "reliability must be in [0, 1]")]
+    fn reliability_out_of_range_panics() {
+        PhysicalLink::new(h(0), h(1)).set_reliability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        PhysicalLink::new(h(0), h(1)).set_bandwidth(0.0);
+    }
+
+    #[test]
+    fn logical_link_defaults() {
+        let l = LogicalLink::new(c(0), c(1));
+        assert_eq!(l.frequency(), 0.0);
+        assert_eq!(l.event_size(), 1.0);
+    }
+
+    #[test]
+    fn logical_link_setters() {
+        let mut l = LogicalLink::new(c(0), c(1));
+        l.set_frequency(12.0);
+        l.set_event_size(256.0);
+        assert_eq!(l.frequency(), 12.0);
+        assert_eq!(l.event_size(), 256.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be non-negative")]
+    fn negative_frequency_panics() {
+        LogicalLink::new(c(0), c(1)).set_frequency(-1.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(HostPair::new(h(1), h(0)).to_string(), "h0–h1");
+        assert_eq!(
+            PhysicalLink::new(h(1), h(0)).to_string(),
+            "physical link h0–h1"
+        );
+        assert_eq!(
+            LogicalLink::new(c(2), c(1)).to_string(),
+            "logical link c1–c2"
+        );
+    }
+}

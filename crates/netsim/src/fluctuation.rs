@@ -1,0 +1,186 @@
+//! Link-quality fluctuation models.
+//!
+//! The paper motivates redeployment with networks whose "bandwidth
+//! fluctuations and the unreliability of network links affect the system's
+//! properties". A [`FluctuationModel`] is invoked periodically by the
+//! simulator ([`Simulator::add_fluctuation`]) and mutates the live topology.
+//!
+//! [`Simulator::add_fluctuation`]: crate::Simulator::add_fluctuation
+
+use crate::topology::NetworkTopology;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// A process that perturbs link qualities over time.
+pub trait FluctuationModel: fmt::Debug + 'static {
+    /// Short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Perturbs the topology once. Called every configured interval with the
+    /// simulation's RNG, so fluctuation is part of the deterministic run.
+    fn apply(&mut self, topology: &mut NetworkTopology, rng: &mut ChaCha8Rng);
+}
+
+/// Reliability random walk: each application nudges every link's reliability
+/// by a uniform step in `[-amplitude, +amplitude]`, clamped to
+/// `[floor, ceiling]`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RandomWalkFluctuation {
+    /// Maximum absolute per-step change.
+    pub amplitude: f64,
+    /// Lowest reliability the walk may reach.
+    pub floor: f64,
+    /// Highest reliability the walk may reach.
+    pub ceiling: f64,
+}
+
+impl RandomWalkFluctuation {
+    /// Creates a walk with the given amplitude over `[0.05, 1.0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative.
+    pub fn new(amplitude: f64) -> Self {
+        assert!(amplitude >= 0.0, "amplitude must be non-negative");
+        RandomWalkFluctuation {
+            amplitude,
+            floor: 0.05,
+            ceiling: 1.0,
+        }
+    }
+}
+
+impl FluctuationModel for RandomWalkFluctuation {
+    fn name(&self) -> &str {
+        "reliability random walk"
+    }
+
+    fn apply(&mut self, topology: &mut NetworkTopology, rng: &mut ChaCha8Rng) {
+        for (_, state) in topology.links_mut() {
+            let step = if self.amplitude == 0.0 {
+                0.0
+            } else {
+                rng.random_range(-self.amplitude..=self.amplitude)
+            };
+            state.spec.reliability =
+                (state.spec.reliability + step).clamp(self.floor, self.ceiling);
+        }
+    }
+}
+
+/// Two-state Markov link churn: an up link goes down with probability
+/// `p_down` per application; a down link recovers with probability `p_up`.
+///
+/// This reproduces the intermittent disconnection the paper's
+/// disconnected-operation work targets.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MarkovLinkChurn {
+    /// Per-step probability that an up link fails.
+    pub p_down: f64,
+    /// Per-step probability that a down link recovers.
+    pub p_up: f64,
+}
+
+impl MarkovLinkChurn {
+    /// Creates a churn model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(p_down: f64, p_up: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_down), "p_down must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&p_up), "p_up must be in [0, 1]");
+        MarkovLinkChurn { p_down, p_up }
+    }
+}
+
+impl FluctuationModel for MarkovLinkChurn {
+    fn name(&self) -> &str {
+        "markov link churn"
+    }
+
+    fn apply(&mut self, topology: &mut NetworkTopology, rng: &mut ChaCha8Rng) {
+        for (_, state) in topology.links_mut() {
+            if state.up {
+                if rng.random_bool(self.p_down) {
+                    state.up = false;
+                }
+            } else if rng.random_bool(self.p_up) {
+                state.up = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+    use rand::SeedableRng;
+    use redep_model::HostId;
+
+    fn topo() -> NetworkTopology {
+        let mut t = NetworkTopology::new();
+        t.set_link(
+            HostId::new(0),
+            HostId::new(1),
+            LinkSpec {
+                reliability: 0.5,
+                ..LinkSpec::default()
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let mut t = topo();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut walk = RandomWalkFluctuation::new(0.3);
+        for _ in 0..200 {
+            walk.apply(&mut t, &mut rng);
+            let r = t.link(HostId::new(0), HostId::new(1)).unwrap().spec.reliability;
+            assert!((0.05..=1.0).contains(&r), "reliability escaped bounds: {r}");
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let mut t = topo();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let before = t.link(HostId::new(0), HostId::new(1)).unwrap().spec.reliability;
+        RandomWalkFluctuation::new(0.2).apply(&mut t, &mut rng);
+        let after = t.link(HostId::new(0), HostId::new(1)).unwrap().spec.reliability;
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn zero_amplitude_walk_is_identity() {
+        let mut t = topo();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        RandomWalkFluctuation::new(0.0).apply(&mut t, &mut rng);
+        assert_eq!(
+            t.link(HostId::new(0), HostId::new(1)).unwrap().spec.reliability,
+            0.5
+        );
+    }
+
+    #[test]
+    fn churn_takes_links_down_and_up() {
+        let mut t = topo();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut churn = MarkovLinkChurn::new(1.0, 0.0);
+        churn.apply(&mut t, &mut rng);
+        assert!(!t.link(HostId::new(0), HostId::new(1)).unwrap().up);
+        let mut recover = MarkovLinkChurn::new(0.0, 1.0);
+        recover.apply(&mut t, &mut rng);
+        assert!(t.link(HostId::new(0), HostId::new(1)).unwrap().up);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_down must be in [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = MarkovLinkChurn::new(1.5, 0.0);
+    }
+}

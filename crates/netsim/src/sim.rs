@@ -1,0 +1,726 @@
+//! The discrete-event simulation loop.
+
+use crate::fluctuation::FluctuationModel;
+use crate::message::Message;
+use crate::node::{Node, NodeAction, NodeCtx};
+use crate::stats::NetStats;
+use crate::time::{Duration, SimTime};
+use crate::topology::{LinkSpec, NetworkTopology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use redep_model::HostId;
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, BTreeMap};
+
+/// What happens at a scheduled instant.
+#[derive(Debug)]
+enum Event {
+    Start { host: HostId },
+    Deliver { msg: Message },
+    Timer { host: HostId, token: u64 },
+    Fluctuate { index: usize },
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+// Min-heap ordering on (time, seq): the sequence number breaks ties in
+// scheduling order, which is what makes the whole simulation deterministic.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event network simulator.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    nodes: BTreeMap<HostId, Box<dyn Node>>,
+    topology: NetworkTopology,
+    rng: ChaCha8Rng,
+    stats: NetStats,
+    fluctuations: Vec<(Duration, Box<dyn FluctuationModel>)>,
+    /// Per-link medium occupancy: transmissions serialize behind each other
+    /// (half-duplex), so bursts over thin links experience queueing delay.
+    link_busy_until: BTreeMap<redep_model::HostPair, SimTime>,
+    scratch: Vec<NodeAction>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("hosts", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the given RNG seed and an empty topology.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: BTreeMap::new(),
+            topology: NetworkTopology::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            stats: NetStats::new(),
+            fluctuations: Vec::new(),
+            link_busy_until: BTreeMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The live network topology.
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
+    }
+
+    /// The live network topology, for runtime edits (fault injection etc.).
+    pub fn topology_mut(&mut self) -> &mut NetworkTopology {
+        &mut self.topology
+    }
+
+    /// Ground-truth statistics gathered so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Messages accepted by the network but not yet delivered (scheduled
+    /// delivery events still in the queue). Together with the statistics
+    /// this makes conservation checkable at any instant:
+    /// `sent == delivered + dropped + in_flight`.
+    pub fn in_flight(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|s| matches!(s.event, Event::Deliver { .. }))
+            .count()
+    }
+
+    /// Registers a node on `host` and schedules its [`Node::on_start`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host already carries a node.
+    pub fn add_host(&mut self, host: HostId, node: impl Node) {
+        assert!(
+            !self.nodes.contains_key(&host),
+            "host {host} already has a node"
+        );
+        self.topology.add_host(host);
+        self.nodes.insert(host, Box::new(node));
+        self.schedule(self.now, Event::Start { host });
+    }
+
+    /// Creates or replaces the link between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or `a == b`.
+    pub fn set_link(&mut self, a: HostId, b: HostId, spec: LinkSpec) {
+        self.topology.set_link(a, b, spec);
+    }
+
+    /// Marks a link up or down.
+    pub fn set_link_up(&mut self, a: HostId, b: HostId, up: bool) {
+        self.topology.set_link_up(a, b, up);
+    }
+
+    /// Marks a host up or down. A down host receives neither messages nor
+    /// timer callbacks; both are silently dropped while it is down.
+    pub fn set_host_up(&mut self, host: HostId, up: bool) {
+        self.topology.set_host_up(host, up);
+    }
+
+    /// Partitions the network (see [`NetworkTopology::partition`]).
+    pub fn partition(&mut self, groups: &[Vec<HostId>]) {
+        self.topology.partition(groups);
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&mut self) {
+        self.topology.heal();
+    }
+
+    /// Installs a fluctuation model applied every `interval`.
+    pub fn add_fluctuation(&mut self, interval: Duration, model: impl FluctuationModel) {
+        assert!(
+            interval > Duration::ZERO,
+            "fluctuation interval must be positive"
+        );
+        let index = self.fluctuations.len();
+        self.fluctuations.push((interval, Box::new(model)));
+        self.schedule(self.now + interval, Event::Fluctuate { index });
+    }
+
+    /// Borrows the node on `host`, downcast to its concrete type.
+    pub fn node_ref<T: Node>(&self, host: HostId) -> Option<&T> {
+        self.nodes
+            .get(&host)
+            .and_then(|n| (n.as_ref() as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Mutably borrows the node on `host`, downcast to its concrete type.
+    pub fn node_mut<T: Node>(&mut self, host: HostId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(&host)
+            .and_then(|n| (n.as_mut() as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    /// Sends a message from outside any node (e.g. a test driver). Subject
+    /// to the same loss/disconnection semantics as node sends.
+    pub fn inject(&mut self, src: HostId, dst: HostId, payload: impl Into<Vec<u8>>, size: u64) {
+        self.dispatch_send(src, dst, payload.into(), size);
+    }
+
+    /// Arms a timer on `host` from outside any node.
+    pub fn inject_timer(&mut self, host: HostId, delay: Duration, token: u64) {
+        self.schedule(self.now + delay, Event::Timer { host, token });
+    }
+
+    fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, event });
+    }
+
+    /// Routes one message through the simulated network.
+    fn dispatch_send(&mut self, src: HostId, dst: HostId, payload: Vec<u8>, size: u64) {
+        self.stats.record_sent(src, dst);
+        if src == dst {
+            // Loopback: immediate delivery if the host is up.
+            if self.topology.host_is_up(src) {
+                let msg = Message {
+                    src,
+                    dst,
+                    payload,
+                    size,
+                    sent_at: self.now,
+                };
+                self.schedule(self.now, Event::Deliver { msg });
+            } else {
+                self.stats.record_disconnected(src, dst);
+            }
+            return;
+        }
+        if !self.topology.reachable(src, dst) {
+            self.stats.record_disconnected(src, dst);
+            return;
+        }
+        let spec = self
+            .topology
+            .link(src, dst)
+            .expect("reachable implies link exists")
+            .spec;
+        if !self.rng.random_bool(spec.reliability.clamp(0.0, 1.0)) {
+            self.stats.record_loss(src, dst);
+            return;
+        }
+        // Medium occupancy: the transmission starts when the link is free
+        // and holds it for the serialization time; propagation delay then
+        // runs in parallel with the next transmission.
+        let pair = redep_model::HostPair::new(src, dst);
+        let free_at = self
+            .link_busy_until
+            .get(&pair)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(self.now);
+        let transmit = Duration::from_secs_f64(size as f64 / spec.bandwidth);
+        let done_transmitting = free_at + transmit;
+        self.link_busy_until.insert(pair, done_transmitting);
+        let deliver_at = done_transmitting + Duration::from_secs_f64(spec.delay);
+        let msg = Message {
+            src,
+            dst,
+            payload,
+            size,
+            sent_at: self.now,
+        };
+        self.schedule(deliver_at, Event::Deliver { msg });
+    }
+
+    /// Runs one node callback and applies the actions it buffered.
+    fn run_callback(&mut self, host: HostId, f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>)) {
+        let Some(mut node) = self.nodes.remove(&host) else {
+            return;
+        };
+        let mut actions = std::mem::take(&mut self.scratch);
+        actions.clear();
+        {
+            let mut ctx = NodeCtx::new(host, self.now, &mut actions);
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes.insert(host, node);
+        for action in actions.drain(..) {
+            match action {
+                NodeAction::Send { dst, payload, size } => {
+                    self.dispatch_send(host, dst, payload, size)
+                }
+                NodeAction::SetTimer { delay, token } => {
+                    self.schedule(self.now + delay, Event::Timer { host, token })
+                }
+            }
+        }
+        self.scratch = actions;
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.time >= self.now, "time went backwards");
+        self.now = scheduled.time;
+        match scheduled.event {
+            Event::Start { host } => {
+                self.run_callback(host, |node, ctx| node.on_start(ctx));
+            }
+            Event::Deliver { msg } => {
+                let (src, dst, bytes) = (msg.src, msg.dst, msg.size);
+                if self.topology.host_is_up(dst) {
+                    self.stats.record_delivered(src, dst, bytes);
+                    self.run_callback(dst, |node, ctx| node.on_message(ctx, msg));
+                } else {
+                    self.stats.record_disconnected(src, dst);
+                }
+            }
+            Event::Timer { host, token } => {
+                if self.topology.host_is_up(host) {
+                    self.run_callback(host, |node, ctx| node.on_timer(ctx, token));
+                }
+            }
+            Event::Fluctuate { index } => {
+                let (interval, mut model) = {
+                    let entry = &mut self.fluctuations[index];
+                    (entry.0, std::mem::replace(&mut entry.1, Box::new(NoFluct)))
+                };
+                model.apply(&mut self.topology, &mut self.rng);
+                self.fluctuations[index].1 = model;
+                self.schedule(self.now + interval, Event::Fluctuate { index });
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is exhausted or simulated time reaches `deadline`
+    /// (events at the deadline still run). Returns the number of events
+    /// processed.
+    ///
+    /// Fluctuation events keep a simulation alive forever, so simulations
+    /// with fluctuation must be driven by deadline, never to exhaustion.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(next) = self.queue.peek() {
+            if next.time > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        // Advance the clock to the deadline even if the queue drained early.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Runs for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: Duration) -> u64 {
+        self.run_until(self.now + span)
+    }
+
+    /// Runs until no events remain. Returns the number of events processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `10_000_000` events as a runaway-loop guard; simulations
+    /// with periodic timers or fluctuation must use [`Simulator::run_until`].
+    pub fn run_to_completion(&mut self) -> u64 {
+        let mut n = 0u64;
+        while self.step() {
+            n += 1;
+            assert!(
+                n < 10_000_000,
+                "run_to_completion exceeded 10M events; use run_until for periodic workloads"
+            );
+        }
+        n
+    }
+}
+
+/// Placeholder swapped in while a fluctuation model runs (never applied).
+#[derive(Debug)]
+struct NoFluct;
+impl FluctuationModel for NoFluct {
+    fn name(&self) -> &str {
+        "none"
+    }
+    fn apply(&mut self, _topology: &mut NetworkTopology, _rng: &mut ChaCha8Rng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u32) -> HostId {
+        HostId::new(n)
+    }
+
+    /// Counts everything it receives.
+    struct Sink {
+        received: Vec<Message>,
+    }
+    impl Node for Sink {
+        fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, msg: Message) {
+            self.received.push(msg);
+        }
+    }
+
+    /// Sends `count` messages of `size` bytes to `peer` on start.
+    struct Burst {
+        peer: HostId,
+        count: u32,
+        size: u64,
+    }
+    impl Node for Burst {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            for i in 0..self.count {
+                ctx.send(self.peer, vec![i as u8], self.size);
+            }
+        }
+    }
+
+    fn sink() -> Sink {
+        Sink { received: Vec::new() }
+    }
+
+    #[test]
+    fn perfect_link_delivers_everything() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), Burst { peer: h(1), count: 10, size: 100 });
+        sim.add_host(h(1), sink());
+        sim.set_link(h(0), h(1), LinkSpec::default());
+        sim.run_to_completion();
+        assert_eq!(sim.stats().delivered, 10);
+        assert_eq!(sim.node_ref::<Sink>(h(1)).unwrap().received.len(), 10);
+    }
+
+    #[test]
+    fn delivery_time_reflects_delay_and_bandwidth() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), Burst { peer: h(1), count: 1, size: 1000 });
+        sim.add_host(h(1), sink());
+        sim.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 1.0,
+                bandwidth: 10_000.0, // 1000 bytes -> 0.1 s
+                delay: 0.5,
+            },
+        );
+        sim.run_to_completion();
+        // Delivery at 0.5 + 0.1 = 0.6 s.
+        assert_eq!(sim.now().as_micros(), 600_000);
+    }
+
+    #[test]
+    fn unreliable_link_drops_roughly_proportionally() {
+        let mut sim = Simulator::new(7);
+        sim.add_host(h(0), Burst { peer: h(1), count: 1000, size: 10 });
+        sim.add_host(h(1), sink());
+        sim.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 0.7,
+                ..LinkSpec::default()
+            },
+        );
+        sim.run_to_completion();
+        let ratio = sim.stats().link(h(0), h(1)).delivery_ratio();
+        assert!((ratio - 0.7).abs() < 0.05, "observed ratio {ratio}");
+        assert_eq!(sim.stats().sent, 1000);
+        assert_eq!(
+            sim.stats().delivered + sim.stats().dropped_loss,
+            1000
+        );
+    }
+
+    #[test]
+    fn no_link_means_disconnected_drop() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), Burst { peer: h(1), count: 3, size: 1 });
+        sim.add_host(h(1), sink());
+        sim.run_to_completion();
+        assert_eq!(sim.stats().dropped_disconnected, 3);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn downed_link_drops_then_recovers() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), sink());
+        sim.add_host(h(1), sink());
+        sim.set_link(h(0), h(1), LinkSpec::default());
+        sim.run_to_completion();
+        sim.set_link_up(h(0), h(1), false);
+        sim.inject(h(0), h(1), vec![1], 1);
+        sim.run_to_completion();
+        assert_eq!(sim.stats().dropped_disconnected, 1);
+        sim.set_link_up(h(0), h(1), true);
+        sim.inject(h(0), h(1), vec![2], 1);
+        sim.run_to_completion();
+        assert_eq!(sim.stats().delivered, 1);
+    }
+
+    #[test]
+    fn crashed_host_receives_nothing_until_restart() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), sink());
+        sim.add_host(h(1), sink());
+        sim.set_link(h(0), h(1), LinkSpec::default());
+        sim.run_to_completion();
+        sim.set_host_up(h(1), false);
+        sim.inject(h(0), h(1), vec![1], 1);
+        sim.run_to_completion();
+        assert!(sim.node_ref::<Sink>(h(1)).unwrap().received.is_empty());
+        sim.set_host_up(h(1), true);
+        sim.inject(h(0), h(1), vec![2], 1);
+        sim.run_to_completion();
+        assert_eq!(sim.node_ref::<Sink>(h(1)).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn loopback_is_immediate_and_lossless() {
+        struct SelfSender {
+            got: u32,
+        }
+        impl Node for SelfSender {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.send(ctx.host(), vec![1], 1);
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {
+                self.got += 1;
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), SelfSender { got: 0 });
+        sim.run_to_completion();
+        assert_eq!(sim.node_ref::<SelfSender>(h(0)).unwrap().got, 1);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(20), 2);
+                ctx.set_timer(Duration::from_millis(10), 1);
+            }
+            fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), TimerNode { fired: vec![] });
+        sim.run_to_completion();
+        assert_eq!(sim.node_ref::<TimerNode>(h(0)).unwrap().fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn periodic_timer_respects_run_until() {
+        struct Periodic {
+            ticks: u32,
+        }
+        impl Node for Periodic {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(10), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+                self.ticks += 1;
+                ctx.set_timer(Duration::from_millis(10), 0);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), Periodic { ticks: 0 });
+        sim.run_until(SimTime::from_secs_f64(0.1));
+        assert_eq!(sim.node_ref::<Periodic>(h(0)).unwrap().ticks, 10);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(0.1));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = Simulator::new(seed);
+            sim.add_host(h(0), Burst { peer: h(1), count: 500, size: 10 });
+            sim.add_host(h(1), sink());
+            sim.set_link(
+                h(0),
+                h(1),
+                LinkSpec {
+                    reliability: 0.6,
+                    ..LinkSpec::default()
+                },
+            );
+            sim.run_to_completion();
+            (sim.stats().delivered, sim.stats().dropped_loss)
+        }
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(6).0); // extremely likely with 500 samples
+    }
+
+    #[test]
+    fn partition_and_heal_through_simulator_api() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), sink());
+        sim.add_host(h(1), sink());
+        sim.set_link(h(0), h(1), LinkSpec::default());
+        sim.run_to_completion();
+        sim.partition(&[vec![h(0)], vec![h(1)]]);
+        sim.inject(h(0), h(1), vec![], 1);
+        sim.run_to_completion();
+        assert_eq!(sim.stats().dropped_disconnected, 1);
+        sim.heal();
+        sim.inject(h(0), h(1), vec![], 1);
+        sim.run_to_completion();
+        assert_eq!(sim.stats().delivered, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a node")]
+    fn duplicate_host_panics() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), sink());
+        sim.add_host(h(0), sink());
+    }
+
+    #[test]
+    fn fluctuation_fires_periodically_and_mutates_links() {
+        use crate::fluctuation::RandomWalkFluctuation;
+        let mut sim = Simulator::new(4);
+        sim.add_host(h(0), sink());
+        sim.add_host(h(1), sink());
+        sim.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 0.5,
+                ..LinkSpec::default()
+            },
+        );
+        sim.add_fluctuation(Duration::from_secs_f64(1.0), RandomWalkFluctuation::new(0.1));
+        let before = sim.topology().link(h(0), h(1)).unwrap().spec.reliability;
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let after = sim.topology().link(h(0), h(1)).unwrap().spec.reliability;
+        assert_ne!(before, after, "ten fluctuation ticks left the link untouched");
+        assert!((0.05..=1.0).contains(&after));
+        // Deterministic: the same seed walks the same path.
+        let mut sim2 = Simulator::new(4);
+        sim2.add_host(h(0), sink());
+        sim2.add_host(h(1), sink());
+        sim2.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 0.5,
+                ..LinkSpec::default()
+            },
+        );
+        sim2.add_fluctuation(Duration::from_secs_f64(1.0), RandomWalkFluctuation::new(0.1));
+        sim2.run_until(SimTime::from_secs_f64(10.0));
+        assert_eq!(
+            after,
+            sim2.topology().link(h(0), h(1)).unwrap().spec.reliability
+        );
+    }
+
+    #[test]
+    fn transmissions_serialize_on_a_shared_link() {
+        // Two messages of 1000 bytes over a 10 kB/s link with 0.5 s delay:
+        // the first transmits 0.0–0.1 and arrives at 0.6; the second waits
+        // for the medium, transmits 0.1–0.2, and arrives at 0.7.
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), Burst { peer: h(1), count: 2, size: 1000 });
+        sim.add_host(h(1), sink());
+        sim.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 1.0,
+                bandwidth: 10_000.0,
+                delay: 0.5,
+            },
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.now().as_micros(), 700_000);
+        assert_eq!(sim.stats().delivered, 2);
+    }
+
+    #[test]
+    fn conservation_holds_mid_flight() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), Burst { peer: h(1), count: 50, size: 1000 });
+        sim.add_host(h(1), sink());
+        sim.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 0.8,
+                bandwidth: 10_000.0, // 0.1 s per message: many in flight
+                delay: 0.5,
+            },
+        );
+        // Stop mid-transfer.
+        sim.run_until(SimTime::from_secs_f64(0.55));
+        let s = sim.stats();
+        assert!(sim.in_flight() > 0, "expected messages still in flight");
+        assert_eq!(
+            s.sent,
+            s.delivered + s.dropped_loss + s.dropped_disconnected + sim.in_flight() as u64
+        );
+        // And after completion nothing is in flight.
+        sim.run_to_completion();
+        assert_eq!(sim.in_flight(), 0);
+        let s = sim.stats();
+        assert_eq!(s.sent, s.delivered + s.dropped_loss + s.dropped_disconnected);
+    }
+
+    #[test]
+    fn run_until_advances_clock_past_empty_queue() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(SimTime::from_secs_f64(5.0));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(5.0));
+    }
+}

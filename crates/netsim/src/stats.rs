@@ -1,0 +1,197 @@
+//! Ground-truth network statistics.
+//!
+//! The simulator records what *actually* happened on every link. Monitors in
+//! the middleware layer estimate these quantities from what they observe;
+//! experiment E11 compares the two.
+
+use redep_model::{HostId, HostPair};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters for one link (or the loopback of one host).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LinkStats {
+    /// Messages handed to the link.
+    pub sent: u64,
+    /// Messages delivered to the destination node.
+    pub delivered: u64,
+    /// Messages lost to link unreliability.
+    pub dropped_loss: u64,
+    /// Messages dropped because the link or an endpoint was down or missing.
+    pub dropped_disconnected: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl LinkStats {
+    /// Fraction of sent messages that were delivered (`1.0` when nothing was
+    /// sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+impl fmt::Display for LinkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent {} delivered {} (ratio {:.3})",
+            self.sent,
+            self.delivered,
+            self.delivery_ratio()
+        )
+    }
+}
+
+/// Aggregate and per-link statistics for a whole simulation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NetStats {
+    /// Total messages handed to the network.
+    pub sent: u64,
+    /// Total messages delivered.
+    pub delivered: u64,
+    /// Messages lost to link unreliability.
+    pub dropped_loss: u64,
+    /// Messages dropped for lack of an up path (link/host down or absent).
+    pub dropped_disconnected: u64,
+    /// Total bytes delivered.
+    pub bytes_delivered: u64,
+    per_link: BTreeMap<HostPair, LinkStats>,
+}
+
+impl NetStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Statistics for the link between `a` and `b` (zeroes if untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`; loopback traffic is not accounted per-link.
+    pub fn link(&self, a: HostId, b: HostId) -> LinkStats {
+        self.per_link
+            .get(&HostPair::new(a, b))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Iterates over per-link statistics in endpoint order.
+    pub fn links(&self) -> impl Iterator<Item = (HostPair, &LinkStats)> {
+        self.per_link.iter().map(|(p, s)| (*p, s))
+    }
+
+    /// Overall delivery ratio (`1.0` when nothing was sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    fn entry(&mut self, src: HostId, dst: HostId) -> Option<&mut LinkStats> {
+        if src == dst {
+            None
+        } else {
+            Some(self.per_link.entry(HostPair::new(src, dst)).or_default())
+        }
+    }
+
+    pub(crate) fn record_sent(&mut self, src: HostId, dst: HostId) {
+        self.sent += 1;
+        if let Some(l) = self.entry(src, dst) {
+            l.sent += 1;
+        }
+    }
+
+    pub(crate) fn record_delivered(&mut self, src: HostId, dst: HostId, bytes: u64) {
+        self.delivered += 1;
+        self.bytes_delivered += bytes;
+        if let Some(l) = self.entry(src, dst) {
+            l.delivered += 1;
+            l.bytes_delivered += bytes;
+        }
+    }
+
+    pub(crate) fn record_loss(&mut self, src: HostId, dst: HostId) {
+        self.dropped_loss += 1;
+        if let Some(l) = self.entry(src, dst) {
+            l.dropped_loss += 1;
+        }
+    }
+
+    pub(crate) fn record_disconnected(&mut self, src: HostId, dst: HostId) {
+        self.dropped_disconnected += 1;
+        if let Some(l) = self.entry(src, dst) {
+            l.dropped_disconnected += 1;
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent {} delivered {} lost {} disconnected {} (ratio {:.3})",
+            self.sent,
+            self.delivered,
+            self.dropped_loss,
+            self.dropped_disconnected,
+            self.delivery_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u32) -> HostId {
+        HostId::new(n)
+    }
+
+    #[test]
+    fn counters_accumulate_globally_and_per_link() {
+        let mut s = NetStats::new();
+        s.record_sent(h(0), h(1));
+        s.record_delivered(h(0), h(1), 10);
+        s.record_sent(h(0), h(1));
+        s.record_loss(h(0), h(1));
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.dropped_loss, 1);
+        let l = s.link(h(0), h(1));
+        assert_eq!(l.sent, 2);
+        assert_eq!(l.delivered, 1);
+        assert_eq!(l.bytes_delivered, 10);
+        assert!((l.delivery_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loopback_traffic_counts_globally_only() {
+        let mut s = NetStats::new();
+        s.record_sent(h(0), h(0));
+        s.record_delivered(h(0), h(0), 4);
+        assert_eq!(s.sent, 1);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.links().count(), 0);
+    }
+
+    #[test]
+    fn empty_ratio_is_one() {
+        assert_eq!(NetStats::new().delivery_ratio(), 1.0);
+        assert_eq!(LinkStats::default().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn untouched_link_reads_zero() {
+        let s = NetStats::new();
+        assert_eq!(s.link(h(3), h(4)), LinkStats::default());
+    }
+}

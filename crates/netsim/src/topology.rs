@@ -1,0 +1,313 @@
+//! The simulated network's runtime state: link qualities and up/down status.
+
+use redep_model::{DeploymentModel, HostId, HostPair};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Quality parameters of one simulated link.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LinkSpec {
+    /// Probability that a message survives the link, in `[0, 1]`.
+    pub reliability: f64,
+    /// Bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Propagation delay in seconds.
+    pub delay: f64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            reliability: 1.0,
+            bandwidth: 1e6,
+            delay: 0.001,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// Validates the specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reliability is outside `[0, 1]`, bandwidth is not positive,
+    /// or delay is negative.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.reliability),
+            "reliability must be in [0, 1], got {}",
+            self.reliability
+        );
+        assert!(
+            self.bandwidth > 0.0,
+            "bandwidth must be positive, got {}",
+            self.bandwidth
+        );
+        assert!(self.delay >= 0.0, "delay must be non-negative, got {}", self.delay);
+    }
+}
+
+/// Runtime state of one link: its quality plus whether it is currently up.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LinkState {
+    /// Current quality.
+    pub spec: LinkSpec,
+    /// Whether the link is up (down links drop everything).
+    pub up: bool,
+}
+
+/// The simulated network: hosts, links and their live state.
+///
+/// The topology can be edited while a simulation runs — that is how
+/// fluctuation models and fault injection work.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct NetworkTopology {
+    hosts: BTreeSet<HostId>,
+    host_up: BTreeMap<HostId, bool>,
+    links: BTreeMap<HostPair, LinkState>,
+}
+
+impl NetworkTopology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        NetworkTopology::default()
+    }
+
+    /// Builds a topology mirroring a deployment model's hosts and physical
+    /// links (reliability, bandwidth, delay are copied; everything starts up).
+    pub fn from_model(model: &DeploymentModel) -> Self {
+        let mut t = NetworkTopology::new();
+        for h in model.host_ids() {
+            t.add_host(h);
+        }
+        for link in model.physical_links() {
+            let ends = link.ends();
+            t.set_link(
+                ends.lo(),
+                ends.hi(),
+                LinkSpec {
+                    reliability: link.reliability(),
+                    bandwidth: if link.bandwidth().is_finite() {
+                        link.bandwidth()
+                    } else {
+                        1e12
+                    },
+                    delay: link.delay(),
+                },
+            );
+        }
+        t
+    }
+
+    /// Registers a host (idempotent); hosts start up.
+    pub fn add_host(&mut self, h: HostId) {
+        self.hosts.insert(h);
+        self.host_up.entry(h).or_insert(true);
+    }
+
+    /// Returns `true` if the host is registered.
+    pub fn contains_host(&self, h: HostId) -> bool {
+        self.hosts.contains(&h)
+    }
+
+    /// All registered hosts in id order.
+    pub fn hosts(&self) -> Vec<HostId> {
+        self.hosts.iter().copied().collect()
+    }
+
+    /// Creates or replaces a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or `a == b`.
+    pub fn set_link(&mut self, a: HostId, b: HostId, spec: LinkSpec) {
+        spec.validate();
+        self.add_host(a);
+        self.add_host(b);
+        self.links
+            .insert(HostPair::new(a, b), LinkState { spec, up: true });
+    }
+
+    /// Removes a link entirely.
+    pub fn remove_link(&mut self, a: HostId, b: HostId) -> Option<LinkState> {
+        self.links.remove(&HostPair::new(a, b))
+    }
+
+    /// Returns the live state of a link.
+    pub fn link(&self, a: HostId, b: HostId) -> Option<&LinkState> {
+        if a == b {
+            return None;
+        }
+        self.links.get(&HostPair::new(a, b))
+    }
+
+    /// Mutable access to a link's state.
+    pub fn link_mut(&mut self, a: HostId, b: HostId) -> Option<&mut LinkState> {
+        if a == b {
+            return None;
+        }
+        self.links.get_mut(&HostPair::new(a, b))
+    }
+
+    /// Iterates over `(endpoints, state)` in endpoint order.
+    pub fn links(&self) -> impl Iterator<Item = (HostPair, &LinkState)> {
+        self.links.iter().map(|(p, s)| (*p, s))
+    }
+
+    /// Mutable iteration over link states (for fluctuation models).
+    pub fn links_mut(&mut self) -> impl Iterator<Item = (HostPair, &mut LinkState)> {
+        self.links.iter_mut().map(|(p, s)| (*p, s))
+    }
+
+    /// Marks a link up or down.
+    pub fn set_link_up(&mut self, a: HostId, b: HostId, up: bool) {
+        if let Some(state) = self.link_mut(a, b) {
+            state.up = up;
+        }
+    }
+
+    /// Marks a host up or down.
+    pub fn set_host_up(&mut self, h: HostId, up: bool) {
+        self.add_host(h);
+        self.host_up.insert(h, up);
+    }
+
+    /// Whether a host is currently up.
+    pub fn host_is_up(&self, h: HostId) -> bool {
+        *self.host_up.get(&h).unwrap_or(&false)
+    }
+
+    /// Whether `a` can currently reach `b` in one hop: both hosts up, link
+    /// present and up. (Self-communication is always possible on an up host.)
+    pub fn reachable(&self, a: HostId, b: HostId) -> bool {
+        if !self.host_is_up(a) || !self.host_is_up(b) {
+            return false;
+        }
+        if a == b {
+            return true;
+        }
+        self.link(a, b).is_some_and(|l| l.up)
+    }
+
+    /// Takes every link whose endpoints fall into different groups down
+    /// (links within a group come back up). Hosts not named stay untouched.
+    pub fn partition(&mut self, groups: &[Vec<HostId>]) {
+        let mut group_of: BTreeMap<HostId, usize> = BTreeMap::new();
+        for (i, g) in groups.iter().enumerate() {
+            for h in g {
+                group_of.insert(*h, i);
+            }
+        }
+        for (pair, state) in self.links.iter_mut() {
+            if let (Some(x), Some(y)) = (group_of.get(&pair.lo()), group_of.get(&pair.hi())) { state.up = x == y }
+        }
+    }
+
+    /// Brings every link back up (heals all partitions).
+    pub fn heal(&mut self) {
+        for state in self.links.values_mut() {
+            state.up = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u32) -> HostId {
+        HostId::new(n)
+    }
+
+    #[test]
+    fn set_link_registers_hosts() {
+        let mut t = NetworkTopology::new();
+        t.set_link(h(0), h(1), LinkSpec::default());
+        assert!(t.contains_host(h(0)));
+        assert!(t.contains_host(h(1)));
+        assert!(t.host_is_up(h(0)));
+    }
+
+    #[test]
+    fn reachability_requires_hosts_and_link_up() {
+        let mut t = NetworkTopology::new();
+        t.set_link(h(0), h(1), LinkSpec::default());
+        assert!(t.reachable(h(0), h(1)));
+        t.set_link_up(h(0), h(1), false);
+        assert!(!t.reachable(h(0), h(1)));
+        t.set_link_up(h(0), h(1), true);
+        t.set_host_up(h(1), false);
+        assert!(!t.reachable(h(0), h(1)));
+    }
+
+    #[test]
+    fn self_reachability_tracks_host_status() {
+        let mut t = NetworkTopology::new();
+        t.add_host(h(0));
+        assert!(t.reachable(h(0), h(0)));
+        t.set_host_up(h(0), false);
+        assert!(!t.reachable(h(0), h(0)));
+    }
+
+    #[test]
+    fn unknown_hosts_are_unreachable() {
+        let t = NetworkTopology::new();
+        assert!(!t.reachable(h(0), h(1)));
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_links_only() {
+        let mut t = NetworkTopology::new();
+        t.set_link(h(0), h(1), LinkSpec::default());
+        t.set_link(h(1), h(2), LinkSpec::default());
+        t.set_link(h(0), h(2), LinkSpec::default());
+        t.partition(&[vec![h(0), h(1)], vec![h(2)]]);
+        assert!(t.reachable(h(0), h(1)));
+        assert!(!t.reachable(h(1), h(2)));
+        assert!(!t.reachable(h(0), h(2)));
+        t.heal();
+        assert!(t.reachable(h(0), h(2)));
+    }
+
+    #[test]
+    fn from_model_copies_link_parameters() {
+        let mut m = DeploymentModel::new();
+        let a = m.add_host("a").unwrap();
+        let b = m.add_host("b").unwrap();
+        m.set_physical_link(a, b, |l| {
+            l.set_reliability(0.5);
+            l.set_bandwidth(500.0);
+            l.set_delay(0.25);
+        })
+        .unwrap();
+        let t = NetworkTopology::from_model(&m);
+        let link = t.link(a, b).unwrap();
+        assert_eq!(link.spec.reliability, 0.5);
+        assert_eq!(link.spec.bandwidth, 500.0);
+        assert_eq!(link.spec.delay, 0.25);
+        assert!(link.up);
+    }
+
+    #[test]
+    fn from_model_caps_infinite_bandwidth() {
+        let mut m = DeploymentModel::new();
+        let a = m.add_host("a").unwrap();
+        let b = m.add_host("b").unwrap();
+        m.set_physical_link(a, b, |_| {}).unwrap();
+        let t = NetworkTopology::from_model(&m);
+        assert!(t.link(a, b).unwrap().spec.bandwidth.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "reliability must be in [0, 1]")]
+    fn invalid_spec_panics() {
+        let mut t = NetworkTopology::new();
+        t.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 2.0,
+                ..LinkSpec::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests on the simulator's conservation and determinism
+//! invariants.
+
+use proptest::prelude::*;
+use redep_model::HostId;
+use redep_netsim::{Duration, LinkSpec, Message, Node, NodeCtx, SimTime, Simulator};
+
+struct Sink;
+impl Node for Sink {}
+
+struct Burst {
+    peer: HostId,
+    count: u32,
+}
+impl Node for Burst {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        for _ in 0..self.count {
+            ctx.send(self.peer, vec![0u8; 8], 8);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _msg: Message) {}
+}
+
+fn run(seed: u64, reliability: f64, count: u32) -> redep_netsim::NetStats {
+    let (a, b) = (HostId::new(0), HostId::new(1));
+    let mut sim = Simulator::new(seed);
+    sim.add_host(a, Burst { peer: b, count });
+    sim.add_host(b, Sink);
+    sim.set_link(
+        a,
+        b,
+        LinkSpec {
+            reliability,
+            ..LinkSpec::default()
+        },
+    );
+    sim.run_to_completion();
+    sim.stats().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_sent_message_is_accounted_exactly_once(
+        seed in any::<u64>(),
+        reliability in 0.0f64..=1.0,
+        count in 1u32..300,
+    ) {
+        let stats = run(seed, reliability, count);
+        prop_assert_eq!(stats.sent, count as u64);
+        prop_assert_eq!(
+            stats.delivered + stats.dropped_loss + stats.dropped_disconnected,
+            stats.sent
+        );
+    }
+
+    #[test]
+    fn extreme_reliabilities_are_exact(seed in any::<u64>(), count in 1u32..100) {
+        let perfect = run(seed, 1.0, count);
+        prop_assert_eq!(perfect.delivered, count as u64);
+        prop_assert_eq!(perfect.dropped_loss, 0);
+        let dead = run(seed, 0.0, count);
+        prop_assert_eq!(dead.delivered, 0);
+        prop_assert_eq!(dead.dropped_loss, count as u64);
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical(seed in any::<u64>(), rel in 0.1f64..0.9) {
+        prop_assert_eq!(run(seed, rel, 200), run(seed, rel, 200));
+    }
+
+    #[test]
+    fn observed_loss_tracks_reliability(seed in 0u64..50, rel in 0.2f64..0.8) {
+        let stats = run(seed, rel, 2000);
+        let observed = stats.delivery_ratio();
+        prop_assert!(
+            (observed - rel).abs() < 0.06,
+            "reliability {} observed {}",
+            rel,
+            observed
+        );
+    }
+
+    #[test]
+    fn sim_time_arithmetic_is_monotone(
+        base in 0u64..1_000_000,
+        add in 0u64..1_000_000,
+    ) {
+        let t = SimTime::from_micros(base);
+        let later = t + Duration::from_micros(add);
+        prop_assert!(later >= t);
+        prop_assert_eq!((later - t).as_micros(), add);
+    }
+}

@@ -1,0 +1,529 @@
+//! The meta-level components: `AdminComponent` and `DeployerComponent`.
+//!
+//! In Prism-MW an `ExtensibleComponent` "contains a reference to
+//! Architecture", acting as "a meta-level component that can automatically
+//! effect run-time changes to the system's architecture". Rust's ownership
+//! rules make literal self-reference impossible, so the host runtime passes
+//! the admin an exclusive borrow of the architecture on every activation —
+//! the same capability, with aliasing checked at compile time.
+//!
+//! The redeployment protocol follows §4.3 of the paper:
+//!
+//! 1. The **deployer** sends each admin its new local configuration and the
+//!    remote locations of components it must obtain ([`EV_CONFIGURE`]).
+//! 2. Each **admin** diffs the configuration against its architecture and
+//!    requests the components to be deployed locally from their current
+//!    holders ([`EV_REQUEST`]); unreachable holders are mediated through the
+//!    deployer ([`EV_MEDIATE`]).
+//! 3. A holder detaches the requested component, serializes it, and ships it
+//!    ([`EV_TRANSFER`]).
+//! 4. The recipient reconstitutes the migrant, re-welds it, replays events
+//!    buffered during the move, and confirms to the deployer ([`EV_ACK`]).
+//!
+//! All protocol traffic travels over reliable channels; only application
+//! events are exposed to link loss.
+
+use crate::architecture::Architecture;
+use crate::brick::{BrickId, ComponentFactory};
+use crate::event::Event;
+use crate::host::{HostConfig, HostServices, ADMIN_ADDRESS, DEPLOYER_ADDRESS};
+use crate::monitor::{EventFrequencyMonitor, MonitoringSnapshot};
+use crate::stability::StabilityGauge;
+use redep_netsim::SimTime;
+use redep_model::HostId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Event name: an admin ships a stable [`MonitoringSnapshot`] to the deployer.
+pub const EV_REPORT: &str = "prism.monitor.report";
+/// Event name: the deployer sends a host its new configuration.
+pub const EV_CONFIGURE: &str = "prism.deploy.configure";
+/// Event name: an admin requests a component from its current holder.
+pub const EV_REQUEST: &str = "prism.deploy.request";
+/// Event name: a holder ships a serialized component.
+pub const EV_TRANSFER: &str = "prism.deploy.transfer";
+/// Event name: a recipient confirms a completed move to the deployer.
+pub const EV_ACK: &str = "prism.deploy.ack";
+/// Event name: a control event relayed through the deployer because its
+/// sender cannot reach the destination directly.
+pub const EV_MEDIATE: &str = "prism.deploy.mediate";
+
+/// Parameter: the relayed event's final destination host (integer id).
+pub const P_FINAL_HOST: &str = "final_host";
+/// Parameter: the relayed event's final destination component.
+pub const P_FINAL_COMPONENT: &str = "final_component";
+/// Parameter: the component a request/ack is about.
+pub const P_COMPONENT: &str = "component";
+/// Parameter: the host a request originates from.
+pub const P_REQUESTER: &str = "requester";
+
+/// Body of an [`EV_CONFIGURE`] event.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub(crate) struct ConfigureDoc {
+    /// The full new deployment directory: component → host.
+    pub directory: BTreeMap<String, HostId>,
+    /// Components this host must fetch, with their current holders.
+    pub fetches: Vec<(String, HostId)>,
+}
+
+/// Body of an [`EV_TRANSFER`] event: one serialized migrant component.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub(crate) struct TransferDoc {
+    pub name: String,
+    pub type_name: String,
+    pub state: Vec<u8>,
+}
+
+/// Progress of an in-flight redeployment, as seen by the deployer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RedeploymentStatus {
+    /// Component moves the last `effect` call requested.
+    pub requested: u64,
+    /// Moves confirmed by recipient admins.
+    pub confirmed: u64,
+    /// Components still in flight.
+    pub in_flight: Vec<String>,
+}
+
+impl RedeploymentStatus {
+    /// Whether every requested move has been confirmed.
+    pub fn is_complete(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+/// A deployment command: where each named component should live.
+pub type DeploymentCommand = BTreeMap<String, HostId>;
+
+/// The per-host monitoring and effecting endpoint (the paper's
+/// `AdminComponent`).
+pub struct AdminComponent {
+    host: HostId,
+    /// Counts *named* interactions (local and remote) per component pair.
+    interactions: EventFrequencyMonitor,
+    freq_gauge: StabilityGauge,
+    rel_gauge: StabilityGauge,
+    latest_reliabilities: BTreeMap<HostId, f64>,
+    reports_sent: u64,
+    last_snapshot: Option<MonitoringSnapshot>,
+}
+
+impl std::fmt::Debug for AdminComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdminComponent")
+            .field("host", &self.host)
+            .field("reports_sent", &self.reports_sent)
+            .finish()
+    }
+}
+
+impl AdminComponent {
+    pub(crate) fn new(host: HostId, config: &HostConfig) -> Self {
+        AdminComponent {
+            host,
+            interactions: EventFrequencyMonitor::new(config.monitor_window),
+            // Total event rate has no natural scale: judge it relatively.
+            freq_gauge: StabilityGauge::new_relative(config.epsilon, config.stable_windows),
+            rel_gauge: StabilityGauge::new(config.epsilon, config.stable_windows),
+            latest_reliabilities: BTreeMap::new(),
+            reports_sent: 0,
+            last_snapshot: None,
+        }
+    }
+
+    /// Number of monitoring reports shipped to the deployer so far.
+    pub fn reports_sent(&self) -> u64 {
+        self.reports_sent
+    }
+
+    /// The most recent snapshot this admin assembled (whether or not it was
+    /// stable enough to ship).
+    pub fn last_snapshot(&self) -> Option<&MonitoringSnapshot> {
+        self.last_snapshot.as_ref()
+    }
+
+    /// Latest per-peer reliability estimates.
+    pub fn reliability_estimates(&self) -> &BTreeMap<HostId, f64> {
+        &self.latest_reliabilities
+    }
+
+    /// Records one named interaction (called by the host runtime for every
+    /// `send_to`, local or remote).
+    pub(crate) fn observe_interaction(
+        &mut self,
+        src: Option<&str>,
+        dst: &str,
+        event: &Event,
+        now: SimTime,
+    ) {
+        use crate::monitor::ConnectorMonitor;
+        let src = src.unwrap_or("?");
+        self.interactions.observe(src, dst, event, now);
+    }
+
+    /// Closes one monitoring window: rolls the interaction and reliability
+    /// monitors, feeds the stability gauges, and — once the readings are
+    /// stable — ships a [`MonitoringSnapshot`] to the deployer.
+    pub(crate) fn on_monitor_window(
+        &mut self,
+        arch: &mut Architecture,
+        services: &mut HostServices,
+        app_connector: BrickId,
+    ) {
+        let now = services.now();
+
+        // Platform-dependent halves: the connector tap and the ping probe.
+        let named = self.interactions.roll_window(now);
+        let bus = arch
+            .monitor_mut::<EventFrequencyMonitor>(app_connector)
+            .map(|m| m.roll_window(now))
+            .unwrap_or_default();
+        // Exponentially smooth the per-window reliability estimates: a
+        // single window holds only a handful of ping samples, so the raw
+        // ratio is heavily quantized (the platform-independent half of the
+        // monitor "interprets … the monitored data").
+        const EWMA_ALPHA: f64 = 0.3;
+        for (peer, fresh) in services.probe.roll_window() {
+            let smoothed = match self.latest_reliabilities.get(&peer) {
+                Some(old) => (1.0 - EWMA_ALPHA) * old + EWMA_ALPHA * fresh,
+                None => fresh,
+            };
+            self.latest_reliabilities.insert(peer, smoothed);
+        }
+
+        // Merge the two frequency sources (named sends + connector traffic),
+        // canonicalizing pair order and aggregating raw counts so each
+        // observed event contributes exactly once.
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut bytes: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut frequencies: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for window in [&named, &bus] {
+            if window.window_secs <= 0.0 {
+                continue;
+            }
+            for ((s, d), count) in &window.counts {
+                let key = if s <= d {
+                    (s.clone(), d.clone())
+                } else {
+                    (d.clone(), s.clone())
+                };
+                *counts.entry(key.clone()).or_insert(0) += count;
+                *frequencies.entry(key.clone()).or_insert(0.0) +=
+                    *count as f64 / window.window_secs;
+                if let Some(b) = window.bytes.get(&(s.clone(), d.clone())) {
+                    *bytes.entry(key).or_insert(0) += b;
+                }
+            }
+        }
+        let event_sizes: BTreeMap<(String, String), f64> = counts
+            .iter()
+            .filter(|(_, c)| **c > 0)
+            .map(|(key, c)| {
+                let total = bytes.get(key).copied().unwrap_or(0);
+                (key.clone(), total as f64 / *c as f64)
+            })
+            .collect();
+
+        // Platform-independent half: ε-stability across windows.
+        let total_rate: f64 = frequencies.values().sum();
+        let mean_rel = if self.latest_reliabilities.is_empty() {
+            1.0
+        } else {
+            self.latest_reliabilities.values().sum::<f64>()
+                / self.latest_reliabilities.len() as f64
+        };
+        self.freq_gauge.push(total_rate);
+        self.rel_gauge.push(mean_rel);
+
+        let snapshot = MonitoringSnapshot {
+            host: self.host,
+            components: arch.component_inventory().into_iter().collect(),
+            frequencies,
+            event_sizes,
+            reliabilities: self.latest_reliabilities.clone(),
+            taken_at_secs: now.as_secs_f64(),
+        };
+        self.last_snapshot = Some(snapshot.clone());
+
+        if self.freq_gauge.is_stable() && self.rel_gauge.is_stable() {
+            let report = Event::notification(EV_REPORT)
+                .with_payload(snapshot.encode().expect("snapshots serialize"));
+            services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &report);
+            self.reports_sent += 1;
+        }
+    }
+
+    /// Handles a control event addressed to [`ADMIN_ADDRESS`].
+    pub(crate) fn handle(
+        &mut self,
+        arch: &mut Architecture,
+        services: &mut HostServices,
+        factory: &mut ComponentFactory,
+        app_connector: BrickId,
+        event: &Event,
+    ) {
+        match event.name() {
+            EV_CONFIGURE => self.on_configure(arch, services, event),
+            EV_REQUEST => self.on_request(arch, services, event),
+            EV_TRANSFER => self.on_transfer(arch, services, factory, app_connector, event),
+            _ => {}
+        }
+    }
+
+    fn on_configure(
+        &mut self,
+        arch: &mut Architecture,
+        services: &mut HostServices,
+        event: &Event,
+    ) {
+        let Ok(doc) = serde_json::from_slice::<ConfigureDoc>(event.payload()) else {
+            return;
+        };
+        services.replace_directory(doc.directory);
+        for (component, holder) in doc.fetches {
+            if arch.contains_component(&component) {
+                // Already here (no-op move); confirm immediately.
+                let ack = Event::notification(EV_ACK).with_param(P_COMPONENT, component.as_str());
+                services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &ack);
+                continue;
+            }
+            let request = Event::request(EV_REQUEST)
+                .with_param(P_COMPONENT, component.as_str())
+                .with_param(P_REQUESTER, self.host.raw() as i64);
+            services.send_reliable(holder, ADMIN_ADDRESS, &request);
+        }
+    }
+
+    fn on_request(&mut self, arch: &mut Architecture, services: &mut HostServices, event: &Event) {
+        let Some(component) = event.param_text(P_COMPONENT).map(str::to_owned) else {
+            return;
+        };
+        let Some(requester) = event.param(P_REQUESTER).and_then(|v| v.as_i64()) else {
+            return;
+        };
+        let requester = HostId::new(requester as u32);
+        let Ok((type_name, state)) = arch.detach_component(&component) else {
+            // Not here (already moved or never was); nothing to ship.
+            return;
+        };
+        let doc = TransferDoc {
+            name: component,
+            type_name,
+            state,
+        };
+        let transfer = Event::reply(EV_TRANSFER)
+            .with_payload(serde_json::to_vec(&doc).expect("transfer docs serialize"));
+        services.send_reliable(requester, ADMIN_ADDRESS, &transfer);
+    }
+
+    fn on_transfer(
+        &mut self,
+        arch: &mut Architecture,
+        services: &mut HostServices,
+        factory: &mut ComponentFactory,
+        app_connector: BrickId,
+        event: &Event,
+    ) {
+        let Ok(doc) = serde_json::from_slice::<TransferDoc>(event.payload()) else {
+            return;
+        };
+        let Ok(behavior) = factory.build(&doc.type_name, &doc.state) else {
+            return;
+        };
+        let Ok(id) = arch.add_boxed_component(doc.name.clone(), behavior) else {
+            return; // duplicate arrival of the same migrant
+        };
+        let _ = arch.weld(id, app_connector);
+        services.directory_set(doc.name.clone(), self.host);
+        // Replay events buffered while the component was in flight.
+        for buffered in services.take_buffered(&doc.name) {
+            let _ = arch.publish(&doc.name, buffered);
+        }
+        let ack = Event::notification(EV_ACK).with_param(P_COMPONENT, doc.name.as_str());
+        services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &ack);
+    }
+}
+
+/// The master-host deployer (the paper's `DeployerComponent` — the
+/// `ExtensibleComponent` with the `Deployer` implementation of `IAdmin`).
+pub struct DeployerComponent {
+    host: HostId,
+    snapshots: BTreeMap<HostId, MonitoringSnapshot>,
+    /// Hosts the deployer has ever heard of (reports, past move sources);
+    /// all of them receive directory refreshes.
+    known_hosts: BTreeSet<HostId>,
+    pending: BTreeSet<String>,
+    requested: u64,
+    confirmed: u64,
+}
+
+impl std::fmt::Debug for DeployerComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeployerComponent")
+            .field("host", &self.host)
+            .field("snapshots", &self.snapshots.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl DeployerComponent {
+    pub(crate) fn new(host: HostId) -> Self {
+        DeployerComponent {
+            host,
+            snapshots: BTreeMap::new(),
+            known_hosts: BTreeSet::new(),
+            pending: BTreeSet::new(),
+            requested: 0,
+            confirmed: 0,
+        }
+    }
+
+    /// Monitoring snapshots collected from every reporting host.
+    pub fn snapshots(&self) -> &BTreeMap<HostId, MonitoringSnapshot> {
+        &self.snapshots
+    }
+
+    /// Progress of the redeployment issued by the last `effect` call.
+    pub fn status(&self) -> RedeploymentStatus {
+        RedeploymentStatus {
+            requested: self.requested,
+            confirmed: self.confirmed,
+            in_flight: self.pending.iter().cloned().collect(),
+        }
+    }
+
+    /// Issues a redeployment: computes per-host configurations from the
+    /// desired `target` and the current directory, and sends every admin its
+    /// new configuration (including the refreshed global directory).
+    pub(crate) fn effect(&mut self, services: &mut HostServices, target: DeploymentCommand) {
+        let current = services.directory().clone();
+        let mut fetches_by_host: BTreeMap<HostId, Vec<(String, HostId)>> = BTreeMap::new();
+        let mut new_directory = current.clone();
+        for (component, to) in &target {
+            new_directory.insert(component.clone(), *to);
+            match current.get(component) {
+                Some(from) if from == to => {}
+                Some(from) => {
+                    fetches_by_host
+                        .entry(*to)
+                        .or_default()
+                        .push((component.clone(), *from));
+                    self.pending.insert(component.clone());
+                    self.requested += 1;
+                    // The source host may hold nothing else afterwards, yet
+                    // it must learn the new directory to chase stale events.
+                    self.known_hosts.insert(*from);
+                }
+                None => {}
+            }
+        }
+        // Every known host gets the new directory — component holders, but
+        // also bystanders (known from their monitoring reports), whose
+        // stale directories would otherwise misroute application events.
+        let mut all_hosts: BTreeSet<HostId> = new_directory.values().copied().collect();
+        all_hosts.extend(self.known_hosts.iter().copied());
+        all_hosts.insert(self.host);
+        for host in all_hosts {
+            let doc = ConfigureDoc {
+                directory: new_directory.clone(),
+                fetches: fetches_by_host.remove(&host).unwrap_or_default(),
+            };
+            let configure = Event::request(EV_CONFIGURE)
+                .with_payload(serde_json::to_vec(&doc).expect("configure docs serialize"));
+            services.send_reliable(host, ADMIN_ADDRESS, &configure);
+        }
+    }
+
+    /// Handles a control event addressed to [`DEPLOYER_ADDRESS`].
+    pub(crate) fn handle(&mut self, services: &mut HostServices, event: &Event) {
+        match event.name() {
+            EV_REPORT => {
+                if let Ok(snapshot) = MonitoringSnapshot::decode(event.payload()) {
+                    self.known_hosts.insert(snapshot.host);
+                    self.snapshots.insert(snapshot.host, snapshot);
+                }
+            }
+            EV_ACK => {
+                if let Some(component) = event.param_text(P_COMPONENT) {
+                    if self.pending.remove(component) {
+                        self.confirmed += 1;
+                    }
+                }
+            }
+            EV_MEDIATE => {
+                let (Some(host), Some(component)) = (
+                    event.param(P_FINAL_HOST).and_then(|v| v.as_i64()),
+                    event.param_text(P_FINAL_COMPONENT).map(str::to_owned),
+                ) else {
+                    return;
+                };
+                if let Ok(inner) = Event::decode(event.payload()) {
+                    services.send_reliable(HostId::new(host as u32), &component, &inner);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_doc_roundtrip() {
+        let mut doc = ConfigureDoc::default();
+        doc.directory.insert("gui".into(), HostId::new(1));
+        doc.fetches.push(("tracker".into(), HostId::new(2)));
+        let bytes = serde_json::to_vec(&doc).unwrap();
+        let back: ConfigureDoc = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn transfer_doc_roundtrip() {
+        let doc = TransferDoc {
+            name: "tracker".into(),
+            type_name: "workload".into(),
+            state: vec![1, 2, 3],
+        };
+        let bytes = serde_json::to_vec(&doc).unwrap();
+        let back: TransferDoc = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn status_reports_completion() {
+        let mut d = DeployerComponent::new(HostId::new(0));
+        assert!(d.status().is_complete());
+        d.pending.insert("x".into());
+        d.requested = 1;
+        assert!(!d.status().is_complete());
+        d.handle(
+            &mut dummy_services(),
+            &Event::notification(EV_ACK).with_param(P_COMPONENT, "x"),
+        );
+        let s = d.status();
+        assert!(s.is_complete());
+        assert_eq!(s.confirmed, 1);
+    }
+
+    #[test]
+    fn report_events_populate_snapshots() {
+        let mut d = DeployerComponent::new(HostId::new(0));
+        let snap = MonitoringSnapshot {
+            host: HostId::new(3),
+            ..MonitoringSnapshot::default()
+        };
+        let report = Event::notification(EV_REPORT).with_payload(snap.encode().unwrap());
+        d.handle(&mut dummy_services(), &report);
+        assert_eq!(d.snapshots().len(), 1);
+        assert!(d.snapshots().contains_key(&HostId::new(3)));
+    }
+
+    fn dummy_services() -> HostServices {
+        // Accessing the private constructor through the crate namespace.
+        crate::host::test_support::services(HostId::new(0))
+    }
+}

@@ -1,0 +1,709 @@
+//! Architectures: runtime configurations of components and connectors.
+
+use crate::brick::{BrickId, ComponentAction, ComponentBehavior, ComponentCtx};
+use crate::connector::Connector;
+use crate::event::Event;
+use crate::monitor::ConnectorMonitor;
+use crate::PrismError;
+use redep_netsim::{Duration, SimTime};
+use redep_model::HostId;
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A queued local delivery.
+#[derive(Debug)]
+enum Delivery {
+    /// Run `on_attach` for the component.
+    Attach(BrickId),
+    /// Hand an event to the component.
+    Handle(BrickId, Event),
+    /// Fire a timer on the component.
+    Timer(BrickId, u64),
+}
+
+/// An effect that escapes the architecture and must be carried out by the
+/// host runtime (remote sends, timer arming).
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum HostAction {
+    /// Ship an event to a named component on another host.
+    SendRemote {
+        /// Destination host.
+        host: HostId,
+        /// Destination component instance name.
+        to_component: String,
+        /// The event.
+        event: Event,
+    },
+    /// Ship an event to a named component wherever the directory says it
+    /// currently lives.
+    SendNamed {
+        /// Destination component instance name.
+        to_component: String,
+        /// The event.
+        event: Event,
+    },
+    /// Arm a timer for a local component.
+    SetTimer {
+        /// The component to wake.
+        component: String,
+        /// Delay from now.
+        delay: Duration,
+        /// Token passed back on expiry.
+        token: u64,
+    },
+}
+
+struct ComponentSlot {
+    name: String,
+    behavior: Box<dyn ComponentBehavior>,
+    welded: BTreeSet<BrickId>,
+}
+
+/// A Prism-MW `Architecture`: the record of a (sub)system's configuration —
+/// its components and connectors — with "facilities for their addition,
+/// removal, and reconnection, possibly at system run-time".
+///
+/// Event processing is an explicit, deterministic pump: deliveries queue in
+/// FIFO order and [`Architecture::pump`] drains them, which stands in for
+/// Prism-MW's thread-pool `Scaffold` without sacrificing reproducibility.
+///
+/// # Example
+///
+/// ```
+/// use redep_prism::{Architecture, ComponentBehavior, ComponentCtx, Event};
+/// use redep_netsim::SimTime;
+/// use redep_model::HostId;
+///
+/// #[derive(Default)]
+/// struct Logger { seen: Vec<String> }
+/// impl ComponentBehavior for Logger {
+///     fn type_name(&self) -> &str { "logger" }
+///     fn handle(&mut self, _ctx: &mut ComponentCtx<'_>, event: &Event) {
+///         self.seen.push(event.name().to_owned());
+///     }
+/// }
+///
+/// let mut arch = Architecture::new("demo", HostId::new(0));
+/// let logger = arch.add_component("log", Logger::default())?;
+/// let src = arch.add_component("src", Logger::default())?;
+/// let bus = arch.add_connector("bus");
+/// arch.weld(logger, bus)?;
+/// arch.weld(src, bus)?;
+///
+/// arch.publish("src", Event::notification("hello"))?;
+/// arch.pump(SimTime::ZERO);
+/// // "src" received the published event; it did not re-emit it, so the
+/// // logger saw nothing yet.
+/// assert_eq!(arch.component_ref::<Logger>("src").unwrap().seen, ["hello"]);
+/// # Ok::<(), redep_prism::PrismError>(())
+/// ```
+pub struct Architecture {
+    name: String,
+    host: HostId,
+    next_brick: u64,
+    components: BTreeMap<BrickId, ComponentSlot>,
+    by_name: BTreeMap<String, BrickId>,
+    connectors: BTreeMap<BrickId, Connector>,
+    queue: VecDeque<Delivery>,
+    host_actions: Vec<HostAction>,
+    scratch: Vec<ComponentAction>,
+    events_processed: u64,
+    now: SimTime,
+}
+
+impl fmt::Debug for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Architecture")
+            .field("name", &self.name)
+            .field("host", &self.host)
+            .field("components", &self.by_name.keys().collect::<Vec<_>>())
+            .field("connectors", &self.connectors.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Architecture {
+    /// Creates an empty architecture for the given host.
+    pub fn new(name: impl Into<String>, host: HostId) -> Self {
+        Architecture {
+            name: name.into(),
+            host,
+            next_brick: 0,
+            components: BTreeMap::new(),
+            by_name: BTreeMap::new(),
+            connectors: BTreeMap::new(),
+            queue: VecDeque::new(),
+            host_actions: Vec::new(),
+            scratch: Vec::new(),
+            events_processed: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The architecture's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The host this architecture runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Total events processed by [`Architecture::pump`] so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn fresh_id(&mut self) -> BrickId {
+        let id = BrickId::new(self.next_brick);
+        self.next_brick += 1;
+        id
+    }
+
+    // ---- configuration management ------------------------------------------
+
+    /// Adds a component under a unique instance name; its
+    /// [`ComponentBehavior::on_attach`] runs at the next pump.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::DuplicateComponent`] if the name is taken.
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        behavior: impl ComponentBehavior,
+    ) -> Result<BrickId, PrismError> {
+        self.add_boxed_component(name, Box::new(behavior))
+    }
+
+    /// Adds an already-boxed component (used when reconstituting migrants).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::DuplicateComponent`] if the name is taken.
+    pub fn add_boxed_component(
+        &mut self,
+        name: impl Into<String>,
+        behavior: Box<dyn ComponentBehavior>,
+    ) -> Result<BrickId, PrismError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(PrismError::DuplicateComponent(name));
+        }
+        let id = self.fresh_id();
+        self.by_name.insert(name.clone(), id);
+        self.components.insert(
+            id,
+            ComponentSlot {
+                name,
+                behavior,
+                welded: BTreeSet::new(),
+            },
+        );
+        self.queue.push_back(Delivery::Attach(id));
+        Ok(id)
+    }
+
+    /// Detaches a component: unwelds it everywhere and removes it, returning
+    /// its type name and state snapshot (the payload of a migration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::UnknownComponent`] if no such component exists.
+    pub fn detach_component(&mut self, name: &str) -> Result<(String, Vec<u8>), PrismError> {
+        let id = self
+            .by_name
+            .remove(name)
+            .ok_or_else(|| PrismError::UnknownComponent(name.to_owned()))?;
+        let slot = self.components.remove(&id).expect("maps in sync");
+        for conn in slot.welded {
+            if let Some(c) = self.connectors.get_mut(&conn) {
+                c.unweld(id);
+            }
+        }
+        // Deliveries already queued for the departed component are dropped;
+        // the host-level buffer is responsible for not losing remote events.
+        self.queue.retain(|d| match d {
+            Delivery::Attach(i) | Delivery::Handle(i, _) | Delivery::Timer(i, _) => *i != id,
+        });
+        Ok((slot.behavior.type_name().to_owned(), slot.behavior.snapshot()))
+    }
+
+    /// Adds a connector.
+    pub fn add_connector(&mut self, name: impl Into<String>) -> BrickId {
+        let id = self.fresh_id();
+        self.connectors.insert(id, Connector::new(id, name));
+        id
+    }
+
+    /// Welds a component to a connector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::UnknownBrick`] if either id is unknown and
+    /// [`PrismError::InvalidWeld`] if `component`/`connector` name bricks of
+    /// the wrong kinds.
+    pub fn weld(&mut self, component: BrickId, connector: BrickId) -> Result<(), PrismError> {
+        if self.connectors.contains_key(&component) || self.components.contains_key(&connector) {
+            return Err(PrismError::InvalidWeld(component, connector));
+        }
+        let slot = self
+            .components
+            .get_mut(&component)
+            .ok_or(PrismError::UnknownBrick(component))?;
+        let conn = self
+            .connectors
+            .get_mut(&connector)
+            .ok_or(PrismError::UnknownBrick(connector))?;
+        slot.welded.insert(connector);
+        conn.weld(component);
+        Ok(())
+    }
+
+    /// Removes the weld between a component and a connector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::UnknownBrick`] if either id is unknown.
+    pub fn unweld(&mut self, component: BrickId, connector: BrickId) -> Result<(), PrismError> {
+        let slot = self
+            .components
+            .get_mut(&component)
+            .ok_or(PrismError::UnknownBrick(component))?;
+        let conn = self
+            .connectors
+            .get_mut(&connector)
+            .ok_or(PrismError::UnknownBrick(connector))?;
+        slot.welded.remove(&connector);
+        conn.unweld(component);
+        Ok(())
+    }
+
+    /// Attaches a monitor to a connector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::UnknownBrick`] if the connector is unknown.
+    pub fn attach_monitor(
+        &mut self,
+        connector: BrickId,
+        monitor: impl ConnectorMonitor,
+    ) -> Result<(), PrismError> {
+        self.connectors
+            .get_mut(&connector)
+            .ok_or(PrismError::UnknownBrick(connector))?
+            .add_monitor(Box::new(monitor));
+        Ok(())
+    }
+
+    /// Borrows a connector's monitor of concrete type `T`, if attached.
+    pub fn monitor_ref<T: ConnectorMonitor>(&self, connector: BrickId) -> Option<&T> {
+        self.connectors.get(&connector)?.monitors().iter().find_map(|m| {
+            let any: &dyn Any = m.as_ref();
+            any.downcast_ref::<T>()
+        })
+    }
+
+    /// Mutably borrows a connector's monitor of concrete type `T`.
+    pub fn monitor_mut<T: ConnectorMonitor>(&mut self, connector: BrickId) -> Option<&mut T> {
+        self.connectors
+            .get_mut(&connector)?
+            .monitors_mut()
+            .iter_mut()
+            .find_map(|m| {
+                let any: &mut dyn Any = m.as_mut();
+                any.downcast_mut::<T>()
+            })
+    }
+
+    // ---- introspection -------------------------------------------------------
+
+    /// Returns `true` if a component with this instance name exists.
+    pub fn contains_component(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// `(instance name, type name)` of every component, in name order.
+    pub fn component_inventory(&self) -> Vec<(String, String)> {
+        self.by_name
+            .iter()
+            .map(|(name, id)| {
+                let ty = self.components[id].behavior.type_name().to_owned();
+                (name.clone(), ty)
+            })
+            .collect()
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of connectors.
+    pub fn connector_count(&self) -> usize {
+        self.connectors.len()
+    }
+
+    /// Borrows a component downcast to its concrete type.
+    pub fn component_ref<T: ComponentBehavior>(&self, name: &str) -> Option<&T> {
+        let id = self.by_name.get(name)?;
+        let any: &dyn Any = self.components.get(id)?.behavior.as_ref();
+        any.downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a component downcast to its concrete type.
+    pub fn component_mut<T: ComponentBehavior>(&mut self, name: &str) -> Option<&mut T> {
+        let id = *self.by_name.get(name)?;
+        let any: &mut dyn Any = self.components.get_mut(&id)?.behavior.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    // ---- event flow -----------------------------------------------------------
+
+    /// Queues an event for direct delivery to the named component (used for
+    /// events arriving from other hosts and for external injection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::UnknownComponent`] when no such component is
+    /// currently attached — the caller (host runtime) buffers such events
+    /// during migrations.
+    pub fn publish(&mut self, to_component: &str, event: Event) -> Result<(), PrismError> {
+        let id = self
+            .by_name
+            .get(to_component)
+            .ok_or_else(|| PrismError::UnknownComponent(to_component.to_owned()))?;
+        self.queue.push_back(Delivery::Handle(*id, event));
+        Ok(())
+    }
+
+    /// Queues a timer expiry for the named component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::UnknownComponent`] when the component has left
+    /// this architecture (e.g. it migrated away after arming the timer).
+    pub fn deliver_timer(&mut self, component: &str, token: u64) -> Result<(), PrismError> {
+        let id = self
+            .by_name
+            .get(component)
+            .ok_or_else(|| PrismError::UnknownComponent(component.to_owned()))?;
+        self.queue.push_back(Delivery::Timer(*id, token));
+        Ok(())
+    }
+
+    /// Routes an emission from `src` through all its welded connectors,
+    /// notifying monitors per delivery.
+    fn route_emission(&mut self, src: BrickId, event: Event) {
+        let src_name = match self.components.get(&src) {
+            Some(s) => s.name.clone(),
+            None => return, // emitter detached mid-pump
+        };
+        let connectors: Vec<BrickId> = self.components[&src].welded.iter().copied().collect();
+        let mut deliveries: Vec<BrickId> = Vec::new();
+        for conn_id in connectors {
+            let recipients: Vec<BrickId> = match self.connectors.get(&conn_id) {
+                Some(c) => c.attached().filter(|b| *b != src).collect(),
+                None => continue,
+            };
+            for dst in recipients {
+                let dst_name = match self.components.get(&dst) {
+                    Some(s) => s.name.clone(),
+                    None => continue,
+                };
+                if let Some(conn) = self.connectors.get_mut(&conn_id) {
+                    for m in conn.monitors_mut() {
+                        m.observe(&src_name, &dst_name, &event, self.now);
+                    }
+                }
+                deliveries.push(dst);
+            }
+        }
+        for dst in deliveries {
+            self.queue.push_back(Delivery::Handle(dst, event.clone()));
+        }
+    }
+
+    /// Drains the delivery queue, running component callbacks. Returns the
+    /// number of deliveries processed.
+    ///
+    /// `now` stamps the contexts handed to components (and monitors).
+    pub fn pump(&mut self, now: SimTime) -> u64 {
+        self.now = now;
+        let mut processed = 0;
+        while let Some(delivery) = self.queue.pop_front() {
+            processed += 1;
+            self.events_processed += 1;
+            type Work = Box<dyn FnOnce(&mut dyn ComponentBehavior, &mut ComponentCtx<'_>)>;
+            let (id, work): (BrickId, Work) = match delivery {
+                    Delivery::Attach(id) => (id, Box::new(|b, ctx| b.on_attach(ctx))),
+                    Delivery::Handle(id, event) => {
+                        (id, Box::new(move |b, ctx| b.handle(ctx, &event)))
+                    }
+                    Delivery::Timer(id, token) => {
+                        (id, Box::new(move |b, ctx| b.on_timer(ctx, token)))
+                    }
+                };
+            let Some(mut slot) = self.components.remove(&id) else {
+                continue; // component detached while the delivery was queued
+            };
+            let mut actions = std::mem::take(&mut self.scratch);
+            actions.clear();
+            {
+                let mut ctx = ComponentCtx::new(&slot.name, self.host, now, &mut actions);
+                work(slot.behavior.as_mut(), &mut ctx);
+            }
+            let name = slot.name.clone();
+            self.components.insert(id, slot);
+            for action in actions.drain(..) {
+                match action {
+                    ComponentAction::Emit(event) => self.route_emission(id, event),
+                    ComponentAction::SendRemote {
+                        host,
+                        to_component,
+                        event,
+                    } => self.host_actions.push(HostAction::SendRemote {
+                        host,
+                        to_component,
+                        event,
+                    }),
+                    ComponentAction::SendNamed { to_component, event } => self
+                        .host_actions
+                        .push(HostAction::SendNamed { to_component, event }),
+                    ComponentAction::SetTimer { delay, token } => {
+                        self.host_actions.push(HostAction::SetTimer {
+                            component: name.clone(),
+                            delay,
+                            token,
+                        })
+                    }
+                }
+            }
+            self.scratch = actions;
+        }
+        processed
+    }
+
+    /// Takes the host-level effects accumulated by pumping.
+    pub(crate) fn take_host_actions(&mut self) -> Vec<HostAction> {
+        std::mem::take(&mut self.host_actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::EventFrequencyMonitor;
+
+    /// Records received event names; re-emits events named "relay me".
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<String>,
+        attached: u32,
+    }
+    impl ComponentBehavior for Recorder {
+        fn type_name(&self) -> &str {
+            "recorder"
+        }
+        fn on_attach(&mut self, _ctx: &mut ComponentCtx<'_>) {
+            self.attached += 1;
+        }
+        fn handle(&mut self, ctx: &mut ComponentCtx<'_>, event: &Event) {
+            self.seen.push(event.name().to_owned());
+            if event.name() == "relay me" {
+                ctx.emit(Event::notification("relayed"));
+            }
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.seen.join(",").into_bytes()
+        }
+    }
+
+    fn arch() -> Architecture {
+        Architecture::new("test", HostId::new(0))
+    }
+
+    #[test]
+    fn on_attach_runs_at_first_pump() {
+        let mut a = arch();
+        a.add_component("r", Recorder::default()).unwrap();
+        assert_eq!(a.component_ref::<Recorder>("r").unwrap().attached, 0);
+        a.pump(SimTime::ZERO);
+        assert_eq!(a.component_ref::<Recorder>("r").unwrap().attached, 1);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut a = arch();
+        a.add_component("r", Recorder::default()).unwrap();
+        assert!(matches!(
+            a.add_component("r", Recorder::default()),
+            Err(PrismError::DuplicateComponent(_))
+        ));
+    }
+
+    #[test]
+    fn connector_routes_to_all_other_attached() {
+        let mut a = arch();
+        let x = a.add_component("x", Recorder::default()).unwrap();
+        let y = a.add_component("y", Recorder::default()).unwrap();
+        let z = a.add_component("z", Recorder::default()).unwrap();
+        let bus = a.add_connector("bus");
+        a.weld(x, bus).unwrap();
+        a.weld(y, bus).unwrap();
+        a.weld(z, bus).unwrap();
+        a.publish("x", Event::notification("relay me")).unwrap();
+        a.pump(SimTime::ZERO);
+        // x received "relay me" and emitted "relayed" to y and z only.
+        assert_eq!(a.component_ref::<Recorder>("x").unwrap().seen, ["relay me"]);
+        assert_eq!(a.component_ref::<Recorder>("y").unwrap().seen, ["relayed"]);
+        assert_eq!(a.component_ref::<Recorder>("z").unwrap().seen, ["relayed"]);
+    }
+
+    #[test]
+    fn unwelded_component_receives_nothing() {
+        let mut a = arch();
+        let x = a.add_component("x", Recorder::default()).unwrap();
+        let y = a.add_component("y", Recorder::default()).unwrap();
+        let bus = a.add_connector("bus");
+        a.weld(x, bus).unwrap();
+        a.weld(y, bus).unwrap();
+        a.unweld(y, bus).unwrap();
+        a.publish("x", Event::notification("relay me")).unwrap();
+        a.pump(SimTime::ZERO);
+        assert!(a.component_ref::<Recorder>("y").unwrap().seen.is_empty());
+    }
+
+    #[test]
+    fn weld_requires_component_and_connector() {
+        let mut a = arch();
+        let x = a.add_component("x", Recorder::default()).unwrap();
+        let y = a.add_component("y", Recorder::default()).unwrap();
+        assert!(matches!(a.weld(x, y), Err(PrismError::InvalidWeld(_, _))));
+        let bus = a.add_connector("bus");
+        assert!(matches!(a.weld(bus, x), Err(PrismError::InvalidWeld(_, _))));
+    }
+
+    #[test]
+    fn publish_to_unknown_component_errors() {
+        let mut a = arch();
+        assert!(matches!(
+            a.publish("ghost", Event::notification("n")),
+            Err(PrismError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn detach_returns_type_and_snapshot_and_stops_delivery() {
+        let mut a = arch();
+        let x = a.add_component("x", Recorder::default()).unwrap();
+        let y = a.add_component("y", Recorder::default()).unwrap();
+        let bus = a.add_connector("bus");
+        a.weld(x, bus).unwrap();
+        a.weld(y, bus).unwrap();
+        a.publish("y", Event::notification("first")).unwrap();
+        a.pump(SimTime::ZERO);
+
+        let (ty, state) = a.detach_component("y").unwrap();
+        assert_eq!(ty, "recorder");
+        assert_eq!(state, b"first");
+        assert!(!a.contains_component("y"));
+        // Emissions no longer reach the detached component.
+        a.publish("x", Event::notification("relay me")).unwrap();
+        a.pump(SimTime::ZERO);
+        assert_eq!(a.component_count(), 1);
+    }
+
+    #[test]
+    fn queued_deliveries_for_detached_component_are_dropped() {
+        let mut a = arch();
+        a.add_component("x", Recorder::default()).unwrap();
+        a.publish("x", Event::notification("n")).unwrap();
+        a.detach_component("x").unwrap();
+        assert_eq!(a.pump(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn timer_delivery_reaches_component() {
+        #[derive(Default)]
+        struct TimerSink {
+            tokens: Vec<u64>,
+        }
+        impl ComponentBehavior for TimerSink {
+            fn type_name(&self) -> &str {
+                "timer-sink"
+            }
+            fn on_timer(&mut self, _ctx: &mut ComponentCtx<'_>, token: u64) {
+                self.tokens.push(token);
+            }
+        }
+        let mut a = arch();
+        a.add_component("t", TimerSink::default()).unwrap();
+        a.deliver_timer("t", 9).unwrap();
+        a.pump(SimTime::ZERO);
+        assert_eq!(a.component_ref::<TimerSink>("t").unwrap().tokens, [9]);
+    }
+
+    #[test]
+    fn remote_sends_surface_as_host_actions() {
+        struct RemoteCaller;
+        impl ComponentBehavior for RemoteCaller {
+            fn type_name(&self) -> &str {
+                "remote-caller"
+            }
+            fn on_attach(&mut self, ctx: &mut ComponentCtx<'_>) {
+                ctx.send_remote(HostId::new(7), "peer", Event::request("hi"));
+            }
+        }
+        let mut a = arch();
+        a.add_component("rc", RemoteCaller).unwrap();
+        a.pump(SimTime::ZERO);
+        let actions = a.take_host_actions();
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            HostAction::SendRemote { host, to_component, event } => {
+                assert_eq!(*host, HostId::new(7));
+                assert_eq!(to_component, "peer");
+                assert_eq!(event.name(), "hi");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Actions are drained.
+        assert!(a.take_host_actions().is_empty());
+    }
+
+    #[test]
+    fn frequency_monitor_sees_connector_traffic() {
+        let mut a = arch();
+        let x = a.add_component("x", Recorder::default()).unwrap();
+        let y = a.add_component("y", Recorder::default()).unwrap();
+        let bus = a.add_connector("bus");
+        a.weld(x, bus).unwrap();
+        a.weld(y, bus).unwrap();
+        a.attach_monitor(bus, EventFrequencyMonitor::new(Duration::from_secs_f64(1.0)))
+            .unwrap();
+        a.publish("x", Event::notification("relay me")).unwrap();
+        a.pump(SimTime::ZERO);
+        let m = a.monitor_mut::<EventFrequencyMonitor>(bus).unwrap();
+        let w = m.roll_window(SimTime::from_secs_f64(1.0));
+        assert!(w.frequency("x", "y") > 0.0);
+    }
+
+    #[test]
+    fn inventory_lists_components_in_name_order() {
+        let mut a = arch();
+        a.add_component("zeta", Recorder::default()).unwrap();
+        a.add_component("alpha", Recorder::default()).unwrap();
+        let inv = a.component_inventory();
+        assert_eq!(
+            inv,
+            vec![
+                ("alpha".to_owned(), "recorder".to_owned()),
+                ("zeta".to_owned(), "recorder".to_owned())
+            ]
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Connectors: the routing elements between components.
+
+use crate::brick::BrickId;
+use crate::monitor::ConnectorMonitor;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A connector routes every event emitted by one attached component to all
+/// other attached components, and taps its traffic for monitors — the
+/// middleware hook the paper's `EvtFrequencyMonitor` uses.
+pub struct Connector {
+    id: BrickId,
+    name: String,
+    attached: BTreeSet<BrickId>,
+    monitors: Vec<Box<dyn ConnectorMonitor>>,
+}
+
+impl fmt::Debug for Connector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Connector")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("attached", &self.attached)
+            .field("monitors", &self.monitors.len())
+            .finish()
+    }
+}
+
+impl Connector {
+    pub(crate) fn new(id: BrickId, name: impl Into<String>) -> Self {
+        Connector {
+            id,
+            name: name.into(),
+            attached: BTreeSet::new(),
+            monitors: Vec::new(),
+        }
+    }
+
+    /// The connector's brick id.
+    pub fn id(&self) -> BrickId {
+        self.id
+    }
+
+    /// The connector's instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ids of the components currently welded to this connector.
+    pub fn attached(&self) -> impl Iterator<Item = BrickId> + '_ {
+        self.attached.iter().copied()
+    }
+
+    /// Number of welded components.
+    pub fn fan(&self) -> usize {
+        self.attached.len()
+    }
+
+    pub(crate) fn weld(&mut self, component: BrickId) {
+        self.attached.insert(component);
+    }
+
+    pub(crate) fn unweld(&mut self, component: BrickId) -> bool {
+        self.attached.remove(&component)
+    }
+
+    pub(crate) fn add_monitor(&mut self, monitor: Box<dyn ConnectorMonitor>) {
+        self.monitors.push(monitor);
+    }
+
+    pub(crate) fn monitors(&self) -> &[Box<dyn ConnectorMonitor>] {
+        &self.monitors
+    }
+
+    pub(crate) fn monitors_mut(&mut self) -> &mut [Box<dyn ConnectorMonitor>] {
+        &mut self.monitors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weld_and_unweld() {
+        let mut c = Connector::new(BrickId::new(0), "bus");
+        c.weld(BrickId::new(1));
+        c.weld(BrickId::new(2));
+        assert_eq!(c.fan(), 2);
+        assert!(c.unweld(BrickId::new(1)));
+        assert!(!c.unweld(BrickId::new(1)));
+        assert_eq!(c.attached().collect::<Vec<_>>(), [BrickId::new(2)]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the middleware.
+
+use crate::brick::BrickId;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by the Prism middleware.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum PrismError {
+    /// The referenced brick does not exist in the architecture.
+    UnknownBrick(BrickId),
+    /// No component with this instance name exists in the architecture.
+    UnknownComponent(String),
+    /// A component with this instance name already exists.
+    DuplicateComponent(String),
+    /// The component type is not registered with the factory, so it cannot
+    /// be reconstituted after migration.
+    UnregisteredType(String),
+    /// (De)serialization failed.
+    Codec(String),
+    /// A weld refers to a brick of the wrong kind (e.g. welding two
+    /// components directly without a connector).
+    InvalidWeld(BrickId, BrickId),
+}
+
+impl fmt::Display for PrismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrismError::UnknownBrick(id) => write!(f, "unknown brick {id}"),
+            PrismError::UnknownComponent(name) => write!(f, "unknown component '{name}'"),
+            PrismError::DuplicateComponent(name) => {
+                write!(f, "component '{name}' already exists")
+            }
+            PrismError::UnregisteredType(ty) => {
+                write!(f, "component type '{ty}' is not registered with the factory")
+            }
+            PrismError::Codec(msg) => write!(f, "encoding failed: {msg}"),
+            PrismError::InvalidWeld(a, b) => {
+                write!(f, "cannot weld {a} to {b}: one end must be a connector")
+            }
+        }
+    }
+}
+
+impl Error for PrismError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<PrismError>();
+        assert!(PrismError::UnknownComponent("gps".into())
+            .to_string()
+            .contains("gps"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Events — the sole communication mechanism between Prism components.
+
+use redep_model::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The role an event plays in an interaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A request expecting a reply.
+    Request,
+    /// A reply to an earlier request.
+    Reply,
+    /// A one-way notification.
+    Notification,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Request => f.write_str("request"),
+            EventKind::Reply => f.write_str("reply"),
+            EventKind::Notification => f.write_str("notification"),
+        }
+    }
+}
+
+/// An event routed between components by connectors (and between hosts by
+/// the distribution transport).
+///
+/// Events carry a name, typed parameters, and an optional opaque payload
+/// (used e.g. to ship serialized component state during redeployment). The
+/// `size` field is what network accounting charges — it defaults to a rough
+/// serialized size but workload generators can set it explicitly to model
+/// arbitrary interaction volumes.
+///
+/// # Example
+///
+/// ```
+/// use redep_prism::{Event, EventKind};
+/// let e = Event::notification("position.update")
+///     .with_param("lat", 34.02)
+///     .with_param("lon", -118.28)
+///     .with_size(64);
+/// assert_eq!(e.name(), "position.update");
+/// assert_eq!(e.kind(), EventKind::Notification);
+/// assert_eq!(e.param_f64("lat"), Some(34.02));
+/// assert_eq!(e.size(), 64);
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Event {
+    name: String,
+    kind: EventKind,
+    params: BTreeMap<String, ParamValue>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    payload: Vec<u8>,
+    /// Name of the component that emitted the event (set by the runtime).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    source: Option<String>,
+    /// Explicit wire size override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    size: Option<u64>,
+}
+
+impl Event {
+    /// Creates an event of the given kind.
+    pub fn new(name: impl Into<String>, kind: EventKind) -> Self {
+        Event {
+            name: name.into(),
+            kind,
+            params: BTreeMap::new(),
+            payload: Vec::new(),
+            source: None,
+            size: None,
+        }
+    }
+
+    /// Creates a request event.
+    pub fn request(name: impl Into<String>) -> Self {
+        Event::new(name, EventKind::Request)
+    }
+
+    /// Creates a reply event.
+    pub fn reply(name: impl Into<String>) -> Self {
+        Event::new(name, EventKind::Reply)
+    }
+
+    /// Creates a notification event.
+    pub fn notification(name: impl Into<String>) -> Self {
+        Event::new(name, EventKind::Notification)
+    }
+
+    /// The event name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// The emitting component's instance name, if stamped by the runtime.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// Stamps the emitting component (done by the runtime on emission).
+    pub(crate) fn set_source(&mut self, source: impl Into<String>) {
+        self.source = Some(source.into());
+    }
+
+    /// Adds a typed parameter (builder style).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Reads a parameter.
+    pub fn param(&self, key: &str) -> Option<&ParamValue> {
+        self.params.get(key)
+    }
+
+    /// Reads a parameter as a float (integers coerced).
+    pub fn param_f64(&self, key: &str) -> Option<f64> {
+        self.param(key).and_then(ParamValue::as_f64)
+    }
+
+    /// Reads a parameter as text.
+    pub fn param_text(&self, key: &str) -> Option<&str> {
+        self.param(key).and_then(ParamValue::as_text)
+    }
+
+    /// Attaches an opaque payload (builder style).
+    pub fn with_payload(mut self, payload: Vec<u8>) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// The opaque payload (empty when none was attached).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Overrides the accounted wire size (builder style).
+    pub fn with_size(mut self, size: u64) -> Self {
+        self.size = Some(size);
+        self
+    }
+
+    /// The size charged on the wire: the explicit override when set,
+    /// otherwise an estimate (name + params + payload bytes).
+    pub fn size(&self) -> u64 {
+        self.size.unwrap_or_else(|| {
+            let params: u64 = self
+                .params
+                .iter()
+                .map(|(k, v)| k.len() as u64 + 8 + v.to_string().len() as u64)
+                .sum();
+            self.name.len() as u64 + params + self.payload.len() as u64 + 16
+        })
+    }
+
+    /// Serializes the event for the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PrismError::Codec`] if serialization fails.
+    pub fn encode(&self) -> Result<Vec<u8>, crate::PrismError> {
+        serde_json::to_vec(self).map_err(|e| crate::PrismError::Codec(e.to_string()))
+    }
+
+    /// Deserializes an event from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PrismError::Codec`] for malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, crate::PrismError> {
+        serde_json::from_slice(bytes).map_err(|e| crate::PrismError::Codec(e.to_string()))
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} '{}'", self.kind, self.name)?;
+        if let Some(src) = &self.source {
+            write!(f, " from {src}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Event::request("r").kind(), EventKind::Request);
+        assert_eq!(Event::reply("r").kind(), EventKind::Reply);
+        assert_eq!(Event::notification("n").kind(), EventKind::Notification);
+    }
+
+    #[test]
+    fn params_typed_access() {
+        let e = Event::notification("n")
+            .with_param("f", 1.5)
+            .with_param("s", "text")
+            .with_param("i", 3i64);
+        assert_eq!(e.param_f64("f"), Some(1.5));
+        assert_eq!(e.param_f64("i"), Some(3.0));
+        assert_eq!(e.param_text("s"), Some("text"));
+        assert_eq!(e.param_f64("missing"), None);
+    }
+
+    #[test]
+    fn size_override_and_estimate() {
+        let small = Event::notification("n");
+        assert!(small.size() > 0);
+        let sized = Event::notification("n").with_size(4096);
+        assert_eq!(sized.size(), 4096);
+        let with_payload = Event::notification("n").with_payload(vec![0; 100]);
+        assert!(with_payload.size() >= 100);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut e = Event::request("cmd")
+            .with_param("x", 2.0)
+            .with_payload(vec![1, 2, 3])
+            .with_size(99);
+        e.set_source("sensor-1");
+        let bytes = e.encode().unwrap();
+        let back = Event::decode(&bytes).unwrap();
+        assert_eq!(e, back);
+        assert_eq!(back.source(), Some("sensor-1"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Event::decode(b"not json").is_err());
+    }
+
+    #[test]
+    fn display_mentions_kind_name_source() {
+        let mut e = Event::request("cmd");
+        e.set_source("gui");
+        assert_eq!(e.to_string(), "request 'cmd' from gui");
+    }
+}

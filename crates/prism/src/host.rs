@@ -1,0 +1,769 @@
+//! The per-host middleware runtime.
+//!
+//! A [`PrismHost`] is the "address space" of the paper: it owns one
+//! [`Architecture`], the distribution transport to other hosts, the
+//! host-level monitors, and the meta-level [`AdminComponent`] (plus, on the
+//! master host, the [`DeployerComponent`]). It implements
+//! [`redep_netsim::Node`], so whole distributed Prism systems run inside the
+//! network simulator.
+
+use crate::admin::{AdminComponent, DeployerComponent};
+use crate::architecture::{Architecture, HostAction};
+use crate::brick::{BrickId, ComponentBehavior, ComponentFactory};
+use crate::event::Event;
+use crate::monitor::{EventFrequencyMonitor, ReliabilityProbe};
+use crate::transport::{ReliableChannel, WireMsg};
+use crate::PrismError;
+use redep_netsim::{Duration, Message, Node, NodeCtx, SimTime};
+use redep_model::HostId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Reserved component address of the admin on every host.
+pub const ADMIN_ADDRESS: &str = "prism.admin";
+/// Reserved component address of the deployer on the master host.
+pub const DEPLOYER_ADDRESS: &str = "prism.deployer";
+
+/// Event parameter marking an application event that was already forwarded
+/// once to chase a migrated component (prevents forwarding loops between
+/// hosts with mutually stale directories).
+const FORWARDED_MARKER: &str = "prism.forwarded";
+
+const TOKEN_RTO: u64 = 0;
+const TOKEN_PING: u64 = 1;
+const TOKEN_MONITOR: u64 = 2;
+const TOKEN_COMPONENT_BASE: u64 = 1000;
+
+/// Static configuration of a host runtime.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HostConfig {
+    /// The master host running the deployer.
+    pub deployer_host: HostId,
+    /// Hosts this host can talk to directly (its physical neighbors).
+    pub neighbors: BTreeSet<HostId>,
+    /// Next-hop routing table for non-neighbor destinations
+    /// (destination → neighbor to relay through). Destinations absent from
+    /// both `neighbors` and `routes` are unreachable.
+    pub routes: BTreeMap<HostId, HostId>,
+    /// Retransmission interval of the reliable channels.
+    pub rto: Duration,
+    /// Interval between reliability pings to each neighbor.
+    pub ping_interval: Duration,
+    /// Length of one monitoring window.
+    pub monitor_window: Duration,
+    /// ε for the stability gauges.
+    pub epsilon: f64,
+    /// Consecutive stable differences required before reporting.
+    pub stable_windows: usize,
+    /// Whether events addressed to absent components are parked and
+    /// replayed after the component arrives (the paper's behavior).
+    /// Disable only for the buffering ablation — events are then dropped.
+    pub buffer_during_migration: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            deployer_host: HostId::new(0),
+            neighbors: BTreeSet::new(),
+            routes: BTreeMap::new(),
+            rto: Duration::from_millis(200),
+            ping_interval: Duration::from_millis(250),
+            monitor_window: Duration::from_secs_f64(5.0),
+            epsilon: 0.1,
+            stable_windows: 2,
+            buffer_during_migration: true,
+        }
+    }
+}
+
+/// Counters describing one host runtime's activity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HostStats {
+    /// Application events emitted by local components via named sends
+    /// (whether they ended up local or remote).
+    pub app_events_emitted: u64,
+    /// Application events put on the wire (raw frames).
+    pub app_events_sent: u64,
+    /// Application events delivered into the local architecture.
+    pub app_events_received: u64,
+    /// Control frames put on the wire (first transmissions).
+    pub control_sent: u64,
+    /// Control frames retransmitted.
+    pub retransmissions: u64,
+    /// Events buffered because their target component is not (yet) here.
+    pub events_buffered: u64,
+    /// Buffered events replayed after a component arrived.
+    pub events_replayed: u64,
+    /// Events dropped because the directory knows no location for the target.
+    pub events_undeliverable: u64,
+    /// Frames relayed on behalf of other hosts.
+    pub frames_forwarded: u64,
+    /// Frames dropped because no route to the destination exists.
+    pub frames_unroutable: u64,
+}
+
+/// The host-level services the admin and deployer act through: the
+/// distribution transport, the deployment directory, and the buffer that
+/// parks events for components that are mid-migration.
+pub struct HostServices {
+    host: HostId,
+    now: SimTime,
+    deployer_host: HostId,
+    neighbors: BTreeSet<HostId>,
+    routes: BTreeMap<HostId, HostId>,
+    directory: BTreeMap<String, HostId>,
+    channels: BTreeMap<HostId, ReliableChannel>,
+    /// The platform-dependent reliability monitor (ping counters).
+    pub(crate) probe: ReliabilityProbe,
+    outbox: Vec<(HostId, WireMsg)>,
+    buffered: BTreeMap<String, Vec<Event>>,
+    next_nonce: u64,
+    buffer_during_migration: bool,
+    stats: HostStats,
+}
+
+impl fmt::Debug for HostServices {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostServices")
+            .field("host", &self.host)
+            .field("directory", &self.directory)
+            .field("outbox", &self.outbox.len())
+            .finish()
+    }
+}
+
+impl HostServices {
+    fn new(host: HostId, config: &HostConfig) -> Self {
+        HostServices {
+            host,
+            now: SimTime::ZERO,
+            deployer_host: config.deployer_host,
+            neighbors: config.neighbors.clone(),
+            routes: config.routes.clone(),
+            directory: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            probe: ReliabilityProbe::new(),
+            outbox: Vec::new(),
+            buffered: BTreeMap::new(),
+            next_nonce: 0,
+            buffer_during_migration: config.buffer_during_migration,
+            stats: HostStats::default(),
+        }
+    }
+
+    /// This host's id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The master host running the deployer.
+    pub fn deployer_host(&self) -> HostId {
+        self.deployer_host
+    }
+
+    /// Hosts directly reachable from here.
+    pub fn neighbors(&self) -> &BTreeSet<HostId> {
+        &self.neighbors
+    }
+
+    /// Whether `peer` is directly reachable.
+    pub fn can_reach(&self, peer: HostId) -> bool {
+        self.neighbors.contains(&peer)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Unacknowledged reliable frames per peer (diagnostics).
+    pub fn pending_control(&self) -> Vec<(HostId, usize)> {
+        self.channels
+            .iter()
+            .filter(|(_, ch)| ch.in_flight() > 0)
+            .map(|(peer, ch)| (*peer, ch.in_flight()))
+            .collect()
+    }
+
+    /// The deployment directory: component instance name → current host.
+    pub fn directory(&self) -> &BTreeMap<String, HostId> {
+        &self.directory
+    }
+
+    /// Replaces the whole directory (sent with every redeployment command).
+    pub fn replace_directory(&mut self, directory: BTreeMap<String, HostId>) {
+        self.directory = directory;
+    }
+
+    /// Records one component's location.
+    pub fn directory_set(&mut self, component: impl Into<String>, host: HostId) {
+        self.directory.insert(component.into(), host);
+    }
+
+    /// Looks up where a component currently lives.
+    pub fn locate(&self, component: &str) -> Option<HostId> {
+        self.directory.get(component).copied()
+    }
+
+    /// Sends a control event reliably to a component on `dst`. Unreachable
+    /// destinations are mediated through the deployer host, reproducing the
+    /// paper's "the relevant request events are sent to the
+    /// DeployerComponent, which then mediates their interaction".
+    pub fn send_reliable(&mut self, dst: HostId, to_component: &str, event: &Event) {
+        if dst == self.host {
+            // Local control messages short-circuit at the host layer; the
+            // runtime routes them on the next processing pass.
+            self.outbox.push((
+                dst,
+                WireMsg::Raw {
+                    to_component: to_component.to_owned(),
+                    event: event.encode().expect("events serialize"),
+                },
+            ));
+            return;
+        }
+        if self.next_hop(dst).is_some() || dst == self.deployer_host {
+            let frame = self
+                .channels
+                .entry(dst)
+                .or_default()
+                .send(to_component.to_owned(), event.encode().expect("events serialize"));
+            self.stats.control_sent += 1;
+            self.wire(dst, frame);
+        } else if self.host == self.deployer_host {
+            // We *are* the mediator of last resort and still have no route:
+            // wrapping the frame to ourselves would loop forever. Drop it.
+            self.stats.frames_unroutable += 1;
+        } else {
+            // Mediate via the deployer.
+            let wrapped = Event::request(crate::admin::EV_MEDIATE)
+                .with_param(crate::admin::P_FINAL_HOST, dst.raw() as i64)
+                .with_param(crate::admin::P_FINAL_COMPONENT, to_component)
+                .with_payload(event.encode().expect("events serialize"));
+            let frame = self
+                .channels
+                .entry(self.deployer_host)
+                .or_default()
+                .send(
+                    DEPLOYER_ADDRESS.to_owned(),
+                    wrapped.encode().expect("events serialize"),
+                );
+            self.stats.control_sent += 1;
+            let deployer = self.deployer_host;
+            self.wire(deployer, frame);
+        }
+    }
+
+    /// Sends an application event unreliably (raw frame) to a component on
+    /// `dst`. Subject to link loss — by design.
+    pub fn send_raw(&mut self, dst: HostId, to_component: &str, event: &Event) {
+        self.stats.app_events_sent += 1;
+        self.wire(
+            dst,
+            WireMsg::Raw {
+                to_component: to_component.to_owned(),
+                event: event.encode().expect("events serialize"),
+            },
+        );
+    }
+
+    /// Parks an event for a component that is not currently attached here
+    /// (dropped instead when buffering is ablated away, counting as
+    /// undeliverable).
+    pub fn buffer_event(&mut self, component: &str, event: Event) {
+        if !self.buffer_during_migration {
+            self.stats.events_undeliverable += 1;
+            return;
+        }
+        self.stats.events_buffered += 1;
+        self.buffered
+            .entry(component.to_owned())
+            .or_default()
+            .push(event);
+    }
+
+    /// Takes all buffered events for `component` (e.g. after it arrived).
+    pub fn take_buffered(&mut self, component: &str) -> Vec<Event> {
+        let events = self.buffered.remove(component).unwrap_or_default();
+        self.stats.events_replayed += events.len() as u64;
+        events
+    }
+
+    /// Component names with parked events.
+    pub fn buffered_components(&self) -> Vec<String> {
+        self.buffered.keys().cloned().collect()
+    }
+
+    /// The neighbor to relay through for `dst` (the destination itself
+    /// when directly connected).
+    pub fn next_hop(&self, dst: HostId) -> Option<HostId> {
+        if self.neighbors.contains(&dst) {
+            Some(dst)
+        } else {
+            self.routes.get(&dst).copied()
+        }
+    }
+
+    /// Puts a frame on the wire toward `dst`, relaying through the routing
+    /// table when `dst` is not a neighbor. Unroutable frames are dropped
+    /// (and counted).
+    fn wire(&mut self, dst: HostId, frame: WireMsg) {
+        if dst == self.host || self.neighbors.contains(&dst) {
+            self.outbox.push((dst, frame));
+            return;
+        }
+        match self.next_hop(dst) {
+            Some(hop) => {
+                let wrapped = WireMsg::Forward {
+                    src: self.host,
+                    dst,
+                    frame: frame.encode(),
+                };
+                self.outbox.push((hop, wrapped));
+            }
+            None => {
+                self.stats.frames_unroutable += 1;
+            }
+        }
+    }
+
+    fn ping(&mut self, peer: HostId) {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.probe.record_ping(peer);
+        self.outbox.push((peer, WireMsg::Ping { nonce }));
+    }
+}
+
+/// One host of a distributed Prism-MW system, runnable inside
+/// [`redep_netsim::Simulator`].
+///
+/// See the crate docs for the big picture and `crates/prism/tests` /
+/// the repository examples for full systems.
+pub struct PrismHost {
+    arch: Architecture,
+    factory: ComponentFactory,
+    services: HostServices,
+    admin: AdminComponent,
+    deployer: Option<DeployerComponent>,
+    config: HostConfig,
+    app_connector: BrickId,
+    next_timer: u64,
+    timers: BTreeMap<u64, (String, u64)>,
+}
+
+impl fmt::Debug for PrismHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PrismHost")
+            .field("host", &self.arch.host())
+            .field("components", &self.arch.component_count())
+            .field("deployer", &self.deployer.is_some())
+            .finish()
+    }
+}
+
+impl PrismHost {
+    /// Creates a host runtime.
+    ///
+    /// The architecture starts with one application connector (the host-local
+    /// "bus") carrying an [`EventFrequencyMonitor`], to which
+    /// [`PrismHost::add_app_component`] welds every application component —
+    /// the configuration of the paper's Figure 8.
+    pub fn new(host: HostId, factory: ComponentFactory, config: HostConfig) -> Self {
+        let mut arch = Architecture::new(format!("arch-{host}"), host);
+        let app_connector = arch.add_connector("bus");
+        arch.attach_monitor(
+            app_connector,
+            EventFrequencyMonitor::new(config.monitor_window),
+        )
+        .expect("connector just created");
+        let admin = AdminComponent::new(host, &config);
+        let services = HostServices::new(host, &config);
+        PrismHost {
+            arch,
+            factory,
+            services,
+            admin,
+            deployer: None,
+            config,
+            app_connector,
+            next_timer: 0,
+            timers: BTreeMap::new(),
+        }
+    }
+
+    /// Enables the deployer role (call on the master host only).
+    pub fn enable_deployer(&mut self) {
+        self.deployer = Some(DeployerComponent::new(self.arch.host()));
+    }
+
+    /// Whether this host runs the deployer.
+    pub fn is_deployer(&self) -> bool {
+        self.deployer.is_some()
+    }
+
+    /// The host's architecture.
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The host's architecture, mutable.
+    pub fn architecture_mut(&mut self) -> &mut Architecture {
+        &mut self.arch
+    }
+
+    /// The host's services (directory, transport, buffers).
+    pub fn services(&self) -> &HostServices {
+        &self.services
+    }
+
+    /// The admin (monitoring + effecting endpoint) of this host.
+    pub fn admin(&self) -> &AdminComponent {
+        &self.admin
+    }
+
+    /// The deployer, when enabled.
+    pub fn deployer(&self) -> Option<&DeployerComponent> {
+        self.deployer.as_ref()
+    }
+
+    /// The deployer, mutable, when enabled.
+    pub fn deployer_mut(&mut self) -> Option<&mut DeployerComponent> {
+        self.deployer.as_mut()
+    }
+
+    /// The id of the host-local application connector ("bus").
+    pub fn app_connector(&self) -> BrickId {
+        self.app_connector
+    }
+
+    /// Adds an application component and welds it to the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::DuplicateComponent`] if the name is taken.
+    pub fn add_app_component(
+        &mut self,
+        name: impl Into<String>,
+        behavior: impl ComponentBehavior,
+    ) -> Result<BrickId, PrismError> {
+        let name = name.into();
+        let id = self.arch.add_component(name.clone(), behavior)?;
+        self.arch.weld(id, self.app_connector)?;
+        self.services.directory_set(name, self.arch.host());
+        Ok(id)
+    }
+
+    /// Seeds the deployment directory (every host should start with the
+    /// same global map).
+    pub fn set_initial_directory(&mut self, directory: BTreeMap<String, HostId>) {
+        self.services.replace_directory(directory);
+    }
+
+    /// Issues a redeployment from this (deployer) host: move the named
+    /// components to the given hosts. Commands go out with the next
+    /// processing pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::UnknownComponent`] when this host does not run
+    /// the deployer.
+    pub fn effect_redeployment(
+        &mut self,
+        target: BTreeMap<String, HostId>,
+    ) -> Result<(), PrismError> {
+        let deployer = self
+            .deployer
+            .as_mut()
+            .ok_or_else(|| PrismError::UnknownComponent(DEPLOYER_ADDRESS.to_owned()))?;
+        deployer.effect(&mut self.services, target);
+        Ok(())
+    }
+
+    /// Asks the admin on `holder` to ship `component` here — the pairwise
+    /// effecting path used by *decentralized* configurations, where there is
+    /// no master deployer and "Local Effectors … collaborate in performing
+    /// the redeployment". The request goes out with the next processing
+    /// pass; completion is observable via
+    /// [`Architecture::contains_component`].
+    pub fn request_component(&mut self, component: &str, holder: HostId) {
+        let request = Event::request(crate::admin::EV_REQUEST)
+            .with_param(crate::admin::P_COMPONENT, component)
+            .with_param(
+                crate::admin::P_REQUESTER,
+                self.arch.host().raw() as i64,
+            );
+        self.services.send_reliable(holder, ADMIN_ADDRESS, &request);
+    }
+
+    /// Records a component's new location in this host's directory (the
+    /// decentralized counterpart of the deployer's directory broadcast).
+    pub fn update_directory(&mut self, component: impl Into<String>, host: HostId) {
+        self.services.directory_set(component, host);
+    }
+
+    /// Routes an event to a component address on this host: meta-level
+    /// addresses go to admin/deployer, everything else into the
+    /// architecture (or the migration buffer).
+    fn deliver_local(&mut self, to_component: &str, event: Event, reliable_origin: bool) {
+        match to_component {
+            ADMIN_ADDRESS => {
+                self.admin.handle(
+                    &mut self.arch,
+                    &mut self.services,
+                    &mut self.factory,
+                    self.app_connector,
+                    &event,
+                );
+            }
+            DEPLOYER_ADDRESS => {
+                if let Some(deployer) = self.deployer.as_mut() {
+                    deployer.handle(&mut self.services, &event);
+                }
+            }
+            name => {
+                let _ = reliable_origin;
+                if self.arch.contains_component(name) {
+                    self.services.stats.app_events_received += 1;
+                    self.arch
+                        .publish(name, event)
+                        .expect("component exists; publish cannot fail");
+                } else {
+                    // The target is not here (mid-migration or a stale
+                    // directory at the sender). If the directory points
+                    // elsewhere and the event has not been forwarded yet,
+                    // chase the component once; otherwise park the event for
+                    // replay — the paper's buffering during redeployment.
+                    match self.services.locate(name) {
+                        Some(there)
+                            if there != self.arch.host()
+                                && event.param(FORWARDED_MARKER).is_none() =>
+                        {
+                            let event = event.with_param(FORWARDED_MARKER, true);
+                            self.services.send_raw(there, name, &event);
+                        }
+                        _ => self.services.buffer_event(name, event),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains architecture host-actions and the services outbox into the
+    /// simulator.
+    fn flush(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Keep pumping until neither the architecture nor the meta layer
+        // produces more local work.
+        loop {
+            self.arch.pump(ctx.now());
+            let actions = self.arch.take_host_actions();
+            if actions.is_empty() {
+                break;
+            }
+            for action in actions {
+                match action {
+                    HostAction::SendRemote {
+                        host,
+                        to_component,
+                        event,
+                    } => {
+                        if host == self.arch.host() {
+                            self.deliver_local(&to_component, event, false);
+                        } else {
+                            self.services.send_raw(host, &to_component, &event);
+                        }
+                    }
+                    HostAction::SendNamed { to_component, event } => {
+                        // Every named interaction — local or remote — is one
+                        // logical-link interaction; the admin's frequency
+                        // monitor counts it at the sender.
+                        self.services.stats.app_events_emitted += 1;
+                        self.admin.observe_interaction(
+                            event.source(),
+                            &to_component,
+                            &event,
+                            ctx.now(),
+                        );
+                        match self.services.locate(&to_component) {
+                            Some(host) if host == self.arch.host() => {
+                                self.deliver_local(&to_component, event, false);
+                            }
+                            Some(host) => {
+                                self.services.send_raw(host, &to_component, &event);
+                            }
+                            None => {
+                                self.services.stats.events_undeliverable += 1;
+                            }
+                        }
+                    }
+                    HostAction::SetTimer {
+                        component,
+                        delay,
+                        token,
+                    } => {
+                        let id = TOKEN_COMPONENT_BASE + self.next_timer;
+                        self.next_timer += 1;
+                        self.timers.insert(id, (component, token));
+                        ctx.set_timer(delay, id);
+                    }
+                }
+            }
+        }
+        for (dst, frame) in std::mem::take(&mut self.services.outbox) {
+            if dst == self.arch.host() {
+                // Local loopback of a control frame.
+                if let WireMsg::Raw { to_component, event } = frame {
+                    if let Ok(event) = Event::decode(&event) {
+                        self.deliver_local(&to_component, event, true);
+                    }
+                }
+                continue;
+            }
+            let size = frame.wire_size();
+            ctx.send(dst, frame.encode(), size);
+        }
+    }
+}
+
+impl PrismHost {
+    /// Processes one wire frame. `origin` is the *logical* sender: the
+    /// previous hop for directly received frames, or the original source
+    /// recovered from a [`WireMsg::Forward`] envelope.
+    fn handle_frame(&mut self, origin: HostId, frame: WireMsg) {
+        match frame {
+            WireMsg::Forward { src, dst, frame } => {
+                if dst == self.arch.host() {
+                    if let Ok(inner) = WireMsg::decode(&frame) {
+                        self.handle_frame(src, inner);
+                    }
+                } else {
+                    // Relay toward the destination.
+                    match self.services.next_hop(dst) {
+                        Some(hop) => {
+                            self.services.stats.frames_forwarded += 1;
+                            self.services
+                                .outbox
+                                .push((hop, WireMsg::Forward { src, dst, frame }));
+                        }
+                        None => {
+                            self.services.stats.frames_unroutable += 1;
+                        }
+                    }
+                }
+            }
+            WireMsg::Ping { nonce } => {
+                // Pings are neighbor-to-neighbor; answer directly.
+                self.services.outbox.push((origin, WireMsg::Pong { nonce }));
+            }
+            WireMsg::Pong { .. } => {
+                self.services.probe.record_pong(origin);
+            }
+            WireMsg::Raw { to_component, event } => {
+                if let Ok(event) = Event::decode(&event) {
+                    self.deliver_local(&to_component, event, false);
+                }
+            }
+            WireMsg::Seq {
+                seq,
+                to_component,
+                event,
+            } => {
+                // Ack travels back to the origin, possibly multi-hop.
+                self.services.wire(origin, WireMsg::Ack { seq });
+                let fresh = self
+                    .services
+                    .channels
+                    .entry(origin)
+                    .or_default()
+                    .on_seq(seq);
+                if fresh {
+                    if let Ok(event) = Event::decode(&event) {
+                        self.deliver_local(&to_component, event, true);
+                    }
+                }
+            }
+            WireMsg::Ack { seq } => {
+                if let Some(ch) = self.services.channels.get_mut(&origin) {
+                    ch.on_ack(seq);
+                }
+            }
+        }
+    }
+}
+
+impl Node for PrismHost {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(self.config.rto, TOKEN_RTO);
+        ctx.set_timer(self.config.ping_interval, TOKEN_PING);
+        ctx.set_timer(self.config.monitor_window, TOKEN_MONITOR);
+        self.services.now = ctx.now();
+        self.flush(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, msg: Message) {
+        self.services.now = ctx.now();
+        let Ok(frame) = WireMsg::decode(&msg.payload) else {
+            return;
+        };
+        self.handle_frame(msg.src, frame);
+        self.flush(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        self.services.now = ctx.now();
+        match token {
+            TOKEN_RTO => {
+                let mut frames = Vec::new();
+                for (peer, ch) in self.services.channels.iter() {
+                    for frame in ch.retransmits() {
+                        frames.push((*peer, frame));
+                    }
+                }
+                self.services.stats.retransmissions += frames.len() as u64;
+                for (peer, frame) in frames {
+                    self.services.wire(peer, frame);
+                }
+                ctx.set_timer(self.config.rto, TOKEN_RTO);
+            }
+            TOKEN_PING => {
+                let peers: Vec<HostId> = self.services.neighbors.iter().copied().collect();
+                for peer in peers {
+                    self.services.ping(peer);
+                }
+                ctx.set_timer(self.config.ping_interval, TOKEN_PING);
+            }
+            TOKEN_MONITOR => {
+                self.admin.on_monitor_window(
+                    &mut self.arch,
+                    &mut self.services,
+                    self.app_connector,
+                );
+                ctx.set_timer(self.config.monitor_window, TOKEN_MONITOR);
+            }
+            id => {
+                if let Some((component, token)) = self.timers.remove(&id) {
+                    // The component may have migrated away; its timer dies
+                    // with the departure.
+                    let _ = self.arch.deliver_timer(&component, token);
+                }
+            }
+        }
+        self.flush(ctx);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Builds a bare `HostServices` for unit tests in sibling modules.
+    pub(crate) fn services(host: HostId) -> HostServices {
+        HostServices::new(host, &HostConfig::default())
+    }
+}

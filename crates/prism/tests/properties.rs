@@ -1,0 +1,83 @@
+//! Property-based tests on the middleware's codec, channel, and stability
+//! invariants.
+
+use proptest::prelude::*;
+use redep_prism::{Event, StabilityGauge};
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (
+        "[a-z.]{1,20}",
+        proptest::collection::btree_map("[a-z]{1,8}", -1e9f64..1e9, 0..8),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        proptest::option::of(0u64..1_000_000),
+    )
+        .prop_map(|(name, params, payload, size)| {
+            let mut e = Event::notification(name).with_payload(payload);
+            for (k, v) in params {
+                e = e.with_param(k, v);
+            }
+            if let Some(s) = size {
+                e = e.with_size(s);
+            }
+            e
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn events_roundtrip_through_the_wire_codec(event in event_strategy()) {
+        let bytes = event.encode().unwrap();
+        let back = Event::decode(&bytes).unwrap();
+        prop_assert_eq!(back, event);
+    }
+
+    #[test]
+    fn event_size_is_positive_and_respects_override(event in event_strategy()) {
+        prop_assert!(event.size() > 0 || event.size() == 0 && event.name().is_empty());
+    }
+
+    #[test]
+    fn stability_gauge_accepts_constant_streams(
+        value in -1e6f64..1e6,
+        required in 1usize..6,
+        extra in 0usize..5,
+    ) {
+        let mut g = StabilityGauge::new(0.01, required);
+        for _ in 0..(required + 1 + extra) {
+            g.push(value);
+        }
+        prop_assert!(g.is_stable());
+    }
+
+    #[test]
+    fn stability_gauge_rejects_jumps_beyond_epsilon(
+        base in 0.0f64..1.0,
+        jump in 0.5f64..10.0,
+        required in 1usize..5,
+    ) {
+        let mut g = StabilityGauge::new(0.1, required);
+        for i in 0..(required + 1) {
+            // Alternate around base with a jump much larger than ε.
+            g.push(base + if i % 2 == 0 { 0.0 } else { jump });
+        }
+        prop_assert!(!g.is_stable());
+    }
+
+    #[test]
+    fn relative_gauge_scales_with_magnitude(scale in 1.0f64..1e6) {
+        // ±1% wiggle at any magnitude is stable for a 5% relative gauge…
+        let mut g = StabilityGauge::new_relative(0.05, 2);
+        for i in 0..4 {
+            g.push(scale * (1.0 + 0.01 * (i % 2) as f64));
+        }
+        prop_assert!(g.is_stable());
+        // …and ±20% wiggle never is.
+        let mut g = StabilityGauge::new_relative(0.05, 2);
+        for i in 0..4 {
+            g.push(scale * (1.0 + 0.2 * (i % 2) as f64));
+        }
+        prop_assert!(!g.is_stable());
+    }
+}

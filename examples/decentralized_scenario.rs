@@ -1,0 +1,68 @@
+//! The paper's §5.2 decentralized configuration (Figure 3): no master host.
+//! Each PDA monitors itself, models only the peers it is aware of, bids in
+//! DecAp auctions, votes on the outcome, and the local effectors migrate
+//! components pairwise.
+//!
+//! ```sh
+//! cargo run --example decentralized_scenario
+//! ```
+
+use redep::framework::{DecentralizedFramework, RuntimeConfig, Scenario, ScenarioConfig};
+use redep::model::{Availability, AwarenessGraph, Objective};
+use redep::netsim::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::build(&ScenarioConfig {
+        commanders: 3,
+        troops: 6,
+        seed: 13,
+    })?;
+    println!(
+        "decentralized disaster-relief scenario: {} hosts, {} components",
+        scenario.model.host_count(),
+        scenario.model.component_count()
+    );
+    let awareness = AwarenessGraph::from_connectivity(&scenario.model);
+    println!(
+        "awareness from connectivity: mean awareness {:.2} (1.0 = global knowledge)\n",
+        awareness.mean_awareness()
+    );
+
+    let before = Availability.evaluate(&scenario.model, &scenario.initial);
+    let mut fw = DecentralizedFramework::with_awareness(
+        scenario.model,
+        scenario.initial,
+        &RuntimeConfig::default(),
+        awareness,
+    )?;
+
+    for cycle in 1..=6 {
+        let report = fw.cycle(
+            &Availability,
+            Duration::from_secs_f64(5.0),
+            Duration::from_secs_f64(120.0),
+        )?;
+        println!(
+            "cycle {cycle}: t={:>6.1}s  {} hosts reporting  availability {:.4} → proposed {:.4}  \
+             votes-for {}  {}",
+            report.time_secs,
+            report.hosts_reporting,
+            report.availability_before,
+            report.availability_proposed,
+            report.votes_for,
+            if report.adopted {
+                format!("ADOPTED ({} moves)", report.moves)
+            } else {
+                "kept current".to_owned()
+            }
+        );
+    }
+
+    let after = Availability.evaluate(fw.system().model(), fw.system().deployment());
+    println!("\navailability (model): {before:.4} → {after:.4}");
+    println!(
+        "measured end-to-end availability: {:.4}",
+        fw.runtime().measured_availability()
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build a small system, score its deployment, improve it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use redep::algorithms::{AvalaAlgorithm, ExactAlgorithm, RedeploymentAlgorithm};
+use redep::model::{Availability, DeploymentModel, Deployment, Latency, Objective};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the deployment architecture: two hosts over one flaky
+    //    wireless link, three interacting components.
+    let mut model = DeploymentModel::new();
+    let laptop = model.add_host("laptop")?;
+    let pda = model.add_host("pda")?;
+    model.host_mut(laptop)?.set_memory(256.0);
+    model.host_mut(pda)?.set_memory(64.0);
+    model.set_physical_link(laptop, pda, |l| {
+        l.set_reliability(0.6);
+        l.set_bandwidth(500.0);
+        l.set_delay(0.05);
+    })?;
+
+    let gui = model.add_component("gui")?;
+    let tracker = model.add_component("tracker")?;
+    let logger = model.add_component("logger")?;
+    model.component_mut(gui)?.set_required_memory(32.0);
+    model.component_mut(tracker)?.set_required_memory(16.0);
+    model.component_mut(logger)?.set_required_memory(16.0);
+    model.set_logical_link(gui, tracker, |l| {
+        l.set_frequency(10.0); // chatty!
+        l.set_event_size(120.0);
+    })?;
+    model.set_logical_link(tracker, logger, |l| {
+        l.set_frequency(1.0);
+        l.set_event_size(60.0);
+    })?;
+
+    // 2. Score the naive deployment: the chatty pair is split across the
+    //    unreliable link.
+    let mut naive = Deployment::new();
+    naive.assign(gui, laptop);
+    naive.assign(tracker, pda);
+    naive.assign(logger, pda);
+    println!("naive deployment:      {naive}");
+    println!("  availability = {:.3}", Availability.evaluate(&model, &naive));
+    println!("  latency      = {:.3}", Latency::new().evaluate(&model, &naive));
+
+    // 3. Ask two algorithms for something better.
+    for algo in [
+        Box::new(ExactAlgorithm::new()) as Box<dyn RedeploymentAlgorithm>,
+        Box::new(AvalaAlgorithm::new()),
+    ] {
+        let result = algo.run(&model, &Availability, model.constraints(), Some(&naive))?;
+        println!(
+            "{:<10} proposes {}  (availability {:.3}, {} evaluations, {:?})",
+            result.algorithm,
+            result.deployment,
+            result.value,
+            result.evaluations,
+            result.wall_time
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # redep
+//!
+//! A framework for **ensuring and improving dependability in highly
+//! distributed systems** — a faithful, runnable reproduction of Malek,
+//! Beckman, Mikic-Rakic & Medvidovic (DSN 2004).
+//!
+//! A distributed system's *deployment architecture* — which software
+//! component runs on which hardware host — strongly influences its
+//! dependability. This crate family continuously improves a running
+//! system's deployment via the paper's three-step methodology:
+//!
+//! 1. **active system monitoring** (event frequencies, link reliabilities,
+//!    ε-stability detection),
+//! 2. **estimation of an improved deployment architecture** (pluggable
+//!    exact, greedy, stochastic, genetic, annealing, and decentralized
+//!    auction algorithms),
+//! 3. **redeployment** — live migration of serialized components with event
+//!    buffering, over lossy links.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`model`] | `redep-model` | deployment-architecture model, objectives, constraints, generator, awareness, ADL |
+//! | [`netsim`] | `redep-netsim` | deterministic discrete-event network simulator |
+//! | [`prism`] | `redep-prism` | Prism-MW middleware: components, connectors, events, monitors, admins |
+//! | [`algorithms`] | `redep-algorithms` | Exact / Stochastic / Avala / DecAp / genetic / annealing |
+//! | [`desi`] | `redep-desi` | DeSi exploration environment: MVC, views, middleware adapter |
+//! | [`framework`] | `redep-core` | the framework itself: analyzers, centralized & decentralized instantiations, the §1 scenario |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use redep::framework::{CentralizedFramework, AnalyzerConfig, RuntimeConfig, Scenario, ScenarioConfig};
+//! use redep::model::Availability;
+//! use redep::netsim::Duration;
+//!
+//! // Build the paper's disaster-relief scenario and let the framework
+//! // monitor, analyze, and redeploy it.
+//! let scenario = Scenario::build(&ScenarioConfig::default())?;
+//! let mut fw = CentralizedFramework::new(
+//!     scenario.model,
+//!     scenario.initial,
+//!     &RuntimeConfig::default(),
+//!     AnalyzerConfig::default(),
+//! )?;
+//! let report = fw.cycle(&Availability, Duration::from_secs_f64(5.0), Duration::from_secs_f64(60.0))?;
+//! assert!(report.time_secs > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use redep_algorithms as algorithms;
+pub use redep_core as framework;
+pub use redep_desi as desi;
+pub use redep_model as model;
+pub use redep_netsim as netsim;
+pub use redep_prism as prism;

@@ -1,0 +1,69 @@
+//! Integration: the user-input path — an architecture description document
+//! flows into DeSi, gets improved, and round-trips back out.
+
+use redep::algorithms::{AvalaAlgorithm, ExactAlgorithm};
+use redep::desi::DeSi;
+use redep::model::{AdlDocument, Availability, Generator, GeneratorConfig};
+
+#[test]
+fn adl_document_drives_a_full_desi_session() {
+    // The "architect" authors a system (here: generated, then serialized).
+    let system = Generator::generate(&GeneratorConfig::sized(3, 9).with_seed(17)).unwrap();
+    let json = AdlDocument::new(system.model.clone(), Some(system.initial.clone()))
+        .to_json()
+        .unwrap();
+
+    // DeSi loads it, improves it, and exports the improved architecture.
+    let mut desi = DeSi::from_adl(&json).unwrap();
+    desi.container_mut().register(ExactAlgorithm::new());
+    let record = desi.run_algorithm("exact", &Availability).unwrap();
+    desi.adopt_deployment(record.result.deployment.clone());
+    let exported = desi.to_adl().unwrap();
+
+    // A second session sees exactly the improved system.
+    let reloaded = DeSi::from_adl(&exported).unwrap();
+    assert_eq!(reloaded.system().model(), &system.model);
+    assert_eq!(reloaded.system().deployment(), &record.result.deployment);
+}
+
+#[test]
+fn adl_preserves_constraints_and_they_bind_algorithms() {
+    use redep::model::{Constraint, ConstraintChecker};
+    use std::collections::BTreeSet;
+
+    let mut system = Generator::generate(&GeneratorConfig::sized(3, 6).with_seed(2)).unwrap();
+    let c0 = system.model.component_ids()[0];
+    let h2 = system.model.host_ids()[2];
+    system.model.constraints_mut().add(Constraint::PinnedTo {
+        component: c0,
+        hosts: BTreeSet::from([h2]),
+    });
+
+    let json = AdlDocument::new(system.model.clone(), Some(system.initial.clone()))
+        .to_json()
+        .unwrap();
+    let mut desi = DeSi::from_adl(&json).unwrap();
+    assert_eq!(desi.system().model().constraints().len(), 1);
+
+    desi.container_mut().register(AvalaAlgorithm::new());
+    let record = desi.run_algorithm("avala", &Availability).unwrap();
+    assert_eq!(record.result.deployment.host_of(c0), Some(h2));
+    desi.system()
+        .model()
+        .constraints()
+        .check(desi.system().model(), &record.result.deployment)
+        .unwrap();
+}
+
+#[test]
+fn views_render_adl_loaded_systems() {
+    let system = Generator::generate(&GeneratorConfig::sized(4, 10).with_seed(8)).unwrap();
+    let json = AdlDocument::new(system.model, Some(system.initial))
+        .to_json()
+        .unwrap();
+    let desi = DeSi::from_adl(&json).unwrap();
+    let table = desi.render_table();
+    assert!(table.contains("host-0") && table.contains("comp-9"));
+    let svg = desi.render_svg(1.0);
+    assert!(svg.contains("</svg>"));
+}
