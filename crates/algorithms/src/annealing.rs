@@ -119,6 +119,7 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
                 value,
                 evaluations: 1,
                 wall_time: started.elapsed(),
+                convergence: vec![(1, value)],
             });
         }
 
@@ -126,6 +127,7 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
         evaluations += 1;
         let mut best = current.clone();
         let mut best_value = current_value;
+        let mut convergence = vec![(evaluations, best_value)];
         let mut temperature = cfg.initial_temperature;
 
         for _ in 0..cfg.iterations {
@@ -162,6 +164,7 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
                 if objective.is_improvement(best_value, value) {
                     best = current.clone();
                     best_value = value;
+                    convergence.push((evaluations, value));
                 }
             } else {
                 current.assign(c, old);
@@ -183,6 +186,7 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
             value,
             evaluations,
             wall_time: started.elapsed(),
+            convergence,
         })
     }
 }

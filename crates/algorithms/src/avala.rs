@@ -60,8 +60,15 @@ impl AvalaAlgorithm {
             .into_iter()
             .map(|d| model.frequency(c, d))
             .sum();
-        let mem = model.component(c).map(|x| x.required_memory()).unwrap_or(0.0);
-        let mem_norm = if max_memory > 0.0 { mem / max_memory } else { 0.0 };
+        let mem = model
+            .component(c)
+            .map(|x| x.required_memory())
+            .unwrap_or(0.0);
+        let mem_norm = if max_memory > 0.0 {
+            mem / max_memory
+        } else {
+            0.0
+        };
         freq - mem_norm
     }
 
@@ -107,12 +114,15 @@ impl RedeploymentAlgorithm for AvalaAlgorithm {
         host_order.sort_by(|&a, &b| {
             let ra = Self::host_rank(model, a, max_bandwidth, max_host_memory);
             let rb = Self::host_rank(model, b, max_bandwidth, max_host_memory);
-            rb.partial_cmp(&ra).expect("ranks are finite").then(a.cmp(&b))
+            rb.partial_cmp(&ra)
+                .expect("ranks are finite")
+                .then(a.cmp(&b))
         });
 
         let mut unassigned: BTreeSet<ComponentId> = components.iter().copied().collect();
         let mut d = Deployment::new();
         let mut evaluations = 0u64;
+        let mut convergence = Vec::new();
 
         for &h in &host_order {
             if unassigned.is_empty() {
@@ -145,6 +155,10 @@ impl RedeploymentAlgorithm for AvalaAlgorithm {
                 d.assign(c, h);
                 on_host.insert(c);
                 unassigned.remove(&c);
+                // Trace the partial deployment's value after every greedy
+                // assignment (objectives score unplaced interactions as
+                // absent, so partial evaluation is well-defined).
+                convergence.push((d.len() as u64, objective.evaluate(model, &d)));
             }
         }
 
@@ -163,6 +177,7 @@ impl RedeploymentAlgorithm for AvalaAlgorithm {
             value,
             evaluations,
             wall_time: started.elapsed(),
+            convergence,
         })
     }
 }
@@ -192,7 +207,8 @@ mod tests {
         let mut m = DeploymentModel::new();
         let h0 = m.add_host("h0").unwrap();
         let h1 = m.add_host("h1").unwrap();
-        m.set_physical_link(h0, h1, |l| l.set_reliability(0.3)).unwrap();
+        m.set_physical_link(h0, h1, |l| l.set_reliability(0.3))
+            .unwrap();
         let a = m.add_component("a").unwrap();
         let b = m.add_component("b").unwrap();
         let c = m.add_component("c").unwrap();

@@ -136,7 +136,8 @@ impl RedeploymentAlgorithm for DecApAlgorithm {
         };
 
         let mut evaluations = 0u64;
-        for _round in 0..self.max_rounds {
+        let mut convergence = Vec::new();
+        for round in 0..self.max_rounds {
             let mut moved = false;
             // Auction scheduling: a host may conduct an auction only if no
             // host it is aware of already conducted one this round.
@@ -177,6 +178,7 @@ impl RedeploymentAlgorithm for DecApAlgorithm {
                 }
             }
             evaluations += 1;
+            convergence.push((round as u64 + 1, objective.evaluate(model, &current)));
             if !moved {
                 break;
             }
@@ -197,6 +199,7 @@ impl RedeploymentAlgorithm for DecApAlgorithm {
             value,
             evaluations,
             wall_time: started.elapsed(),
+            convergence,
         })
     }
 }
@@ -240,7 +243,8 @@ mod tests {
         let mut m = DeploymentModel::new();
         let h0 = m.add_host("h0").unwrap();
         let h1 = m.add_host("h1").unwrap();
-        m.set_physical_link(h0, h1, |l| l.set_reliability(0.4)).unwrap();
+        m.set_physical_link(h0, h1, |l| l.set_reliability(0.4))
+            .unwrap();
         let a = m.add_component("a").unwrap();
         let b = m.add_component("b").unwrap();
         m.set_logical_link(a, b, |l| l.set_frequency(10.0)).unwrap();
@@ -276,7 +280,12 @@ mod tests {
             .with_awareness(AwarenessGraph::complete(hosts))
             .run(&m, &Availability, m.constraints(), Some(&init))
             .unwrap();
-        assert!(full.value >= low.value - 0.05, "full {} low {}", full.value, low.value);
+        assert!(
+            full.value >= low.value - 0.05,
+            "full {} low {}",
+            full.value,
+            low.value
+        );
     }
 
     #[test]

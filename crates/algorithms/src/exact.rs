@@ -61,6 +61,7 @@ impl ExactAlgorithm {
         partial: &mut Deployment,
         best: &mut Option<(Deployment, f64)>,
         evaluations: &mut u64,
+        convergence: &mut Vec<(u64, f64)>,
     ) {
         if index == components.len() {
             // Complete: full validation (pruning used only incremental
@@ -74,6 +75,7 @@ impl ExactAlgorithm {
                 };
                 if improved {
                     *best = Some((partial.clone(), value));
+                    convergence.push((*evaluations, value));
                 }
             }
             return;
@@ -94,6 +96,7 @@ impl ExactAlgorithm {
                 partial,
                 best,
                 evaluations,
+                convergence,
             );
             partial.unassign(c);
         }
@@ -123,6 +126,7 @@ impl RedeploymentAlgorithm for ExactAlgorithm {
         }
         let mut best = None;
         let mut evaluations = 0;
+        let mut convergence = Vec::new();
         let mut partial = Deployment::new();
         Self::dfs(
             model,
@@ -134,6 +138,7 @@ impl RedeploymentAlgorithm for ExactAlgorithm {
             &mut partial,
             &mut best,
             &mut evaluations,
+            &mut convergence,
         );
         let (deployment, value) = keep_best(model, objective, constraints, initial, best)
             .ok_or(AlgoError::NoFeasibleDeployment)?;
@@ -143,6 +148,7 @@ impl RedeploymentAlgorithm for ExactAlgorithm {
             value,
             evaluations,
             wall_time: started.elapsed(),
+            convergence,
         })
     }
 }
@@ -159,7 +165,8 @@ mod tests {
         let mut m = DeploymentModel::new();
         let h0 = m.add_host("h0").unwrap();
         let h1 = m.add_host("h1").unwrap();
-        m.set_physical_link(h0, h1, |l| l.set_reliability(0.5)).unwrap();
+        m.set_physical_link(h0, h1, |l| l.set_reliability(0.5))
+            .unwrap();
         let a = m.add_component("a").unwrap();
         let b = m.add_component("b").unwrap();
         m.set_logical_link(a, b, |l| l.set_frequency(10.0)).unwrap();
@@ -181,7 +188,8 @@ mod tests {
     fn respects_separation_constraints() {
         let mut m = chatty_pair();
         let comps: BTreeSet<_> = m.component_ids().into_iter().collect();
-        m.constraints_mut().add(Constraint::Separated { components: comps });
+        m.constraints_mut()
+            .add(Constraint::Separated { components: comps });
         let r = ExactAlgorithm::new()
             .run(&m, &Availability, m.constraints(), None)
             .unwrap();

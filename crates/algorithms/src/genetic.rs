@@ -72,7 +72,11 @@ impl GeneticAlgorithm {
     }
 
     fn decode(components: &[ComponentId], genes: &[HostId]) -> Deployment {
-        components.iter().copied().zip(genes.iter().copied()).collect()
+        components
+            .iter()
+            .copied()
+            .zip(genes.iter().copied())
+            .collect()
     }
 
     fn fitness(
@@ -115,6 +119,7 @@ impl RedeploymentAlgorithm for GeneticAlgorithm {
                 value,
                 evaluations: 1,
                 wall_time: started.elapsed(),
+                convergence: vec![(1, value)],
             });
         }
         let cfg = self.config;
@@ -156,10 +161,30 @@ impl RedeploymentAlgorithm for GeneticAlgorithm {
 
         let mut scores: Vec<f64> = population
             .iter()
-            .map(|g| Self::fitness(model, objective, constraints, &components, g, &mut evaluations))
+            .map(|g| {
+                Self::fitness(
+                    model,
+                    objective,
+                    constraints,
+                    &components,
+                    g,
+                    &mut evaluations,
+                )
+            })
             .collect();
 
         let better = |a: f64, b: f64| objective.is_improvement(b, a); // a better than b
+
+        let mut convergence = Vec::with_capacity(cfg.generations + 1);
+        let trace_best = |scores: &[f64], evaluations: u64, trace: &mut Vec<(u64, f64)>| {
+            let best = scores
+                .iter()
+                .copied()
+                .reduce(|x, y| if objective.is_improvement(x, y) { y } else { x })
+                .expect("population non-empty");
+            trace.push((evaluations, best));
+        };
+        trace_best(&scores, evaluations, &mut convergence);
 
         for _ in 0..cfg.generations {
             let mut next: Vec<Vec<HostId>> = Vec::with_capacity(cfg.population);
@@ -202,9 +227,17 @@ impl RedeploymentAlgorithm for GeneticAlgorithm {
             scores = population
                 .iter()
                 .map(|g| {
-                    Self::fitness(model, objective, constraints, &components, g, &mut evaluations)
+                    Self::fitness(
+                        model,
+                        objective,
+                        constraints,
+                        &components,
+                        g,
+                        &mut evaluations,
+                    )
                 })
                 .collect();
+            trace_best(&scores, evaluations, &mut convergence);
         }
 
         let best_idx = (0..population.len())
@@ -226,6 +259,7 @@ impl RedeploymentAlgorithm for GeneticAlgorithm {
             value,
             evaluations,
             wall_time: started.elapsed(),
+            convergence,
         })
     }
 }

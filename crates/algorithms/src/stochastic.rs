@@ -66,6 +66,7 @@ impl RedeploymentAlgorithm for StochasticAlgorithm {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut best: Option<(Deployment, f64)> = None;
         let mut evaluations = 0;
+        let mut convergence = Vec::new();
 
         let mut host_order = hosts.clone();
         let mut comp_order = components.clone();
@@ -97,6 +98,7 @@ impl RedeploymentAlgorithm for StochasticAlgorithm {
             };
             if improved {
                 best = Some((d, value));
+                convergence.push((evaluations, value));
             }
         }
 
@@ -108,6 +110,7 @@ impl RedeploymentAlgorithm for StochasticAlgorithm {
             value,
             evaluations,
             wall_time: started.elapsed(),
+            convergence,
         })
     }
 }

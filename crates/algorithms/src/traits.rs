@@ -19,6 +19,15 @@ pub struct AlgoResult {
     pub evaluations: u64,
     /// Wall-clock running time.
     pub wall_time: Duration,
+    /// Convergence trace: `(progress, objective value)` sampled as the
+    /// search advances. `progress` is the algorithm's natural step counter —
+    /// evaluations for Exact/Stochastic/Genetic/Annealing, component
+    /// assignments for Avala, auction rounds for DecAp — so plotting value
+    /// against progress shows how quickly each algorithm closes in on its
+    /// final answer. The trace reflects the search body only; the baseline
+    /// guard in [`keep_best`] may still raise the final `value` above the
+    /// last trace entry.
+    pub convergence: Vec<(u64, f64)>,
 }
 
 impl fmt::Display for AlgoResult {
@@ -153,7 +162,9 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(AlgoError::NoFeasibleDeployment.to_string().contains("constraints"));
+        assert!(AlgoError::NoFeasibleDeployment
+            .to_string()
+            .contains("constraints"));
         let e = AlgoError::BudgetExceeded {
             needed: 1_000_000,
             budget: 10,
@@ -175,11 +186,61 @@ mod tests {
     }
 
     #[test]
+    fn convergence_traces_are_monotone_for_best_so_far_algorithms() {
+        use crate::{
+            AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, RedeploymentAlgorithm,
+            StochasticAlgorithm,
+        };
+        use redep_model::{Generator, GeneratorConfig};
+
+        let s = Generator::generate(&GeneratorConfig::sized(4, 8).with_seed(21)).unwrap();
+        let (m, init) = (s.model, s.initial);
+
+        let algos: Vec<Box<dyn RedeploymentAlgorithm>> = vec![
+            Box::new(ExactAlgorithm::new()),
+            Box::new(StochasticAlgorithm::new()),
+            Box::new(AvalaAlgorithm::new()),
+            Box::new(DecApAlgorithm::new()),
+        ];
+        for algo in algos {
+            let r = algo
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            assert!(
+                !r.convergence.is_empty(),
+                "{} produced no convergence trace",
+                r.algorithm
+            );
+            assert!(
+                r.convergence.windows(2).all(|w| w[0].0 <= w[1].0),
+                "{} trace progress must be non-decreasing",
+                r.algorithm
+            );
+            // Best-so-far recorders (exact, stochastic) are monotone in value.
+            if matches!(r.algorithm.as_str(), "exact" | "stochastic") {
+                assert!(
+                    r.convergence.windows(2).all(|w| w[1].1 >= w[0].1),
+                    "{} best-so-far trace regressed",
+                    r.algorithm
+                );
+            }
+            let last = r.convergence.last().unwrap().1;
+            assert!(
+                r.value >= last - 1e-12,
+                "{}: final value {} below last trace point {last}",
+                r.algorithm,
+                r.value
+            );
+        }
+    }
+
+    #[test]
     fn keep_best_prefers_the_better_side() {
         let mut m = DeploymentModel::new();
         let h0 = m.add_host("h0").unwrap();
         let h1 = m.add_host("h1").unwrap();
-        m.set_physical_link(h0, h1, |l| l.set_reliability(0.5)).unwrap();
+        m.set_physical_link(h0, h1, |l| l.set_reliability(0.5))
+            .unwrap();
         let a = m.add_component("a").unwrap();
         let b = m.add_component("b").unwrap();
         m.set_logical_link(a, b, |l| l.set_frequency(1.0)).unwrap();

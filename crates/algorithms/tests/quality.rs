@@ -31,7 +31,9 @@ fn approximative_algorithms_are_near_optimal_on_small_instances() {
             ("decap", Box::new(DecApAlgorithm::new())),
         ];
         for (name, algo) in algos {
-            let r = algo.run(&m, &Availability, m.constraints(), Some(&init)).unwrap();
+            let r = algo
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
             assert!(
                 r.value <= optimal + 1e-9,
                 "{name} beat the optimum?! {} > {optimal}",

@@ -35,7 +35,10 @@ fn bench_exact(c: &mut Criterion) {
 
 fn bench_approximative(c: &mut Criterion) {
     for (name, algo) in [
-        ("stochastic", Box::new(StochasticAlgorithm::with_config(20, 0)) as Box<dyn RedeploymentAlgorithm>),
+        (
+            "stochastic",
+            Box::new(StochasticAlgorithm::with_config(20, 0)) as Box<dyn RedeploymentAlgorithm>,
+        ),
         ("avala", Box::new(AvalaAlgorithm::new())),
         ("genetic", Box::new(GeneticAlgorithm::new())),
         ("decap", Box::new(DecApAlgorithm::new())),

@@ -1,10 +1,13 @@
-//! Criterion benches: the cost of monitoring (experiment E5's counterpart)
-//! and of the objective evaluations at the algorithms' core.
+//! Criterion benches: the cost of monitoring (experiment E5's counterpart),
+//! of the objective evaluations at the algorithms' core, and of the
+//! telemetry hot paths (counter increments and journal records must stay
+//! cheap enough to leave compiled into the simulators).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use redep_model::{Availability, Generator, GeneratorConfig, HostId, Latency, Objective};
 use redep_netsim::{Duration, SimTime};
 use redep_prism::{Architecture, ComponentBehavior, ComponentCtx, Event, EventFrequencyMonitor};
+use redep_telemetry::Telemetry;
 
 struct Bouncer {
     remaining: u32,
@@ -23,14 +26,21 @@ impl ComponentBehavior for Bouncer {
 
 fn pump(monitored: bool, events: u32) -> u64 {
     let mut arch = Architecture::new("bench", HostId::new(0));
-    let a = arch.add_component("a", Bouncer { remaining: events }).unwrap();
-    let b = arch.add_component("b", Bouncer { remaining: events }).unwrap();
+    let a = arch
+        .add_component("a", Bouncer { remaining: events })
+        .unwrap();
+    let b = arch
+        .add_component("b", Bouncer { remaining: events })
+        .unwrap();
     let bus = arch.add_connector("bus");
     arch.weld(a, bus).unwrap();
     arch.weld(b, bus).unwrap();
     if monitored {
-        arch.attach_monitor(bus, EventFrequencyMonitor::new(Duration::from_secs_f64(1.0)))
-            .unwrap();
+        arch.attach_monitor(
+            bus,
+            EventFrequencyMonitor::new(Duration::from_secs_f64(1.0)),
+        )
+        .unwrap();
     }
     arch.publish("a", Event::notification("bounce")).unwrap();
     arch.pump(SimTime::ZERO)
@@ -55,5 +65,32 @@ fn bench_objectives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_monitoring, bench_objectives);
+fn bench_telemetry(c: &mut Criterion) {
+    let tele = Telemetry::new(4096);
+    let counter = tele.metrics().counter("bench.counter");
+    let histogram = tele
+        .metrics()
+        .histogram("bench.hist", &[1.0, 10.0, 100.0, 1000.0]);
+    let disabled = Telemetry::disabled();
+
+    let mut group = c.benchmark_group("telemetry_hot_path");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("histogram_observe", |b| b.iter(|| histogram.observe(42.0)));
+    let mut t = 0u64;
+    group.bench_function("event_record_2_fields", |b| {
+        b.iter(|| {
+            t += 1;
+            tele.event("bench.event", t)
+                .field("a", 1u64)
+                .field("b", "x")
+                .emit();
+        })
+    });
+    group.bench_function("event_record_disabled", |b| {
+        b.iter(|| disabled.event("bench.event", 1).field("a", 1u64).emit())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitoring, bench_objectives, bench_telemetry);
 criterion_main!(benches);

@@ -20,10 +20,17 @@ fn effect_moves(moves: usize) {
     let hosts = runtime.hosts().to_vec();
     let mut target: BTreeMap<String, HostId> = BTreeMap::new();
     for (c, h) in system.initial.iter().take(moves) {
-        target.insert(names[&c].clone(), hosts[(h.raw() as usize + 1) % hosts.len()]);
+        target.insert(
+            names[&c].clone(),
+            hosts[(h.raw() as usize + 1) % hosts.len()],
+        );
     }
     let master = runtime.master().unwrap();
-    runtime.host_mut(master).unwrap().effect_redeployment(target).unwrap();
+    runtime
+        .host_mut(master)
+        .unwrap()
+        .effect_redeployment(target)
+        .unwrap();
     for _ in 0..120 {
         runtime.run_for(Duration::from_millis(250));
         if runtime

@@ -92,9 +92,15 @@ fn main() {
             ],
         ],
     );
-    assert_eq!(b_buf, b_rep, "A1 FAILED: buffered events were not all replayed");
+    assert_eq!(
+        b_buf, b_rep,
+        "A1 FAILED: buffered events were not all replayed"
+    );
     assert_eq!(b_lost, 0, "A1 FAILED: events lost despite buffering");
-    assert!(a_lost > 0, "A1 FAILED: ablation lost nothing — migration too fast?");
+    assert!(
+        a_lost > 0,
+        "A1 FAILED: ablation lost nothing — migration too fast?"
+    );
     println!(
         "\nA1 PASS: with buffering every in-flight event survives the migration \
          ({b_buf} parked and replayed); without it {a_lost} events are dropped."

@@ -6,13 +6,13 @@
 //! paper's example of an architect-supplied (non-monitorable) parameter; the
 //! same algorithm bodies maximize it unchanged — variation point 1 at work.
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use redep_algorithms::{AvalaAlgorithm, ExactAlgorithm, RedeploymentAlgorithm};
 use redep_bench::{fmt_f, mean, print_table};
 use redep_model::{
     keys, Availability, Composite, Generator, GeneratorConfig, LinkSecurity, Objective,
 };
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const SEEDS: u64 = 6;
@@ -29,11 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pairs: Vec<_> = system.model.physical_links().map(|l| l.ends()).collect();
         for p in pairs {
             let sec = rng.random_range(0.1..1.0);
-            system
-                .model
-                .set_physical_link(p.lo(), p.hi(), |l| {
-                    l.params_mut().set(keys::LINK_SECURITY, sec);
-                })?;
+            system.model.set_physical_link(p.lo(), p.hi(), |l| {
+                l.params_mut().set(keys::LINK_SECURITY, sec);
+            })?;
         }
 
         sec_before.push(LinkSecurity.evaluate(&system.model, &system.initial));
@@ -60,10 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     print_table(
-        &format!("A2: security as the objective (mean of {SEEDS} systems, 4 hosts × 10 components)"),
+        &format!(
+            "A2: security as the objective (mean of {SEEDS} systems, 4 hosts × 10 components)"
+        ),
         &["configuration", "security", "availability"],
         &[
-            vec!["initial (random)".into(), fmt_f(mean(&sec_before)), "-".into()],
+            vec![
+                "initial (random)".into(),
+                fmt_f(mean(&sec_before)),
+                "-".into(),
+            ],
             vec![
                 "exact, maximize security".into(),
                 fmt_f(mean(&sec_after)),

@@ -41,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "A3: availability estimates vs ground truth (disaster-relief scenario)",
-        &["system", "direct-link (objective)", "path-aware", "measured"],
+        &[
+            "system",
+            "direct-link (objective)",
+            "path-aware",
+            "measured",
+        ],
         &rows,
     );
 

@@ -7,36 +7,28 @@
 
 use redep_algorithms::{ExactAlgorithm, RedeploymentAlgorithm};
 use redep_bench::{fmt_f, print_table};
-use redep_model::{
-    Availability, Composite, Generator, GeneratorConfig, Latency, Objective,
-};
+use redep_model::{Availability, Composite, Generator, GeneratorConfig, Latency, Objective};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A model where availability and latency genuinely conflict: the most
     // reliable link is also the slowest.
     let mut system = Generator::generate(&GeneratorConfig::sized(3, 8).with_seed(12))?;
     let hosts = system.model.host_ids();
-    system
-        .model
-        .set_physical_link(hosts[0], hosts[1], |l| {
-            l.set_reliability(0.95);
-            l.set_bandwidth(1_000.0); // reliable but slow
-            l.set_delay(2.0);
-        })?;
-    system
-        .model
-        .set_physical_link(hosts[0], hosts[2], |l| {
-            l.set_reliability(0.55);
-            l.set_bandwidth(1_000_000.0); // fast but flaky
-            l.set_delay(0.001);
-        })?;
-    system
-        .model
-        .set_physical_link(hosts[1], hosts[2], |l| {
-            l.set_reliability(0.55);
-            l.set_bandwidth(1_000_000.0);
-            l.set_delay(0.001);
-        })?;
+    system.model.set_physical_link(hosts[0], hosts[1], |l| {
+        l.set_reliability(0.95);
+        l.set_bandwidth(1_000.0); // reliable but slow
+        l.set_delay(2.0);
+    })?;
+    system.model.set_physical_link(hosts[0], hosts[2], |l| {
+        l.set_reliability(0.55);
+        l.set_bandwidth(1_000_000.0); // fast but flaky
+        l.set_delay(0.001);
+    })?;
+    system.model.set_physical_link(hosts[1], hosts[2], |l| {
+        l.set_reliability(0.55);
+        l.set_bandwidth(1_000_000.0);
+        l.set_delay(0.001);
+    })?;
     // Memory pressure prevents the trivial all-on-one-host answer.
     for h in &hosts {
         system.model.host_mut(*h)?.set_memory(45.0);
@@ -70,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "E12: availability/latency trade-off (Exact optimum per weighting)",
-        &["w(avail)", "w(latency)", "availability", "latency", "composite"],
+        &[
+            "w(avail)",
+            "w(latency)",
+            "availability",
+            "latency",
+            "composite",
+        ],
         &rows,
     );
 

@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push(vec![
             cycle.to_string(),
             format!("{:.0}", report.time_secs),
-            format!("{}/{}", report.snapshots_applied, fw.runtime().hosts().len()),
+            format!(
+                "{}/{}",
+                report.snapshots_applied,
+                fw.runtime().hosts().len()
+            ),
             algo,
             est_av,
             verdict,
@@ -59,7 +63,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "E1: centralized framework cycles (disaster-relief scenario)",
-        &["cycle", "t(s)", "reports", "algorithm", "est.avail", "decision", "measured"],
+        &[
+            "cycle",
+            "t(s)",
+            "reports",
+            "algorithm",
+            "est.avail",
+            "decision",
+            "measured",
+        ],
         &rows,
     );
 

@@ -68,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "E2: decentralized framework cycles (DecAp auctions + voting)",
-        &["cycle", "t(s)", "reports", "avail", "proposed", "votes", "outcome", "measured"],
+        &[
+            "cycle", "t(s)", "reports", "avail", "proposed", "votes", "outcome", "measured",
+        ],
         &rows,
     );
 
@@ -80,8 +82,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["deployment", "availability (true model)"],
         &[
             vec!["initial".into(), fmt_f(before)],
-            vec!["decentralized (DecAp, awareness-bounded)".into(), fmt_f(after)],
-            vec!["best centralized algorithm (global knowledge)".into(), fmt_f(centralized)],
+            vec![
+                "decentralized (DecAp, awareness-bounded)".into(),
+                fmt_f(after),
+            ],
+            vec![
+                "best centralized algorithm (global knowledge)".into(),
+                fmt_f(centralized),
+            ],
         ],
     );
     assert!(after >= before - 1e-9, "E2 FAILED: decentralized regressed");

@@ -16,7 +16,16 @@ use std::time::Instant;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Exact's wall: k^n growth -------------------------------------
     let mut rows = Vec::new();
-    for (hosts, comps) in [(2, 6), (2, 10), (3, 8), (3, 10), (4, 8), (4, 10), (5, 15), (8, 40)] {
+    for (hosts, comps) in [
+        (2, 6),
+        (2, 10),
+        (3, 8),
+        (3, 10),
+        (4, 8),
+        (4, 10),
+        (5, 15),
+        (8, 40),
+    ] {
         let system = Generator::generate(&GeneratorConfig::sized(hosts, comps).with_seed(1))?;
         let space = ExactAlgorithm::search_space(&system.model);
         let started = Instant::now();

@@ -86,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // awareness-bounded views, so beating the initial deployment is its
         // contract (§5.2), not near-optimality.
         if *name != "decap" {
-            assert!(mean(rs) > 0.85, "E4 FAILED: {name} mean ratio {:.3}", mean(rs));
+            assert!(
+                mean(rs) > 0.85,
+                "E4 FAILED: {name} mean ratio {:.3}",
+                mean(rs)
+            );
         }
     }
     println!(

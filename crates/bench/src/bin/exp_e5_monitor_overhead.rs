@@ -8,7 +8,7 @@
 //! connector monitor enabled vs. absent, plus the monitor's memory
 //! footprint relative to the host runtime's working state.
 
-use redep_bench::{fmt_f, print_table};
+use redep_bench::{fmt_f, print_table, ExpReport};
 use redep_model::HostId;
 use redep_netsim::{Duration, SimTime};
 use redep_prism::{Architecture, ComponentBehavior, ComponentCtx, Event, EventFrequencyMonitor};
@@ -32,14 +32,21 @@ impl ComponentBehavior for Bouncer {
 
 fn throughput(monitored: bool, events: u32) -> (f64, u64) {
     let mut arch = Architecture::new("bench", HostId::new(0));
-    let a = arch.add_component("a", Bouncer { remaining: events }).unwrap();
-    let b = arch.add_component("b", Bouncer { remaining: events }).unwrap();
+    let a = arch
+        .add_component("a", Bouncer { remaining: events })
+        .unwrap();
+    let b = arch
+        .add_component("b", Bouncer { remaining: events })
+        .unwrap();
     let bus = arch.add_connector("bus");
     arch.weld(a, bus).unwrap();
     arch.weld(b, bus).unwrap();
     if monitored {
-        arch.attach_monitor(bus, EventFrequencyMonitor::new(Duration::from_secs_f64(1.0)))
-            .unwrap();
+        arch.attach_monitor(
+            bus,
+            EventFrequencyMonitor::new(Duration::from_secs_f64(1.0)),
+        )
+        .unwrap();
     }
     arch.publish("a", Event::notification("bounce")).unwrap();
     let started = Instant::now();
@@ -48,7 +55,7 @@ fn throughput(monitored: bool, events: u32) -> (f64, u64) {
     (processed as f64 / secs, processed)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     const EVENTS: u32 = 300_000;
     // Warm up, then interleave measurements to be fair to both.
     let _ = throughput(false, 10_000);
@@ -90,6 +97,18 @@ fn main() {
         ],
     );
 
+    let mut report = ExpReport::new("e5", "monitoring overhead (§4.3)");
+    report
+        .metric("throughput_plain_events_per_s", p)
+        .metric("throughput_monitored_events_per_s", m)
+        .metric("throughput_overhead_pct", overhead)
+        .metric("memory_overhead_pct", mem_overhead)
+        .note("paper's bound: 0.1%-10% overhead; assertion allows wall-clock noise up to 15%")
+        .set_passed(overhead < 15.0);
+    if let Some(file) = report.emit_if_requested()? {
+        println!("\nwrote {file}");
+    }
+
     assert!(
         overhead < 15.0,
         "E5 FAILED: monitoring overhead {overhead:.1}% far above the paper's ≤10% bound"
@@ -98,4 +117,5 @@ fn main() {
         "\nE5 {}: measured {overhead:.2}% efficiency overhead (paper: 0.1%–10%).",
         if overhead <= 10.0 { "PASS" } else { "MARGINAL" }
     );
+    Ok(())
 }

@@ -37,9 +37,8 @@ fn main() {
         let mut cells = vec![format!("{noise}")];
         for &eps in &epsilons {
             // Median over seeds.
-            let mut times: Vec<Option<usize>> = (0..9)
-                .map(|s| intervals_to_stable(eps, noise, s))
-                .collect();
+            let mut times: Vec<Option<usize>> =
+                (0..9).map(|s| intervals_to_stable(eps, noise, s)).collect();
             times.sort();
             let cell = match times[times.len() / 2] {
                 Some(t) => t.to_string(),

@@ -16,7 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for moves in [1usize, 2, 4, 8, 12] {
         let system = Generator::generate(&GeneratorConfig::sized(6, 24).with_seed(4))?;
-        let mut runtime = SystemRuntime::build(&system.model, &system.initial, &RuntimeConfig::default())?;
+        let mut runtime =
+            SystemRuntime::build(&system.model, &system.initial, &RuntimeConfig::default())?;
         runtime.run_for(Duration::from_secs_f64(5.0));
 
         // Build a target moving `moves` components to different hosts.
@@ -69,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (control_after - control_before).to_string(),
             fmt_f((control_after - control_before) as f64 / moves as f64),
         ]);
-        assert!(elapsed.is_some(), "E7 FAILED: redeployment of {moves} moves timed out");
+        assert!(
+            elapsed.is_some(),
+            "E7 FAILED: redeployment of {moves} moves timed out"
+        );
     }
     print_table(
         "E7a: redeployment effecting cost vs moves (6 hosts × 24 components)",
@@ -79,7 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- buffering: no events lost during migration -------------------
     let system = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(9))?;
-    let mut runtime = SystemRuntime::build(&system.model, &system.initial, &RuntimeConfig::default())?;
+    let mut runtime =
+        SystemRuntime::build(&system.model, &system.initial, &RuntimeConfig::default())?;
     runtime.run_for(Duration::from_secs_f64(5.0));
     let names = runtime.component_names().clone();
     // Move the busiest component.
@@ -88,8 +93,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .component_ids()
         .into_iter()
         .max_by(|a, b| {
-            let fa: f64 = system.model.logical_neighbors(*a).iter().map(|d| system.model.frequency(*a, *d)).sum();
-            let fb: f64 = system.model.logical_neighbors(*b).iter().map(|d| system.model.frequency(*b, *d)).sum();
+            let fa: f64 = system
+                .model
+                .logical_neighbors(*a)
+                .iter()
+                .map(|d| system.model.frequency(*a, *d))
+                .sum();
+            let fb: f64 = system
+                .model
+                .logical_neighbors(*b)
+                .iter()
+                .map(|d| system.model.frequency(*b, *d))
+                .sum();
             fa.partial_cmp(&fb).unwrap()
         })
         .unwrap();

@@ -99,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(d)
     };
     let mut rows = Vec::new();
-    for (label, guard, slack) in [("permissive (+1000%, slack 5s)", 10.0, 5.0), ("strict (+25%, slack 0.1s)", 0.25, 0.1)] {
+    for (label, guard, slack) in [
+        ("permissive (+1000%, slack 5s)", 10.0, 5.0),
+        ("strict (+25%, slack 0.1s)", 0.25, 0.1),
+    ] {
         let mut d = conflicted()?;
         let mut a = CentralizedAnalyzer::new(AnalyzerConfig {
             latency_guard: guard,

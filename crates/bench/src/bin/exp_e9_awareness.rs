@@ -34,19 +34,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let hosts = system.model.host_ids();
         for (i, &fraction) in fractions.iter().enumerate() {
             let awareness = AwarenessGraph::random(&hosts, fraction, 100 + seed);
-            let r = DecApAlgorithm::new()
-                .with_awareness(awareness)
-                .run(
-                    &system.model,
-                    &Availability,
-                    system.model.constraints(),
-                    Some(&system.initial),
-                )?;
+            let r = DecApAlgorithm::new().with_awareness(awareness).run(
+                &system.model,
+                &Availability,
+                system.model.constraints(),
+                Some(&system.initial),
+            )?;
             per_fraction[i].push(r.value);
         }
     }
 
-    let mut rows = vec![vec!["initial (no redeployment)".to_owned(), fmt_f(mean(&initials))]];
+    let mut rows = vec![vec![
+        "initial (no redeployment)".to_owned(),
+        fmt_f(mean(&initials)),
+    ]];
     for (i, &fraction) in fractions.iter().enumerate() {
         rows.push(vec![
             format!("DecAp, awareness {fraction:.1}"),
@@ -58,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fmt_f(mean(&avalas)),
     ]);
     print_table(
-        &format!("E9: availability vs awareness (mean of {SEEDS} systems, 6 hosts × 24 components)"),
+        &format!(
+            "E9: availability vs awareness (mean of {SEEDS} systems, 6 hosts × 24 components)"
+        ),
         &["configuration", "availability"],
         &rows,
     );
@@ -74,13 +77,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "E9 FAILED: full awareness no better than zero ({full:.4} vs {zero:.4})"
     );
     // Monotone-ish trend: the top-awareness half beats the bottom half.
-    let low = mean(&[mean(&per_fraction[0]), mean(&per_fraction[1]), mean(&per_fraction[2])]);
+    let low = mean(&[
+        mean(&per_fraction[0]),
+        mean(&per_fraction[1]),
+        mean(&per_fraction[2]),
+    ]);
     let high = mean(&[
         mean(&per_fraction[3]),
         mean(&per_fraction[4]),
         mean(&per_fraction[5]),
     ]);
-    assert!(high >= low, "E9 FAILED: quality does not grow with awareness");
+    assert!(
+        high >= low,
+        "E9 FAILED: quality does not grow with awareness"
+    );
     println!(
         "\nE9 PASS: availability grows with awareness ({:.4} → {:.4}); \
          full-awareness DecAp reaches {:.1}% of centralized Avala.",

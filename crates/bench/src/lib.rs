@@ -12,7 +12,177 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use serde_json::Value;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Schema tag stamped into every JSON report so downstream tooling can
+/// detect incompatible layouts.
+pub const REPORT_SCHEMA: &str = "redep-bench/v1";
+
+/// One experiment's machine-readable report: the shared `--json` schema for
+/// every `exp_*` binary.
+///
+/// Binaries keep printing their human tables; calling
+/// [`ExpReport::emit_if_requested`] at the end additionally writes
+/// `BENCH_<id>.json` when the experiment was invoked with `--json`. One
+/// schema across binaries means a results dashboard needs exactly one
+/// parser:
+///
+/// ```json
+/// {"schema":"redep-bench/v1","experiment":"e11","title":"...",
+///  "passed":true,"metrics":{"mean_rel_error":0.02},"notes":["..."]}
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExpReport {
+    /// Short experiment id, e.g. `"e11"`; names the output file.
+    pub experiment: String,
+    /// Human title of the experiment.
+    pub title: String,
+    /// Whether every assertion of the experiment held.
+    pub passed: bool,
+    /// Flat scalar results, keyed by metric name (sorted, so exports are
+    /// deterministic).
+    pub metrics: BTreeMap<String, f64>,
+    /// Free-form remarks (tolerances used, truncations applied, …).
+    pub notes: Vec<String>,
+}
+
+impl ExpReport {
+    /// Creates an empty, passing report.
+    pub fn new(experiment: impl Into<String>, title: impl Into<String>) -> Self {
+        ExpReport {
+            experiment: experiment.into(),
+            title: title.into(),
+            passed: true,
+            metrics: BTreeMap::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Records one scalar metric (last write wins on duplicate names).
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.insert(name.into(), value);
+        self
+    }
+
+    /// Appends a free-form note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Sets the pass/fail verdict.
+    pub fn set_passed(&mut self, passed: bool) -> &mut Self {
+        self.passed = passed;
+        self
+    }
+
+    /// Renders the report as a JSON value with deterministic (sorted) keys.
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("schema".to_owned(), Value::String(REPORT_SCHEMA.to_owned()));
+        obj.insert(
+            "experiment".to_owned(),
+            Value::String(self.experiment.clone()),
+        );
+        obj.insert("title".to_owned(), Value::String(self.title.clone()));
+        obj.insert("passed".to_owned(), Value::Bool(self.passed));
+        let metrics: BTreeMap<String, Value> = self
+            .metrics
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::Number(serde_json::Number::F(v))))
+            .collect();
+        obj.insert("metrics".to_owned(), Value::Object(metrics));
+        obj.insert(
+            "notes".to_owned(),
+            Value::Array(self.notes.iter().cloned().map(Value::String).collect()),
+        );
+        Value::Object(obj)
+    }
+
+    /// Parses a report back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value is not an object, carries a different
+    /// `schema` tag, or misses a required key.
+    pub fn from_json(value: &Value) -> Result<Self, serde::Error> {
+        let missing = |key: &str| serde::Error::custom(format!("missing key {key}"));
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("report must be an object"))?;
+        let schema = obj
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| missing("schema"))?;
+        if schema != REPORT_SCHEMA {
+            return Err(serde::Error::custom(format!(
+                "unsupported schema {schema:?} (expected {REPORT_SCHEMA:?})"
+            )));
+        }
+        let text = |key: &str| {
+            obj.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| missing(key))
+        };
+        let metrics = obj
+            .get("metrics")
+            .and_then(Value::as_object)
+            .ok_or_else(|| missing("metrics"))?
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|f| (k.clone(), f))
+                    .ok_or_else(|| serde::Error::custom(format!("metric {k} is not a number")))
+            })
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        let notes = obj
+            .get("notes")
+            .and_then(Value::as_array)
+            .ok_or_else(|| missing("notes"))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| missing("notes[]"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExpReport {
+            experiment: text("experiment")?,
+            title: text("title")?,
+            passed: obj
+                .get("passed")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| missing("passed"))?,
+            metrics,
+            notes,
+        })
+    }
+
+    /// The file the report lands in: `BENCH_<experiment>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.experiment)
+    }
+
+    /// Writes `BENCH_<experiment>.json` into the current directory when the
+    /// process was invoked with `--json`; a no-op otherwise. Returns the
+    /// file name when a file was written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be written.
+    pub fn emit_if_requested(&self) -> std::io::Result<Option<String>> {
+        if !std::env::args().any(|a| a == "--json") {
+            return Ok(None);
+        }
+        let name = self.file_name();
+        let json = serde_json::to_string_pretty(&self.to_json()).expect("reports always serialize");
+        std::fs::write(&name, json + "\n")?;
+        Ok(Some(name))
+    }
+}
 
 /// Prints a titled ASCII table: experiment binaries share one look.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -99,6 +269,48 @@ mod tests {
         assert!(std_dev(&[1.0, 1.0, 1.0]) < 1e-12);
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = ExpReport::new("e11", "monitor accuracy");
+        report
+            .metric("mean_rel_error", 0.021)
+            .metric("mean_freq_error", 0.104)
+            .note("frequency table truncated to 15 rows")
+            .set_passed(true);
+        let text = serde_json::to_string_pretty(&report.to_json()).unwrap();
+        let back = ExpReport::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert!(text.contains(REPORT_SCHEMA));
+        assert_eq!(report.file_name(), "BENCH_e11.json");
+    }
+
+    #[test]
+    fn report_rejects_foreign_schemas() {
+        let mut report = ExpReport::new("e1", "t");
+        report.metric("x", 1.0);
+        let Value::Object(mut obj) = report.to_json() else {
+            panic!("reports serialize to objects")
+        };
+        obj.insert("schema".into(), Value::String("other/v9".into()));
+        let err = ExpReport::from_json(&Value::Object(obj)).unwrap_err();
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn report_json_keys_are_sorted_and_deterministic() {
+        let mut report = ExpReport::new("e5", "overhead");
+        report
+            .metric("z_overhead_pct", 3.0)
+            .metric("a_throughput", 1e6);
+        let a = serde_json::to_string(&report.to_json()).unwrap();
+        let b = serde_json::to_string(&report.to_json()).unwrap();
+        assert_eq!(a, b);
+        let experiment = a.find("\"experiment\"").unwrap();
+        let metrics = a.find("\"metrics\"").unwrap();
+        let schema = a.find("\"schema\"").unwrap();
+        assert!(experiment < metrics && metrics < schema, "{a}");
     }
 
     #[test]

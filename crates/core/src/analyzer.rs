@@ -162,9 +162,9 @@ impl CentralizedAnalyzer {
         let mut algorithm = self.select_algorithm(desi.system().model()).to_owned();
         let mut record = match desi.run_algorithm(&algorithm, objective) {
             Ok(r) => r,
-            Err(redep_desi::DesiError::Algorithm(redep_algorithms::AlgoError::BudgetExceeded {
-                ..
-            })) if algorithm == "exact" => {
+            Err(redep_desi::DesiError::Algorithm(
+                redep_algorithms::AlgoError::BudgetExceeded { .. },
+            )) if algorithm == "exact" => {
                 algorithm = "avala".to_owned();
                 desi.run_algorithm(&algorithm, objective)?
             }
@@ -202,10 +202,7 @@ impl CentralizedAnalyzer {
         let (accepted, reason) = if gain < self.config.min_gain {
             (
                 false,
-                format!(
-                    "gain {gain:.4} below threshold {:.4}",
-                    self.config.min_gain
-                ),
+                format!("gain {gain:.4} below threshold {:.4}", self.config.min_gain),
             )
         } else if !latency_ok {
             (
@@ -369,7 +366,8 @@ mod tests {
         let mut d = DeSi::new(scenario.model.clone(), scenario.initial.clone());
         d.container_mut().register(AvalaAlgorithm::new());
         d.container_mut().register(StochasticAlgorithm::new());
-        d.container_mut().register(redep_algorithms::AnnealingAlgorithm::new());
+        d.container_mut()
+            .register(redep_algorithms::AnnealingAlgorithm::new());
 
         let avala_alone = AvalaAlgorithm::new()
             .run(

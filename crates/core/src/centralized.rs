@@ -13,6 +13,7 @@ use redep_algorithms::{
 use redep_desi::{DeSi, MiddlewareAdapter};
 use redep_model::{Deployment, DeploymentModel, Objective};
 use redep_netsim::Duration;
+use redep_telemetry::Telemetry;
 
 /// The outcome of one monitoring/analysis/redeployment cycle.
 #[derive(Clone, PartialEq, Debug)]
@@ -37,6 +38,7 @@ pub struct CentralizedFramework {
     desi: DeSi,
     adapter: MiddlewareAdapter,
     analyzer: CentralizedAnalyzer,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for CentralizedFramework {
@@ -78,7 +80,20 @@ impl CentralizedFramework {
             desi,
             adapter: MiddlewareAdapter::new(master),
             analyzer: CentralizedAnalyzer::new(analyzer_config),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Installs one telemetry handle across the framework and the running
+    /// system underneath it (see [`SystemRuntime::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.runtime.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The framework's telemetry handle (disabled unless installed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The running system.
@@ -146,7 +161,23 @@ impl CentralizedFramework {
                 .evaluate(self.desi.system().model(), self.desi.system().deployment());
             self.analyzer.observe(now, availability);
             let d = self.analyzer.analyze(&mut self.desi, objective)?;
+            self.telemetry
+                .event(
+                    "core.analyzer.decision",
+                    self.runtime.sim().now().as_micros(),
+                )
+                .field("algorithm", d.algorithm.clone())
+                .field("accepted", d.accepted)
+                .field("stable", self.analyzer.is_stable())
+                .field("current_availability", d.current_availability)
+                .field("predicted_availability", d.record.availability)
+                .field("current_latency", d.current_latency)
+                .field("predicted_latency", d.record.latency)
+                .field("reason", d.reason.clone())
+                .emit();
             if d.accepted {
+                let effect_start = self.runtime.sim().now();
+                let measured_before = self.runtime.measured_availability();
                 self.adapter.push_deployment(
                     self.runtime.sim_mut(),
                     self.desi.system(),
@@ -163,6 +194,17 @@ impl CentralizedFramework {
                         break;
                     }
                 }
+                self.telemetry
+                    .span(
+                        "core.redeployment",
+                        effect_start.as_micros(),
+                        self.runtime.sim().now().as_micros(),
+                    )
+                    .field("moves", d.record.result.deployment.len())
+                    .field("completed", completed)
+                    .field("measured_before", measured_before)
+                    .field("measured_after", self.runtime.measured_availability())
+                    .emit();
                 if !completed {
                     let master = self.runtime.master().expect("centralized");
                     let stuck = self
@@ -172,17 +214,26 @@ impl CentralizedFramework {
                         .unwrap_or_default();
                     return Err(CoreError::RedeploymentTimeout(stuck));
                 }
-                self.desi.adopt_deployment(d.record.result.deployment.clone());
+                self.desi
+                    .adopt_deployment(d.record.result.deployment.clone());
             }
             decision = Some(d);
         }
 
+        let measured_availability = self.runtime.measured_availability();
+        self.telemetry
+            .event("core.cycle", self.runtime.sim().now().as_micros())
+            .field("snapshots", snapshots)
+            .field("analyzed", decision.is_some())
+            .field("redeployed", completed)
+            .field("measured_availability", measured_availability)
+            .emit();
         Ok(CycleReport {
             time_secs: self.runtime.sim().now().as_secs_f64(),
             snapshots_applied: snapshots,
             decision,
             redeployment_completed: completed,
-            measured_availability: self.runtime.measured_availability(),
+            measured_availability,
         })
     }
 
@@ -251,7 +302,10 @@ mod tests {
         assert!(analyzed, "no cycle gathered full monitoring data");
         let after =
             Availability.evaluate(fw.desi().system().model(), fw.desi().system().deployment());
-        assert!(after >= before - 0.15, "availability regressed: {before} -> {after}");
+        assert!(
+            after >= before - 0.15,
+            "availability regressed: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -278,6 +332,35 @@ mod tests {
             // The running system's actual placement matches the target.
             assert_eq!(fw.runtime().actual_deployment_by_id(), target);
         }
+    }
+
+    #[test]
+    fn telemetry_journals_cycles_and_decisions() {
+        let mut fw = framework();
+        fw.set_telemetry(Telemetry::default());
+        for _ in 0..6 {
+            fw.cycle(
+                &Availability,
+                Duration::from_secs_f64(4.0),
+                Duration::from_secs_f64(60.0),
+            )
+            .unwrap();
+        }
+        let events = fw.telemetry().journal().snapshot();
+        let cycles = events.iter().filter(|e| e.name == "core.cycle").count();
+        assert_eq!(cycles, 6);
+        assert!(
+            events.iter().any(|e| e.name == "prism.monitor.window"),
+            "middleware events should share the framework journal"
+        );
+        assert!(
+            events.iter().any(|e| e.name == "core.analyzer.decision"),
+            "six cycles should produce at least one analysis"
+        );
+        fw.runtime().publish_gauges();
+        let metrics = fw.telemetry().metrics();
+        assert!(metrics.gauge("net.truth.sent").get() > 0.0);
+        assert!((0.0..=1.0).contains(&metrics.gauge("core.measured_availability").get()));
     }
 
     #[test]

@@ -14,9 +14,7 @@ use redep_algorithms::{
     CoordinationProtocol, DecApAlgorithm, RedeploymentAlgorithm, VotingProtocol,
 };
 use redep_desi::{MiddlewareAdapter, SystemData};
-use redep_model::{
-    Availability, AwarenessGraph, Deployment, DeploymentModel, HostId, Objective,
-};
+use redep_model::{Availability, AwarenessGraph, Deployment, DeploymentModel, HostId, Objective};
 use redep_netsim::Duration;
 use redep_prism::MonitoringSnapshot;
 
@@ -191,13 +189,20 @@ impl DecentralizedFramework {
                 }
             }
         }
+        let auction_end = self.runtime.sim().now().as_micros();
         let choice = VotingProtocol.decide(&alternatives);
         let votes_for = {
             // Count how many hosts strictly prefer the proposal (for the report).
             let mut n = 0;
             for &h in self.runtime.hosts() {
-                let a = alternatives[0].iter().find(|(x, _)| *x == h).map(|(_, s)| *s);
-                let b = alternatives[1].iter().find(|(x, _)| *x == h).map(|(_, s)| *s);
+                let a = alternatives[0]
+                    .iter()
+                    .find(|(x, _)| *x == h)
+                    .map(|(_, s)| *s);
+                let b = alternatives[1]
+                    .iter()
+                    .find(|(x, _)| *x == h)
+                    .map(|(_, s)| *s);
                 if let (Some(a), Some(b)) = (a, b) {
                     if b > a {
                         n += 1;
@@ -207,9 +212,20 @@ impl DecentralizedFramework {
             n
         };
         let adopted = choice == Some(1) && proposed != current;
+        self.runtime
+            .telemetry()
+            .event("core.decentralized.vote", auction_end)
+            .field("hosts_reporting", hosts_reporting)
+            .field("votes_for", votes_for)
+            .field("adopted", adopted)
+            .field("availability_before", availability_before)
+            .field("availability_proposed", availability_proposed)
+            .emit();
 
         let mut moves = 0;
         if adopted {
+            let effect_start = self.runtime.sim().now();
+            let measured_before = self.runtime.measured_availability();
             let names = self.runtime.component_names().clone();
             let migrations = current.diff(&proposed);
             moves = migrations.len();
@@ -249,6 +265,18 @@ impl DecentralizedFramework {
                     break;
                 }
             }
+            self.runtime
+                .telemetry()
+                .span(
+                    "core.redeployment",
+                    effect_start.as_micros(),
+                    self.runtime.sim().now().as_micros(),
+                )
+                .field("moves", moves)
+                .field("completed", done)
+                .field("measured_before", measured_before)
+                .field("measured_after", self.runtime.measured_availability())
+                .emit();
             if !done {
                 let stuck = migrations
                     .iter()

@@ -163,6 +163,40 @@ impl SystemRuntime {
         })
     }
 
+    /// Installs one telemetry handle across the whole running system: the
+    /// simulator and every Prism host share it, so network, middleware, and
+    /// framework records interleave in a single sim-time-ordered journal.
+    pub fn set_telemetry(&mut self, telemetry: redep_telemetry::Telemetry) {
+        let hosts = self.hosts.clone();
+        for h in hosts {
+            if let Some(host) = self.host_mut(h) {
+                host.set_telemetry(telemetry.clone());
+            }
+        }
+        self.sim.set_telemetry(telemetry);
+    }
+
+    /// The system-wide telemetry handle (disabled unless installed).
+    pub fn telemetry(&self) -> &redep_telemetry::Telemetry {
+        self.sim.telemetry()
+    }
+
+    /// Folds ground-truth gauges into the telemetry registry: the
+    /// simulator's `net.truth.*` set, every host's `prism.h<id>.*` set, and
+    /// the system-wide measured availability.
+    pub fn publish_gauges(&self) {
+        self.sim.publish_gauges();
+        for &h in &self.hosts {
+            if let Some(host) = self.host(h) {
+                host.publish_gauges();
+            }
+        }
+        self.telemetry()
+            .metrics()
+            .gauge("core.measured_availability")
+            .set(self.measured_availability());
+    }
+
     /// The underlying simulator.
     pub fn sim(&self) -> &Simulator {
         &self.sim

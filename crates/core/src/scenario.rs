@@ -134,7 +134,9 @@ impl Scenario {
 
         // ---- components and interactions --------------------------------
         let status_display = model.add_component("status-display")?;
-        model.component_mut(status_display)?.set_required_memory(48.0);
+        model
+            .component_mut(status_display)?
+            .set_required_memory(48.0);
         initial.assign(status_display, headquarters);
 
         let map_server = model.add_component("map-server")?;

@@ -69,8 +69,7 @@ proptest! {
 fn whole_runtime_is_deterministic() {
     let run = || {
         let s = Scenario::build(&ScenarioConfig::default()).unwrap();
-        let mut rt =
-            SystemRuntime::build(&s.model, &s.initial, &RuntimeConfig::default()).unwrap();
+        let mut rt = SystemRuntime::build(&s.model, &s.initial, &RuntimeConfig::default()).unwrap();
         rt.run_for(Duration::from_secs_f64(15.0));
         (
             rt.sim().stats().sent,

@@ -48,10 +48,12 @@ impl MiddlewareAdapter {
     ) -> Result<usize, DesiError> {
         let host = sim
             .node_ref::<PrismHost>(self.deployer_host)
-            .ok_or_else(|| DesiError::Adapter(format!("no Prism host at {}", self.deployer_host)))?;
-        let deployer = host
-            .deployer()
-            .ok_or_else(|| DesiError::Adapter(format!("{} runs no deployer", self.deployer_host)))?;
+            .ok_or_else(|| {
+                DesiError::Adapter(format!("no Prism host at {}", self.deployer_host))
+            })?;
+        let deployer = host.deployer().ok_or_else(|| {
+            DesiError::Adapter(format!("{} runs no deployer", self.deployer_host))
+        })?;
         let snapshots: Vec<MonitoringSnapshot> = deployer.snapshots().values().cloned().collect();
         self.apply_snapshots(system, &snapshots)?;
         Ok(snapshots.len())
@@ -99,9 +101,12 @@ impl MiddlewareAdapter {
             // parameters like security are left untouched).
             for (peer, rel) in &snap.reliabilities {
                 if system.model().contains_host(*peer) && *peer != snap.host {
-                    system.model_mut().set_physical_link(snap.host, *peer, |l| {
-                        l.params_mut().set(keys::LINK_RELIABILITY, rel.clamp(0.0, 1.0));
-                    })?;
+                    system
+                        .model_mut()
+                        .set_physical_link(snap.host, *peer, |l| {
+                            l.params_mut()
+                                .set(keys::LINK_RELIABILITY, rel.clamp(0.0, 1.0));
+                        })?;
                 }
             }
         }
@@ -135,7 +140,9 @@ impl MiddlewareAdapter {
         }
         let host = sim
             .node_mut::<PrismHost>(self.deployer_host)
-            .ok_or_else(|| DesiError::Adapter(format!("no Prism host at {}", self.deployer_host)))?;
+            .ok_or_else(|| {
+                DesiError::Adapter(format!("no Prism host at {}", self.deployer_host))
+            })?;
         host.effect_redeployment(by_name)
             .map_err(|e| DesiError::Adapter(e.to_string()))
     }
@@ -150,10 +157,12 @@ impl MiddlewareAdapter {
     pub fn redeployment_complete(&self, sim: &Simulator) -> Result<bool, DesiError> {
         let host = sim
             .node_ref::<PrismHost>(self.deployer_host)
-            .ok_or_else(|| DesiError::Adapter(format!("no Prism host at {}", self.deployer_host)))?;
-        let deployer = host
-            .deployer()
-            .ok_or_else(|| DesiError::Adapter(format!("{} runs no deployer", self.deployer_host)))?;
+            .ok_or_else(|| {
+                DesiError::Adapter(format!("no Prism host at {}", self.deployer_host))
+            })?;
+        let deployer = host.deployer().ok_or_else(|| {
+            DesiError::Adapter(format!("{} runs no deployer", self.deployer_host))
+        })?;
         Ok(deployer.status().is_complete())
     }
 }
@@ -194,7 +203,10 @@ mod tests {
             .apply_snapshots(&mut sys, &[snap])
             .unwrap();
 
-        let (a, b) = (sys.model().component_ids()[0], sys.model().component_ids()[1]);
+        let (a, b) = (
+            sys.model().component_ids()[0],
+            sys.model().component_ids()[1],
+        );
         assert_eq!(sys.model().frequency(a, b), 7.5);
         assert_eq!(sys.model().event_size(a, b), 256.0);
         assert_eq!(sys.model().reliability(h0, h1), 0.65);

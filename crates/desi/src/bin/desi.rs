@@ -119,8 +119,16 @@ fn cmd_view(flags: &BTreeMap<String, String>) -> Result<(), String> {
 fn cmd_improve(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut desi = load(flags)?;
     register_suite(&mut desi);
-    let objective = objective_by_name(flags.get("objective").map(String::as_str).unwrap_or("availability"))?;
-    let algorithm = flags.get("algorithm").map(String::as_str).unwrap_or("avala");
+    let objective = objective_by_name(
+        flags
+            .get("objective")
+            .map(String::as_str)
+            .unwrap_or("availability"),
+    )?;
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("avala");
 
     let record = desi
         .run_algorithm(algorithm, objective.as_ref())

@@ -10,6 +10,8 @@
 //!   (visualization geometry), [`AlgoResultData`] (algorithm outcomes);
 //! * **View** — [`TableView`] renders the Figure 9 tabular editor as text;
 //!   [`GraphView`] renders the Figure 10 deployment graph as ASCII and SVG;
+//!   [`TelemetryView`] renders the run journal, metrics, and algorithm
+//!   convergence traces as a text dashboard;
 //! * **Controller** — the generator/modifier (re-exported from
 //!   `redep-model`), the [`AlgorithmContainer`] (pluggable algorithms, the
 //!   analyzer's add/remove API), and the [`MiddlewareAdapter`] that connects
@@ -51,4 +53,4 @@ pub use error::DesiError;
 pub use graph_view_data::{GraphViewData, NodeStyle};
 pub use results::{AlgoResultData, RecordedResult};
 pub use system_data::SystemData;
-pub use views::{GraphView, TableView};
+pub use views::{GraphView, TableView, TelemetryView};

@@ -86,9 +86,13 @@ impl AlgoResultData {
 
     /// The record with the best availability, if any.
     pub fn best_availability(&self) -> Option<&RecordedResult> {
-        self.records
-            .iter()
-            .reduce(|a, b| if b.availability > a.availability { b } else { a })
+        self.records.iter().reduce(|a, b| {
+            if b.availability > a.availability {
+                b
+            } else {
+                a
+            }
+        })
     }
 
     /// The record with the lowest latency, if any.
@@ -126,7 +130,12 @@ mod tests {
             Box::new(StochasticAlgorithm::new()),
         ] {
             let r = algo
-                .run(&s.model, &Availability, s.model.constraints(), Some(&s.initial))
+                .run(
+                    &s.model,
+                    &Availability,
+                    s.model.constraints(),
+                    Some(&s.initial),
+                )
                 .unwrap();
             data.push(RecordedResult::new(&s.model, &s.initial, &Availability, r));
         }

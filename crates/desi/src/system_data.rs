@@ -65,7 +65,12 @@ impl SystemData {
     pub fn deployment_by_name(&self) -> BTreeMap<String, HostId> {
         self.deployment
             .iter()
-            .filter_map(|(c, h)| self.model.component(c).ok().map(|comp| (comp.name().to_owned(), h)))
+            .filter_map(|(c, h)| {
+                self.model
+                    .component(c)
+                    .ok()
+                    .map(|comp| (comp.name().to_owned(), h))
+            })
             .collect()
     }
 

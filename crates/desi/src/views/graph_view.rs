@@ -26,7 +26,10 @@ impl GraphView {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
         );
-        let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+        let _ = writeln!(
+            svg,
+            r##"<rect width="100%" height="100%" fill="#fafafa"/>"##
+        );
 
         // Physical links first (solid black, under the boxes).
         for link in model.physical_links() {
@@ -37,7 +40,8 @@ impl GraphView {
                 let _ = writeln!(
                     svg,
                     r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="black" stroke-width="2"><title>{} rel={:.2}</title></line>"#,
-                    ends, link.reliability()
+                    ends,
+                    link.reliability()
                 );
             }
         }
@@ -51,14 +55,18 @@ impl GraphView {
                 let _ = writeln!(
                     svg,
                     r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#888888" stroke-width="0.7"><title>{} freq={:.2}</title></line>"##,
-                    ends, link.frequency()
+                    ends,
+                    link.frequency()
                 );
             }
         }
         // Host boxes (white) with their components (shaded).
         let comp = GraphViewData::COMPONENT_SIZE * layout.zoom();
         for (hid, hl) in layout.layouts() {
-            let name = model.host(hid).map(|x| x.name().to_owned()).unwrap_or_default();
+            let name = model
+                .host(hid)
+                .map(|x| x.name().to_owned())
+                .unwrap_or_default();
             let _ = writeln!(
                 svg,
                 r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="black" stroke-width="{}"/>"#,

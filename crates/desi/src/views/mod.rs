@@ -3,10 +3,14 @@
 //! "The current architecture of the View subsystem contains two components —
 //! GraphView and TableView." Both are pure functions of the Model (the
 //! decoupling the paper calls out: new visualizations of the same models,
-//! or the same visualizations on new models).
+//! or the same visualizations on new models). The telemetry view extends
+//! the subsystem the same way: a third pure renderer, over the run journal
+//! and convergence traces instead of the deployment model.
 
 mod graph_view;
 mod table_view;
+mod telemetry_view;
 
 pub use graph_view::GraphView;
 pub use table_view::TableView;
+pub use telemetry_view::TelemetryView;

@@ -29,7 +29,11 @@ impl TableView {
     }
 
     fn rule(out: &mut String, title: &str) {
-        let _ = writeln!(out, "\n=== {title} {}", "=".repeat(60usize.saturating_sub(title.len())));
+        let _ = writeln!(
+            out,
+            "\n=== {title} {}",
+            "=".repeat(60usize.saturating_sub(title.len()))
+        );
     }
 
     fn render_parameters(&self, out: &mut String, system: &SystemData) {
@@ -37,11 +41,24 @@ impl TableView {
         Self::rule(out, "Parameters");
         let _ = writeln!(out, "{:<10} {:<18} PARAMETERS", "HOST", "NAME");
         for host in model.hosts() {
-            let params: Vec<String> =
-                host.params().iter().map(|(k, v)| format!("{k}={v}")).collect();
-            let _ = writeln!(out, "{:<10} {:<18} {}", host.id().to_string(), host.name(), params.join(", "));
+            let params: Vec<String> = host
+                .params()
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:<10} {:<18} {}",
+                host.id().to_string(),
+                host.name(),
+                params.join(", ")
+            );
         }
-        let _ = writeln!(out, "\n{:<10} {:<18} {:<8} PARAMETERS", "COMPONENT", "NAME", "HOST");
+        let _ = writeln!(
+            out,
+            "\n{:<10} {:<18} {:<8} PARAMETERS",
+            "COMPONENT", "NAME", "HOST"
+        );
         for component in model.components() {
             let params: Vec<String> = component
                 .params()
@@ -64,14 +81,20 @@ impl TableView {
         }
         let _ = writeln!(out, "\n{:<12} PARAMETERS", "PHYS.LINK");
         for link in model.physical_links() {
-            let params: Vec<String> =
-                link.params().iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let params: Vec<String> = link
+                .params()
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
             let _ = writeln!(out, "{:<12} {}", link.ends().to_string(), params.join(", "));
         }
         let _ = writeln!(out, "\n{:<12} PARAMETERS", "LOG.LINK");
         for link in model.logical_links() {
-            let params: Vec<String> =
-                link.params().iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let params: Vec<String> = link
+                .params()
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
             let _ = writeln!(out, "{:<12} {}", link.ends().to_string(), params.join(", "));
         }
     }
@@ -88,7 +111,11 @@ impl TableView {
         let _ = writeln!(
             out,
             "memory capacity check: {}",
-            if constraints.enforces_memory() { "on" } else { "off" }
+            if constraints.enforces_memory() {
+                "on"
+            } else {
+                "off"
+            }
         );
     }
 

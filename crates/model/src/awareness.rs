@@ -286,11 +286,7 @@ mod tests {
     #[test]
     fn partial_view_restricts_hosts_components_and_links() {
         let (m, hosts, comps) = line_model();
-        let d: Deployment = comps
-            .iter()
-            .zip(&hosts)
-            .map(|(c, h)| (*c, *h))
-            .collect();
+        let d: Deployment = comps.iter().zip(&hosts).map(|(c, h)| (*c, *h)).collect();
         let g = AwarenessGraph::from_connectivity(&m);
         let view = g.partial_view(&m, &d, hosts[0]).unwrap();
         // h0 sees itself and h1 (direct neighbor), not h2.

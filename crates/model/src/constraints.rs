@@ -195,8 +195,11 @@ pub trait ConstraintChecker: fmt::Debug + Send + Sync {
     /// # Errors
     ///
     /// Returns the first violation found.
-    fn check(&self, model: &DeploymentModel, deployment: &Deployment)
-        -> Result<(), ConstraintViolation>;
+    fn check(
+        &self,
+        model: &DeploymentModel,
+        deployment: &Deployment,
+    ) -> Result<(), ConstraintViolation>;
 
     /// Fast incremental check: may `component` be placed on `host` given the
     /// (possibly partial) deployment built so far?
@@ -306,14 +309,24 @@ impl ConstraintSet {
 
     /// Hosts `component` may legally be deployed on, intersecting all
     /// location constraints.
-    pub fn allowed_hosts(&self, model: &DeploymentModel, component: ComponentId) -> BTreeSet<HostId> {
+    pub fn allowed_hosts(
+        &self,
+        model: &DeploymentModel,
+        component: ComponentId,
+    ) -> BTreeSet<HostId> {
         let mut allowed: BTreeSet<HostId> = model.host_ids().into_iter().collect();
         for c in &self.constraints {
             match c {
-                Constraint::PinnedTo { component: cc, hosts } if *cc == component => {
+                Constraint::PinnedTo {
+                    component: cc,
+                    hosts,
+                } if *cc == component => {
                     allowed = allowed.intersection(hosts).copied().collect();
                 }
-                Constraint::NotOn { component: cc, hosts } if *cc == component => {
+                Constraint::NotOn {
+                    component: cc,
+                    hosts,
+                } if *cc == component => {
                     allowed = allowed.difference(hosts).copied().collect();
                 }
                 _ => {}
@@ -434,12 +447,18 @@ impl ConstraintChecker for ConstraintSet {
     ) -> bool {
         for constraint in &self.constraints {
             match constraint {
-                Constraint::PinnedTo { component: cc, hosts } => {
+                Constraint::PinnedTo {
+                    component: cc,
+                    hosts,
+                } => {
                     if *cc == component && !hosts.contains(&host) {
                         return false;
                     }
                 }
-                Constraint::NotOn { component: cc, hosts } => {
+                Constraint::NotOn {
+                    component: cc,
+                    hosts,
+                } => {
                     if *cc == component && hosts.contains(&host) {
                         return false;
                     }
@@ -773,7 +792,10 @@ mod tests {
         s.add(Constraint::Separated {
             components: BTreeSet::from([c(1), c(2)]),
         });
-        assert_eq!(s.referenced_components(), BTreeSet::from([c(0), c(1), c(2)]));
+        assert_eq!(
+            s.referenced_components(),
+            BTreeSet::from([c(0), c(1), c(2)])
+        );
         assert_eq!(s.referenced_hosts(), BTreeSet::from([h(1)]));
     }
 

@@ -11,9 +11,9 @@ use crate::deployment::Deployment;
 use crate::ids::{ComponentId, HostId};
 use crate::model::DeploymentModel;
 use crate::ModelError;
-use rand_chacha::ChaCha8Rng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// An inclusive parameter range `[lo, hi]` sampled uniformly.

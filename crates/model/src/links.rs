@@ -196,7 +196,10 @@ impl PhysicalLink {
     ///
     /// Panics if `bandwidth` is not positive.
     pub fn set_bandwidth(&mut self, bandwidth: f64) -> Option<ParamValue> {
-        assert!(bandwidth > 0.0, "bandwidth must be positive, got {bandwidth}");
+        assert!(
+            bandwidth > 0.0,
+            "bandwidth must be positive, got {bandwidth}"
+        );
         self.params.set(keys::LINK_BANDWIDTH, bandwidth)
     }
 
@@ -354,7 +357,10 @@ mod tests {
 
     #[test]
     fn component_pair_normalizes_order() {
-        assert_eq!(ComponentPair::new(c(9), c(1)), ComponentPair::new(c(1), c(9)));
+        assert_eq!(
+            ComponentPair::new(c(9), c(1)),
+            ComponentPair::new(c(1), c(9))
+        );
     }
 
     #[test]

@@ -61,19 +61,14 @@ pub struct PathQuality {
 /// string keys; the key is recoverable from each link's endpoints).
 mod physical_link_map {
     use super::*;
-    use serde::{Deserializer, Serializer};
+    use serde::{Error, Value};
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<HostPair, PhysicalLink>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        ser.collect_seq(map.values())
+    pub fn serialize(map: &BTreeMap<HostPair, PhysicalLink>) -> Value {
+        Value::Array(map.values().map(Serialize::serialize).collect())
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<HostPair, PhysicalLink>, D::Error> {
-        let links = Vec::<PhysicalLink>::deserialize(de)?;
+    pub fn deserialize(value: &Value) -> Result<BTreeMap<HostPair, PhysicalLink>, Error> {
+        let links = Vec::<PhysicalLink>::deserialize(value)?;
         Ok(links.into_iter().map(|l| (l.ends(), l)).collect())
     }
 }
@@ -81,19 +76,14 @@ mod physical_link_map {
 /// Serializes the logical-link map as a sequence of links.
 mod logical_link_map {
     use super::*;
-    use serde::{Deserializer, Serializer};
+    use serde::{Error, Value};
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<ComponentPair, LogicalLink>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        ser.collect_seq(map.values())
+    pub fn serialize(map: &BTreeMap<ComponentPair, LogicalLink>) -> Value {
+        Value::Array(map.values().map(Serialize::serialize).collect())
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<ComponentPair, LogicalLink>, D::Error> {
-        let links = Vec::<LogicalLink>::deserialize(de)?;
+    pub fn deserialize(value: &Value) -> Result<BTreeMap<ComponentPair, LogicalLink>, Error> {
+        let links = Vec::<LogicalLink>::deserialize(value)?;
         Ok(links.into_iter().map(|l| (l.ends(), l)).collect())
     }
 }
@@ -281,7 +271,11 @@ impl DeploymentModel {
     /// # Errors
     ///
     /// Returns [`ModelError::NoPhysicalLink`] if no such link exists.
-    pub fn remove_physical_link(&mut self, a: HostId, b: HostId) -> Result<PhysicalLink, ModelError> {
+    pub fn remove_physical_link(
+        &mut self,
+        a: HostId,
+        b: HostId,
+    ) -> Result<PhysicalLink, ModelError> {
         self.physical_links
             .remove(&HostPair::new(a, b))
             .ok_or(ModelError::NoPhysicalLink(a, b))
@@ -399,7 +393,8 @@ impl DeploymentModel {
         if a == b {
             return f64::INFINITY;
         }
-        self.physical_link(a, b).map_or(0.0, PhysicalLink::bandwidth)
+        self.physical_link(a, b)
+            .map_or(0.0, PhysicalLink::bandwidth)
     }
 
     /// Transmission delay between two hosts (`0.0` locally, `∞` when
@@ -476,7 +471,9 @@ impl DeploymentModel {
         while let Some(u) = {
             // Extract the frontier host with the highest reliability so far.
             frontier.sort_by(|x, y| {
-                best[x].partial_cmp(&best[y]).expect("reliabilities are finite")
+                best[x]
+                    .partial_cmp(&best[y])
+                    .expect("reliabilities are finite")
             });
             frontier.pop()
         } {
@@ -601,7 +598,10 @@ impl DeploymentModel {
     /// Total interaction frequency over all logical links (the normalizer of
     /// the availability objective).
     pub fn total_frequency(&self) -> f64 {
-        self.logical_links.values().map(LogicalLink::frequency).sum()
+        self.logical_links
+            .values()
+            .map(LogicalLink::frequency)
+            .sum()
     }
 }
 
@@ -655,7 +655,8 @@ mod tests {
     #[test]
     fn physical_link_is_undirected() {
         let (mut m, a, b) = two_host_model();
-        m.set_physical_link(a, b, |l| l.set_reliability(0.7)).unwrap();
+        m.set_physical_link(a, b, |l| l.set_reliability(0.7))
+            .unwrap();
         assert_eq!(m.reliability(a, b), 0.7);
         assert_eq!(m.reliability(b, a), 0.7);
         assert_eq!(m.physical_link_count(), 1);
@@ -664,8 +665,10 @@ mod tests {
     #[test]
     fn set_physical_link_updates_in_place() {
         let (mut m, a, b) = two_host_model();
-        m.set_physical_link(a, b, |l| l.set_reliability(0.7)).unwrap();
-        m.set_physical_link(b, a, |l| l.set_bandwidth(10.0)).unwrap();
+        m.set_physical_link(a, b, |l| l.set_reliability(0.7))
+            .unwrap();
+        m.set_physical_link(b, a, |l| l.set_bandwidth(10.0))
+            .unwrap();
         // Both parameters survive: it is the same link.
         assert_eq!(m.reliability(a, b), 0.7);
         assert_eq!(m.bandwidth(a, b), 10.0);
@@ -751,7 +754,6 @@ mod tests {
         assert!(m.validate().is_ok());
     }
 
-
     #[test]
     fn best_path_prefers_reliability_over_hop_count() {
         let mut m = DeploymentModel::new();
@@ -759,9 +761,12 @@ mod tests {
         let b = m.add_host("b").unwrap();
         let c = m.add_host("c").unwrap();
         // Direct but terrible vs. two good hops.
-        m.set_physical_link(a, c, |l| l.set_reliability(0.2)).unwrap();
-        m.set_physical_link(a, b, |l| l.set_reliability(0.9)).unwrap();
-        m.set_physical_link(b, c, |l| l.set_reliability(0.9)).unwrap();
+        m.set_physical_link(a, c, |l| l.set_reliability(0.2))
+            .unwrap();
+        m.set_physical_link(a, b, |l| l.set_reliability(0.9))
+            .unwrap();
+        m.set_physical_link(b, c, |l| l.set_reliability(0.9))
+            .unwrap();
         let p = m.best_path(a, c).unwrap();
         assert!((p.reliability - 0.81).abs() < 1e-12);
         assert_eq!(p.hops, 2);
@@ -806,7 +811,8 @@ mod tests {
     #[test]
     fn serde_roundtrip_preserves_everything() {
         let (mut m, a, b) = two_host_model();
-        m.set_physical_link(a, b, |l| l.set_reliability(0.4)).unwrap();
+        m.set_physical_link(a, b, |l| l.set_reliability(0.4))
+            .unwrap();
         let x = m.add_component("x").unwrap();
         let y = m.add_component("y").unwrap();
         m.set_logical_link(x, y, |l| l.set_frequency(2.0)).unwrap();

@@ -72,7 +72,9 @@ impl fmt::Display for ModelEdit {
             ModelEdit::PhysicalParam { hosts, key, .. } => {
                 write!(f, "set {key} on link {}–{}", hosts.0, hosts.1)
             }
-            ModelEdit::LogicalParam { components, key, .. } => {
+            ModelEdit::LogicalParam {
+                components, key, ..
+            } => {
                 write!(f, "set {key} on link {}–{}", components.0, components.1)
             }
         }
@@ -142,7 +144,11 @@ impl Modifier {
     ) -> Result<(), ModelError> {
         let key = key.into();
         let previous = model.host_mut(host)?.params_mut().set(key.clone(), value);
-        self.log.push(ModelEdit::HostParam { host, key, previous });
+        self.log.push(ModelEdit::HostParam {
+            host,
+            key,
+            previous,
+        });
         Ok(())
     }
 
@@ -242,7 +248,11 @@ impl Modifier {
             return Ok(false);
         };
         match edit {
-            ModelEdit::HostParam { host, key, previous } => {
+            ModelEdit::HostParam {
+                host,
+                key,
+                previous,
+            } => {
                 let params = model.host_mut(host)?.params_mut();
                 match previous {
                     Some(v) => params.set(key, v),
@@ -330,7 +340,8 @@ mod tests {
     fn set_and_undo_host_param() {
         let (mut m, a, _, _, _) = fixture();
         let mut md = Modifier::new();
-        md.set_host_param(&mut m, a, keys::HOST_MEMORY, 64.0).unwrap();
+        md.set_host_param(&mut m, a, keys::HOST_MEMORY, 64.0)
+            .unwrap();
         assert_eq!(m.host(a).unwrap().memory(), 64.0);
         assert!(md.undo(&mut m).unwrap());
         assert_eq!(m.host(a).unwrap().memory(), f64::INFINITY);
@@ -341,7 +352,8 @@ mod tests {
         let (mut m, a, _, _, _) = fixture();
         m.host_mut(a).unwrap().set_memory(100.0);
         let mut md = Modifier::new();
-        md.set_host_param(&mut m, a, keys::HOST_MEMORY, 64.0).unwrap();
+        md.set_host_param(&mut m, a, keys::HOST_MEMORY, 64.0)
+            .unwrap();
         md.undo(&mut m).unwrap();
         assert_eq!(m.host(a).unwrap().memory(), 100.0);
     }
@@ -367,7 +379,8 @@ mod tests {
     #[test]
     fn physical_param_edit_on_existing_link_preserves_link_on_undo() {
         let (mut m, a, b, _, _) = fixture();
-        m.set_physical_link(a, b, |l| l.set_reliability(0.9)).unwrap();
+        m.set_physical_link(a, b, |l| l.set_reliability(0.9))
+            .unwrap();
         let mut md = Modifier::new();
         md.set_physical_param(&mut m, a, b, keys::LINK_RELIABILITY, 0.1)
             .unwrap();

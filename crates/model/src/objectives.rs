@@ -164,7 +164,10 @@ impl Objective for PathAwareAvailability {
             if let (Some(ha), Some(hb)) = (deployment.host_of(a), deployment.host_of(b)) {
                 let key = if ha < hb { (ha, hb) } else { (hb, ha) };
                 let rel = *cache.entry(key).or_insert_with(|| {
-                    model.best_path(ha, hb).map(|p| p.reliability).unwrap_or(0.0)
+                    model
+                        .best_path(ha, hb)
+                        .map(|p| p.reliability)
+                        .unwrap_or(0.0)
                 });
                 weighted += freq * rel;
             }
@@ -498,7 +501,8 @@ mod tests {
         let mut m = fixture();
         let z = m.add_component("z").unwrap();
         // High-frequency local pair dominates.
-        m.set_logical_link(c(0), z, |l| l.set_frequency(12.0)).unwrap();
+        m.set_logical_link(c(0), z, |l| l.set_frequency(12.0))
+            .unwrap();
         let mut d = remote();
         d.assign(z, h(0));
         // (4 * 0.5 + 12 * 1.0) / 16 = 0.875
@@ -555,8 +559,10 @@ mod tests {
         let ha = m.add_host("a").unwrap();
         let hb = m.add_host("b").unwrap();
         let hc = m.add_host("c").unwrap();
-        m.set_physical_link(ha, hb, |l| l.set_reliability(0.9)).unwrap();
-        m.set_physical_link(hb, hc, |l| l.set_reliability(0.8)).unwrap();
+        m.set_physical_link(ha, hb, |l| l.set_reliability(0.9))
+            .unwrap();
+        m.set_physical_link(hb, hc, |l| l.set_reliability(0.8))
+            .unwrap();
         let x = m.add_component("x").unwrap();
         let y = m.add_component("y").unwrap();
         m.set_logical_link(x, y, |l| l.set_frequency(2.0)).unwrap();
@@ -571,9 +577,8 @@ mod tests {
     fn path_aware_agrees_with_direct_on_adjacent_pairs() {
         let m = fixture();
         assert!(
-            (PathAwareAvailability.evaluate(&m, &remote())
-                - Availability.evaluate(&m, &remote()))
-            .abs()
+            (PathAwareAvailability.evaluate(&m, &remote()) - Availability.evaluate(&m, &remote()))
+                .abs()
                 < 1e-12
         );
         assert_eq!(PathAwareAvailability.evaluate(&m, &local()), 1.0);

@@ -140,7 +140,11 @@ mod tests {
         let mut walk = RandomWalkFluctuation::new(0.3);
         for _ in 0..200 {
             walk.apply(&mut t, &mut rng);
-            let r = t.link(HostId::new(0), HostId::new(1)).unwrap().spec.reliability;
+            let r = t
+                .link(HostId::new(0), HostId::new(1))
+                .unwrap()
+                .spec
+                .reliability;
             assert!((0.05..=1.0).contains(&r), "reliability escaped bounds: {r}");
         }
     }
@@ -149,9 +153,17 @@ mod tests {
     fn random_walk_actually_moves() {
         let mut t = topo();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let before = t.link(HostId::new(0), HostId::new(1)).unwrap().spec.reliability;
+        let before = t
+            .link(HostId::new(0), HostId::new(1))
+            .unwrap()
+            .spec
+            .reliability;
         RandomWalkFluctuation::new(0.2).apply(&mut t, &mut rng);
-        let after = t.link(HostId::new(0), HostId::new(1)).unwrap().spec.reliability;
+        let after = t
+            .link(HostId::new(0), HostId::new(1))
+            .unwrap()
+            .spec
+            .reliability;
         assert_ne!(before, after);
     }
 
@@ -161,7 +173,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         RandomWalkFluctuation::new(0.0).apply(&mut t, &mut rng);
         assert_eq!(
-            t.link(HostId::new(0), HostId::new(1)).unwrap().spec.reliability,
+            t.link(HostId::new(0), HostId::new(1))
+                .unwrap()
+                .spec
+                .reliability,
             0.5
         );
     }

@@ -105,9 +105,6 @@ mod tests {
         ctx.set_timer(Duration::from_millis(1), 7);
         assert_eq!(actions.len(), 2);
         assert!(matches!(actions[0], NodeAction::Send { size: 10, .. }));
-        assert!(matches!(
-            actions[1],
-            NodeAction::SetTimer { token: 7, .. }
-        ));
+        assert!(matches!(actions[1], NodeAction::SetTimer { token: 7, .. }));
     }
 }

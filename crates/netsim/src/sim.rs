@@ -9,9 +9,10 @@ use crate::topology::{LinkSpec, NetworkTopology};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use redep_model::HostId;
+use redep_telemetry::{Counter, Telemetry};
 use std::any::Any;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// What happens at a scheduled instant.
 #[derive(Debug)]
@@ -48,6 +49,27 @@ impl Ord for Scheduled {
     }
 }
 
+/// Counter handles cached at telemetry install time, so the per-message hot
+/// path is a relaxed atomic increment and never touches the registry lock.
+struct NetCounters {
+    sent: Counter,
+    delivered: Counter,
+    dropped_loss: Counter,
+    dropped_disconnected: Counter,
+}
+
+impl NetCounters {
+    fn new(telemetry: &Telemetry) -> Self {
+        let metrics = telemetry.metrics();
+        NetCounters {
+            sent: metrics.counter("net.sent"),
+            delivered: metrics.counter("net.delivered"),
+            dropped_loss: metrics.counter("net.dropped_loss"),
+            dropped_disconnected: metrics.counter("net.dropped_disconnected"),
+        }
+    }
+}
+
 /// A deterministic discrete-event network simulator.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -64,6 +86,8 @@ pub struct Simulator {
     /// (half-duplex), so bursts over thin links experience queueing delay.
     link_busy_until: BTreeMap<redep_model::HostPair, SimTime>,
     scratch: Vec<NodeAction>,
+    telemetry: Telemetry,
+    counters: NetCounters,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -78,7 +102,10 @@ impl std::fmt::Debug for Simulator {
 
 impl Simulator {
     /// Creates a simulator with the given RNG seed and an empty topology.
+    /// Telemetry starts as a no-op sink; see [`Simulator::set_telemetry`].
     pub fn new(seed: u64) -> Self {
+        let telemetry = Telemetry::disabled();
+        let counters = NetCounters::new(&telemetry);
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
@@ -90,7 +117,29 @@ impl Simulator {
             fluctuations: Vec::new(),
             link_busy_until: BTreeMap::new(),
             scratch: Vec::new(),
+            telemetry,
+            counters,
         }
+    }
+
+    /// Installs a telemetry handle. Counters for the message hot path are
+    /// re-cached from the handle's registry, so installation should happen
+    /// before the run starts (counts recorded under the previous handle stay
+    /// with that handle's registry).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.counters = NetCounters::new(&telemetry);
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle (a disabled no-op sink unless one was installed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Folds the ground-truth [`NetStats`] into the telemetry registry's
+    /// `net.truth.*` gauges (see [`NetStats::publish_gauges`]).
+    pub fn publish_gauges(&self) {
+        self.stats.publish_gauges(self.telemetry.metrics());
     }
 
     /// The current simulated time.
@@ -151,22 +200,41 @@ impl Simulator {
     /// Marks a link up or down.
     pub fn set_link_up(&mut self, a: HostId, b: HostId, up: bool) {
         self.topology.set_link_up(a, b, up);
+        self.telemetry
+            .event("net.link.state", self.now.as_micros())
+            .field("a", a.raw())
+            .field("b", b.raw())
+            .field("up", up)
+            .emit();
     }
 
     /// Marks a host up or down. A down host receives neither messages nor
     /// timer callbacks; both are silently dropped while it is down.
     pub fn set_host_up(&mut self, host: HostId, up: bool) {
         self.topology.set_host_up(host, up);
+        self.telemetry
+            .event("net.host.state", self.now.as_micros())
+            .field("host", host.raw())
+            .field("up", up)
+            .emit();
     }
 
     /// Partitions the network (see [`NetworkTopology::partition`]).
     pub fn partition(&mut self, groups: &[Vec<HostId>]) {
         self.topology.partition(groups);
+        self.telemetry
+            .event("net.partition", self.now.as_micros())
+            .field("groups", groups.len())
+            .field("hosts", groups.iter().map(Vec::len).sum::<usize>())
+            .emit();
     }
 
     /// Heals all partitions.
     pub fn heal(&mut self) {
         self.topology.heal();
+        self.telemetry
+            .event("net.partition.heal", self.now.as_micros())
+            .emit();
     }
 
     /// Installs a fluctuation model applied every `interval`.
@@ -211,9 +279,25 @@ impl Simulator {
         self.queue.push(Scheduled { time, seq, event });
     }
 
+    /// Records one dropped message in the counters and the journal.
+    fn record_drop(&self, src: HostId, dst: HostId, reason: &'static str) {
+        let counter = match reason {
+            "loss" => &self.counters.dropped_loss,
+            _ => &self.counters.dropped_disconnected,
+        };
+        counter.inc();
+        self.telemetry
+            .event("net.link.drop", self.now.as_micros())
+            .field("src", src.raw())
+            .field("dst", dst.raw())
+            .field("reason", reason)
+            .emit();
+    }
+
     /// Routes one message through the simulated network.
     fn dispatch_send(&mut self, src: HostId, dst: HostId, payload: Vec<u8>, size: u64) {
         self.stats.record_sent(src, dst);
+        self.counters.sent.inc();
         if src == dst {
             // Loopback: immediate delivery if the host is up.
             if self.topology.host_is_up(src) {
@@ -227,11 +311,13 @@ impl Simulator {
                 self.schedule(self.now, Event::Deliver { msg });
             } else {
                 self.stats.record_disconnected(src, dst);
+                self.record_drop(src, dst, "host_down");
             }
             return;
         }
         if !self.topology.reachable(src, dst) {
             self.stats.record_disconnected(src, dst);
+            self.record_drop(src, dst, "disconnected");
             return;
         }
         let spec = self
@@ -241,6 +327,7 @@ impl Simulator {
             .spec;
         if !self.rng.random_bool(spec.reliability.clamp(0.0, 1.0)) {
             self.stats.record_loss(src, dst);
+            self.record_drop(src, dst, "loss");
             return;
         }
         // Medium occupancy: the transmission starts when the link is free
@@ -307,9 +394,11 @@ impl Simulator {
                 let (src, dst, bytes) = (msg.src, msg.dst, msg.size);
                 if self.topology.host_is_up(dst) {
                     self.stats.record_delivered(src, dst, bytes);
+                    self.counters.delivered.inc();
                     self.run_callback(dst, |node, ctx| node.on_message(ctx, msg));
                 } else {
                     self.stats.record_disconnected(src, dst);
+                    self.record_drop(src, dst, "host_down");
                 }
             }
             Event::Timer { host, token } => {
@@ -323,6 +412,11 @@ impl Simulator {
                     (entry.0, std::mem::replace(&mut entry.1, Box::new(NoFluct)))
                 };
                 model.apply(&mut self.topology, &mut self.rng);
+                self.telemetry
+                    .event("net.fluctuation", self.now.as_micros())
+                    .field("index", index)
+                    .field("model", model.name().to_owned())
+                    .emit();
                 self.fluctuations[index].1 = model;
                 self.schedule(self.now + interval, Event::Fluctuate { index });
             }
@@ -419,13 +513,22 @@ mod tests {
     }
 
     fn sink() -> Sink {
-        Sink { received: Vec::new() }
+        Sink {
+            received: Vec::new(),
+        }
     }
 
     #[test]
     fn perfect_link_delivers_everything() {
         let mut sim = Simulator::new(1);
-        sim.add_host(h(0), Burst { peer: h(1), count: 10, size: 100 });
+        sim.add_host(
+            h(0),
+            Burst {
+                peer: h(1),
+                count: 10,
+                size: 100,
+            },
+        );
         sim.add_host(h(1), sink());
         sim.set_link(h(0), h(1), LinkSpec::default());
         sim.run_to_completion();
@@ -436,7 +539,14 @@ mod tests {
     #[test]
     fn delivery_time_reflects_delay_and_bandwidth() {
         let mut sim = Simulator::new(1);
-        sim.add_host(h(0), Burst { peer: h(1), count: 1, size: 1000 });
+        sim.add_host(
+            h(0),
+            Burst {
+                peer: h(1),
+                count: 1,
+                size: 1000,
+            },
+        );
         sim.add_host(h(1), sink());
         sim.set_link(
             h(0),
@@ -455,7 +565,14 @@ mod tests {
     #[test]
     fn unreliable_link_drops_roughly_proportionally() {
         let mut sim = Simulator::new(7);
-        sim.add_host(h(0), Burst { peer: h(1), count: 1000, size: 10 });
+        sim.add_host(
+            h(0),
+            Burst {
+                peer: h(1),
+                count: 1000,
+                size: 10,
+            },
+        );
         sim.add_host(h(1), sink());
         sim.set_link(
             h(0),
@@ -469,16 +586,20 @@ mod tests {
         let ratio = sim.stats().link(h(0), h(1)).delivery_ratio();
         assert!((ratio - 0.7).abs() < 0.05, "observed ratio {ratio}");
         assert_eq!(sim.stats().sent, 1000);
-        assert_eq!(
-            sim.stats().delivered + sim.stats().dropped_loss,
-            1000
-        );
+        assert_eq!(sim.stats().delivered + sim.stats().dropped_loss, 1000);
     }
 
     #[test]
     fn no_link_means_disconnected_drop() {
         let mut sim = Simulator::new(1);
-        sim.add_host(h(0), Burst { peer: h(1), count: 3, size: 1 });
+        sim.add_host(
+            h(0),
+            Burst {
+                peer: h(1),
+                count: 3,
+                size: 1,
+            },
+        );
         sim.add_host(h(1), sink());
         sim.run_to_completion();
         assert_eq!(sim.stats().dropped_disconnected, 3);
@@ -584,7 +705,14 @@ mod tests {
     fn identical_seeds_give_identical_runs() {
         fn run(seed: u64) -> (u64, u64) {
             let mut sim = Simulator::new(seed);
-            sim.add_host(h(0), Burst { peer: h(1), count: 500, size: 10 });
+            sim.add_host(
+                h(0),
+                Burst {
+                    peer: h(1),
+                    count: 500,
+                    size: 10,
+                },
+            );
             sim.add_host(h(1), sink());
             sim.set_link(
                 h(0),
@@ -640,11 +768,17 @@ mod tests {
                 ..LinkSpec::default()
             },
         );
-        sim.add_fluctuation(Duration::from_secs_f64(1.0), RandomWalkFluctuation::new(0.1));
+        sim.add_fluctuation(
+            Duration::from_secs_f64(1.0),
+            RandomWalkFluctuation::new(0.1),
+        );
         let before = sim.topology().link(h(0), h(1)).unwrap().spec.reliability;
         sim.run_until(SimTime::from_secs_f64(10.0));
         let after = sim.topology().link(h(0), h(1)).unwrap().spec.reliability;
-        assert_ne!(before, after, "ten fluctuation ticks left the link untouched");
+        assert_ne!(
+            before, after,
+            "ten fluctuation ticks left the link untouched"
+        );
         assert!((0.05..=1.0).contains(&after));
         // Deterministic: the same seed walks the same path.
         let mut sim2 = Simulator::new(4);
@@ -658,7 +792,10 @@ mod tests {
                 ..LinkSpec::default()
             },
         );
-        sim2.add_fluctuation(Duration::from_secs_f64(1.0), RandomWalkFluctuation::new(0.1));
+        sim2.add_fluctuation(
+            Duration::from_secs_f64(1.0),
+            RandomWalkFluctuation::new(0.1),
+        );
         sim2.run_until(SimTime::from_secs_f64(10.0));
         assert_eq!(
             after,
@@ -672,7 +809,14 @@ mod tests {
         // the first transmits 0.0–0.1 and arrives at 0.6; the second waits
         // for the medium, transmits 0.1–0.2, and arrives at 0.7.
         let mut sim = Simulator::new(1);
-        sim.add_host(h(0), Burst { peer: h(1), count: 2, size: 1000 });
+        sim.add_host(
+            h(0),
+            Burst {
+                peer: h(1),
+                count: 2,
+                size: 1000,
+            },
+        );
         sim.add_host(h(1), sink());
         sim.set_link(
             h(0),
@@ -691,7 +835,14 @@ mod tests {
     #[test]
     fn conservation_holds_mid_flight() {
         let mut sim = Simulator::new(1);
-        sim.add_host(h(0), Burst { peer: h(1), count: 50, size: 1000 });
+        sim.add_host(
+            h(0),
+            Burst {
+                peer: h(1),
+                count: 50,
+                size: 1000,
+            },
+        );
         sim.add_host(h(1), sink());
         sim.set_link(
             h(0),
@@ -714,7 +865,10 @@ mod tests {
         sim.run_to_completion();
         assert_eq!(sim.in_flight(), 0);
         let s = sim.stats();
-        assert_eq!(s.sent, s.delivered + s.dropped_loss + s.dropped_disconnected);
+        assert_eq!(
+            s.sent,
+            s.delivered + s.dropped_loss + s.dropped_disconnected
+        );
     }
 
     #[test]
@@ -722,5 +876,117 @@ mod tests {
         let mut sim = Simulator::new(1);
         sim.run_until(SimTime::from_secs_f64(5.0));
         assert_eq!(sim.now(), SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn telemetry_counters_match_ground_truth() {
+        let mut sim = Simulator::new(7);
+        sim.set_telemetry(Telemetry::default());
+        sim.add_host(
+            h(0),
+            Burst {
+                peer: h(1),
+                count: 200,
+                size: 10,
+            },
+        );
+        sim.add_host(h(1), sink());
+        sim.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 0.7,
+                ..LinkSpec::default()
+            },
+        );
+        sim.run_to_completion();
+        let metrics = sim.telemetry().metrics();
+        assert_eq!(metrics.counter("net.sent").get(), sim.stats().sent);
+        assert_eq!(
+            metrics.counter("net.delivered").get(),
+            sim.stats().delivered
+        );
+        assert_eq!(
+            metrics.counter("net.dropped_loss").get(),
+            sim.stats().dropped_loss
+        );
+        // Every loss left a journal record with its reason.
+        let losses = sim
+            .telemetry()
+            .journal()
+            .snapshot()
+            .iter()
+            .filter(|e| e.name == "net.link.drop")
+            .count() as u64;
+        assert_eq!(losses, sim.stats().dropped_loss);
+        sim.publish_gauges();
+        assert_eq!(
+            metrics.gauge("net.truth.delivery_ratio").get(),
+            sim.stats().delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn topology_transitions_are_journaled() {
+        let mut sim = Simulator::new(1);
+        sim.set_telemetry(Telemetry::default());
+        sim.add_host(h(0), sink());
+        sim.add_host(h(1), sink());
+        sim.set_link(h(0), h(1), LinkSpec::default());
+        sim.partition(&[vec![h(0)], vec![h(1)]]);
+        sim.heal();
+        sim.set_link_up(h(0), h(1), false);
+        sim.set_host_up(h(1), false);
+        let names: Vec<String> = sim
+            .telemetry()
+            .journal()
+            .snapshot()
+            .iter()
+            .map(|e| e.name.to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "net.partition",
+                "net.partition.heal",
+                "net.link.state",
+                "net.host.state"
+            ]
+        );
+    }
+
+    #[test]
+    fn seeded_runs_export_byte_identical_journals() {
+        use crate::fluctuation::RandomWalkFluctuation;
+        fn run(seed: u64) -> String {
+            let mut sim = Simulator::new(seed);
+            sim.set_telemetry(Telemetry::default());
+            sim.add_host(
+                h(0),
+                Burst {
+                    peer: h(1),
+                    count: 300,
+                    size: 10,
+                },
+            );
+            sim.add_host(h(1), sink());
+            sim.set_link(
+                h(0),
+                h(1),
+                LinkSpec {
+                    reliability: 0.6,
+                    ..LinkSpec::default()
+                },
+            );
+            sim.add_fluctuation(
+                Duration::from_secs_f64(0.5),
+                RandomWalkFluctuation::new(0.1),
+            );
+            sim.run_until(SimTime::from_secs_f64(5.0));
+            sim.telemetry().export_jsonl()
+        }
+        let a = run(42);
+        assert!(!a.is_empty());
+        assert_eq!(a, run(42), "same seed must export identical journals");
     }
 }

@@ -5,11 +5,12 @@
 //! experiment E11 compares the two.
 
 use redep_model::{HostId, HostPair};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Counters for one link (or the loopback of one host).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub struct LinkStats {
     /// Messages handed to the link.
     pub sent: u64,
@@ -47,8 +48,27 @@ impl fmt::Display for LinkStats {
     }
 }
 
+/// Renders `per_link` as an array of `[pair, stats]` entries: [`HostPair`]
+/// serializes as an object, so it cannot be a JSON map key directly.
+mod per_link_map {
+    use super::{HostPair, LinkStats};
+    use serde::{Deserialize, Error, Serialize, Value};
+    use std::collections::BTreeMap;
+
+    /// Serializes the map as an array of `[pair, stats]` pairs.
+    pub fn serialize(map: &BTreeMap<HostPair, LinkStats>) -> Value {
+        Value::Array(map.iter().map(|entry| entry.serialize()).collect())
+    }
+
+    /// Rebuilds the map from an array of `[pair, stats]` pairs.
+    pub fn deserialize(value: &Value) -> Result<BTreeMap<HostPair, LinkStats>, Error> {
+        let pairs = Vec::<(HostPair, LinkStats)>::deserialize(value)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
 /// Aggregate and per-link statistics for a whole simulation.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub struct NetStats {
     /// Total messages handed to the network.
     pub sent: u64,
@@ -60,6 +80,7 @@ pub struct NetStats {
     pub dropped_disconnected: u64,
     /// Total bytes delivered.
     pub bytes_delivered: u64,
+    #[serde(with = "per_link_map")]
     per_link: BTreeMap<HostPair, LinkStats>,
 }
 
@@ -132,6 +153,39 @@ impl NetStats {
             l.dropped_disconnected += 1;
         }
     }
+
+    /// Folds the ground-truth totals into registry gauges under the
+    /// `net.truth.*` prefix, plus a per-link delivery-ratio gauge for every
+    /// link that carried traffic. Monitors publish their *estimates*
+    /// elsewhere; exporting both makes estimation error visible in one
+    /// metrics dump.
+    pub fn publish_gauges(&self, metrics: &redep_telemetry::MetricsRegistry) {
+        metrics.gauge("net.truth.sent").set(self.sent as f64);
+        metrics
+            .gauge("net.truth.delivered")
+            .set(self.delivered as f64);
+        metrics
+            .gauge("net.truth.dropped_loss")
+            .set(self.dropped_loss as f64);
+        metrics
+            .gauge("net.truth.dropped_disconnected")
+            .set(self.dropped_disconnected as f64);
+        metrics
+            .gauge("net.truth.bytes_delivered")
+            .set(self.bytes_delivered as f64);
+        metrics
+            .gauge("net.truth.delivery_ratio")
+            .set(self.delivery_ratio());
+        for (pair, link) in self.links() {
+            metrics
+                .gauge(&format!(
+                    "net.truth.link.{}-{}.delivery_ratio",
+                    pair.lo(),
+                    pair.hi()
+                ))
+                .set(link.delivery_ratio());
+        }
+    }
 }
 
 impl fmt::Display for NetStats {
@@ -193,5 +247,33 @@ mod tests {
     fn untouched_link_reads_zero() {
         let s = NetStats::new();
         assert_eq!(s.link(h(3), h(4)), LinkStats::default());
+    }
+
+    #[test]
+    fn net_stats_round_trip_through_json() {
+        let mut s = NetStats::new();
+        s.record_sent(h(0), h(1));
+        s.record_delivered(h(0), h(1), 64);
+        s.record_sent(h(2), h(3));
+        s.record_loss(h(2), h(3));
+        let json = serde_json::to_string(&s.serialize()).unwrap();
+        let back = NetStats::deserialize(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.link(h(0), h(1)).bytes_delivered, 64);
+    }
+
+    #[test]
+    fn publish_gauges_exports_truth() {
+        let mut s = NetStats::new();
+        s.record_sent(h(0), h(1));
+        s.record_delivered(h(0), h(1), 8);
+        let metrics = redep_telemetry::MetricsRegistry::new();
+        s.publish_gauges(&metrics);
+        assert_eq!(metrics.gauge("net.truth.sent").get(), 1.0);
+        assert_eq!(metrics.gauge("net.truth.delivery_ratio").get(), 1.0);
+        assert_eq!(
+            metrics.gauge("net.truth.link.h0-h1.delivery_ratio").get(),
+            1.0
+        );
     }
 }

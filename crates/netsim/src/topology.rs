@@ -42,7 +42,11 @@ impl LinkSpec {
             "bandwidth must be positive, got {}",
             self.bandwidth
         );
-        assert!(self.delay >= 0.0, "delay must be non-negative, got {}", self.delay);
+        assert!(
+            self.delay >= 0.0,
+            "delay must be non-negative, got {}",
+            self.delay
+        );
     }
 }
 
@@ -198,7 +202,9 @@ impl NetworkTopology {
             }
         }
         for (pair, state) in self.links.iter_mut() {
-            if let (Some(x), Some(y)) = (group_of.get(&pair.lo()), group_of.get(&pair.hi())) { state.up = x == y }
+            if let (Some(x), Some(y)) = (group_of.get(&pair.lo()), group_of.get(&pair.hi())) {
+                state.up = x == y
+            }
         }
     }
 

@@ -29,8 +29,8 @@ use crate::event::Event;
 use crate::host::{HostConfig, HostServices, ADMIN_ADDRESS, DEPLOYER_ADDRESS};
 use crate::monitor::{EventFrequencyMonitor, MonitoringSnapshot};
 use crate::stability::StabilityGauge;
-use redep_netsim::SimTime;
 use redep_model::HostId;
+use redep_netsim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -229,8 +229,7 @@ impl AdminComponent {
         let mean_rel = if self.latest_reliabilities.is_empty() {
             1.0
         } else {
-            self.latest_reliabilities.values().sum::<f64>()
-                / self.latest_reliabilities.len() as f64
+            self.latest_reliabilities.values().sum::<f64>() / self.latest_reliabilities.len() as f64
         };
         self.freq_gauge.push(total_rate);
         self.rel_gauge.push(mean_rel);

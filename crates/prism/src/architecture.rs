@@ -5,8 +5,8 @@ use crate::connector::Connector;
 use crate::event::Event;
 use crate::monitor::ConnectorMonitor;
 use crate::PrismError;
-use redep_netsim::{Duration, SimTime};
 use redep_model::HostId;
+use redep_netsim::{Duration, SimTime};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -229,7 +229,10 @@ impl Architecture {
         self.queue.retain(|d| match d {
             Delivery::Attach(i) | Delivery::Handle(i, _) | Delivery::Timer(i, _) => *i != id,
         });
-        Ok((slot.behavior.type_name().to_owned(), slot.behavior.snapshot()))
+        Ok((
+            slot.behavior.type_name().to_owned(),
+            slot.behavior.snapshot(),
+        ))
     }
 
     /// Adds a connector.
@@ -301,10 +304,14 @@ impl Architecture {
 
     /// Borrows a connector's monitor of concrete type `T`, if attached.
     pub fn monitor_ref<T: ConnectorMonitor>(&self, connector: BrickId) -> Option<&T> {
-        self.connectors.get(&connector)?.monitors().iter().find_map(|m| {
-            let any: &dyn Any = m.as_ref();
-            any.downcast_ref::<T>()
-        })
+        self.connectors
+            .get(&connector)?
+            .monitors()
+            .iter()
+            .find_map(|m| {
+                let any: &dyn Any = m.as_ref();
+                any.downcast_ref::<T>()
+            })
     }
 
     /// Mutably borrows a connector's monitor of concrete type `T`.
@@ -439,14 +446,10 @@ impl Architecture {
             self.events_processed += 1;
             type Work = Box<dyn FnOnce(&mut dyn ComponentBehavior, &mut ComponentCtx<'_>)>;
             let (id, work): (BrickId, Work) = match delivery {
-                    Delivery::Attach(id) => (id, Box::new(|b, ctx| b.on_attach(ctx))),
-                    Delivery::Handle(id, event) => {
-                        (id, Box::new(move |b, ctx| b.handle(ctx, &event)))
-                    }
-                    Delivery::Timer(id, token) => {
-                        (id, Box::new(move |b, ctx| b.on_timer(ctx, token)))
-                    }
-                };
+                Delivery::Attach(id) => (id, Box::new(|b, ctx| b.on_attach(ctx))),
+                Delivery::Handle(id, event) => (id, Box::new(move |b, ctx| b.handle(ctx, &event))),
+                Delivery::Timer(id, token) => (id, Box::new(move |b, ctx| b.on_timer(ctx, token))),
+            };
             let Some(mut slot) = self.components.remove(&id) else {
                 continue; // component detached while the delivery was queued
             };
@@ -470,9 +473,13 @@ impl Architecture {
                         to_component,
                         event,
                     }),
-                    ComponentAction::SendNamed { to_component, event } => self
-                        .host_actions
-                        .push(HostAction::SendNamed { to_component, event }),
+                    ComponentAction::SendNamed {
+                        to_component,
+                        event,
+                    } => self.host_actions.push(HostAction::SendNamed {
+                        to_component,
+                        event,
+                    }),
                     ComponentAction::SetTimer { delay, token } => {
                         self.host_actions.push(HostAction::SetTimer {
                             component: name.clone(),
@@ -664,7 +671,11 @@ mod tests {
         let actions = a.take_host_actions();
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            HostAction::SendRemote { host, to_component, event } => {
+            HostAction::SendRemote {
+                host,
+                to_component,
+                event,
+            } => {
                 assert_eq!(*host, HostId::new(7));
                 assert_eq!(to_component, "peer");
                 assert_eq!(event.name(), "hi");
@@ -683,8 +694,11 @@ mod tests {
         let bus = a.add_connector("bus");
         a.weld(x, bus).unwrap();
         a.weld(y, bus).unwrap();
-        a.attach_monitor(bus, EventFrequencyMonitor::new(Duration::from_secs_f64(1.0)))
-            .unwrap();
+        a.attach_monitor(
+            bus,
+            EventFrequencyMonitor::new(Duration::from_secs_f64(1.0)),
+        )
+        .unwrap();
         a.publish("x", Event::notification("relay me")).unwrap();
         a.pump(SimTime::ZERO);
         let m = a.monitor_mut::<EventFrequencyMonitor>(bus).unwrap();

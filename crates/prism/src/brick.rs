@@ -2,8 +2,8 @@
 
 use crate::event::Event;
 use crate::PrismError;
-use redep_netsim::{Duration, SimTime};
 use redep_model::HostId;
+use redep_netsim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -125,7 +125,8 @@ impl<'a> ComponentCtx<'a> {
 
     /// Arms a one-shot timer delivered to [`ComponentBehavior::on_timer`].
     pub fn set_timer(&mut self, delay: Duration, token: u64) {
-        self.actions.push(ComponentAction::SetTimer { delay, token });
+        self.actions
+            .push(ComponentAction::SetTimer { delay, token });
     }
 }
 
@@ -274,7 +275,11 @@ mod tests {
             other => panic!("unexpected action {other:?}"),
         }
         match &actions[1] {
-            ComponentAction::SendRemote { host, to_component, event } => {
+            ComponentAction::SendRemote {
+                host,
+                to_component,
+                event,
+            } => {
                 assert_eq!(*host, HostId::new(1));
                 assert_eq!(to_component, "tracker");
                 assert_eq!(event.source(), Some("gui"));

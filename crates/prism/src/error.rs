@@ -33,7 +33,10 @@ impl fmt::Display for PrismError {
                 write!(f, "component '{name}' already exists")
             }
             PrismError::UnregisteredType(ty) => {
-                write!(f, "component type '{ty}' is not registered with the factory")
+                write!(
+                    f,
+                    "component type '{ty}' is not registered with the factory"
+                )
             }
             PrismError::Codec(msg) => write!(f, "encoding failed: {msg}"),
             PrismError::InvalidWeld(a, b) => {

@@ -14,8 +14,9 @@ use crate::event::Event;
 use crate::monitor::{EventFrequencyMonitor, ReliabilityProbe};
 use crate::transport::{ReliableChannel, WireMsg};
 use crate::PrismError;
-use redep_netsim::{Duration, Message, Node, NodeCtx, SimTime};
 use redep_model::HostId;
+use redep_netsim::{Duration, Message, Node, NodeCtx, SimTime};
+use redep_telemetry::{Histogram, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -229,11 +230,10 @@ impl HostServices {
             return;
         }
         if self.next_hop(dst).is_some() || dst == self.deployer_host {
-            let frame = self
-                .channels
-                .entry(dst)
-                .or_default()
-                .send(to_component.to_owned(), event.encode().expect("events serialize"));
+            let frame = self.channels.entry(dst).or_default().send(
+                to_component.to_owned(),
+                event.encode().expect("events serialize"),
+            );
             self.stats.control_sent += 1;
             self.wire(dst, frame);
         } else if self.host == self.deployer_host {
@@ -246,14 +246,10 @@ impl HostServices {
                 .with_param(crate::admin::P_FINAL_HOST, dst.raw() as i64)
                 .with_param(crate::admin::P_FINAL_COMPONENT, to_component)
                 .with_payload(event.encode().expect("events serialize"));
-            let frame = self
-                .channels
-                .entry(self.deployer_host)
-                .or_default()
-                .send(
-                    DEPLOYER_ADDRESS.to_owned(),
-                    wrapped.encode().expect("events serialize"),
-                );
+            let frame = self.channels.entry(self.deployer_host).or_default().send(
+                DEPLOYER_ADDRESS.to_owned(),
+                wrapped.encode().expect("events serialize"),
+            );
             self.stats.control_sent += 1;
             let deployer = self.deployer_host;
             self.wire(deployer, frame);
@@ -298,6 +294,11 @@ impl HostServices {
     /// Component names with parked events.
     pub fn buffered_components(&self) -> Vec<String> {
         self.buffered.keys().cloned().collect()
+    }
+
+    /// Total number of events currently parked across all components.
+    pub fn buffered_total(&self) -> usize {
+        self.buffered.values().map(Vec::len).sum()
     }
 
     /// The neighbor to relay through for `dst` (the destination itself
@@ -356,6 +357,33 @@ pub struct PrismHost {
     app_connector: BrickId,
     next_timer: u64,
     timers: BTreeMap<u64, (String, u64)>,
+    telemetry: Telemetry,
+    routing_latency: Histogram,
+}
+
+/// Upper-inclusive bounds (sim microseconds) for the event-routing latency
+/// histogram: spanning sub-millisecond local hops to multi-second detours
+/// through retransmission and mediation.
+const ROUTING_LATENCY_BOUNDS_US: &[f64] = &[
+    100.0,
+    1_000.0,
+    10_000.0,
+    50_000.0,
+    100_000.0,
+    500_000.0,
+    1_000_000.0,
+    5_000_000.0,
+];
+
+/// Maps deployment-protocol event names onto migration phase labels.
+fn migration_phase(event_name: &str) -> Option<&'static str> {
+    match event_name {
+        crate::admin::EV_CONFIGURE => Some("configure"),
+        crate::admin::EV_REQUEST => Some("request"),
+        crate::admin::EV_TRANSFER => Some("transfer"),
+        crate::admin::EV_ACK => Some("ack"),
+        _ => None,
+    }
 }
 
 impl fmt::Debug for PrismHost {
@@ -385,6 +413,10 @@ impl PrismHost {
         .expect("connector just created");
         let admin = AdminComponent::new(host, &config);
         let services = HostServices::new(host, &config);
+        let telemetry = Telemetry::disabled();
+        let routing_latency = telemetry
+            .metrics()
+            .histogram("prism.routing.latency_us", ROUTING_LATENCY_BOUNDS_US);
         PrismHost {
             arch,
             factory,
@@ -395,6 +427,45 @@ impl PrismHost {
             app_connector,
             next_timer: 0,
             timers: BTreeMap::new(),
+            telemetry,
+            routing_latency,
+        }
+    }
+
+    /// Installs a telemetry handle (typically the same handle as the
+    /// simulator's, so middleware and network records interleave in one
+    /// journal). Install before the run starts.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.routing_latency = telemetry
+            .metrics()
+            .histogram("prism.routing.latency_us", ROUTING_LATENCY_BOUNDS_US);
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle (a disabled no-op sink unless one was installed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Folds this host's [`HostStats`] into the telemetry registry's gauges
+    /// under a `prism.h<id>.*` prefix.
+    pub fn publish_gauges(&self) {
+        let host = self.arch.host();
+        let stats = self.services.stats();
+        let metrics = self.telemetry.metrics();
+        for (name, value) in [
+            ("app_events_emitted", stats.app_events_emitted),
+            ("app_events_sent", stats.app_events_sent),
+            ("app_events_received", stats.app_events_received),
+            ("control_sent", stats.control_sent),
+            ("retransmissions", stats.retransmissions),
+            ("events_buffered", stats.events_buffered),
+            ("events_replayed", stats.events_replayed),
+            ("events_undeliverable", stats.events_undeliverable),
+        ] {
+            metrics
+                .gauge(&format!("prism.{host}.{name}"))
+                .set(value as f64);
         }
     }
 
@@ -482,7 +553,14 @@ impl PrismHost {
             .deployer
             .as_mut()
             .ok_or_else(|| PrismError::UnknownComponent(DEPLOYER_ADDRESS.to_owned()))?;
+        let moves = target.len();
         deployer.effect(&mut self.services, target);
+        self.telemetry
+            .event("prism.migration.effect", self.services.now.as_micros())
+            .field("host", self.arch.host().raw())
+            .field("moves", moves)
+            .field("in_flight", deployer.status().in_flight.len())
+            .emit();
         Ok(())
     }
 
@@ -495,10 +573,7 @@ impl PrismHost {
     pub fn request_component(&mut self, component: &str, holder: HostId) {
         let request = Event::request(crate::admin::EV_REQUEST)
             .with_param(crate::admin::P_COMPONENT, component)
-            .with_param(
-                crate::admin::P_REQUESTER,
-                self.arch.host().raw() as i64,
-            );
+            .with_param(crate::admin::P_REQUESTER, self.arch.host().raw() as i64);
         self.services.send_reliable(holder, ADMIN_ADDRESS, &request);
     }
 
@@ -514,6 +589,8 @@ impl PrismHost {
     fn deliver_local(&mut self, to_component: &str, event: Event, reliable_origin: bool) {
         match to_component {
             ADMIN_ADDRESS => {
+                let phase = migration_phase(event.name());
+                let replayed_before = self.services.stats.events_replayed;
                 self.admin.handle(
                     &mut self.arch,
                     &mut self.services,
@@ -521,10 +598,40 @@ impl PrismHost {
                     self.app_connector,
                     &event,
                 );
+                if let Some(phase) = phase {
+                    let mut builder = self
+                        .telemetry
+                        .event("prism.migration.phase", self.services.now.as_micros())
+                        .field("host", self.arch.host().raw())
+                        .field("phase", phase)
+                        .field("buffered", self.services.buffered_total())
+                        .field(
+                            "replayed",
+                            self.services.stats.events_replayed - replayed_before,
+                        );
+                    if let Some(component) = event.param_text(crate::admin::P_COMPONENT) {
+                        builder = builder.field("component", component.to_owned());
+                    }
+                    builder.emit();
+                }
             }
             DEPLOYER_ADDRESS => {
                 if let Some(deployer) = self.deployer.as_mut() {
                     deployer.handle(&mut self.services, &event);
+                    if let Some(phase) = migration_phase(event.name()) {
+                        let status = deployer.status();
+                        let mut builder = self
+                            .telemetry
+                            .event("prism.migration.phase", self.services.now.as_micros())
+                            .field("host", self.arch.host().raw())
+                            .field("phase", phase)
+                            .field("in_flight", status.in_flight.len())
+                            .field("confirmed", status.confirmed);
+                        if let Some(component) = event.param_text(crate::admin::P_COMPONENT) {
+                            builder = builder.field("component", component.to_owned());
+                        }
+                        builder.emit();
+                    }
                 }
             }
             name => {
@@ -579,7 +686,10 @@ impl PrismHost {
                             self.services.send_raw(host, &to_component, &event);
                         }
                     }
-                    HostAction::SendNamed { to_component, event } => {
+                    HostAction::SendNamed {
+                        to_component,
+                        event,
+                    } => {
                         // Every named interaction — local or remote — is one
                         // logical-link interaction; the admin's frequency
                         // monitor counts it at the sender.
@@ -618,7 +728,11 @@ impl PrismHost {
         for (dst, frame) in std::mem::take(&mut self.services.outbox) {
             if dst == self.arch.host() {
                 // Local loopback of a control frame.
-                if let WireMsg::Raw { to_component, event } = frame {
+                if let WireMsg::Raw {
+                    to_component,
+                    event,
+                } = frame
+                {
                     if let Ok(event) = Event::decode(&event) {
                         self.deliver_local(&to_component, event, true);
                     }
@@ -664,7 +778,10 @@ impl PrismHost {
             WireMsg::Pong { .. } => {
                 self.services.probe.record_pong(origin);
             }
-            WireMsg::Raw { to_component, event } => {
+            WireMsg::Raw {
+                to_component,
+                event,
+            } => {
                 if let Ok(event) = Event::decode(&event) {
                     self.deliver_local(&to_component, event, false);
                 }
@@ -708,6 +825,10 @@ impl Node for PrismHost {
 
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, msg: Message) {
         self.services.now = ctx.now();
+        // Wire latency of the frame (queueing + transmission + propagation),
+        // in simulation microseconds.
+        self.routing_latency
+            .observe((ctx.now().as_micros() - msg.sent_at.as_micros()) as f64);
         let Ok(frame) = WireMsg::decode(&msg.payload) else {
             return;
         };
@@ -739,11 +860,24 @@ impl Node for PrismHost {
                 ctx.set_timer(self.config.ping_interval, TOKEN_PING);
             }
             TOKEN_MONITOR => {
+                let reports_before = self.admin.reports_sent();
                 self.admin.on_monitor_window(
                     &mut self.arch,
                     &mut self.services,
                     self.app_connector,
                 );
+                let mut builder = self
+                    .telemetry
+                    .event("prism.monitor.window", ctx.now().as_micros())
+                    .field("host", self.arch.host().raw())
+                    .field("reported", self.admin.reports_sent() > reports_before)
+                    .field("reports_total", self.admin.reports_sent());
+                if let Some(snapshot) = self.admin.last_snapshot() {
+                    builder = builder
+                        .field("components", snapshot.components.len())
+                        .field("total_rate", snapshot.frequencies.values().sum::<f64>());
+                }
+                builder.emit();
                 ctx.set_timer(self.config.monitor_window, TOKEN_MONITOR);
             }
             id => {

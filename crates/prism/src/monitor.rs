@@ -15,8 +15,8 @@
 //! into a [`MonitoringSnapshot`] and shipped to the deployer.
 
 use crate::event::Event;
-use redep_netsim::{Duration, SimTime};
 use redep_model::HostId;
+use redep_netsim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -33,22 +33,25 @@ pub trait ConnectorMonitor: Any + fmt::Debug {
 
 /// Serializes `BTreeMap<(String, String), V>` as a sequence of
 /// `(a, b, value)` triples (JSON objects cannot have tuple keys).
-mod pair_map {
+pub mod pair_map {
     use serde::de::DeserializeOwned;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
     use std::collections::BTreeMap;
 
-    pub fn serialize<S: Serializer, V: Serialize>(
-        map: &BTreeMap<(String, String), V>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        ser.collect_seq(map.iter().map(|((a, b), v)| (a, b, v)))
+    /// Renders the map as an array of `[a, b, value]` triples.
+    pub fn serialize<V: Serialize>(map: &BTreeMap<(String, String), V>) -> Value {
+        Value::Array(
+            map.iter()
+                .map(|((a, b), v)| (a, b, v).serialize())
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>, V: DeserializeOwned>(
-        de: D,
-    ) -> Result<BTreeMap<(String, String), V>, D::Error> {
-        let triples = Vec::<(String, String, V)>::deserialize(de)?;
+    /// Rebuilds the tuple-keyed map from an array of `[a, b, value]` triples.
+    pub fn deserialize<V: DeserializeOwned>(
+        value: &Value,
+    ) -> Result<BTreeMap<(String, String), V>, Error> {
+        let triples = Vec::<(String, String, V)>::deserialize(value)?;
         Ok(triples.into_iter().map(|(a, b, v)| ((a, b), v)).collect())
     }
 }
@@ -192,11 +195,7 @@ impl ConnectorMonitor for EventFrequencyMonitor {
                 return;
             }
         }
-        if let Some(i) = self
-            .slots
-            .iter()
-            .position(|s| s.src == src && s.dst == dst)
-        {
+        if let Some(i) = self.slots.iter().position(|s| s.src == src && s.dst == dst) {
             self.last_hit = i;
             self.slots[i].count += 1;
             self.slots[i].bytes += size;

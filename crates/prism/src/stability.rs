@@ -43,7 +43,10 @@ impl StabilityGauge {
     ///
     /// Panics if `epsilon` is negative or `required` is zero.
     pub fn new(epsilon: f64, required: usize) -> Self {
-        assert!(epsilon >= 0.0, "epsilon must be non-negative, got {epsilon}");
+        assert!(
+            epsilon >= 0.0,
+            "epsilon must be non-negative, got {epsilon}"
+        );
         assert!(required > 0, "at least one stable interval is required");
         StabilityGauge {
             epsilon,
@@ -134,7 +137,11 @@ impl fmt::Display for StabilityGauge {
             "stability(ε={}, k={}, {})",
             self.epsilon,
             self.required,
-            if self.is_stable() { "stable" } else { "settling" }
+            if self.is_stable() {
+                "stable"
+            } else {
+                "settling"
+            }
         )
     }
 }

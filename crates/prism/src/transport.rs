@@ -117,7 +117,8 @@ impl ReliableChannel {
     pub(crate) fn send(&mut self, to_component: String, event: Vec<u8>) -> WireMsg {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.insert(seq, (to_component.clone(), event.clone()));
+        self.pending
+            .insert(seq, (to_component.clone(), event.clone()));
         WireMsg::Seq {
             seq,
             to_component,

@@ -52,7 +52,8 @@ fn three_host_system(reliability: f64) -> Simulator {
             .unwrap();
         }
         if me == h(1) {
-            host.add_app_component("b", WorkloadComponent::new(vec![])).unwrap();
+            host.add_app_component("b", WorkloadComponent::new(vec![]))
+                .unwrap();
         }
         host.set_initial_directory(directory.clone());
         sim.add_host(me, host);
@@ -105,7 +106,12 @@ fn monitoring_reports_reach_the_deployer() {
     let master = sim.node_ref::<PrismHost>(h(0)).unwrap();
     let deployer = master.deployer().unwrap();
     // Every host reported at least once (stability achieved).
-    assert_eq!(deployer.snapshots().len(), 3, "{:?}", deployer.snapshots().keys());
+    assert_eq!(
+        deployer.snapshots().len(),
+        3,
+        "{:?}",
+        deployer.snapshots().keys()
+    );
     // The sender's snapshot carries a frequency estimate near 5 events/s.
     let snap0 = &deployer.snapshots()[&h(0)];
     let freq: f64 = snap0
@@ -146,7 +152,11 @@ fn redeployment_migrates_component_and_traffic_follows() {
 
     let master = sim.node_ref::<PrismHost>(h(0)).unwrap();
     let status = master.deployer().unwrap().status();
-    assert!(status.is_complete(), "still in flight: {:?}", status.in_flight);
+    assert!(
+        status.is_complete(),
+        "still in flight: {:?}",
+        status.in_flight
+    );
     assert_eq!(status.requested, 1);
     assert_eq!(status.confirmed, 1);
 
@@ -229,7 +239,13 @@ fn migration_survives_lossy_links() {
     // Retransmissions actually happened (the channel earned its keep).
     let retrans: u64 = [h(0), h(1), h(2)]
         .iter()
-        .map(|&x| sim.node_ref::<PrismHost>(x).unwrap().services().stats().retransmissions)
+        .map(|&x| {
+            sim.node_ref::<PrismHost>(x)
+                .unwrap()
+                .services()
+                .stats()
+                .retransmissions
+        })
         .sum();
     assert!(retrans > 0);
 }
@@ -313,7 +329,8 @@ fn mediated_transfer_without_direct_link() {
             .unwrap();
         }
         if me == h(1) {
-            host.add_app_component("b", WorkloadComponent::new(vec![])).unwrap();
+            host.add_app_component("b", WorkloadComponent::new(vec![]))
+                .unwrap();
         }
         host.set_initial_directory(directory.clone());
         sim.add_host(me, host);

@@ -2,7 +2,9 @@
 //! invariants.
 
 use proptest::prelude::*;
+use redep_prism::monitor::pair_map;
 use redep_prism::{Event, StabilityGauge};
+use std::collections::BTreeMap;
 
 fn event_strategy() -> impl Strategy<Value = Event> {
     (
@@ -63,6 +65,22 @@ proptest! {
             g.push(base + if i % 2 == 0 { 0.0 } else { jump });
         }
         prop_assert!(!g.is_stable());
+    }
+
+    #[test]
+    fn pair_map_round_trips_any_pair_keyed_map(
+        entries in proptest::collection::btree_map(
+            ("[a-z0-9._-]{0,12}", "[a-z0-9._-]{0,12}"),
+            -1e12f64..1e12,
+            0..16,
+        ),
+    ) {
+        let map: BTreeMap<(String, String), f64> = entries;
+        let value = pair_map::serialize(&map);
+        let text = serde_json::to_string(&value).unwrap();
+        let back: BTreeMap<(String, String), f64> =
+            pair_map::deserialize(&serde_json::from_str(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, map);
     }
 
     #[test]

@@ -63,7 +63,8 @@ fn line_system(reliability: f64) -> Simulator {
             .unwrap();
         }
         if me == h(3) {
-            host.add_app_component("dst", WorkloadComponent::new(vec![])).unwrap();
+            host.add_app_component("dst", WorkloadComponent::new(vec![]))
+                .unwrap();
         }
         host.set_initial_directory(directory.clone());
         sim.add_host(me, host);
@@ -96,7 +97,13 @@ fn app_events_cross_three_hops() {
     // The middle hosts actually relayed.
     let forwarded: u64 = [h(1), h(2)]
         .iter()
-        .map(|&x| sim.node_ref::<PrismHost>(x).unwrap().services().stats().frames_forwarded)
+        .map(|&x| {
+            sim.node_ref::<PrismHost>(x)
+                .unwrap()
+                .services()
+                .stats()
+                .frames_forwarded
+        })
         .sum();
     assert!(forwarded > 0, "no frames were relayed");
 }

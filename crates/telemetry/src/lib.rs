@@ -1,0 +1,479 @@
+//! Sim-time-aware telemetry for the redep workspace.
+//!
+//! The paper's framework is an observability loop — monitors estimate what
+//! the network does, the analyzer decides from those estimates — so the
+//! instrumentation layer has two hard requirements the usual tracing stacks
+//! don't:
+//!
+//! 1. **Determinism.** Every record is stamped with *simulation* time
+//!    (microseconds as `u64`), never wall clock. Two runs with the same
+//!    seed must produce byte-identical exported journals, so traces can be
+//!    diffed across seeded runs.
+//! 2. **Hot-path cost.** Counters and gauges are single relaxed atomic
+//!    operations; the journal takes one short mutex hold per record; and a
+//!    disabled [`Telemetry`] handle short-circuits before allocating, so
+//!    instrumentation can stay compiled in.
+//!
+//! The crate deliberately takes time as a raw `u64` of microseconds rather
+//! than `netsim::SimTime` — netsim *depends on* this crate, so the time
+//! type cannot flow the other way. Callers stamp with
+//! `SimTime::as_micros()`.
+//!
+//! # Layout
+//!
+//! - [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s; registration locks, increments never do.
+//! - [`Journal`] — a bounded ring buffer of structured [`Event`]s
+//!   (drop-oldest, with a drop counter so truncation is visible).
+//! - [`Telemetry`] — a cheap-to-clone handle bundling both plus the
+//!   enabled/disabled switch; [`Telemetry::export_jsonl`] renders the
+//!   machine-readable journal and [`Telemetry::summary`] the human one.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde_json::{Number, Value};
+
+pub mod metrics;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+
+/// One structured field value attached to an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Text (static labels stay unallocated).
+    Str(Cow<'static, str>),
+}
+
+macro_rules! field_from {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $cast)
+            }
+        }
+    )*};
+}
+
+field_from!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(Cow::Owned(v))
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Number(Number::U(*v)),
+            FieldValue::I64(v) => Value::Number(Number::I(*v)),
+            FieldValue::F64(v) => Value::Number(Number::F(*v)),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::String(v.clone().into_owned()),
+        }
+    }
+}
+
+/// One journal record: a named occurrence at a simulation time, with
+/// structured fields. Spans are events that also carry an end time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Simulation time of the event (or span start), in microseconds.
+    pub t_us: u64,
+    /// Span end in simulation microseconds; `None` for point events.
+    pub end_us: Option<u64>,
+    /// Dot-separated event name, e.g. `"net.link.drop"`.
+    pub name: Cow<'static, str>,
+    /// Structured payload, in insertion order.
+    pub fields: Vec<(Cow<'static, str>, FieldValue)>,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (the JSONL line without the
+    /// trailing newline). Field keys are emitted in sorted order so output
+    /// is independent of instrumentation-site ordering.
+    pub fn to_json(&self) -> Value {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("t_us".to_owned(), Value::Number(Number::U(self.t_us)));
+        if let Some(end) = self.end_us {
+            obj.insert("end_us".to_owned(), Value::Number(Number::U(end)));
+        }
+        obj.insert(
+            "event".to_owned(),
+            Value::String(self.name.clone().into_owned()),
+        );
+        if !self.fields.is_empty() {
+            let fields: std::collections::BTreeMap<String, Value> = self
+                .fields
+                .iter()
+                .map(|(k, v)| (k.clone().into_owned(), v.to_json()))
+                .collect();
+            obj.insert("fields".to_owned(), Value::Object(fields));
+        }
+        Value::Object(obj)
+    }
+}
+
+/// A bounded, drop-oldest ring buffer of [`Event`]s.
+///
+/// Records hold a mutex only long enough to push; when full, the oldest
+/// record is evicted and counted in [`Journal::dropped`], so a truncated
+/// journal is always detectable.
+pub struct Journal {
+    buf: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    /// A journal retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one event, evicting the oldest when at capacity.
+    pub fn record(&self, event: Event) {
+        let mut buf = self.buf.lock();
+        if buf.len() >= self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Removes and returns all retained events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.buf.lock().drain(..).collect()
+    }
+}
+
+/// Builder returned by [`Telemetry::event`] / [`Telemetry::span`]; collects
+/// fields and writes the record on [`emit`](EventBuilder::emit). When the
+/// telemetry handle is disabled the builder is inert and never allocates.
+pub struct EventBuilder<'a> {
+    journal: Option<&'a Journal>,
+    event: Event,
+}
+
+impl EventBuilder<'_> {
+    /// Attaches one structured field.
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if self.journal.is_some() {
+            self.event.fields.push((Cow::Borrowed(key), value.into()));
+        }
+        self
+    }
+
+    /// Attaches one structured field with an owned key (prefer
+    /// [`field`](Self::field) for static keys).
+    #[must_use]
+    pub fn field_owned(mut self, key: String, value: impl Into<FieldValue>) -> Self {
+        if self.journal.is_some() {
+            self.event.fields.push((Cow::Owned(key), value.into()));
+        }
+        self
+    }
+
+    /// Writes the record into the journal.
+    pub fn emit(self) {
+        if let Some(journal) = self.journal {
+            journal.record(self.event);
+        }
+    }
+}
+
+/// Shared telemetry handle: metrics + journal + the on/off switch.
+///
+/// Cloning is an `Arc` bump; every layer of the system can hold its own
+/// handle. A handle built with [`Telemetry::disabled`] keeps the full API
+/// but records nothing — instrumentation stays compiled in and costs a
+/// branch.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    enabled: bool,
+    metrics: MetricsRegistry,
+    journal: Journal,
+}
+
+/// Default journal capacity: enough for the longest experiment runs while
+/// bounding memory at roughly a few MiB.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Telemetry {
+    /// An enabled handle with the given journal capacity.
+    pub fn new(journal_capacity: usize) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: true,
+                metrics: MetricsRegistry::new(),
+                journal: Journal::new(journal_capacity),
+            }),
+        }
+    }
+
+    /// A no-op handle: full API, records nothing, near-zero cost.
+    pub fn disabled() -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: false,
+                metrics: MetricsRegistry::new(),
+                journal: Journal::new(1),
+            }),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// The metrics registry (counters/gauges/histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.inner.journal
+    }
+
+    /// Starts a point event at simulation time `t_us`.
+    #[must_use]
+    pub fn event(&self, name: &'static str, t_us: u64) -> EventBuilder<'_> {
+        EventBuilder {
+            journal: self.inner.enabled.then(|| &self.inner.journal),
+            event: Event {
+                t_us,
+                end_us: None,
+                name: Cow::Borrowed(name),
+                fields: Vec::new(),
+            },
+        }
+    }
+
+    /// Starts a span record covering `[start_us, end_us]` in simulation time.
+    #[must_use]
+    pub fn span(&self, name: &'static str, start_us: u64, end_us: u64) -> EventBuilder<'_> {
+        EventBuilder {
+            journal: self.inner.enabled.then(|| &self.inner.journal),
+            event: Event {
+                t_us: start_us,
+                end_us: Some(end_us),
+                name: Cow::Borrowed(name),
+                fields: Vec::new(),
+            },
+        }
+    }
+
+    /// Renders the journal as JSON Lines: one deterministic, sorted-key
+    /// object per event, oldest first.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.inner.journal.snapshot() {
+            out.push_str(
+                &serde_json::to_string(&event.to_json()).expect("journal events always serialize"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable run digest: journal shape, event counts by name, and
+    /// every registered metric.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let events = self.inner.journal.snapshot();
+        let dropped = self.inner.journal.dropped();
+        let _ = writeln!(
+            out,
+            "telemetry summary: {} events retained, {} dropped{}",
+            events.len(),
+            dropped,
+            if self.inner.enabled {
+                ""
+            } else {
+                " (disabled)"
+            }
+        );
+        if let (Some(first), Some(last)) = (events.first(), events.last()) {
+            let _ = writeln!(
+                out,
+                "  sim-time range: {:.6}s .. {:.6}s",
+                first.t_us as f64 / 1e6,
+                last.t_us as f64 / 1e6
+            );
+        }
+        let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for event in &events {
+            *counts.entry(event.name.as_ref()).or_default() += 1;
+        }
+        if !counts.is_empty() {
+            let _ = writeln!(out, "  events by name:");
+            for (name, n) in counts {
+                let _ = writeln!(out, "    {name:<40} {n:>8}");
+            }
+        }
+        out.push_str(&self.inner.metrics.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let tele = Telemetry::new(16);
+        tele.event("net.link.drop", 1_500_000)
+            .field("src", 1u32)
+            .field("dst", 2u32)
+            .field("reason", "loss")
+            .emit();
+        tele.span("prism.migration", 2_000_000, 2_500_000)
+            .field("component", "comp_a".to_owned())
+            .field("buffered", 7u64)
+            .emit();
+        let jsonl = tele.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("t_us").and_then(Value::as_u64), Some(1_500_000));
+        assert_eq!(
+            first.get("event").and_then(Value::as_str),
+            Some("net.link.drop")
+        );
+        assert_eq!(
+            first
+                .get("fields")
+                .and_then(|f| f.get("reason"))
+                .and_then(Value::as_str),
+            Some("loss")
+        );
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(
+            second.get("end_us").and_then(Value::as_u64),
+            Some(2_500_000)
+        );
+    }
+
+    #[test]
+    fn journal_drops_oldest_and_counts() {
+        let tele = Telemetry::new(3);
+        for i in 0..5u64 {
+            tele.event("tick", i).emit();
+        }
+        let events = tele.journal().snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].t_us, 2);
+        assert_eq!(tele.journal().dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tele = Telemetry::disabled();
+        tele.event("x", 1).field("a", 1u64).emit();
+        assert!(tele.journal().is_empty());
+        assert!(!tele.is_enabled());
+        // Metrics still function (they are registry-owned, not gated), so
+        // callers never need to branch.
+        tele.metrics().counter("c").inc();
+        assert_eq!(tele.metrics().counter("c").get(), 1);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let run = || {
+            let tele = Telemetry::new(64);
+            for i in 0..10u64 {
+                tele.event("step", i * 1000)
+                    .field("z_last", i)
+                    .field("a_first", i * 2)
+                    .emit();
+            }
+            tele.export_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn summary_mentions_counts_and_metrics() {
+        let tele = Telemetry::new(16);
+        tele.event("a.b", 0).emit();
+        tele.event("a.b", 1).emit();
+        tele.metrics().counter("net.sent").add(5);
+        let summary = tele.summary();
+        assert!(summary.contains("a.b"), "{summary}");
+        assert!(summary.contains("net.sent"), "{summary}");
+        assert!(summary.contains("2 events retained"), "{summary}");
+    }
+}

@@ -12,6 +12,7 @@ use redep::framework::{
 };
 use redep::model::{Availability, Latency, Objective};
 use redep::netsim::Duration;
+use redep::telemetry::Telemetry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::build(&ScenarioConfig {
@@ -37,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &RuntimeConfig::default(),
         AnalyzerConfig::default(),
     )?;
+    fw.set_telemetry(Telemetry::default());
 
     for cycle in 1..=8 {
         let report = fw.cycle(
@@ -68,15 +70,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Availability.evaluate(model, deployment),
         Latency::new().evaluate(model, deployment),
     );
-    println!("measured end-to-end availability: {:.4}", fw.runtime().measured_availability());
+    println!(
+        "measured end-to-end availability: {:.4}",
+        fw.runtime().measured_availability()
+    );
     println!("\nanalyzer history:");
     for entry in fw.analyzer().history() {
         println!(
             "  t={:>6.1}s availability {:.4}{}",
             entry.time_secs,
             entry.availability,
-            if entry.redeployed { "  [redeployed]" } else { "" }
+            if entry.redeployed {
+                "  [redeployed]"
+            } else {
+                ""
+            }
         );
     }
+
+    // The run journal: every decision above is also machine-readable.
+    fw.runtime().publish_gauges();
+    println!("\n{}", fw.telemetry().summary());
+    std::fs::create_dir_all("target")?;
+    let journal = fw.telemetry().export_jsonl();
+    std::fs::write("target/centralized_journal.jsonl", &journal)?;
+    println!(
+        "wrote target/centralized_journal.jsonl ({} lines)",
+        journal.lines().count()
+    );
     Ok(())
 }

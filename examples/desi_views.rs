@@ -1,14 +1,16 @@
 //! DeSi's views (Figures 9 and 10): generate a hypothetical architecture,
-//! run the algorithm suite, and render the tabular page and the deployment
-//! graph (writes `target/desi_deployment.svg`).
+//! run the algorithm suite, and render the tabular page, the deployment
+//! graph (writes `target/desi_deployment.svg`), and the telemetry page
+//! with per-algorithm convergence sparklines.
 //!
 //! ```sh
 //! cargo run --example desi_views
 //! ```
 
 use redep::algorithms::{AvalaAlgorithm, ExactAlgorithm, GeneticAlgorithm, StochasticAlgorithm};
-use redep::desi::DeSi;
+use redep::desi::{DeSi, TelemetryView};
 use redep::model::{keys, Availability, GeneratorConfig};
+use redep::telemetry::Telemetry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // DeSi's Generator controller: fabricate an architecture from ranges.
@@ -39,6 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all("target")?;
     std::fs::write("target/desi_deployment.svg", &svg)?;
     println!("wrote target/desi_deployment.svg ({} bytes)", svg.len());
+
+    // The telemetry page: convergence sparklines for every recorded run
+    // (pass a live handle instead of `disabled()` to include a run journal).
+    println!(
+        "{}",
+        TelemetryView::new().render(&Telemetry::disabled(), desi.results())
+    );
 
     // Round-trip the architecture description (the xADL channel).
     let adl = desi.to_adl()?;

@@ -13,7 +13,8 @@ use redep::netsim::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = Generator::generate(&GeneratorConfig::sized(4, 10).with_seed(3))?;
-    let mut runtime = SystemRuntime::build(&system.model, &system.initial, &RuntimeConfig::default())?;
+    let mut runtime =
+        SystemRuntime::build(&system.model, &system.initial, &RuntimeConfig::default())?;
 
     println!("running 60 simulated seconds of monitored workload…\n");
     runtime.run_for(Duration::from_secs_f64(60.0));
@@ -36,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nmonitored link reliability vs ground truth:");
-    println!("  {:<12} {:>10} {:>10} {:>8}", "LINK", "MONITORED", "TRUTH", "ERROR");
+    println!(
+        "  {:<12} {:>10} {:>10} {:>8}",
+        "LINK", "MONITORED", "TRUTH", "ERROR"
+    );
     for (host, snap) in deployer.snapshots() {
         for (peer, estimate) in &snap.reliabilities {
             if let Some(link) = runtime.sim().topology().link(*host, *peer) {

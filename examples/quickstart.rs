@@ -5,7 +5,7 @@
 //! ```
 
 use redep::algorithms::{AvalaAlgorithm, ExactAlgorithm, RedeploymentAlgorithm};
-use redep::model::{Availability, DeploymentModel, Deployment, Latency, Objective};
+use redep::model::{Availability, Deployment, DeploymentModel, Latency, Objective};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the deployment architecture: two hosts over one flaky
@@ -43,8 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     naive.assign(tracker, pda);
     naive.assign(logger, pda);
     println!("naive deployment:      {naive}");
-    println!("  availability = {:.3}", Availability.evaluate(&model, &naive));
-    println!("  latency      = {:.3}", Latency::new().evaluate(&model, &naive));
+    println!(
+        "  availability = {:.3}",
+        Availability.evaluate(&model, &naive)
+    );
+    println!(
+        "  latency      = {:.3}",
+        Latency::new().evaluate(&model, &naive)
+    );
 
     // 3. Ask two algorithms for something better.
     for algo in [
@@ -54,11 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let result = algo.run(&model, &Availability, model.constraints(), Some(&naive))?;
         println!(
             "{:<10} proposes {}  (availability {:.3}, {} evaluations, {:?})",
-            result.algorithm,
-            result.deployment,
-            result.value,
-            result.evaluations,
-            result.wall_time
+            result.algorithm, result.deployment, result.value, result.evaluations, result.wall_time
         );
     }
     Ok(())

@@ -27,6 +27,7 @@
 //! | [`algorithms`] | `redep-algorithms` | Exact / Stochastic / Avala / DecAp / genetic / annealing |
 //! | [`desi`] | `redep-desi` | DeSi exploration environment: MVC, views, middleware adapter |
 //! | [`framework`] | `redep-core` | the framework itself: analyzers, centralized & decentralized instantiations, the §1 scenario |
+//! | [`telemetry`] | `redep-telemetry` | metrics registry + sim-time run journal shared by every layer |
 //!
 //! # Quickstart
 //!
@@ -58,3 +59,4 @@ pub use redep_desi as desi;
 pub use redep_model as model;
 pub use redep_netsim as netsim;
 pub use redep_prism as prism;
+pub use redep_telemetry as telemetry;

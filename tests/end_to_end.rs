@@ -61,9 +61,12 @@ fn centralized_framework_improves_the_scenario() {
 fn decentralized_framework_improves_without_a_master() {
     let s = scenario(13);
     let before = Availability.evaluate(&s.model, &s.initial);
-    let mut fw =
-        DecentralizedFramework::new(s.model.clone(), s.initial.clone(), &RuntimeConfig::default())
-            .unwrap();
+    let mut fw = DecentralizedFramework::new(
+        s.model.clone(),
+        s.initial.clone(),
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
     for _ in 0..5 {
         fw.cycle(
             &Availability,
@@ -124,10 +127,7 @@ fn framework_survives_link_degradation_mid_run() {
     // Monitoring tracked the degradation: the model's mean link reliability
     // dropped below the scenario's optimistic initial values.
     let model = fw.desi().system().model();
-    let mean_rel: f64 = model
-        .physical_links()
-        .map(|l| l.reliability())
-        .sum::<f64>()
+    let mean_rel: f64 = model.physical_links().map(|l| l.reliability()).sum::<f64>()
         / model.physical_link_count() as f64;
     assert!(
         mean_rel < 0.75,
@@ -150,10 +150,8 @@ fn latency_objective_runs_through_the_whole_stack() {
         },
     )
     .unwrap();
-    let before = Latency::new().evaluate(
-        fw.desi().system().model(),
-        fw.desi().system().deployment(),
-    );
+    let before =
+        Latency::new().evaluate(fw.desi().system().model(), fw.desi().system().deployment());
     for _ in 0..8 {
         fw.cycle(
             &Latency::new(),
@@ -162,10 +160,8 @@ fn latency_objective_runs_through_the_whole_stack() {
         )
         .unwrap();
     }
-    let after = Latency::new().evaluate(
-        fw.desi().system().model(),
-        fw.desi().system().deployment(),
-    );
+    let after =
+        Latency::new().evaluate(fw.desi().system().model(), fw.desi().system().deployment());
     assert!(
         after <= before * 1.05 + 1e-6,
         "latency got significantly worse: {before:.3} -> {after:.3}"

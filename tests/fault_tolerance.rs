@@ -7,7 +7,13 @@ use redep::netsim::{Duration, MarkovLinkChurn};
 use redep::prism::PrismHost;
 use std::collections::BTreeMap;
 
-fn runtime(seed: u64) -> (redep::model::DeploymentModel, redep::model::Deployment, SystemRuntime) {
+fn runtime(
+    seed: u64,
+) -> (
+    redep::model::DeploymentModel,
+    redep::model::Deployment,
+    SystemRuntime,
+) {
     let s = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(seed)).unwrap();
     let rt = SystemRuntime::build(&s.model, &s.initial, &RuntimeConfig::default()).unwrap();
     (s.model, s.initial, rt)
@@ -28,7 +34,10 @@ fn redeployment_completes_after_a_partition_heals() {
     rt.sim_mut().partition(&[others, vec![dest]]);
 
     let target: BTreeMap<String, HostId> = [(names[&component].clone(), dest)].into();
-    rt.host_mut(master).unwrap().effect_redeployment(target).unwrap();
+    rt.host_mut(master)
+        .unwrap()
+        .effect_redeployment(target)
+        .unwrap();
     rt.run_for(Duration::from_secs_f64(10.0));
     // Still cut off (unless the move was already local): not complete.
     if from != dest {
@@ -66,7 +75,10 @@ fn workload_survives_link_churn() {
     rt.run_for(Duration::from_secs_f64(60.0));
     // The system keeps making progress: events flow, nothing deadlocks.
     let availability = rt.measured_availability();
-    assert!(availability > 0.1, "system starved under churn: {availability}");
+    assert!(
+        availability > 0.1,
+        "system starved under churn: {availability}"
+    );
     assert!(rt.sim().stats().delivered > 100);
 }
 

@@ -1,0 +1,599 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored value-tree `serde` by walking the raw `proc_macro::TokenStream`
+//! directly — the container has no registry, so `syn`/`quote` are not
+//! available. Code is generated as a string and parsed back.
+//!
+//! Supported shapes (exactly what this workspace derives on):
+//! - named structs, with field attrs `with = "module"`, `default`,
+//!   `default = "fn"`, `skip_serializing_if = "path"`
+//! - `#[serde(transparent)]` newtype and single-named-field structs
+//! - enums with unit / newtype / tuple / struct variants, externally tagged
+//! - `#[serde(untagged)]` enums with newtype variants (tried in order)
+//!
+//! Generic deriving types are not supported (none exist in the workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    transparent: bool,
+    untagged: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    with: Option<String>,
+    default: Option<DefaultAttr>,
+    skip_if: Option<String>,
+}
+
+enum DefaultAttr {
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Attribute items found inside `#[serde(...)]`: `(name, Some(literal))`
+/// for `name = "literal"`, `(name, None)` for bare flags.
+type SerdeAttrs = Vec<(String, Option<String>)>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let container_attrs = take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let item_kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    let transparent = container_attrs.iter().any(|(k, _)| k == "transparent");
+    let untagged = container_attrs.iter().any(|(k, _)| k == "untagged");
+
+    let kind = match item_kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => panic!("serde_derive stub: unit struct `{name}` is not supported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive stub: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive stub: cannot derive on `{other}` items"),
+    };
+
+    Item {
+        name,
+        transparent,
+        untagged,
+        kind,
+    }
+}
+
+/// Consumes leading `#[...]` attributes, returning the serde ones.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            panic!("serde_derive stub: `#` not followed by a bracket group");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(&inner[..], [TokenTree::Ident(id), ..] if id.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                out.extend(parse_serde_args(args.stream()));
+            }
+        }
+        *i += 2;
+    }
+    out
+}
+
+/// Parses the comma-separated items inside `serde(...)`.
+fn parse_serde_args(stream: TokenStream) -> SerdeAttrs {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: unexpected token in serde(...): {other}"),
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    let raw = lit.to_string();
+                    value = Some(raw.trim_matches('"').to_owned());
+                    i += 1;
+                }
+                other => {
+                    panic!("serde_derive stub: expected string after `{key} =`, got {other:?}")
+                }
+            }
+        }
+        out.push((key, value));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists (types are skipped — codegen relies
+/// on inference through struct-literal construction).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma outside angle brackets.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // the comma
+        }
+
+        let mut field = Field {
+            name,
+            with: None,
+            default: None,
+            skip_if: None,
+        };
+        for (key, value) in attrs {
+            match (key.as_str(), value) {
+                ("with", Some(path)) => field.with = Some(path),
+                ("default", Some(path)) => field.default = Some(DefaultAttr::Path(path)),
+                ("default", None) => field.default = Some(DefaultAttr::Std),
+                ("skip_serializing_if", Some(path)) => field.skip_if = Some(path),
+                (other, _) => {
+                    panic!("serde_derive stub: unsupported field attribute `{other}`")
+                }
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts comma-separated fields at angle-bracket depth zero.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+/// The serialize expression for one field value expression.
+fn ser_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(module) => format!("{module}::serialize({access})"),
+        None => format!("::serde::Serialize::serialize({access})"),
+    }
+}
+
+/// Insert-into-object statement for a named field, honouring `skip_serializing_if`.
+fn ser_field_stmt(field: &Field, access: &str) -> String {
+    let insert = format!(
+        "__m.insert(::std::string::String::from(\"{}\"), {});",
+        field.name,
+        ser_expr(field, access)
+    );
+    match &field.skip_if {
+        Some(path) => format!("if !{path}({access}) {{ {insert} }}"),
+        None => insert,
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) if item.transparent => {
+            let field = single(fields, name);
+            ser_expr(field, &format!("&self.{}", field.name))
+        }
+        Kind::TupleStruct(1) if item.transparent => {
+            "::serde::Serialize::serialize(&self.0)".to_owned()
+        }
+        Kind::TupleStruct(_) => {
+            panic!("serde_derive stub: tuple struct `{name}` requires #[serde(transparent)] with one field")
+        }
+        Kind::NamedStruct(fields) => {
+            let mut out = String::from("let mut __m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                out.push_str(&ser_field_stmt(f, &format!("&self.{}", f.name)));
+                out.push('\n');
+            }
+            out.push_str("::serde::Value::Object(__m)");
+            out
+        }
+        Kind::Enum(variants) if item.untagged => {
+            let mut arms = String::new();
+            for v in variants {
+                match v.shape {
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v} (__x) => ::serde::Serialize::serialize(__x),\n",
+                        v = v.name
+                    )),
+                    _ => panic!(
+                        "serde_derive stub: untagged enum `{name}` supports only newtype variants"
+                    ),
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let content = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_owned()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __outer = ::std::collections::BTreeMap::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), {content});\n\
+                             ::serde::Value::Object(__outer)\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut __m = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&ser_field_stmt(f, &f.name));
+                            inner.push('\n');
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __outer = ::std::collections::BTreeMap::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(__m));\n\
+                             ::serde::Value::Object(__outer)\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// The deserialize expression for a field, given an expression yielding
+/// `&Value` for its serialized form.
+fn de_expr(field: &Field, value: &str) -> String {
+    match &field.with {
+        Some(module) => format!("{module}::deserialize({value})?"),
+        None => format!("::serde::Deserialize::deserialize({value})?"),
+    }
+}
+
+/// `let <field> = ...;` statements plus a struct-literal body for a named
+/// field list read out of the object expression `obj`.
+fn de_named_fields(fields: &[Field], obj: &str, owner: &str) -> (String, String) {
+    let mut lets = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            Some(DefaultAttr::Std) => "::std::default::Default::default()".to_owned(),
+            Some(DefaultAttr::Path(path)) => format!("{path}()"),
+            None => format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"missing field `{}` in {owner}\"))",
+                f.name
+            ),
+        };
+        lets.push_str(&format!(
+            "let {f} = match {obj}.get(\"{f}\") {{\n\
+             ::std::option::Option::Some(__x) => {expr},\n\
+             ::std::option::Option::None => {missing},\n\
+             }};\n",
+            f = f.name,
+            expr = de_expr(f, "__x"),
+        ));
+    }
+    let literal = fields
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ");
+    (lets, literal)
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) if item.transparent => {
+            let field = single(fields, name);
+            format!(
+                "::std::result::Result::Ok({name} {{ {f}: {expr} }})",
+                f = field.name,
+                expr = de_expr(field, "__v")
+            )
+        }
+        Kind::TupleStruct(1) if item.transparent => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Kind::TupleStruct(_) => {
+            panic!("serde_derive stub: tuple struct `{name}` requires #[serde(transparent)] with one field")
+        }
+        Kind::NamedStruct(fields) => {
+            let (lets, literal) = de_named_fields(fields, "__obj", name);
+            format!(
+                "let __obj = match __v {{\n\
+                 ::serde::Value::Object(__m) => __m,\n\
+                 __other => return ::std::result::Result::Err(::serde::Error::expected(\"object for {name}\", __other)),\n\
+                 }};\n\
+                 {lets}\
+                 ::std::result::Result::Ok({name} {{ {literal} }})"
+            )
+        }
+        Kind::Enum(variants) if item.untagged => {
+            let mut tries = String::new();
+            for v in variants {
+                match v.shape {
+                    Shape::Tuple(1) => tries.push_str(&format!(
+                        "{{\n\
+                         let __r: ::std::result::Result<{name}, ::serde::Error> =\n\
+                         (|| ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__v)?)))();\n\
+                         if let ::std::result::Result::Ok(__x) = __r {{ return ::std::result::Result::Ok(__x); }}\n\
+                         }}\n",
+                        vn = v.name
+                    )),
+                    _ => panic!(
+                        "serde_derive stub: untagged enum `{name}` supports only newtype variants"
+                    ),
+                }
+            }
+            format!(
+                "{tries}\
+                 ::std::result::Result::Err(::serde::Error::custom(\"data matched no variant of {name}\"))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__content)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::deserialize(&__arr[{k}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __arr = __content.as_array().ok_or_else(|| ::serde::Error::expected(\"array for {name}::{vn}\", __content))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({elems}))\n\
+                             }},\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let (lets, literal) = de_named_fields(fields, "__inner", &format!("{name}::{vn}"));
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __inner = match __content {{\n\
+                             ::serde::Value::Object(__m) => __m,\n\
+                             __other => return ::std::result::Result::Err(::serde::Error::expected(\"object for {name}::{vn}\", __other)),\n\
+                             }};\n\
+                             {lets}\
+                             ::std::result::Result::Ok({name}::{vn} {{ {literal} }})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __content) = __m.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::expected(\"variant of {name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn single<'a>(fields: &'a [Field], name: &str) -> &'a Field {
+    match fields {
+        [f] => f,
+        _ => panic!(
+            "serde_derive stub: #[serde(transparent)] on `{name}` requires exactly one field"
+        ),
+    }
+}
