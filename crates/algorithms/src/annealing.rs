@@ -6,10 +6,15 @@
 //! ablation point: it shows what a *local* improver achieves compared to
 //! Avala's constructive strategy at equal evaluation budgets.
 
+use crate::compiled::{try_compile, Compiled};
+use crate::parallel::{run_shards, shard_seed};
 use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use redep_model::{ConstraintChecker, Deployment, DeploymentModel, Objective};
+use redep_model::{
+    ConstraintChecker, Deployment, DeploymentModel, Direction, IncrementalScore, Objective,
+    UNASSIGNED,
+};
 use std::time::Instant;
 
 /// Configuration of the annealing schedule.
@@ -23,6 +28,14 @@ pub struct AnnealingConfig {
     pub cooling: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Number of independent annealing chains (multi-start); chain `i` runs
+    /// on the fixed seed stream derived from `(seed, i)`, so the merged
+    /// result is a pure function of the configuration. Values below 1 are
+    /// treated as 1. Chains beyond the first require the compiled path.
+    pub shards: u32,
+    /// Worker threads the chains run on; any value produces the same result.
+    /// Values below 1 are treated as 1.
+    pub threads: u32,
 }
 
 impl Default for AnnealingConfig {
@@ -32,15 +45,26 @@ impl Default for AnnealingConfig {
             initial_temperature: 0.1,
             cooling: 0.999,
             seed: 0,
+            shards: 1,
+            threads: 1,
         }
     }
 }
 
 /// Simulated annealing over single-component moves.
+///
+/// On the compiled path every proposed move is priced with an O(deg(c))
+/// delta ([`IncrementalScore::peek`]); best-so-far candidates are re-scored
+/// from scratch before being recorded, so reported values match the naive
+/// body exactly.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct AnnealingAlgorithm {
     config: AnnealingConfig,
 }
+
+/// Margin within which a delta-scored move is re-scored from scratch before
+/// it may displace the incumbent best.
+const NEAR_EPS: f64 = 1e-9;
 
 impl AnnealingAlgorithm {
     /// Creates the algorithm with default parameters.
@@ -65,6 +89,202 @@ impl AnnealingAlgorithm {
         );
         AnnealingAlgorithm { config }
     }
+
+    fn run_compiled(
+        &self,
+        c: &Compiled,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+        started: Instant,
+    ) -> Result<AlgoResult, AlgoError> {
+        let cfg = self.config;
+        let cm = &c.model;
+        let n_hosts = cm.n_hosts();
+        let n_comps = cm.n_comps();
+
+        // Starting point shared by every chain: the initial deployment, when
+        // valid. (Chains that can't use it first-fit their own start.)
+        let valid_initial: Option<Vec<u32>> = initial
+            .filter(|d| constraints.check(model, d).is_ok())
+            .map(|d| cm.compile_assignment(d));
+
+        if n_comps == 0 {
+            let assign = valid_initial.unwrap_or_default();
+            let mut inc = IncrementalScore::new(cm, &c.objective);
+            let value = inc.assign_from(&assign);
+            return Ok(AlgoResult {
+                algorithm: self.name().to_owned(),
+                deployment: cm.decode_assignment(&assign),
+                value,
+                evaluations: 1,
+                wall_time: started.elapsed(),
+                convergence: vec![(1, value)],
+                full_evaluations: inc.full_evaluations(),
+                delta_evaluations: inc.delta_evaluations(),
+            });
+        }
+
+        struct ChainOutcome {
+            best: Vec<u32>,
+            best_value: f64,
+            evaluations: u64,
+            full: u64,
+            delta: u64,
+            trace: Vec<(u64, f64)>,
+        }
+
+        let chain = |shard: u32| -> Result<ChainOutcome, AlgoError> {
+            let mut rng = ChaCha8Rng::seed_from_u64(shard_seed(cfg.seed, shard));
+            let mut assign = match &valid_initial {
+                Some(a) => a.clone(),
+                None => {
+                    let mut a = vec![UNASSIGNED; n_comps];
+                    'comp: for ci in 0..n_comps {
+                        let start = rng.random_range(0..n_hosts.max(1));
+                        for i in 0..n_hosts {
+                            let h = ((start + i) % n_hosts) as u32;
+                            if c.constraints.admits(&a, ci as u32, h) {
+                                a[ci] = h;
+                                continue 'comp;
+                            }
+                        }
+                        return Err(AlgoError::NoFeasibleDeployment);
+                    }
+                    if !c.constraints.check(&a) {
+                        return Err(AlgoError::NoFeasibleDeployment);
+                    }
+                    a
+                }
+            };
+
+            let mut inc = IncrementalScore::new(cm, &c.objective);
+            let mut current_value = inc.assign_from(&assign);
+            let mut evaluations = 1u64;
+            let mut best = assign.clone();
+            let mut best_value = current_value;
+            let mut trace = vec![(evaluations, best_value)];
+            let mut temperature = cfg.initial_temperature;
+
+            for _ in 0..cfg.iterations {
+                let comp = rng.random_range(0..n_comps) as u32;
+                let old = assign[comp as usize];
+                let h = rng.random_range(0..n_hosts) as u32;
+                if h == old {
+                    temperature *= cfg.cooling;
+                    continue;
+                }
+                assign[comp as usize] = UNASSIGNED;
+                if !c.constraints.admits(&assign, comp, h) {
+                    assign[comp as usize] = old;
+                    temperature *= cfg.cooling;
+                    continue;
+                }
+                assign[comp as usize] = h;
+                if !c.constraints.check(&assign) {
+                    assign[comp as usize] = old;
+                    temperature *= cfg.cooling;
+                    continue;
+                }
+                let value = inc.peek(comp, h);
+                evaluations += 1;
+                // Signed gain: positive when the move improves the objective.
+                let gain = if c.objective.is_improvement(current_value, value) {
+                    (value - current_value).abs()
+                } else {
+                    -(value - current_value).abs()
+                };
+                let accept =
+                    gain >= 0.0 || rng.random_bool((gain / temperature).exp().clamp(0.0, 1.0));
+                if accept {
+                    inc.set(comp, h);
+                    current_value = value;
+                    // Epsilon pre-filter, then a pure re-score, so recorded
+                    // bests are exactly the naive values and delta drift can
+                    // never hide a genuine improvement.
+                    let near = match c.objective.direction() {
+                        Direction::Maximize => value > best_value - NEAR_EPS,
+                        Direction::Minimize => value < best_value + NEAR_EPS,
+                    };
+                    if near {
+                        let pure = inc.score_full();
+                        current_value = pure;
+                        if c.objective.is_improvement(best_value, pure) {
+                            best.clone_from(&assign);
+                            best_value = pure;
+                            trace.push((evaluations, pure));
+                        }
+                    }
+                } else {
+                    assign[comp as usize] = old;
+                }
+                temperature *= cfg.cooling;
+            }
+
+            Ok(ChainOutcome {
+                best,
+                best_value,
+                evaluations,
+                full: inc.full_evaluations(),
+                delta: inc.delta_evaluations(),
+                trace,
+            })
+        };
+
+        let outcomes = run_shards(cfg.shards.max(1), cfg.threads.max(1), chain);
+
+        let mut best: Option<(Vec<u32>, f64)> = None;
+        let mut evaluations = 0u64;
+        let mut full = 0u64;
+        let mut delta = 0u64;
+        let mut convergence = Vec::new();
+        let mut first_err = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(o) => {
+                    evaluations += o.evaluations;
+                    full += o.full;
+                    delta += o.delta;
+                    let take = match &best {
+                        Some((_, bv)) => c.objective.is_improvement(*bv, o.best_value),
+                        None => true,
+                    };
+                    if take {
+                        best = Some((o.best, o.best_value));
+                        convergence = o.trace;
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        let Some((best_assign, best_value)) = best else {
+            return Err(first_err.unwrap_or(AlgoError::NoFeasibleDeployment));
+        };
+
+        let (deployment, value) = keep_best(
+            model,
+            objective,
+            constraints,
+            initial,
+            Some((cm.decode_assignment(&best_assign), best_value)),
+        )
+        .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            evaluations,
+            wall_time: started.elapsed(),
+            convergence,
+            full_evaluations: full,
+            delta_evaluations: delta,
+        })
+    }
 }
 
 impl RedeploymentAlgorithm for AnnealingAlgorithm {
@@ -81,6 +301,9 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
     ) -> Result<AlgoResult, AlgoError> {
         let started = Instant::now();
         let (hosts, components) = preflight(model)?;
+        if let Some(c) = try_compile(model, objective, constraints) {
+            return self.run_compiled(&c, model, objective, constraints, initial, started);
+        }
         let cfg = self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut evaluations = 0u64;
@@ -120,6 +343,8 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
                 evaluations: 1,
                 wall_time: started.elapsed(),
                 convergence: vec![(1, value)],
+                full_evaluations: 1,
+                delta_evaluations: 0,
             });
         }
 
@@ -187,6 +412,8 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
             evaluations,
             wall_time: started.elapsed(),
             convergence,
+            full_evaluations: evaluations,
+            delta_evaluations: 0,
         })
     }
 }
@@ -240,6 +467,27 @@ mod tests {
             .run(&m, &Availability, m.constraints(), Some(&init))
             .unwrap();
         assert_eq!(a.deployment, b.deployment);
+    }
+
+    #[test]
+    fn multi_chain_runs_are_thread_count_invariant() {
+        let (m, init) = generated(6);
+        let config = AnnealingConfig {
+            iterations: 400,
+            shards: 4,
+            threads: 1,
+            ..AnnealingConfig::default()
+        };
+        let reference = AnnealingAlgorithm::with_config(config)
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        for threads in [2u32, 8] {
+            let r = AnnealingAlgorithm::with_config(AnnealingConfig { threads, ..config })
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            assert_eq!(r.deployment, reference.deployment, "threads = {threads}");
+            assert_eq!(r.value, reference.value, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Shared plumbing for the compiled (dense-index, delta-scoring) fast path.
+//!
+//! An algorithm body calls [`try_compile`] once per run: if the objective
+//! and the constraint checker both have dense forms, the body runs on
+//! [`IncrementalScore`](redep_model::IncrementalScore) and
+//! [`CompiledConstraints`](redep_model::CompiledConstraints); otherwise it
+//! falls back to the original naive loops. Compilation is all-or-nothing so
+//! custom objectives or checkers never see half-compiled inputs.
+
+use redep_model::{
+    CompiledConstraints, CompiledModel, CompiledObjective, ConstraintChecker, DeploymentModel,
+    Objective,
+};
+
+/// The compiled-path inputs for one algorithm run.
+#[derive(Debug)]
+pub(crate) struct Compiled {
+    /// Dense snapshot of the model.
+    pub model: CompiledModel,
+    /// Dense form of the objective.
+    pub objective: CompiledObjective,
+    /// Dense form of the constraint checker.
+    pub constraints: CompiledConstraints,
+}
+
+/// Compiles the run inputs, or returns `None` (→ naive path) if either the
+/// objective or the constraint checker has no dense form.
+///
+/// The objective is probed first because it is the cheap check; the model
+/// snapshot is only built when the objective compiles.
+pub(crate) fn try_compile(
+    model: &DeploymentModel,
+    objective: &dyn Objective,
+    constraints: &dyn ConstraintChecker,
+) -> Option<Compiled> {
+    let co = objective.compiled()?;
+    let cm = CompiledModel::compile(model);
+    let cc = constraints.compile(model, &cm)?;
+    Some(Compiled {
+        model: cm,
+        objective: co,
+        constraints: cc,
+    })
+}

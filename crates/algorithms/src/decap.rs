@@ -15,11 +15,18 @@
 //! [`AwarenessGraph`] partial views: every bid is computed from what the
 //! bidder can actually see, never from global knowledge, so results degrade
 //! gracefully with lower awareness (experiment E9 sweeps this).
+//!
+//! On the compiled path the partial views are never materialized: a bid is
+//! an incident-link sum over the [`redep_model::CompiledModel`] CSR index,
+//! masked by a precomputed host-visibility matrix. This skips the per-bid
+//! submodel clone entirely while producing the same bids term for term.
 
+use crate::compiled::{try_compile, Compiled};
 use crate::coordination::AuctionProtocol;
 use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
 use redep_model::{
-    AwarenessGraph, ComponentId, ConstraintChecker, Deployment, DeploymentModel, HostId, Objective,
+    AwarenessGraph, ComponentId, ConstraintChecker, Deployment, DeploymentModel, HostId,
+    IncrementalScore, Objective, UNASSIGNED,
 };
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -95,6 +102,176 @@ impl DecApAlgorithm {
         }
         Some(value)
     }
+
+    /// The same valuation on dense indices: the submodel a bidder would see
+    /// is implied by the visibility mask, so the bid reduces to a masked
+    /// incident-link sum (neighbors enumerate in ascending order, exactly as
+    /// the partial view's neighbor walk does).
+    fn bid_compiled(
+        c: &Compiled,
+        visible: &[Vec<bool>],
+        assign: &[u32],
+        bidder: u32,
+        comp: u32,
+    ) -> Option<f64> {
+        let hc = assign[comp as usize];
+        if hc == UNASSIGNED || !visible[bidder as usize][hc as usize] {
+            return None; // cannot even see the auctioned component
+        }
+        let cm = &c.model;
+        let mut value = 0.0;
+        for &li in cm.incident(comp) {
+            let l = &cm.links()[li as usize];
+            let d = l.other(comp);
+            let hd = assign[d as usize];
+            if hd == UNASSIGNED || !visible[bidder as usize][hd as usize] {
+                continue; // neighbor outside the bidder's view
+            }
+            if hd == bidder {
+                value += l.volume; // would be local
+            } else {
+                value += l.volume * cm.reliability(bidder, hd);
+            }
+        }
+        Some(value)
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal: mirrors the naive body's precomputed inputs
+    fn run_compiled(
+        &self,
+        c: &Compiled,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+        awareness: &AwarenessGraph,
+        started: Instant,
+    ) -> Result<AlgoResult, AlgoError> {
+        let cm = &c.model;
+        let n_hosts = cm.n_hosts();
+        let n_comps = cm.n_comps();
+        let host_ids = cm.host_ids();
+
+        // Precompute the visibility mask and per-host awareness lists once
+        // (hosts outside the model cannot bid or conduct, so they drop out).
+        let visible: Vec<Vec<bool>> = (0..n_hosts)
+            .map(|a| {
+                (0..n_hosts)
+                    .map(|b| awareness.is_aware(host_ids[a], host_ids[b]))
+                    .collect()
+            })
+            .collect();
+        let aware_dense: Vec<Vec<u32>> = (0..n_hosts)
+            .map(|a| {
+                awareness
+                    .aware_of(host_ids[a])
+                    .iter()
+                    .filter_map(|&h| cm.host_index(h))
+                    .collect()
+            })
+            .collect();
+
+        // DecAp improves a *running* deployment; without one, start from a
+        // deterministic first-fit.
+        let mut assign: Vec<u32> = match initial {
+            Some(d) if constraints.check(model, d).is_ok() => cm.compile_assignment(d),
+            _ => {
+                let mut a = vec![UNASSIGNED; n_comps];
+                'comp: for ci in 0..n_comps as u32 {
+                    for h in 0..n_hosts as u32 {
+                        if c.constraints.admits(&a, ci, h) {
+                            a[ci as usize] = h;
+                            continue 'comp;
+                        }
+                    }
+                    return Err(AlgoError::NoFeasibleDeployment);
+                }
+                a
+            }
+        };
+
+        let mut inc = IncrementalScore::new(cm, &c.objective);
+        let mut evaluations = 0u64;
+        let mut convergence = Vec::new();
+        let mut last_value = f64::NAN;
+        for round in 0..self.max_rounds {
+            let mut moved = false;
+            // Auction scheduling: a host may conduct an auction only if no
+            // host it is aware of already conducted one this round.
+            let mut conducted = vec![false; n_hosts];
+            for auctioneer in 0..n_hosts as u32 {
+                let aware = &aware_dense[auctioneer as usize];
+                if aware.iter().any(|&a| conducted[a as usize]) {
+                    continue;
+                }
+                conducted[auctioneer as usize] = true;
+
+                let on_auctioneer: Vec<u32> = (0..n_comps as u32)
+                    .filter(|&ci| assign[ci as usize] == auctioneer)
+                    .collect();
+                for comp in on_auctioneer {
+                    // Retention value: the auctioneer's own bid.
+                    let retention =
+                        Self::bid_compiled(c, &visible, &assign, auctioneer, comp).unwrap_or(0.0);
+                    // Collect bids from aware peers that could legally host
+                    // the component (admissibility judged with it lifted out).
+                    let mut bids: Vec<(u32, f64)> = Vec::new();
+                    for &bidder in aware.iter().filter(|&&b| b != auctioneer) {
+                        assign[comp as usize] = UNASSIGNED;
+                        let admissible = c.constraints.admits(&assign, comp, bidder);
+                        assign[comp as usize] = auctioneer;
+                        if !admissible {
+                            continue;
+                        }
+                        if let Some(b) = Self::bid_compiled(c, &visible, &assign, bidder, comp) {
+                            bids.push((bidder, b));
+                        }
+                    }
+                    // Highest bid wins; lowest host index breaks ties
+                    // (the auction protocol's rule on dense indices).
+                    let winner = bids.iter().copied().reduce(|best, cand| {
+                        if cand.1 > best.1 || (cand.1 == best.1 && cand.0 < best.0) {
+                            cand
+                        } else {
+                            best
+                        }
+                    });
+                    if let Some((winner, bid)) = winner {
+                        if bid > retention {
+                            assign[comp as usize] = winner;
+                            if c.constraints.check(&assign) {
+                                moved = true;
+                            } else {
+                                assign[comp as usize] = auctioneer;
+                            }
+                        }
+                    }
+                }
+            }
+            evaluations += 1;
+            last_value = inc.assign_from(&assign);
+            convergence.push((round as u64 + 1, last_value));
+            if !moved {
+                break;
+            }
+        }
+
+        let full = inc.full_evaluations();
+        let delta = inc.delta_evaluations();
+        let candidate = Some((cm.decode_assignment(&assign), last_value));
+        let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+            .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            evaluations,
+            wall_time: started.elapsed(),
+            convergence,
+            full_evaluations: full,
+            delta_evaluations: delta,
+        })
+    }
 }
 
 impl RedeploymentAlgorithm for DecApAlgorithm {
@@ -115,6 +292,18 @@ impl RedeploymentAlgorithm for DecApAlgorithm {
             .awareness
             .clone()
             .unwrap_or_else(|| AwarenessGraph::from_connectivity(model));
+
+        if let Some(c) = try_compile(model, objective, constraints) {
+            return self.run_compiled(
+                &c,
+                model,
+                objective,
+                constraints,
+                initial,
+                &awareness,
+                started,
+            );
+        }
 
         // DecAp improves a *running* deployment; without one, start from a
         // deterministic first-fit.
@@ -200,6 +389,8 @@ impl RedeploymentAlgorithm for DecApAlgorithm {
             evaluations,
             wall_time: started.elapsed(),
             convergence,
+            full_evaluations: evaluations,
+            delta_evaluations: 0,
         })
     }
 }
@@ -298,6 +489,22 @@ mod tests {
             .run(&m, &Availability, m.constraints(), Some(&init))
             .unwrap();
         assert_eq!(a.deployment, b.deployment);
+    }
+
+    #[test]
+    fn compiled_and_naive_paths_pick_the_same_deployment() {
+        use redep_model::Uncompiled;
+        for seed in [1u64, 2, 3, 4, 5] {
+            let (m, init) = generated(seed);
+            let fast = DecApAlgorithm::new()
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            let slow = DecApAlgorithm::new()
+                .run(&m, &Uncompiled(&Availability), m.constraints(), Some(&init))
+                .unwrap();
+            assert_eq!(fast.deployment, slow.deployment, "seed {seed}");
+            assert_eq!(fast.value, slow.value, "seed {seed}");
+        }
     }
 
     #[test]

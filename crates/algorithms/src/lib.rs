@@ -47,10 +47,12 @@
 
 pub mod annealing;
 pub mod avala;
+mod compiled;
 pub mod coordination;
 pub mod decap;
 pub mod exact;
 pub mod genetic;
+mod parallel;
 pub mod stochastic;
 pub mod traits;
 

@@ -6,18 +6,30 @@
 //! are satisfied. […] This process is repeated a desired number of times,
 //! and the best obtained deployment is selected." (§5.1)
 
+use crate::compiled::{try_compile, Compiled};
+use crate::parallel::{run_shards, shard_seed};
 use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use redep_model::{ConstraintChecker, Deployment, DeploymentModel, Objective};
+use redep_model::UNASSIGNED;
+use redep_model::{ConstraintChecker, Deployment, DeploymentModel, IncrementalScore, Objective};
 use std::time::Instant;
 
 /// Randomized first-fit, repeated `iterations` times; O(n²) per iteration.
+///
+/// When the objective and constraints compile ([`Objective::compiled`],
+/// [`ConstraintChecker::compile`]), placements run on dense indices and are
+/// scored through [`IncrementalScore`]; the iterations can additionally be
+/// split into parallel shards with [`with_parallelism`](Self::with_parallelism).
+/// Results are identical to the sequential naive path for the same
+/// configuration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct StochasticAlgorithm {
     iterations: u32,
     seed: u64,
+    shards: u32,
+    threads: u32,
 }
 
 impl Default for StochasticAlgorithm {
@@ -35,6 +47,8 @@ impl StochasticAlgorithm {
         StochasticAlgorithm {
             iterations: Self::DEFAULT_ITERATIONS,
             seed: 0,
+            shards: 1,
+            threads: 1,
         }
     }
 
@@ -45,7 +59,144 @@ impl StochasticAlgorithm {
     /// Panics if `iterations` is zero.
     pub fn with_config(iterations: u32, seed: u64) -> Self {
         assert!(iterations > 0, "at least one iteration is required");
-        StochasticAlgorithm { iterations, seed }
+        StochasticAlgorithm {
+            iterations,
+            seed,
+            shards: 1,
+            threads: 1,
+        }
+    }
+
+    /// Splits the iterations into `shards` independent restarts (each with a
+    /// fixed seed stream derived from the configured seed) executed on up to
+    /// `threads` worker threads. The result is a pure function of
+    /// `(iterations, seed, shards)` — any thread count produces the same
+    /// deployment and value. Zero values are clamped to 1. Sharding requires
+    /// the compiled path; with a non-compilable objective or checker the
+    /// algorithm falls back to the sequential naive body.
+    pub fn with_parallelism(mut self, shards: u32, threads: u32) -> Self {
+        self.shards = shards.max(1);
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Per-shard search outcome on the compiled path.
+struct ShardOutcome {
+    best: Option<(Vec<u32>, f64)>,
+    evaluations: u64,
+    full: u64,
+    delta: u64,
+    trace: Vec<(u64, f64)>,
+}
+
+impl StochasticAlgorithm {
+    fn run_compiled(
+        &self,
+        c: &Compiled,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+        started: Instant,
+    ) -> Result<AlgoResult, AlgoError> {
+        let cm = &c.model;
+        let n_hosts = cm.n_hosts() as u32;
+        let n_comps = cm.n_comps() as u32;
+        let shards = self.shards;
+        // Iterations split round-robin so shard 0 with `shards == 1` replays
+        // the sequential run exactly.
+        let per_shard: Vec<u32> = (0..shards)
+            .map(|s| self.iterations / shards + u32::from(s < self.iterations % shards))
+            .collect();
+
+        let outcomes = run_shards(shards, self.threads, |shard| {
+            let mut rng = ChaCha8Rng::seed_from_u64(shard_seed(self.seed, shard));
+            let mut inc = IncrementalScore::new(cm, &c.objective);
+            let mut assign = vec![UNASSIGNED; n_comps as usize];
+            let mut host_order: Vec<u32> = (0..n_hosts).collect();
+            let mut comp_order: Vec<u32> = (0..n_comps).collect();
+            let mut remaining: Vec<u32> = Vec::with_capacity(n_comps as usize);
+            let mut best: Option<(Vec<u32>, f64)> = None;
+            let mut evaluations = 0u64;
+            let mut trace = Vec::new();
+            for _ in 0..per_shard[shard as usize] {
+                host_order.shuffle(&mut rng);
+                comp_order.shuffle(&mut rng);
+                assign.fill(UNASSIGNED);
+                remaining.clear();
+                remaining.extend_from_slice(&comp_order);
+                for &h in &host_order {
+                    // Fill this host with as many of the remaining
+                    // components as fit, in their random order.
+                    remaining.retain(|&comp| {
+                        if c.constraints.admits(&assign, comp, h) {
+                            assign[comp as usize] = h;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                if !remaining.is_empty() || !c.constraints.check(&assign) {
+                    continue;
+                }
+                evaluations += 1;
+                let value = inc.assign_from(&assign);
+                let improved = match &best {
+                    Some((_, bv)) => c.objective.is_improvement(*bv, value),
+                    None => true,
+                };
+                if improved {
+                    best = Some((assign.clone(), value));
+                    trace.push((evaluations, value));
+                }
+            }
+            ShardOutcome {
+                best,
+                evaluations,
+                full: inc.full_evaluations(),
+                delta: inc.delta_evaluations(),
+                trace,
+            }
+        });
+
+        // Merge in shard order with a strict-improvement rule, so the lowest
+        // shard wins ties and the outcome is independent of thread count.
+        let mut best: Option<(Vec<u32>, f64)> = None;
+        let mut evaluations = 0u64;
+        let mut full = 0u64;
+        let mut delta = 0u64;
+        let mut convergence = Vec::new();
+        for o in outcomes {
+            evaluations += o.evaluations;
+            full += o.full;
+            delta += o.delta;
+            if let Some((a, v)) = o.best {
+                let take = match &best {
+                    Some((_, bv)) => c.objective.is_improvement(*bv, v),
+                    None => true,
+                };
+                if take {
+                    best = Some((a, v));
+                    convergence = o.trace;
+                }
+            }
+        }
+
+        let candidate = best.map(|(a, v)| (cm.decode_assignment(&a), v));
+        let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+            .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            evaluations,
+            wall_time: started.elapsed(),
+            convergence,
+            full_evaluations: full,
+            delta_evaluations: delta,
+        })
     }
 }
 
@@ -63,6 +214,9 @@ impl RedeploymentAlgorithm for StochasticAlgorithm {
     ) -> Result<AlgoResult, AlgoError> {
         let started = Instant::now();
         let (hosts, components) = preflight(model)?;
+        if let Some(c) = try_compile(model, objective, constraints) {
+            return self.run_compiled(&c, model, objective, constraints, initial, started);
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut best: Option<(Deployment, f64)> = None;
         let mut evaluations = 0;
@@ -70,11 +224,13 @@ impl RedeploymentAlgorithm for StochasticAlgorithm {
 
         let mut host_order = hosts.clone();
         let mut comp_order = components.clone();
+        let mut remaining = Vec::with_capacity(comp_order.len());
         for _ in 0..self.iterations {
             host_order.shuffle(&mut rng);
             comp_order.shuffle(&mut rng);
             let mut d = Deployment::new();
-            let mut remaining = comp_order.clone();
+            remaining.clear();
+            remaining.extend_from_slice(&comp_order);
             for &h in &host_order {
                 // Fill this host with as many of the remaining components
                 // as fit, in their random order.
@@ -111,6 +267,8 @@ impl RedeploymentAlgorithm for StochasticAlgorithm {
             evaluations,
             wall_time: started.elapsed(),
             convergence,
+            full_evaluations: evaluations,
+            delta_evaluations: 0,
         })
     }
 }
@@ -178,6 +336,26 @@ mod tests {
             .unwrap();
         assert!(r.evaluations <= 50);
         assert!(r.evaluations > 0);
+        assert_eq!(r.full_evaluations, r.evaluations);
+        assert_eq!(r.delta_evaluations, 0);
+    }
+
+    #[test]
+    fn sharded_runs_are_thread_count_invariant() {
+        let (m, init) = generated();
+        let base = StochasticAlgorithm::with_config(60, 11).with_parallelism(8, 1);
+        let reference = base
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        for threads in [2u32, 8] {
+            let r = StochasticAlgorithm::with_config(60, 11)
+                .with_parallelism(8, threads)
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            assert_eq!(r.deployment, reference.deployment, "threads = {threads}");
+            assert_eq!(r.value, reference.value, "threads = {threads}");
+            assert_eq!(r.evaluations, reference.evaluations, "threads = {threads}");
+        }
     }
 
     #[test]

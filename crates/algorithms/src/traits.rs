@@ -28,6 +28,13 @@ pub struct AlgoResult {
     /// guard in [`keep_best`] may still raise the final `value` above the
     /// last trace entry.
     pub convergence: Vec<(u64, f64)>,
+    /// How many of the scores were full (from-scratch) evaluations. On the
+    /// naive path this equals `evaluations`; on the compiled path most
+    /// scores are deltas and only re-anchoring points are full.
+    pub full_evaluations: u64,
+    /// How many of the scores were incremental (delta) evaluations touching
+    /// only a moved component's incident links. `0` on the naive path.
+    pub delta_evaluations: u64,
 }
 
 impl fmt::Display for AlgoResult {

@@ -1,0 +1,155 @@
+//! Compiled-vs-naive equivalence across all six algorithm bodies.
+//!
+//! Every algorithm must produce the same deployment and the same value
+//! (within 1e-12) whether it runs on the compiled evaluation core or on the
+//! naive trait-object path. The naive path is forced with
+//! [`redep_model::Uncompiled`], which hides [`Objective::compiled`] from the
+//! algorithm while delegating everything else.
+
+use redep_algorithms::annealing::AnnealingConfig;
+use redep_algorithms::genetic::GeneticConfig;
+use redep_algorithms::{
+    AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
+    RedeploymentAlgorithm, StochasticAlgorithm,
+};
+use redep_model::{
+    Availability, CommunicationVolume, Composite, Deployment, DeploymentModel, Generator,
+    GeneratorConfig, Latency, LinkSecurity, Objective, PathAwareAvailability, Uncompiled,
+};
+
+fn generated(hosts: usize, comps: usize, seed: u64) -> (DeploymentModel, Deployment) {
+    let s = Generator::generate(&GeneratorConfig::sized(hosts, comps).with_seed(seed)).unwrap();
+    (s.model, s.initial)
+}
+
+fn algorithms(small: bool) -> Vec<(&'static str, Box<dyn RedeploymentAlgorithm>)> {
+    let mut algos: Vec<(&'static str, Box<dyn RedeploymentAlgorithm>)> = vec![
+        (
+            "stochastic",
+            Box::new(StochasticAlgorithm::with_config(40, 9)),
+        ),
+        ("avala", Box::new(AvalaAlgorithm::new())),
+        ("decap", Box::new(DecApAlgorithm::new())),
+        (
+            "annealing",
+            Box::new(AnnealingAlgorithm::with_config(AnnealingConfig {
+                iterations: 600,
+                seed: 5,
+                ..AnnealingConfig::default()
+            })),
+        ),
+        (
+            "genetic",
+            Box::new(GeneticAlgorithm::with_config(GeneticConfig {
+                population: 12,
+                generations: 8,
+                seed: 5,
+                ..GeneticConfig::default()
+            })),
+        ),
+    ];
+    if small {
+        algos.push(("exact", Box::new(ExactAlgorithm::new())));
+    }
+    algos
+}
+
+fn check_equivalence(
+    model: &DeploymentModel,
+    initial: &Deployment,
+    objective: &dyn Objective,
+    small: bool,
+) {
+    for (name, algo) in algorithms(small) {
+        let fast = algo
+            .run(model, objective, model.constraints(), Some(initial))
+            .unwrap();
+        let slow = algo
+            .run(
+                model,
+                &Uncompiled(objective),
+                model.constraints(),
+                Some(initial),
+            )
+            .unwrap();
+        assert_eq!(
+            fast.deployment,
+            slow.deployment,
+            "{name}/{}: deployments diverge",
+            objective.name()
+        );
+        assert!(
+            (fast.value - slow.value).abs() <= 1e-12 * fast.value.abs().max(1.0),
+            "{name}/{}: {} vs {}",
+            objective.name(),
+            fast.value,
+            slow.value
+        );
+        assert_eq!(
+            fast.evaluations,
+            slow.evaluations,
+            "{name}/{}: evaluation counts diverge",
+            objective.name()
+        );
+        // The naive path never uses delta scoring.
+        assert_eq!(slow.delta_evaluations, 0, "{name}");
+        assert_eq!(slow.full_evaluations, slow.evaluations, "{name}");
+    }
+}
+
+#[test]
+fn all_six_bodies_agree_on_availability_small_instance() {
+    let (m, init) = generated(3, 6, 11);
+    check_equivalence(&m, &init, &Availability, true);
+}
+
+#[test]
+fn approximative_bodies_agree_on_availability_medium_instance() {
+    let (m, init) = generated(6, 18, 12);
+    check_equivalence(&m, &init, &Availability, false);
+}
+
+#[test]
+fn all_six_bodies_agree_on_every_single_objective() {
+    let (m, init) = generated(3, 5, 13);
+    check_equivalence(&m, &init, &Availability, true);
+    check_equivalence(&m, &init, &PathAwareAvailability, true);
+    check_equivalence(&m, &init, &Latency::new(), true);
+    check_equivalence(&m, &init, &CommunicationVolume, true);
+    check_equivalence(&m, &init, &LinkSecurity, true);
+}
+
+#[test]
+fn all_six_bodies_agree_on_a_weighted_composite() {
+    let (m, init) = generated(3, 5, 14);
+    let composite = Composite::new()
+        .with("availability", Availability, 2.0)
+        .with("latency", Latency::new(), 1.0)
+        .with("security", LinkSecurity, 0.5);
+    check_equivalence(&m, &init, &composite, true);
+}
+
+#[test]
+fn compiled_paths_actually_use_delta_scoring() {
+    // Guard against silently falling back to the naive body: the three
+    // move-based searches must report delta evaluations on the compiled path.
+    let (m, init) = generated(4, 10, 15);
+    let exact = ExactAlgorithm::new()
+        .run(&m, &Availability, m.constraints(), Some(&init))
+        .unwrap();
+    assert!(exact.delta_evaluations > 0, "exact fell back to naive");
+    let annealing = AnnealingAlgorithm::with_config(AnnealingConfig {
+        iterations: 300,
+        ..AnnealingConfig::default()
+    })
+    .run(&m, &Availability, m.constraints(), Some(&init))
+    .unwrap();
+    assert!(
+        annealing.delta_evaluations > 0,
+        "annealing fell back to naive"
+    );
+    let avala = AvalaAlgorithm::new()
+        .run(&m, &Availability, m.constraints(), Some(&init))
+        .unwrap();
+    assert!(avala.delta_evaluations > 0, "avala fell back to naive");
+}

@@ -2,11 +2,15 @@
 //! (the wall-clock counterpart of experiment E3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redep_algorithms::annealing::AnnealingConfig;
+use redep_algorithms::genetic::GeneticConfig;
 use redep_algorithms::{
-    AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm, RedeploymentAlgorithm,
-    StochasticAlgorithm,
+    AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
+    RedeploymentAlgorithm, StochasticAlgorithm,
 };
-use redep_model::{Availability, Deployment, DeploymentModel, Generator, GeneratorConfig};
+use redep_model::{
+    Availability, Deployment, DeploymentModel, Generator, GeneratorConfig, Uncompiled,
+};
 
 fn instance(hosts: usize, comps: usize) -> (DeploymentModel, Deployment) {
     let s = Generator::generate(&GeneratorConfig::sized(hosts, comps).with_seed(3)).unwrap();
@@ -62,5 +66,72 @@ fn bench_approximative(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_exact, bench_approximative);
+/// Compiled evaluation core vs the naive trait-object path, on the two
+/// mutation-driven searches the compiled core was built for. `Uncompiled`
+/// hides `Objective::compiled` so the identical body runs through from-scratch
+/// `evaluate` calls instead of dense delta scoring.
+fn bench_compiled_vs_naive(c: &mut Criterion) {
+    let (model, initial) = instance(8, 32);
+
+    let mut group = c.benchmark_group("annealing_8x32");
+    group.sample_size(10);
+    let annealing = AnnealingAlgorithm::with_config(AnnealingConfig {
+        iterations: 2_000,
+        ..AnnealingConfig::default()
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            annealing
+                .run(&model, &Availability, model.constraints(), Some(&initial))
+                .unwrap()
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            annealing
+                .run(
+                    &model,
+                    &Uncompiled(&Availability),
+                    model.constraints(),
+                    Some(&initial),
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("genetic_8x32");
+    group.sample_size(10);
+    let genetic = GeneticAlgorithm::with_config(GeneticConfig {
+        generations: 20,
+        ..GeneticConfig::default()
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            genetic
+                .run(&model, &Availability, model.constraints(), Some(&initial))
+                .unwrap()
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            genetic
+                .run(
+                    &model,
+                    &Uncompiled(&Availability),
+                    model.constraints(),
+                    Some(&initial),
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact,
+    bench_approximative,
+    bench_compiled_vs_naive
+);
 criterion_main!(benches);

@@ -175,6 +175,15 @@ impl CentralizedFramework {
                 .field("predicted_latency", d.record.latency)
                 .field("reason", d.reason.clone())
                 .emit();
+            // Aggregate how much of the search ran on the compiled
+            // delta-scoring path vs full rescoring.
+            let metrics = self.telemetry.metrics();
+            metrics
+                .counter("algo.eval.full")
+                .add(d.record.result.full_evaluations);
+            metrics
+                .counter("algo.eval.delta")
+                .add(d.record.result.delta_evaluations);
             if d.accepted {
                 let effect_start = self.runtime.sim().now();
                 let measured_before = self.runtime.measured_availability();
@@ -361,6 +370,14 @@ mod tests {
         let metrics = fw.telemetry().metrics();
         assert!(metrics.gauge("net.truth.sent").get() > 0.0);
         assert!((0.0..=1.0).contains(&metrics.gauge("core.measured_availability").get()));
+        assert!(
+            metrics.counter("algo.eval.full").get() > 0,
+            "analysis runs should record full evaluations"
+        );
+        assert!(
+            metrics.counter("algo.eval.delta").get() > 0,
+            "compiled searches should record delta evaluations"
+        );
     }
 
     #[test]

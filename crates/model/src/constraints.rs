@@ -14,6 +14,7 @@
 //! paper's algorithm-development methodology, so that the same checkers plug
 //! into every [`RedeploymentAlgorithm`](crate::ConstraintChecker) body.
 
+use crate::eval::{CompiledConstraints, CompiledModel, GroupKind};
 use crate::ids::{ComponentId, HostId};
 use crate::model::DeploymentModel;
 use crate::Deployment;
@@ -216,6 +217,23 @@ pub trait ConstraintChecker: fmt::Debug + Send + Sync {
     ) -> bool {
         let _ = (model, partial, component, host);
         true
+    }
+
+    /// Compiles this checker into a dense form over `compiled`'s index
+    /// space, if it supports one.
+    ///
+    /// The compiled checker's `check`/`admits` must return the same booleans
+    /// as the naive `check(..).is_ok()` / `admits(..)` for deployments over
+    /// the compiled model's components and hosts. Checkers without a dense
+    /// form return `None` (the default), which keeps algorithms on the naive
+    /// path.
+    fn compile(
+        &self,
+        model: &DeploymentModel,
+        compiled: &CompiledModel,
+    ) -> Option<CompiledConstraints> {
+        let _ = (model, compiled);
+        None
     }
 }
 
@@ -490,6 +508,54 @@ impl ConstraintChecker for ConstraintSet {
         }
         true
     }
+
+    fn compile(
+        &self,
+        _model: &DeploymentModel,
+        compiled: &CompiledModel,
+    ) -> Option<CompiledConstraints> {
+        let mut cc = CompiledConstraints::new(compiled, true, self.enforce_memory);
+        // Constraints naming components or hosts outside the model can never
+        // affect a deployment over the model's components, so dropping the
+        // unknown ids preserves check/admits semantics.
+        for constraint in &self.constraints {
+            match constraint {
+                Constraint::PinnedTo { component, hosts } => {
+                    if let Some(c) = compiled.comp_index(*component) {
+                        let dense: Vec<u32> = hosts
+                            .iter()
+                            .filter_map(|&h| compiled.host_index(h))
+                            .collect();
+                        cc.pin_to(c, &dense);
+                    }
+                }
+                Constraint::NotOn { component, hosts } => {
+                    if let Some(c) = compiled.comp_index(*component) {
+                        let dense: Vec<u32> = hosts
+                            .iter()
+                            .filter_map(|&h| compiled.host_index(h))
+                            .collect();
+                        cc.forbid_on(c, &dense);
+                    }
+                }
+                Constraint::Collocated { components } => {
+                    let members: Vec<u32> = components
+                        .iter()
+                        .filter_map(|&c| compiled.comp_index(c))
+                        .collect();
+                    cc.add_group(GroupKind::Collocated, members);
+                }
+                Constraint::Separated { components } => {
+                    let members: Vec<u32> = components
+                        .iter()
+                        .filter_map(|&c| compiled.comp_index(c))
+                        .collect();
+                    cc.add_group(GroupKind::Separated, members);
+                }
+            }
+        }
+        Some(cc)
+    }
 }
 
 /// Built-in checker: the memory required by the components deployed on a
@@ -549,6 +615,14 @@ impl ConstraintChecker for MemoryConstraint {
             .map(|c| c.required_memory())
             .sum();
         used + new <= available
+    }
+
+    fn compile(
+        &self,
+        _model: &DeploymentModel,
+        compiled: &CompiledModel,
+    ) -> Option<CompiledConstraints> {
+        Some(CompiledConstraints::new(compiled, false, true))
     }
 }
 

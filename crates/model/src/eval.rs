@@ -1,0 +1,1311 @@
+//! Compiled evaluation core: dense-index model snapshots and incremental
+//! (delta) objective scoring.
+//!
+//! The paper's premise is that redeployment algorithms must score very large
+//! numbers of candidate deployments at runtime (§5: the Exact algorithm's kⁿ
+//! blow-up is the reason Avala, Stochastic and DecAp exist). The naive
+//! [`Objective::evaluate`] walks a `BTreeMap` of logical links with per-pair
+//! `BTreeMap` reliability lookups on *every* candidate — even when only one
+//! component moved. This module removes that cost without changing any
+//! observable result:
+//!
+//! * [`CompiledModel`] — an immutable snapshot of a [`DeploymentModel`] with
+//!   hosts/components flattened to dense `u32` indices, logical links in a
+//!   flat `Vec<CompiledLink>` plus a per-component incident-link CSR index,
+//!   and host-pair reliability/security/delay/bandwidth as dense n×n
+//!   matrices. It also precomputes the all-pairs best-path reliability
+//!   matrix, turning [`PathAwareAvailability`] from a Dijkstra per pair into
+//!   an O(1) lookup per link.
+//! * [`CompiledObjective`] — the flattened form of the six built-in
+//!   objectives (obtained via [`Objective::compiled`]).
+//! * [`IncrementalScore`] — `score_full` / `set` / `peek` delta scoring:
+//!   moving one component re-touches only its incident links, O(deg(c))
+//!   instead of O(L).
+//! * [`CompiledConstraints`] — the dense form of [`ConstraintSet`] /
+//!   [`MemoryConstraint`] checks (obtained via
+//!   [`ConstraintChecker::compile`]).
+//! * [`Uncompiled`] — an opt-out wrapper forcing the naive path (used by
+//!   benchmarks and equivalence tests).
+//!
+//! # Exactness
+//!
+//! The compiled evaluators are written to be *bit-identical* to the naive
+//! ones for full evaluations: links are stored in the same
+//! ([`ComponentPair`]) order the `BTreeMap` iterates in, sums run
+//! left-to-right in that order, and the path-reliability matrix replays
+//! [`DeploymentModel::best_path`]'s exact search per pair. Delta updates
+//! (`set`/`peek`) are subject to ordinary floating-point drift of the order
+//! of a few ULPs; callers that need exact agreement with the naive path
+//! (e.g. for recording a best-so-far value) re-anchor with
+//! [`IncrementalScore::score_full`].
+//!
+//! [`Objective::evaluate`]: crate::Objective::evaluate
+//! [`Objective::compiled`]: crate::Objective::compiled
+//! [`ConstraintChecker::compile`]: crate::ConstraintChecker::compile
+//! [`ConstraintSet`]: crate::ConstraintSet
+//! [`MemoryConstraint`]: crate::MemoryConstraint
+//! [`PathAwareAvailability`]: crate::PathAwareAvailability
+//! [`ComponentPair`]: crate::ComponentPair
+
+use crate::deployment::Deployment;
+use crate::ids::{ComponentId, HostId};
+use crate::model::DeploymentModel;
+use crate::objectives::Direction;
+
+/// Sentinel host index marking an unassigned component in a dense
+/// assignment vector.
+pub const UNASSIGNED: u32 = u32::MAX;
+
+/// One logical link in dense-index form.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CompiledLink {
+    /// Dense index of the lower-id endpoint component.
+    pub a: u32,
+    /// Dense index of the higher-id endpoint component.
+    pub b: u32,
+    /// Interaction frequency (events per time unit).
+    pub frequency: f64,
+    /// Average event size.
+    pub event_size: f64,
+    /// Precomputed `frequency * event_size`.
+    pub volume: f64,
+}
+
+impl CompiledLink {
+    /// The dense index of the endpoint opposite `comp`.
+    #[inline]
+    pub fn other(&self, comp: u32) -> u32 {
+        if self.a == comp {
+            self.b
+        } else {
+            self.a
+        }
+    }
+}
+
+/// An immutable dense-index snapshot of a [`DeploymentModel`].
+///
+/// Compile once per analysis, then evaluate millions of candidate
+/// assignments against it. The snapshot does not observe later model edits.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompiledModel {
+    host_ids: Vec<HostId>,
+    comp_ids: Vec<ComponentId>,
+    links: Vec<CompiledLink>,
+    /// CSR offsets into `incident_links`, length `n_comps + 1`.
+    incident_offsets: Vec<u32>,
+    /// Link indices incident to each component, grouped per component and
+    /// ordered ascending by the opposite endpoint's dense index.
+    incident_links: Vec<u32>,
+    reliability: Vec<f64>,
+    security: Vec<f64>,
+    delay: Vec<f64>,
+    bandwidth: Vec<f64>,
+    connected: Vec<bool>,
+    path_reliability: Vec<f64>,
+    /// Σ frequency over links with positive frequency, in link order — the
+    /// denominator shared by the frequency-weighted objectives.
+    total_weight: f64,
+    comp_memory: Vec<f64>,
+    host_memory: Vec<f64>,
+}
+
+impl CompiledModel {
+    /// Builds the snapshot.
+    pub fn compile(model: &DeploymentModel) -> CompiledModel {
+        let host_ids = model.host_ids(); // ascending
+        let comp_ids = model.component_ids(); // ascending
+        let n = host_ids.len();
+
+        let host_index = |h: HostId| host_ids.binary_search(&h).ok();
+        let comp_index = |c: ComponentId| comp_ids.binary_search(&c).ok();
+
+        // Host-pair matrices, mirroring the DeploymentModel accessors:
+        // reliability/security are 1.0 on the diagonal and 0.0 for missing
+        // links; delay is 0.0 / ∞; bandwidth is ∞ / 0.0.
+        let mut reliability = vec![0.0; n * n];
+        let mut security = vec![0.0; n * n];
+        let mut delay = vec![f64::INFINITY; n * n];
+        let mut bandwidth = vec![0.0; n * n];
+        let mut connected = vec![false; n * n];
+        for i in 0..n {
+            reliability[i * n + i] = 1.0;
+            security[i * n + i] = 1.0;
+            delay[i * n + i] = 0.0;
+            bandwidth[i * n + i] = f64::INFINITY;
+        }
+        for l in model.physical_links() {
+            let (Some(a), Some(b)) = (host_index(l.ends().lo()), host_index(l.ends().hi())) else {
+                continue;
+            };
+            for (x, y) in [(a, b), (b, a)] {
+                reliability[x * n + y] = l.reliability();
+                security[x * n + y] = l.security();
+                delay[x * n + y] = l.delay();
+                bandwidth[x * n + y] = l.bandwidth();
+                connected[x * n + y] = true;
+            }
+        }
+
+        // Logical links in BTreeMap (ComponentPair) order — the exact order
+        // the naive objective loops iterate in.
+        let mut links = Vec::with_capacity(model.logical_link_count());
+        let mut total_weight = 0.0;
+        for l in model.logical_links() {
+            let (Some(a), Some(b)) = (comp_index(l.ends().lo()), comp_index(l.ends().hi())) else {
+                continue;
+            };
+            let frequency = l.frequency();
+            if frequency > 0.0 || frequency.is_nan() {
+                // Mirrors the naive `freq <= 0.0 → skip` gate (NaN is *not*
+                // skipped there, so it is not skipped here either).
+                total_weight += frequency;
+            }
+            links.push(CompiledLink {
+                a: a as u32,
+                b: b as u32,
+                frequency,
+                event_size: l.event_size(),
+                volume: frequency * l.event_size(),
+            });
+        }
+
+        // Per-component incident-link CSR index. Because links are sorted by
+        // (lo, hi) pairs, each component's incident list — taking the `lo`
+        // role first, then the `hi` role — comes out ordered ascending by
+        // the opposite endpoint, matching `logical_neighbors` order.
+        let n_comps = comp_ids.len();
+        let mut degree = vec![0u32; n_comps];
+        for l in &links {
+            degree[l.a as usize] += 1;
+            degree[l.b as usize] += 1;
+        }
+        let mut incident_offsets = vec![0u32; n_comps + 1];
+        for c in 0..n_comps {
+            incident_offsets[c + 1] = incident_offsets[c] + degree[c];
+        }
+        let mut incident_links = vec![0u32; incident_offsets[n_comps] as usize];
+        let mut cursor: Vec<u32> = incident_offsets[..n_comps].to_vec();
+        // Pass 1: links where the component is the higher endpoint (the
+        // opposite endpoint is *smaller*), in link order — ascending other.
+        for (li, l) in links.iter().enumerate() {
+            let c = l.b as usize;
+            incident_links[cursor[c] as usize] = li as u32;
+            cursor[c] += 1;
+        }
+        // Pass 2: links where the component is the lower endpoint (the
+        // opposite endpoint is *larger*), in link order — ascending other.
+        for (li, l) in links.iter().enumerate() {
+            let c = l.a as usize;
+            incident_links[cursor[c] as usize] = li as u32;
+            cursor[c] += 1;
+        }
+
+        let comp_memory = comp_ids
+            .iter()
+            .map(|&c| {
+                model
+                    .component(c)
+                    .map(|x| x.required_memory())
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let host_memory = host_ids
+            .iter()
+            .map(|&h| model.host(h).map(|x| x.memory()).unwrap_or(0.0))
+            .collect();
+
+        let mut cm = CompiledModel {
+            host_ids,
+            comp_ids,
+            links,
+            incident_offsets,
+            incident_links,
+            reliability,
+            security,
+            delay,
+            bandwidth,
+            connected,
+            path_reliability: Vec::new(),
+            total_weight,
+            comp_memory,
+            host_memory,
+        };
+        cm.path_reliability = cm.all_pairs_path_reliability();
+        cm
+    }
+
+    /// All-pairs best-path reliabilities, replaying
+    /// [`DeploymentModel::best_path`]'s search per pair so the results are
+    /// bit-identical (including its tie-breaking through stable frontier
+    /// sorting). Unreachable pairs score 0.0, matching the naive
+    /// `best_path(..).map(|p| p.reliability).unwrap_or(0.0)`.
+    fn all_pairs_path_reliability(&self) -> Vec<f64> {
+        let n = self.host_ids.len();
+        let mut out = vec![0.0; n * n];
+        let mut best = vec![0.0f64; n];
+        let mut frontier: Vec<usize> = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    out[a * n + b] = 1.0;
+                    continue;
+                }
+                best.iter_mut().for_each(|x| *x = 0.0);
+                best[a] = 1.0;
+                frontier.clear();
+                frontier.push(a);
+                loop {
+                    // Extract the frontier host with the highest reliability
+                    // so far (stable sort + pop, exactly as best_path does).
+                    frontier.sort_by(|&x, &y| {
+                        best[x]
+                            .partial_cmp(&best[y])
+                            .expect("reliabilities are finite")
+                    });
+                    let Some(u) = frontier.pop() else { break };
+                    if u == b {
+                        break;
+                    }
+                    let through = best[u];
+                    for v in (0..n).filter(|&v| self.connected[u * n + v]) {
+                        let r = through * self.reliability[u * n + v];
+                        if r > 0.0 && r > best[v] {
+                            best[v] = r;
+                            frontier.push(v);
+                        }
+                    }
+                }
+                out[a * n + b] = best[b];
+            }
+        }
+        out
+    }
+
+    /// Number of hosts.
+    #[inline]
+    pub fn n_hosts(&self) -> usize {
+        self.host_ids.len()
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn n_comps(&self) -> usize {
+        self.comp_ids.len()
+    }
+
+    /// Host ids in dense-index order (ascending).
+    #[inline]
+    pub fn host_ids(&self) -> &[HostId] {
+        &self.host_ids
+    }
+
+    /// Component ids in dense-index order (ascending).
+    #[inline]
+    pub fn comp_ids(&self) -> &[ComponentId] {
+        &self.comp_ids
+    }
+
+    /// The logical links in [`ComponentPair`](crate::ComponentPair) order.
+    #[inline]
+    pub fn links(&self) -> &[CompiledLink] {
+        &self.links
+    }
+
+    /// Indices (into [`links`](Self::links)) of the links incident to
+    /// `comp`, ordered ascending by the opposite endpoint's dense index.
+    #[inline]
+    pub fn incident(&self, comp: u32) -> &[u32] {
+        let lo = self.incident_offsets[comp as usize] as usize;
+        let hi = self.incident_offsets[comp as usize + 1] as usize;
+        &self.incident_links[lo..hi]
+    }
+
+    /// Direct-link reliability between two dense host indices.
+    #[inline]
+    pub fn reliability(&self, a: u32, b: u32) -> f64 {
+        self.reliability[a as usize * self.host_ids.len() + b as usize]
+    }
+
+    /// Link security between two dense host indices.
+    #[inline]
+    pub fn security(&self, a: u32, b: u32) -> f64 {
+        self.security[a as usize * self.host_ids.len() + b as usize]
+    }
+
+    /// Transmission delay between two dense host indices.
+    #[inline]
+    pub fn delay(&self, a: u32, b: u32) -> f64 {
+        self.delay[a as usize * self.host_ids.len() + b as usize]
+    }
+
+    /// Bandwidth between two dense host indices.
+    #[inline]
+    pub fn bandwidth(&self, a: u32, b: u32) -> f64 {
+        self.bandwidth[a as usize * self.host_ids.len() + b as usize]
+    }
+
+    /// Whether a physical link connects two dense host indices.
+    #[inline]
+    pub fn connected(&self, a: u32, b: u32) -> bool {
+        self.connected[a as usize * self.host_ids.len() + b as usize]
+    }
+
+    /// Best-path reliability between two dense host indices (1.0 on the
+    /// diagonal, 0.0 when unreachable).
+    #[inline]
+    pub fn path_reliability(&self, a: u32, b: u32) -> f64 {
+        self.path_reliability[a as usize * self.host_ids.len() + b as usize]
+    }
+
+    /// Σ frequency over positive-frequency links, the shared denominator of
+    /// the frequency-weighted objectives.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Required memory per dense component index.
+    #[inline]
+    pub fn comp_memory(&self) -> &[f64] {
+        &self.comp_memory
+    }
+
+    /// Available memory per dense host index.
+    #[inline]
+    pub fn host_memory(&self) -> &[f64] {
+        &self.host_memory
+    }
+
+    /// Dense index of a host id, if the host is in the snapshot.
+    #[inline]
+    pub fn host_index(&self, h: HostId) -> Option<u32> {
+        self.host_ids.binary_search(&h).ok().map(|i| i as u32)
+    }
+
+    /// Dense index of a component id, if the component is in the snapshot.
+    #[inline]
+    pub fn comp_index(&self, c: ComponentId) -> Option<u32> {
+        self.comp_ids.binary_search(&c).ok().map(|i| i as u32)
+    }
+
+    /// Flattens a [`Deployment`] over this model into a dense assignment
+    /// vector. Components of the model missing from the deployment (and
+    /// components assigned to hosts outside the model) map to
+    /// [`UNASSIGNED`]; components unknown to the model are ignored.
+    pub fn compile_assignment(&self, deployment: &Deployment) -> Vec<u32> {
+        self.comp_ids
+            .iter()
+            .map(|&c| {
+                deployment
+                    .host_of(c)
+                    .and_then(|h| self.host_index(h))
+                    .unwrap_or(UNASSIGNED)
+            })
+            .collect()
+    }
+
+    /// Expands a dense assignment back into a [`Deployment`].
+    pub fn decode_assignment(&self, assign: &[u32]) -> Deployment {
+        let mut d = Deployment::new();
+        for (i, &h) in assign.iter().enumerate() {
+            if h != UNASSIGNED {
+                d.assign(self.comp_ids[i], self.host_ids[h as usize]);
+            }
+        }
+        d
+    }
+}
+
+// ---- compiled objectives --------------------------------------------------
+
+/// One flattened objective term.
+///
+/// Each kind mirrors the per-link arithmetic of the corresponding naive
+/// [`Objective`](crate::Objective) implementation exactly.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PartKind {
+    /// [`crate::Availability`]: frequency-weighted direct-link reliability.
+    Availability,
+    /// [`crate::PathAwareAvailability`]: frequency-weighted best-path
+    /// reliability.
+    PathAwareAvailability,
+    /// [`crate::Latency`]: frequency-weighted mean remote-interaction cost.
+    Latency {
+        /// Latency charged for disconnected or unassigned interactions.
+        penalty: f64,
+    },
+    /// [`crate::CommunicationVolume`]: total remote traffic.
+    CommunicationVolume,
+    /// [`crate::LinkSecurity`]: frequency-weighted link security.
+    LinkSecurity,
+}
+
+impl PartKind {
+    /// Whether this term is maximized or minimized.
+    pub fn direction(&self) -> Direction {
+        match self {
+            PartKind::Availability | PartKind::PathAwareAvailability | PartKind::LinkSecurity => {
+                Direction::Maximize
+            }
+            PartKind::Latency { .. } | PartKind::CommunicationVolume => Direction::Minimize,
+        }
+    }
+
+    /// This link's contribution to the part's raw sum under the given
+    /// endpoint assignments ([`UNASSIGNED`] allowed).
+    #[inline]
+    fn contribution(&self, m: &CompiledModel, link: &CompiledLink, ha: u32, hb: u32) -> f64 {
+        match *self {
+            PartKind::Availability => {
+                if link.frequency <= 0.0 {
+                    return 0.0;
+                }
+                if ha != UNASSIGNED && hb != UNASSIGNED {
+                    link.frequency * m.reliability(ha, hb)
+                } else {
+                    0.0
+                }
+            }
+            PartKind::PathAwareAvailability => {
+                if link.frequency <= 0.0 {
+                    return 0.0;
+                }
+                if ha != UNASSIGNED && hb != UNASSIGNED {
+                    link.frequency * m.path_reliability(ha, hb)
+                } else {
+                    0.0
+                }
+            }
+            PartKind::Latency { penalty } => {
+                if link.frequency <= 0.0 {
+                    return 0.0;
+                }
+                let cost = if ha != UNASSIGNED && hb != UNASSIGNED {
+                    if ha == hb {
+                        0.0
+                    } else if m.connected(ha, hb) {
+                        m.delay(ha, hb) + link.event_size / m.bandwidth(ha, hb)
+                    } else {
+                        penalty
+                    }
+                } else {
+                    penalty
+                };
+                link.frequency * cost
+            }
+            PartKind::CommunicationVolume => {
+                if ha != UNASSIGNED && hb != UNASSIGNED && ha == hb {
+                    0.0
+                } else {
+                    link.volume
+                }
+            }
+            PartKind::LinkSecurity => {
+                if link.frequency <= 0.0 {
+                    return 0.0;
+                }
+                if ha != UNASSIGNED && hb != UNASSIGNED {
+                    link.frequency * m.security(ha, hb)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Maps the accumulated raw sum into the objective's natural units,
+    /// mirroring the naive finalization (`Σ weighted / Σ freq` with the
+    /// empty-interaction defaults).
+    #[inline]
+    fn finalize(&self, m: &CompiledModel, sum: f64) -> f64 {
+        match self {
+            PartKind::Availability | PartKind::PathAwareAvailability | PartKind::LinkSecurity => {
+                if m.total_weight() == 0.0 {
+                    1.0
+                } else {
+                    sum / m.total_weight()
+                }
+            }
+            PartKind::Latency { .. } => {
+                if m.total_weight() == 0.0 {
+                    0.0
+                } else {
+                    sum / m.total_weight()
+                }
+            }
+            PartKind::CommunicationVolume => sum,
+        }
+    }
+
+    /// The larger-is-better utility of a finalized value, mirroring
+    /// [`Objective::utility_of`](crate::Objective::utility_of).
+    #[inline]
+    fn utility_of(&self, value: f64) -> f64 {
+        match self.direction() {
+            Direction::Maximize => value,
+            Direction::Minimize => 1.0 / (1.0 + value.max(0.0)),
+        }
+    }
+}
+
+/// The flattened form of an [`Objective`](crate::Objective): either a single
+/// [`PartKind`] or a weighted composite of them.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompiledObjective {
+    parts: Vec<(PartKind, f64)>,
+    composite: bool,
+}
+
+impl CompiledObjective {
+    /// A single-term objective.
+    pub fn single(kind: PartKind) -> CompiledObjective {
+        CompiledObjective {
+            parts: vec![(kind, 1.0)],
+            composite: false,
+        }
+    }
+
+    /// A weighted composite of terms (maximized, like
+    /// [`Composite`](crate::Composite)).
+    pub fn composite(parts: Vec<(PartKind, f64)>) -> CompiledObjective {
+        CompiledObjective {
+            parts,
+            composite: true,
+        }
+    }
+
+    /// The terms with their weights.
+    pub fn parts(&self) -> &[(PartKind, f64)] {
+        &self.parts
+    }
+
+    /// Whether this is a composite (weighted-utility) objective.
+    pub fn is_composite(&self) -> bool {
+        self.composite
+    }
+
+    /// The single term, when this is not a composite.
+    pub fn as_single(&self) -> Option<PartKind> {
+        if self.composite {
+            None
+        } else {
+            self.parts.first().map(|(k, _)| *k)
+        }
+    }
+
+    /// Whether the score is maximized or minimized.
+    pub fn direction(&self) -> Direction {
+        if self.composite {
+            Direction::Maximize
+        } else {
+            self.parts[0].0.direction()
+        }
+    }
+
+    /// Returns `true` if `candidate` is strictly better than `incumbent`.
+    #[inline]
+    pub fn is_improvement(&self, incumbent: f64, candidate: f64) -> bool {
+        match self.direction() {
+            Direction::Maximize => candidate > incumbent,
+            Direction::Minimize => candidate < incumbent,
+        }
+    }
+
+    /// The worst possible score, used to seed search loops.
+    pub fn worst(&self) -> f64 {
+        match self.direction() {
+            Direction::Maximize => f64::NEG_INFINITY,
+            Direction::Minimize => f64::INFINITY,
+        }
+    }
+
+    /// Final score from per-part raw sums.
+    #[inline]
+    fn score(&self, sums: &[f64], m: &CompiledModel) -> f64 {
+        if !self.composite {
+            let (kind, _) = self.parts[0];
+            kind.finalize(m, sums[0])
+        } else {
+            self.parts
+                .iter()
+                .zip(sums)
+                .map(|(&(kind, w), &s)| w * kind.utility_of(kind.finalize(m, s)))
+                .sum()
+        }
+    }
+}
+
+// ---- incremental scoring --------------------------------------------------
+
+/// Incremental (delta) scorer over a [`CompiledModel`].
+///
+/// Holds a dense assignment plus per-part raw sums. [`score_full`] rebuilds
+/// the sums by walking every link (bit-identical to the naive evaluator);
+/// [`set`] commits a single-component move touching only its incident links
+/// (O(deg(c))); [`peek`] prices a move without committing it.
+///
+/// [`score_full`]: IncrementalScore::score_full
+/// [`set`]: IncrementalScore::set
+/// [`peek`]: IncrementalScore::peek
+#[derive(Clone, Debug)]
+pub struct IncrementalScore<'m> {
+    model: &'m CompiledModel,
+    objective: CompiledObjective,
+    assign: Vec<u32>,
+    sums: Vec<f64>,
+    scratch: Vec<f64>,
+    full_evals: u64,
+    delta_evals: u64,
+}
+
+impl<'m> IncrementalScore<'m> {
+    /// Creates a scorer with every component unassigned.
+    pub fn new(model: &'m CompiledModel, objective: &CompiledObjective) -> IncrementalScore<'m> {
+        let n_parts = objective.parts().len();
+        IncrementalScore {
+            model,
+            objective: objective.clone(),
+            assign: vec![UNASSIGNED; model.n_comps()],
+            sums: vec![0.0; n_parts],
+            scratch: vec![0.0; n_parts],
+            full_evals: 0,
+            delta_evals: 0,
+        }
+    }
+
+    /// The model being scored.
+    pub fn model(&self) -> &'m CompiledModel {
+        self.model
+    }
+
+    /// The current dense assignment.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assign
+    }
+
+    /// Adopts `assign` and returns its full (pure) score.
+    pub fn assign_from(&mut self, assign: &[u32]) -> f64 {
+        debug_assert_eq!(assign.len(), self.model.n_comps());
+        self.assign.clear();
+        self.assign.extend_from_slice(assign);
+        self.score_full()
+    }
+
+    /// Recomputes every per-part sum by walking all links in link order —
+    /// bit-identical to the naive `Objective::evaluate` — and returns the
+    /// score. Also re-anchors any drift accumulated by deltas.
+    pub fn score_full(&mut self) -> f64 {
+        let m = self.model;
+        for (p, &(kind, _)) in self.objective.parts().iter().enumerate() {
+            let mut sum = 0.0;
+            for link in m.links() {
+                let ha = self.assign[link.a as usize];
+                let hb = self.assign[link.b as usize];
+                sum += kind.contribution(m, link, ha, hb);
+            }
+            self.sums[p] = sum;
+        }
+        self.full_evals += 1;
+        self.value()
+    }
+
+    /// The score implied by the current sums (no recomputation).
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.objective.score(&self.sums, self.model)
+    }
+
+    /// Commits moving `comp` to `host` ([`UNASSIGNED`] to unassign),
+    /// updating only the incident links' contributions.
+    pub fn set(&mut self, comp: u32, host: u32) {
+        self.delta_evals += 1;
+        let old = self.assign[comp as usize];
+        if old == host {
+            return;
+        }
+        let m = self.model;
+        for &li in m.incident(comp) {
+            let link = &m.links()[li as usize];
+            let (oa, ob, na, nb) = if link.a == comp {
+                let hb = self.assign[link.b as usize];
+                (old, hb, host, hb)
+            } else {
+                let ha = self.assign[link.a as usize];
+                (ha, old, ha, host)
+            };
+            for (p, &(kind, _)) in self.objective.parts().iter().enumerate() {
+                self.sums[p] +=
+                    kind.contribution(m, link, na, nb) - kind.contribution(m, link, oa, ob);
+            }
+        }
+        self.assign[comp as usize] = host;
+    }
+
+    /// The score the assignment would have after moving `comp` to `host`,
+    /// without committing the move.
+    pub fn peek(&mut self, comp: u32, host: u32) -> f64 {
+        self.delta_evals += 1;
+        self.scratch.copy_from_slice(&self.sums);
+        let old = self.assign[comp as usize];
+        if old != host {
+            let m = self.model;
+            for &li in m.incident(comp) {
+                let link = &m.links()[li as usize];
+                let (oa, ob, na, nb) = if link.a == comp {
+                    let hb = self.assign[link.b as usize];
+                    (old, hb, host, hb)
+                } else {
+                    let ha = self.assign[link.a as usize];
+                    (ha, old, ha, host)
+                };
+                for (p, &(kind, _)) in self.objective.parts().iter().enumerate() {
+                    self.scratch[p] +=
+                        kind.contribution(m, link, na, nb) - kind.contribution(m, link, oa, ob);
+                }
+            }
+        }
+        self.objective.score(&self.scratch, self.model)
+    }
+
+    /// How many full-sum recomputations this scorer performed.
+    pub fn full_evaluations(&self) -> u64 {
+        self.full_evals
+    }
+
+    /// How many delta evaluations (`set` + `peek`) this scorer performed.
+    pub fn delta_evaluations(&self) -> u64 {
+        self.delta_evals
+    }
+}
+
+// ---- compiled constraints -------------------------------------------------
+
+/// Kind of a compiled component group constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupKind {
+    /// All members must share a host.
+    Collocated,
+    /// No two members may share a host.
+    Separated,
+}
+
+/// The dense form of a constraint checker: a per-component allowed-host
+/// mask, component groups, and the built-in memory-capacity check.
+///
+/// Produced by [`ConstraintChecker::compile`](crate::ConstraintChecker::compile);
+/// `check`/`admits` return the same booleans the naive checker's
+/// `check(..).is_ok()` / `admits(..)` return for deployments over the
+/// compiled model's components and hosts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompiledConstraints {
+    n_hosts: usize,
+    n_comps: usize,
+    require_complete: bool,
+    allowed: Vec<bool>,
+    groups: Vec<(GroupKind, Vec<u32>)>,
+    member_groups: Vec<Vec<u32>>,
+    enforce_memory: bool,
+    comp_memory: Vec<f64>,
+    host_memory: Vec<f64>,
+}
+
+impl CompiledConstraints {
+    /// Creates a checker admitting everything (subject to `enforce_memory`),
+    /// to be narrowed with [`pin_to`](Self::pin_to) /
+    /// [`forbid_on`](Self::forbid_on) / [`add_group`](Self::add_group).
+    ///
+    /// `require_complete` makes [`check`](Self::check) reject assignments
+    /// with unassigned components (the [`ConstraintSet`](crate::ConstraintSet)
+    /// semantics).
+    pub fn new(model: &CompiledModel, require_complete: bool, enforce_memory: bool) -> Self {
+        CompiledConstraints {
+            n_hosts: model.n_hosts(),
+            n_comps: model.n_comps(),
+            require_complete,
+            allowed: vec![true; model.n_comps() * model.n_hosts()],
+            groups: Vec::new(),
+            member_groups: vec![Vec::new(); model.n_comps()],
+            enforce_memory,
+            comp_memory: model.comp_memory().to_vec(),
+            host_memory: model.host_memory().to_vec(),
+        }
+    }
+
+    /// Restricts `comp` to the listed hosts (intersection semantics, like
+    /// [`Constraint::PinnedTo`](crate::Constraint::PinnedTo)).
+    pub fn pin_to(&mut self, comp: u32, hosts: &[u32]) {
+        let row = comp as usize * self.n_hosts;
+        for h in 0..self.n_hosts {
+            if !hosts.contains(&(h as u32)) {
+                self.allowed[row + h] = false;
+            }
+        }
+    }
+
+    /// Forbids `comp` from the listed hosts (like
+    /// [`Constraint::NotOn`](crate::Constraint::NotOn)).
+    pub fn forbid_on(&mut self, comp: u32, hosts: &[u32]) {
+        let row = comp as usize * self.n_hosts;
+        for &h in hosts {
+            if (h as usize) < self.n_hosts {
+                self.allowed[row + h as usize] = false;
+            }
+        }
+    }
+
+    /// Adds a collocation/separation group. Groups with fewer than two
+    /// members are dropped (they can never be violated).
+    pub fn add_group(&mut self, kind: GroupKind, members: Vec<u32>) {
+        if members.len() < 2 {
+            return;
+        }
+        let gi = self.groups.len() as u32;
+        for &m in &members {
+            self.member_groups[m as usize].push(gi);
+        }
+        self.groups.push((kind, members));
+    }
+
+    /// Checks a complete (dense) assignment, mirroring the naive checker's
+    /// `check(..).is_ok()`.
+    pub fn check(&self, assign: &[u32]) -> bool {
+        if self.require_complete && assign.contains(&UNASSIGNED) {
+            return false;
+        }
+        for (c, &h) in assign.iter().enumerate() {
+            if h != UNASSIGNED && !self.allowed[c * self.n_hosts + h as usize] {
+                return false;
+            }
+        }
+        for (kind, members) in &self.groups {
+            match kind {
+                GroupKind::Collocated => {
+                    let mut first = UNASSIGNED;
+                    for &m in members {
+                        let h = assign[m as usize];
+                        if h == UNASSIGNED {
+                            continue;
+                        }
+                        if first == UNASSIGNED {
+                            first = h;
+                        } else if h != first {
+                            return false;
+                        }
+                    }
+                }
+                GroupKind::Separated => {
+                    for (i, &m) in members.iter().enumerate() {
+                        let h = assign[m as usize];
+                        if h == UNASSIGNED {
+                            continue;
+                        }
+                        for &o in &members[i + 1..] {
+                            if assign[o as usize] == h {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.enforce_memory {
+            for h in 0..self.n_hosts {
+                let mut used = 0.0;
+                let mut any = false;
+                for (c, &hc) in assign.iter().enumerate() {
+                    if hc as usize == h {
+                        used += self.comp_memory[c];
+                        any = true;
+                    }
+                }
+                if any && used > self.host_memory[h] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// May `comp` be placed on `host` given the (possibly partial)
+    /// assignment built so far? Mirrors the naive checker's `admits`,
+    /// including its collocation semantics (a member already assigned
+    /// elsewhere — `comp` itself included — blocks the move; callers
+    /// unassign `comp` first when pricing a relocation).
+    pub fn admits(&self, assign: &[u32], comp: u32, host: u32) -> bool {
+        let c = comp as usize;
+        let h = host as usize;
+        if !self.allowed[c * self.n_hosts + h] {
+            return false;
+        }
+        for &g in &self.member_groups[c] {
+            let (kind, members) = &self.groups[g as usize];
+            match kind {
+                GroupKind::Collocated => {
+                    for &p in members {
+                        let hp = assign[p as usize];
+                        if hp != UNASSIGNED && hp != host {
+                            return false;
+                        }
+                    }
+                }
+                GroupKind::Separated => {
+                    for &p in members {
+                        if p != comp && assign[p as usize] == host {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        if self.enforce_memory {
+            let mut used = 0.0;
+            for (o, &ho) in assign.iter().enumerate() {
+                if ho == host && o != c {
+                    used += self.comp_memory[o];
+                }
+            }
+            if used + self.comp_memory[c] > self.host_memory[h] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of hosts in the compiled model this checker was built for.
+    pub fn n_hosts(&self) -> usize {
+        self.n_hosts
+    }
+
+    /// Number of components in the compiled model this checker was built for.
+    pub fn n_comps(&self) -> usize {
+        self.n_comps
+    }
+}
+
+// ---- opt-out wrapper ------------------------------------------------------
+
+/// Wraps an objective and hides its compiled form, forcing every algorithm
+/// onto the naive evaluation path. Used by benchmarks and the
+/// compiled-vs-naive equivalence tests.
+#[derive(Debug)]
+pub struct Uncompiled<'a>(pub &'a dyn crate::Objective);
+
+impl crate::Objective for Uncompiled<'_> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn direction(&self) -> Direction {
+        self.0.direction()
+    }
+
+    fn evaluate(&self, model: &DeploymentModel, deployment: &Deployment) -> f64 {
+        self.0.evaluate(model, deployment)
+    }
+
+    fn is_improvement(&self, incumbent: f64, candidate: f64) -> bool {
+        self.0.is_improvement(incumbent, candidate)
+    }
+
+    fn worst(&self) -> f64 {
+        self.0.worst()
+    }
+
+    fn utility_of(&self, value: f64) -> f64 {
+        self.0.utility_of(value)
+    }
+
+    fn utility(&self, model: &DeploymentModel, deployment: &Deployment) -> f64 {
+        self.0.utility(model, deployment)
+    }
+
+    fn compiled(&self) -> Option<CompiledObjective> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{Constraint, ConstraintChecker, MemoryConstraint};
+    use crate::objectives::{
+        Availability, CommunicationVolume, Composite, Latency, LinkSecurity, Objective,
+        PathAwareAvailability,
+    };
+
+    fn h(n: u32) -> HostId {
+        HostId::new(n)
+    }
+    fn c(n: u32) -> ComponentId {
+        ComponentId::new(n)
+    }
+
+    /// Three hosts in a line (a—b—c), three components in a triangle.
+    fn fixture() -> DeploymentModel {
+        let mut m = DeploymentModel::new();
+        let ha = m.add_host("a").unwrap();
+        let hb = m.add_host("b").unwrap();
+        let hc = m.add_host("c").unwrap();
+        m.set_physical_link(ha, hb, |l| {
+            l.set_reliability(0.9);
+            l.set_bandwidth(10.0);
+            l.set_delay(2.0);
+            l.set_security(0.5);
+        })
+        .unwrap();
+        m.set_physical_link(hb, hc, |l| {
+            l.set_reliability(0.8);
+            l.set_bandwidth(5.0);
+            l.set_delay(1.0);
+            l.set_security(0.75);
+        })
+        .unwrap();
+        let x = m.add_component("x").unwrap();
+        let y = m.add_component("y").unwrap();
+        let z = m.add_component("z").unwrap();
+        m.set_logical_link(x, y, |l| {
+            l.set_frequency(4.0);
+            l.set_event_size(20.0);
+        })
+        .unwrap();
+        m.set_logical_link(y, z, |l| {
+            l.set_frequency(2.0);
+            l.set_event_size(8.0);
+        })
+        .unwrap();
+        m.set_logical_link(x, z, |l| {
+            l.set_frequency(1.0);
+            l.set_event_size(16.0);
+        })
+        .unwrap();
+        m
+    }
+
+    fn all_deployments(n_hosts: u32, n_comps: u32) -> Vec<Deployment> {
+        let mut out = Vec::new();
+        let total = (n_hosts as usize).pow(n_comps);
+        for code in 0..total {
+            let mut d = Deployment::new();
+            let mut rem = code;
+            for comp in 0..n_comps {
+                d.assign(c(comp), h((rem % n_hosts as usize) as u32));
+                rem /= n_hosts as usize;
+            }
+            out.push(d);
+        }
+        out
+    }
+
+    fn objectives() -> Vec<Box<dyn Objective>> {
+        vec![
+            Box::new(Availability),
+            Box::new(PathAwareAvailability),
+            Box::new(Latency::new()),
+            Box::new(CommunicationVolume),
+            Box::new(LinkSecurity),
+            Box::new(
+                Composite::new()
+                    .with("availability", PathAwareAvailability, 0.6)
+                    .with("latency", Latency::new(), 0.3)
+                    .with("security", LinkSecurity, 0.1),
+            ),
+        ]
+    }
+
+    #[test]
+    fn compiled_links_follow_btreemap_order() {
+        let m = fixture();
+        let cm = CompiledModel::compile(&m);
+        assert_eq!(cm.n_hosts(), 3);
+        assert_eq!(cm.n_comps(), 3);
+        let pairs: Vec<(u32, u32)> = cm.links().iter().map(|l| (l.a, l.b)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        // CSR incident lists are ascending by the opposite endpoint.
+        for comp in 0..3 {
+            let others: Vec<u32> = cm
+                .incident(comp)
+                .iter()
+                .map(|&li| cm.links()[li as usize].other(comp))
+                .collect();
+            let mut sorted = others.clone();
+            sorted.sort_unstable();
+            assert_eq!(others, sorted, "incident list of {comp} not ascending");
+        }
+    }
+
+    #[test]
+    fn path_reliability_matrix_matches_best_path() {
+        let m = fixture();
+        let cm = CompiledModel::compile(&m);
+        for (ai, &a) in cm.host_ids().iter().enumerate() {
+            for (bi, &b) in cm.host_ids().iter().enumerate() {
+                let naive = if a == b {
+                    1.0
+                } else {
+                    m.best_path(a, b).map(|p| p.reliability).unwrap_or(0.0)
+                };
+                assert_eq!(
+                    cm.path_reliability(ai as u32, bi as u32),
+                    naive,
+                    "path reliability mismatch for ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_full_matches_naive_for_every_objective_and_deployment() {
+        let m = fixture();
+        let cm = CompiledModel::compile(&m);
+        for obj in objectives() {
+            let co = obj.compiled().expect("built-in objectives compile");
+            let mut inc = IncrementalScore::new(&cm, &co);
+            for d in all_deployments(3, 3) {
+                let naive = obj.evaluate(&m, &d);
+                let compiled = inc.assign_from(&cm.compile_assignment(&d));
+                assert!(
+                    (naive - compiled).abs() <= 1e-12,
+                    "{}: naive {naive} vs compiled {compiled}",
+                    obj.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_deployments_score_identically() {
+        let m = fixture();
+        let cm = CompiledModel::compile(&m);
+        let mut d = Deployment::new();
+        d.assign(c(0), h(1));
+        for obj in objectives() {
+            let co = obj.compiled().unwrap();
+            let mut inc = IncrementalScore::new(&cm, &co);
+            let compiled = inc.assign_from(&cm.compile_assignment(&d));
+            assert!(
+                (obj.evaluate(&m, &d) - compiled).abs() <= 1e-12,
+                "{}",
+                obj.name()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_moves_track_full_rescoring() {
+        let m = fixture();
+        let cm = CompiledModel::compile(&m);
+        for obj in objectives() {
+            let co = obj.compiled().unwrap();
+            let mut inc = IncrementalScore::new(&cm, &co);
+            inc.assign_from(&[0, 0, 0]);
+            let moves = [
+                (0u32, 1u32),
+                (2, 2),
+                (1, 1),
+                (0, 0),
+                (2, UNASSIGNED),
+                (2, 1),
+            ];
+            for &(comp, host) in &moves {
+                let peeked = inc.peek(comp, host);
+                inc.set(comp, host);
+                assert_eq!(inc.value(), peeked, "peek must equal committed value");
+                let mut fresh = IncrementalScore::new(&cm, &co);
+                let full = fresh.assign_from(inc.assignment());
+                assert!(
+                    (inc.value() - full).abs() <= 1e-9,
+                    "{}: delta {} vs full {full}",
+                    obj.name(),
+                    inc.value()
+                );
+            }
+            assert_eq!(inc.full_evaluations(), 1);
+            // each move is scored twice: one peek + one committed set
+            assert_eq!(inc.delta_evaluations(), 2 * moves.len() as u64);
+        }
+    }
+
+    #[test]
+    fn assignment_roundtrips_through_dense_form() {
+        let m = fixture();
+        let cm = CompiledModel::compile(&m);
+        let mut d = Deployment::new();
+        d.assign(c(0), h(2));
+        d.assign(c(2), h(0));
+        let dense = cm.compile_assignment(&d);
+        assert_eq!(dense, vec![2, UNASSIGNED, 0]);
+        assert_eq!(cm.decode_assignment(&dense), d);
+    }
+
+    #[test]
+    fn compiled_constraints_match_naive_check_and_admits() {
+        let mut m = fixture();
+        m.constraints_mut().add(Constraint::Separated {
+            components: [c(0), c(1)].into_iter().collect(),
+        });
+        m.constraints_mut().add(Constraint::NotOn {
+            component: c(2),
+            hosts: [h(0)].into_iter().collect(),
+        });
+        m.component_mut(c(0)).unwrap().set_required_memory(6.0);
+        m.component_mut(c(1)).unwrap().set_required_memory(6.0);
+        m.host_mut(h(0)).unwrap().set_memory(10.0);
+        m.constraints_mut().set_enforce_memory(true);
+        let cm = CompiledModel::compile(&m);
+        let naive = m.constraints().clone();
+        let cc = naive.compile(&m, &cm).expect("constraint set compiles");
+
+        for d in all_deployments(3, 3) {
+            let dense = cm.compile_assignment(&d);
+            assert_eq!(
+                naive.check(&m, &d).is_ok(),
+                cc.check(&dense),
+                "check mismatch for {dense:?}"
+            );
+            for comp in 0..3u32 {
+                let mut without = d.clone();
+                without.unassign(c(comp));
+                let mut dense_w = cm.compile_assignment(&without);
+                dense_w[comp as usize] = UNASSIGNED;
+                for host in 0..3u32 {
+                    assert_eq!(
+                        naive.admits(&m, &without, c(comp), h(host)),
+                        cc.admits(&dense_w, comp, host),
+                        "admits mismatch for {dense_w:?} comp {comp} host {host}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_constraint_compiles_standalone() {
+        let mut m = fixture();
+        m.component_mut(c(0)).unwrap().set_required_memory(8.0);
+        m.host_mut(h(1)).unwrap().set_memory(4.0);
+        let cm = CompiledModel::compile(&m);
+        let cc = MemoryConstraint.compile(&m, &cm).expect("memory compiles");
+        let mut dense = vec![UNASSIGNED; 3];
+        assert!(cc.admits(&dense, 0, 0));
+        assert!(!cc.admits(&dense, 0, 1));
+        dense[0] = 1;
+        assert!(!cc.check(&dense));
+        dense[0] = 0;
+        assert!(cc.check(&dense));
+    }
+
+    #[test]
+    fn uncompiled_wrapper_hides_the_compiled_form() {
+        let obj = Availability;
+        assert!(obj.compiled().is_some());
+        let wrapped = Uncompiled(&obj);
+        assert!(wrapped.compiled().is_none());
+        let m = fixture();
+        let d: Deployment = [(c(0), h(0)), (c(1), h(1)), (c(2), h(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(wrapped.evaluate(&m, &d), obj.evaluate(&m, &d));
+        assert_eq!(wrapped.name(), obj.name());
+    }
+}

@@ -67,6 +67,7 @@ pub mod awareness;
 pub mod constraints;
 pub mod deployment;
 pub mod error;
+pub mod eval;
 pub mod generator;
 pub mod ids;
 pub mod links;
@@ -84,6 +85,10 @@ pub use constraints::{
 };
 pub use deployment::{Deployment, Migration};
 pub use error::ModelError;
+pub use eval::{
+    CompiledConstraints, CompiledLink, CompiledModel, CompiledObjective, GroupKind,
+    IncrementalScore, PartKind, Uncompiled, UNASSIGNED,
+};
 pub use generator::{GeneratedSystem, Generator, GeneratorConfig, Range};
 pub use ids::{ComponentId, HostId};
 pub use links::{ComponentPair, HostPair, LogicalLink, PhysicalLink};

@@ -13,8 +13,10 @@
 //! * [`Composite`] — a weighted combination for multi-objective analysis.
 
 use crate::deployment::Deployment;
+use crate::eval::{CompiledObjective, PartKind};
 use crate::model::DeploymentModel;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
 
 /// Whether larger or smaller objective values are better.
@@ -66,17 +68,35 @@ pub trait Objective: fmt::Debug + Send + Sync {
         }
     }
 
-    /// Maps the score into a `[0, 1]`-ish utility where larger is better,
-    /// enabling composition across objectives with different units.
+    /// Maps an already-computed score into a `[0, 1]`-ish utility where
+    /// larger is better, enabling composition across objectives with
+    /// different units.
     ///
     /// The default maps maximizing objectives through the identity and
     /// minimizing objectives through `1 / (1 + value)`.
-    fn utility(&self, model: &DeploymentModel, deployment: &Deployment) -> f64 {
-        let value = self.evaluate(model, deployment);
+    fn utility_of(&self, value: f64) -> f64 {
         match self.direction() {
             Direction::Maximize => value,
             Direction::Minimize => 1.0 / (1.0 + value.max(0.0)),
         }
+    }
+
+    /// Evaluates and maps through [`utility_of`](Self::utility_of) in one
+    /// call.
+    fn utility(&self, model: &DeploymentModel, deployment: &Deployment) -> f64 {
+        self.utility_of(self.evaluate(model, deployment))
+    }
+
+    /// The dense compiled form of this objective, if it has one.
+    ///
+    /// Returning `Some` lets algorithms score candidates through
+    /// [`IncrementalScore`](crate::IncrementalScore) instead of
+    /// [`evaluate`](Self::evaluate); the compiled form must produce the same
+    /// value as `evaluate` for any deployment over the compiled model.
+    /// Custom objectives default to `None`, which keeps every algorithm on
+    /// the naive path.
+    fn compiled(&self) -> Option<CompiledObjective> {
+        None
     }
 }
 
@@ -123,6 +143,10 @@ impl Objective for Availability {
             weighted / total
         }
     }
+
+    fn compiled(&self) -> Option<CompiledObjective> {
+        Some(CompiledObjective::single(PartKind::Availability))
+    }
 }
 
 /// Availability with multi-hop path semantics (maximize).
@@ -140,6 +164,17 @@ impl Objective for Availability {
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct PathAwareAvailability;
 
+thread_local! {
+    /// Reusable per-thread path-reliability cache for the naive
+    /// [`PathAwareAvailability::evaluate`] path, so repeated scalar
+    /// evaluations don't allocate a fresh map per call. Entries are
+    /// `(lo, hi, reliability)` with `lo < hi`; the list is tiny (bounded by
+    /// the interacting host pairs of one deployment), so a linear scan beats
+    /// a tree.
+    static PATH_CACHE: RefCell<Vec<(crate::HostId, crate::HostId, f64)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
 impl Objective for PathAwareAvailability {
     fn name(&self) -> &str {
         "availability (path-aware)"
@@ -150,33 +185,44 @@ impl Objective for PathAwareAvailability {
     }
 
     fn evaluate(&self, model: &DeploymentModel, deployment: &Deployment) -> f64 {
-        let mut cache: std::collections::BTreeMap<(crate::HostId, crate::HostId), f64> =
-            std::collections::BTreeMap::new();
-        let mut weighted = 0.0;
-        let mut total = 0.0;
-        for link in model.logical_links() {
-            let freq = link.frequency();
-            if freq <= 0.0 {
-                continue;
+        PATH_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            cache.clear();
+            let mut weighted = 0.0;
+            let mut total = 0.0;
+            for link in model.logical_links() {
+                let freq = link.frequency();
+                if freq <= 0.0 {
+                    continue;
+                }
+                total += freq;
+                let (a, b) = (link.ends().lo(), link.ends().hi());
+                if let (Some(ha), Some(hb)) = (deployment.host_of(a), deployment.host_of(b)) {
+                    let (lo, hi) = if ha < hb { (ha, hb) } else { (hb, ha) };
+                    let rel = match cache.iter().find(|&&(a, b, _)| a == lo && b == hi) {
+                        Some(&(_, _, rel)) => rel,
+                        None => {
+                            let rel = model
+                                .best_path(ha, hb)
+                                .map(|p| p.reliability)
+                                .unwrap_or(0.0);
+                            cache.push((lo, hi, rel));
+                            rel
+                        }
+                    };
+                    weighted += freq * rel;
+                }
             }
-            total += freq;
-            let (a, b) = (link.ends().lo(), link.ends().hi());
-            if let (Some(ha), Some(hb)) = (deployment.host_of(a), deployment.host_of(b)) {
-                let key = if ha < hb { (ha, hb) } else { (hb, ha) };
-                let rel = *cache.entry(key).or_insert_with(|| {
-                    model
-                        .best_path(ha, hb)
-                        .map(|p| p.reliability)
-                        .unwrap_or(0.0)
-                });
-                weighted += freq * rel;
+            if total == 0.0 {
+                1.0
+            } else {
+                weighted / total
             }
-        }
-        if total == 0.0 {
-            1.0
-        } else {
-            weighted / total
-        }
+        })
+    }
+
+    fn compiled(&self) -> Option<CompiledObjective> {
+        Some(CompiledObjective::single(PartKind::PathAwareAvailability))
     }
 }
 
@@ -256,6 +302,12 @@ impl Objective for Latency {
             weighted / total
         }
     }
+
+    fn compiled(&self) -> Option<CompiledObjective> {
+        Some(CompiledObjective::single(PartKind::Latency {
+            penalty: self.penalty,
+        }))
+    }
 }
 
 /// Total remote communication volume (minimize) — the objective minimized by
@@ -284,6 +336,10 @@ impl Objective for CommunicationVolume {
             }
         }
         volume
+    }
+
+    fn compiled(&self) -> Option<CompiledObjective> {
+        Some(CompiledObjective::single(PartKind::CommunicationVolume))
     }
 }
 
@@ -327,6 +383,10 @@ impl Objective for LinkSecurity {
         } else {
             weighted / total
         }
+    }
+
+    fn compiled(&self) -> Option<CompiledObjective> {
+        Some(CompiledObjective::single(PartKind::LinkSecurity))
     }
 }
 
@@ -400,6 +460,9 @@ impl Composite {
     }
 
     /// Per-part `(label, raw value, weighted utility)` breakdown.
+    ///
+    /// Each part is evaluated exactly once; the weighted utility is derived
+    /// from the raw value via [`Objective::utility_of`].
     pub fn breakdown(
         &self,
         model: &DeploymentModel,
@@ -408,11 +471,8 @@ impl Composite {
         self.parts
             .iter()
             .map(|(label, obj, w)| {
-                (
-                    label.clone(),
-                    obj.evaluate(model, deployment),
-                    w * obj.utility(model, deployment),
-                )
+                let value = obj.evaluate(model, deployment);
+                (label.clone(), value, w * obj.utility_of(value))
             })
             .collect()
     }
@@ -432,6 +492,14 @@ impl Objective for Composite {
             .iter()
             .map(|(_, obj, w)| w * obj.utility(model, deployment))
             .sum()
+    }
+
+    fn compiled(&self) -> Option<CompiledObjective> {
+        let mut parts = Vec::with_capacity(self.parts.len());
+        for (_, obj, w) in &self.parts {
+            parts.push((obj.compiled()?.as_single()?, *w));
+        }
+        Some(CompiledObjective::composite(parts))
     }
 }
 

@@ -1,0 +1,213 @@
+//! Property-based equivalence between the compiled evaluation core and the
+//! naive objective implementations.
+//!
+//! The compiled path ([`redep_model::CompiledModel`] +
+//! [`redep_model::IncrementalScore`]) must agree with the trait-object path
+//! to within 1e-12 on generated systems: full scores, arbitrary delta-move
+//! chains (including unassignments and re-assignments), and the compiled
+//! constraint checker's feasibility verdicts.
+
+use proptest::prelude::*;
+use redep_model::{
+    Availability, CommunicationVolume, CompiledModel, Composite, ConstraintChecker, Generator,
+    GeneratorConfig, IncrementalScore, Latency, LinkSecurity, Objective, PathAwareAvailability,
+    Range, UNASSIGNED,
+};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        1usize..=5,
+        1usize..=10,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        any::<u64>(),
+    )
+        .prop_map(|(hosts, components, pd, ld, seed)| GeneratorConfig {
+            hosts,
+            components,
+            physical_density: pd,
+            logical_density: ld,
+            seed,
+            // Memory ranges that always admit a deployment, so the property
+            // exercises scoring rather than generation failure.
+            host_memory: Range::new(1_000.0, 2_000.0),
+            component_memory: Range::new(1.0, 10.0),
+            ..GeneratorConfig::default()
+        })
+}
+
+/// Every objective the compiled core supports, as boxed trait objects.
+fn objectives() -> Vec<Box<dyn Objective>> {
+    vec![
+        Box::new(Availability),
+        Box::new(PathAwareAvailability),
+        Box::new(Latency::new()),
+        Box::new(CommunicationVolume),
+        Box::new(LinkSecurity),
+        Box::new(
+            Composite::new()
+                .with("availability", Availability, 2.0)
+                .with("latency", Latency::new(), 1.0)
+                .with("volume", CommunicationVolume, 0.5),
+        ),
+    ]
+}
+
+/// 1e-12 agreement, relative for values above 1 in magnitude (unbounded
+/// objectives like latency and volume accumulate delta drift proportional
+/// to their magnitude).
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Decodes a raw index vector into a (possibly partial) dense assignment:
+/// indices beyond the host count become [`UNASSIGNED`].
+fn to_assignment(raw: &[u32], n_hosts: usize, n_comps: usize) -> Vec<u32> {
+    (0..n_comps)
+        .map(|i| {
+            let v = raw[i % raw.len().max(1)] % (n_hosts as u32 + 1);
+            if v == n_hosts as u32 {
+                UNASSIGNED
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn score_full_matches_naive_evaluate(
+        config in config_strategy(),
+        raw in proptest::collection::vec(any::<u32>(), 1..16),
+    ) {
+        let system = Generator::generate(&config).unwrap();
+        let cm = CompiledModel::compile(&system.model);
+        let assign = to_assignment(&raw, cm.n_hosts(), cm.n_comps());
+        let deployment = cm.decode_assignment(&assign);
+        for obj in objectives() {
+            let co = obj.compiled().expect("objective compiles");
+            let mut inc = IncrementalScore::new(&cm, &co);
+            let compiled = inc.assign_from(&assign);
+            let naive = obj.evaluate(&system.model, &deployment);
+            prop_assert!(
+                close(compiled, naive),
+                "{}: compiled {compiled} vs naive {naive}",
+                obj.name()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_chains_match_naive_evaluate(
+        config in config_strategy(),
+        raw in proptest::collection::vec(any::<u32>(), 1..16),
+        moves in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..24),
+    ) {
+        let system = Generator::generate(&config).unwrap();
+        let cm = CompiledModel::compile(&system.model);
+        let n_hosts = cm.n_hosts();
+        let n_comps = cm.n_comps();
+        let assign = to_assignment(&raw, n_hosts, n_comps);
+        for obj in objectives() {
+            let co = obj.compiled().expect("objective compiles");
+            let mut inc = IncrementalScore::new(&cm, &co);
+            let start = inc.assign_from(&assign);
+            let mut current = assign.clone();
+            // Delta drift per move is rounding residue at the scale of the
+            // running sums the chain has passed through — which for composite
+            // parts can exceed the finalized score's scale. The algorithms
+            // therefore re-anchor with score_full whenever a delta value
+            // comes within NEAR_EPS = 1e-9 of the incumbent; the chain must
+            // stay comfortably inside that margin.
+            let mut scale = start.abs().max(1.0);
+            let mut steps = 0.0;
+            for &(rc, rh) in &moves {
+                let comp = rc % n_comps as u32;
+                // One extra slot unassigns the component.
+                let h = rh % (n_hosts as u32 + 1);
+                let host = if h == n_hosts as u32 { UNASSIGNED } else { h };
+                // peek must predict exactly what set commits.
+                let predicted = inc.peek(comp, host);
+                inc.set(comp, host);
+                current[comp as usize] = host;
+                prop_assert_eq!(inc.value(), predicted, "{}", obj.name());
+                let naive = obj.evaluate(&system.model, &cm.decode_assignment(&current));
+                scale = scale.max(naive.abs());
+                steps += 1.0;
+                prop_assert!(
+                    (inc.value() - naive).abs() <= 1e-10 * scale * steps,
+                    "{}: delta {} vs naive {naive} after move {comp}->{host}",
+                    obj.name(),
+                    inc.value()
+                );
+            }
+            // Re-anchoring with a full rescore erases the drift entirely, and
+            // afterwards the running value is the pure score.
+            let pure = inc.score_full();
+            let naive = obj.evaluate(&system.model, &cm.decode_assignment(&current));
+            prop_assert!(close(pure, naive), "{}", obj.name());
+            prop_assert_eq!(inc.value(), pure, "{}", obj.name());
+        }
+    }
+
+    #[test]
+    fn compiled_constraints_agree_with_naive_checker(
+        config in config_strategy(),
+        raw in proptest::collection::vec(any::<u32>(), 1..16),
+    ) {
+        let system = Generator::generate(&config).unwrap();
+        let cm = CompiledModel::compile(&system.model);
+        let checker = system.model.constraints();
+        let Some(cc) = checker.compile(&system.model, &cm) else {
+            // Non-compilable constraint sets fall back to the naive path by
+            // construction; nothing to compare.
+            return Ok(());
+        };
+        let assign = to_assignment(&raw, cm.n_hosts(), cm.n_comps());
+        let deployment = cm.decode_assignment(&assign);
+        prop_assert_eq!(
+            cc.check(&assign),
+            checker.check(&system.model, &deployment).is_ok(),
+            "feasibility verdicts disagree"
+        );
+        // Incremental admission agrees as well.
+        for comp in 0..cm.n_comps() as u32 {
+            for host in 0..cm.n_hosts() as u32 {
+                let mut lifted = assign.clone();
+                lifted[comp as usize] = UNASSIGNED;
+                let mut without = deployment.clone();
+                without.unassign(cm.comp_ids()[comp as usize]);
+                prop_assert_eq!(
+                    cc.admits(&lifted, comp, host),
+                    checker.admits(
+                        &system.model,
+                        &without,
+                        cm.comp_ids()[comp as usize],
+                        cm.host_ids()[host as usize],
+                    ),
+                    "admission verdicts disagree for {comp}->{host}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_deployments_score_identically(config in config_strategy()) {
+        // The generator's initial deployment is the common-case input: the
+        // compiled score must be bit-identical to the naive one there (the
+        // link iteration orders coincide by construction).
+        let system = Generator::generate(&config).unwrap();
+        let cm = CompiledModel::compile(&system.model);
+        let assign = cm.compile_assignment(&system.initial);
+        for obj in [&Availability as &dyn Objective, &LinkSecurity, &CommunicationVolume] {
+            let co = obj.compiled().expect("objective compiles");
+            let mut inc = IncrementalScore::new(&cm, &co);
+            let compiled = inc.assign_from(&assign);
+            let naive = obj.evaluate(&system.model, &system.initial);
+            prop_assert_eq!(compiled, naive, "{}", obj.name());
+        }
+    }
+}
