@@ -1,0 +1,367 @@
+//! Fault campaign: the faults the paper is about, injected on purpose.
+//!
+//! Runs a fault-class × algorithm matrix — host crash, partition, link
+//! degradation, link flapping, each against centralized frameworks pinned to
+//! one algorithm and against the decentralized (DecAp) instantiation — and
+//! measures, per cell:
+//!
+//! * the **baseline** windowed availability before the fault,
+//! * the **dip** (worst window at/after fault onset),
+//! * the **recovery time** from fault clearance back to ≥90 % of baseline,
+//! * model/runtime **consistency**: no cycle may end with the framework's
+//!   model disagreeing with where components actually run.
+//!
+//! Every fault plan is round-tripped through JSON before installation
+//! (proving serde-loadability), and one cell is executed twice to assert the
+//! run journal is byte-identical — same seed + same plan ⇒ same run.
+//!
+//! `--quick` shrinks the matrix and horizons (the CI smoke configuration);
+//! `--json` writes `BENCH_faults.json` in the shared `ExpReport` schema.
+
+use redep_bench::{fmt_f, print_table, ExpReport};
+use redep_core::{
+    AnalyzerConfig, CentralizedFramework, DecentralizedFramework, RecoveryPolicy, RuntimeConfig,
+    SystemRuntime,
+};
+use redep_model::{Availability, DeploymentModel, Generator, GeneratorConfig};
+use redep_netsim::{Duration, FaultKind, FaultPlan};
+use redep_telemetry::Telemetry;
+
+const FAULT_CLASSES: [&str; 4] = ["crash", "partition", "degrade", "flap"];
+
+/// Measured outcome of one campaign cell.
+struct CellOutcome {
+    baseline: f64,
+    dip: f64,
+    recovery_secs: f64,
+    final_availability: f64,
+    recovered: bool,
+    consistency_violations: u64,
+    journal: String,
+}
+
+/// Campaign horizons (simulated seconds).
+#[derive(Clone, Copy)]
+struct Horizons {
+    fault_start: f64,
+    fault_duration: f64,
+    total: f64,
+    effect_wait: Duration,
+}
+
+impl Horizons {
+    fn new(quick: bool) -> Self {
+        Horizons {
+            fault_start: 10.0,
+            fault_duration: if quick { 8.0 } else { 10.0 },
+            total: if quick { 40.0 } else { 60.0 },
+            effect_wait: Duration::from_secs_f64(if quick { 20.0 } else { 30.0 }),
+        }
+    }
+    fn fault_end(&self) -> f64 {
+        self.fault_start + self.fault_duration
+    }
+}
+
+/// Builds the fault plan of one class against the generated topology, then
+/// round-trips it through JSON — the same path a checked-in campaign file
+/// would take.
+fn fault_plan(class: &str, model: &DeploymentModel, h: Horizons) -> FaultPlan {
+    let hosts = model.host_ids();
+    // Crash a non-master host (the master at index 0 runs the deployer);
+    // degrade/flap the first physical link that does not touch the master,
+    // falling back to any link.
+    let victim = hosts[1 % hosts.len()];
+    let link = hosts
+        .iter()
+        .flat_map(|&a| model.neighbors(a).into_iter().map(move |b| (a, b)))
+        .find(|&(a, b)| a.raw() < b.raw() && a != hosts[0] && b != hosts[0])
+        .or_else(|| {
+            hosts
+                .iter()
+                .flat_map(|&a| model.neighbors(a).into_iter().map(move |b| (a, b)))
+                .find(|&(a, b)| a.raw() < b.raw())
+        })
+        .expect("generated models are connected");
+    let half = hosts.len() / 2;
+    let kind = match class {
+        "crash" => FaultKind::HostCrash { host: victim },
+        "partition" => FaultKind::Partition {
+            groups: vec![hosts[..half].to_vec(), hosts[half..].to_vec()],
+        },
+        "degrade" => FaultKind::LinkDegrade {
+            a: link.0,
+            b: link.1,
+            reliability_factor: 0.3,
+            bandwidth_factor: 0.5,
+        },
+        "flap" => FaultKind::LinkFlap {
+            a: link.0,
+            b: link.1,
+            period_secs: 2.0,
+        },
+        other => panic!("unknown fault class {other}"),
+    };
+    let plan = FaultPlan::new().episode(h.fault_start, h.fault_duration, kind);
+    FaultPlan::from_json(&plan.to_json()).expect("fault plans round-trip through JSON")
+}
+
+/// Either framework instantiation, driven through one uniform loop.
+enum Framework {
+    Centralized(Box<CentralizedFramework>),
+    Decentralized(Box<DecentralizedFramework>),
+}
+
+impl Framework {
+    fn runtime(&self) -> &SystemRuntime {
+        match self {
+            Framework::Centralized(fw) => fw.runtime(),
+            Framework::Decentralized(fw) => fw.runtime(),
+        }
+    }
+
+    fn advance(&mut self, span: Duration) {
+        match self {
+            Framework::Centralized(fw) => fw.advance(span),
+            Framework::Decentralized(fw) => fw.advance(span),
+        }
+    }
+
+    fn cycle(&mut self, effect_wait: Duration) -> Result<(), Box<dyn std::error::Error>> {
+        // Monitoring accumulated during `advance`; the cycle itself only
+        // pulls, analyzes, and effects.
+        match self {
+            Framework::Centralized(fw) => {
+                fw.cycle(&Availability, Duration::ZERO, effect_wait)?;
+            }
+            Framework::Decentralized(fw) => {
+                fw.cycle(&Availability, Duration::ZERO, effect_wait)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn model_matches_actual(&self) -> bool {
+        let actual = self.runtime().actual_deployment_by_id();
+        match self {
+            Framework::Centralized(fw) => fw.desi().system().deployment() == &actual,
+            Framework::Decentralized(fw) => fw.system().deployment() == &actual,
+        }
+    }
+
+    fn journal(&self) -> String {
+        self.runtime().telemetry().export_jsonl()
+    }
+}
+
+fn totals(rt: &SystemRuntime) -> (u64, u64) {
+    let mut emitted = 0;
+    let mut received = 0;
+    for &h in rt.hosts() {
+        if let Some(host) = rt.host(h) {
+            let stats = host.services().stats();
+            emitted += stats.app_events_emitted;
+            received += stats.app_events_received;
+        }
+    }
+    (emitted, received)
+}
+
+/// Runs one cell: build the framework, install the (JSON round-tripped)
+/// plan, drive it in one-second windows with a framework cycle every five,
+/// and score availability baseline/dip/recovery plus model consistency.
+fn run_cell(
+    class: &str,
+    algo: &str,
+    quick: bool,
+) -> Result<CellOutcome, Box<dyn std::error::Error>> {
+    let h = Horizons::new(quick);
+    let system = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(7))?;
+    let runtime_config = RuntimeConfig {
+        seed: 1,
+        ..RuntimeConfig::default()
+    };
+    let plan = fault_plan(class, &system.model, h);
+
+    let mut fw = if algo == "decap" {
+        let mut fw = DecentralizedFramework::new(
+            system.model.clone(),
+            system.initial.clone(),
+            &runtime_config,
+        )?;
+        fw.set_recovery_policy(RecoveryPolicy::Reconcile {
+            max_effect_attempts: 2,
+        });
+        fw.runtime_mut().set_telemetry(Telemetry::default());
+        fw.runtime_mut().sim_mut().install_fault_plan(&plan);
+        Framework::Decentralized(Box::new(fw))
+    } else {
+        let analyzer_config = AnalyzerConfig {
+            algorithm_override: Some(algo.to_owned()),
+            ..AnalyzerConfig::default()
+        };
+        let mut fw = CentralizedFramework::new(
+            system.model.clone(),
+            system.initial.clone(),
+            &runtime_config,
+            analyzer_config,
+        )?;
+        fw.set_recovery_policy(RecoveryPolicy::Reconcile {
+            max_effect_attempts: 2,
+        });
+        fw.set_telemetry(Telemetry::default());
+        fw.runtime_mut().sim_mut().install_fault_plan(&plan);
+        Framework::Centralized(Box::new(fw))
+    };
+
+    let window = Duration::from_secs_f64(1.0);
+    let mut samples: Vec<(f64, f64)> = Vec::new();
+    let mut last = totals(fw.runtime());
+    let mut consistency_violations = 0;
+    let mut windows = 0u64;
+    let sample = |fw: &Framework, last: &mut (u64, u64), samples: &mut Vec<(f64, f64)>| {
+        let (emitted, received) = totals(fw.runtime());
+        let (d_emitted, d_received) = (emitted - last.0, received - last.1);
+        *last = (emitted, received);
+        let availability = if d_emitted == 0 {
+            1.0
+        } else {
+            d_received as f64 / d_emitted as f64
+        };
+        samples.push((fw.runtime().sim().now().as_secs_f64(), availability));
+    };
+    while fw.runtime().sim().now().as_secs_f64() < h.total {
+        fw.advance(window);
+        sample(&fw, &mut last, &mut samples);
+        windows += 1;
+        if windows.is_multiple_of(5) {
+            fw.cycle(h.effect_wait)?;
+            sample(&fw, &mut last, &mut samples);
+            if !fw.model_matches_actual() {
+                consistency_violations += 1;
+            }
+        }
+    }
+
+    let baseline_window: Vec<f64> = samples
+        .iter()
+        .filter(|(t, _)| *t > 3.0 && *t <= h.fault_start)
+        .map(|(_, a)| *a)
+        .collect();
+    let baseline = baseline_window.iter().sum::<f64>() / baseline_window.len().max(1) as f64;
+    let dip = samples
+        .iter()
+        .filter(|(t, _)| *t > h.fault_start)
+        .map(|(_, a)| *a)
+        .fold(f64::INFINITY, f64::min);
+    let recovery_threshold = 0.9 * baseline;
+    let recovery_secs = samples
+        .iter()
+        .find(|(t, a)| *t >= h.fault_end() && *a >= recovery_threshold)
+        .map(|(t, _)| t - h.fault_end());
+    let tail: Vec<f64> = samples.iter().rev().take(3).map(|(_, a)| *a).collect();
+    let final_availability = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+    let recovered = recovery_secs.is_some() && final_availability >= recovery_threshold;
+
+    Ok(CellOutcome {
+        baseline,
+        dip,
+        recovery_secs: recovery_secs.unwrap_or(h.total - h.fault_end()),
+        final_availability,
+        recovered,
+        consistency_violations,
+        journal: fw.journal(),
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let algorithms: &[&str] = if quick {
+        &["stochastic", "decap"]
+    } else {
+        &["stochastic", "avala", "decap"]
+    };
+
+    let mut report = ExpReport::new(
+        "faults",
+        "Fault campaign: availability dip and recovery per fault class × algorithm",
+    );
+    report.note(if quick {
+        "quick mode: 40 s horizon, 8 s faults, stochastic + decap"
+    } else {
+        "full mode: 60 s horizon, 10 s faults, stochastic + avala + decap"
+    });
+
+    let mut rows = Vec::new();
+    let mut all_recovered = true;
+    let mut total_violations = 0;
+    for &class in &FAULT_CLASSES {
+        for &algo in algorithms {
+            let cell = run_cell(class, algo, quick)?;
+            all_recovered &= cell.recovered;
+            total_violations += cell.consistency_violations;
+            let key = format!("{class}.{algo}");
+            report.metric(format!("{key}.baseline"), cell.baseline);
+            report.metric(format!("{key}.dip"), cell.dip);
+            report.metric(format!("{key}.recovery_secs"), cell.recovery_secs);
+            report.metric(format!("{key}.final"), cell.final_availability);
+            rows.push(vec![
+                class.to_owned(),
+                algo.to_owned(),
+                fmt_f(cell.baseline),
+                fmt_f(cell.dip),
+                format!("{:.1}", cell.recovery_secs),
+                fmt_f(cell.final_availability),
+                if cell.recovered { "yes" } else { "NO" }.to_owned(),
+            ]);
+        }
+    }
+    print_table(
+        "Fault campaign: windowed availability around injected faults",
+        &[
+            "fault",
+            "algorithm",
+            "baseline",
+            "dip",
+            "recovery (s)",
+            "final",
+            "recovered",
+        ],
+        &rows,
+    );
+
+    // Determinism: the same seed and the same plan must produce the same
+    // run, byte for byte, in the machine-readable journal.
+    let a = run_cell("crash", algorithms[0], quick)?;
+    let b = run_cell("crash", algorithms[0], quick)?;
+    let deterministic = a.journal == b.journal && !a.journal.is_empty();
+    println!(
+        "\ndeterminism: two identical crash runs -> journals {} ({} bytes)",
+        if deterministic { "identical" } else { "DIFFER" },
+        a.journal.len()
+    );
+
+    report.metric("consistency.violations", total_violations as f64);
+    report.metric("determinism.identical", f64::from(u8::from(deterministic)));
+    report.set_passed(all_recovered && total_violations == 0 && deterministic);
+
+    assert!(
+        all_recovered,
+        "fault campaign FAILED: a fault class did not recover"
+    );
+    assert_eq!(
+        total_violations, 0,
+        "fault campaign FAILED: a cycle left the model diverging from the running system"
+    );
+    assert!(
+        deterministic,
+        "fault campaign FAILED: identical runs produced different journals"
+    );
+    if let Some(file) = report.emit_if_requested()? {
+        println!("wrote {file}");
+    }
+    println!(
+        "\nfault campaign PASS: every fault class recovered; model == actual after every cycle."
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Validates a checked-in `BENCH_*.json` against the `ExpReport` schema.
+//!
+//! Usage: `validate_report <file.json> [<file.json> …]`
+//!
+//! For each file, parses the JSON, round-trips it through
+//! [`ExpReport::from_json`] (which enforces the `redep-bench/v1` schema and
+//! field types), and requires `passed: true`. Exits non-zero on the first
+//! violation — CI runs this right after regenerating a report to catch both
+//! schema drift and silently-failing experiments.
+
+use redep_bench::ExpReport;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        return Err("usage: validate_report <BENCH_*.json> …".into());
+    }
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let value: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{file}: invalid JSON: {e}"))?;
+        let report =
+            ExpReport::from_json(&value).map_err(|e| format!("{file}: schema violation: {e}"))?;
+        if !report.passed {
+            return Err(format!(
+                "{file}: experiment '{}' reports passed=false",
+                report.experiment
+            )
+            .into());
+        }
+        println!(
+            "{file}: ok (experiment '{}', {} metrics)",
+            report.experiment,
+            report.metrics.len()
+        );
+    }
+    Ok(())
+}

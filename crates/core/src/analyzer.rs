@@ -23,7 +23,7 @@ use redep_model::{Availability, DeploymentModel, Latency, Objective};
 use redep_prism::StabilityGauge;
 
 /// Tuning knobs of the centralized analyzer.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct AnalyzerConfig {
     /// Largest kⁿ search space the Exact algorithm may be given.
     pub exact_space_limit: u64,
@@ -40,6 +40,10 @@ pub struct AnalyzerConfig {
     pub latency_slack: f64,
     /// Minimum availability gain worth a redeployment.
     pub min_gain: f64,
+    /// Pins analysis to one registered algorithm, bypassing both the §5.1
+    /// selection policy and the whole-suite resolution (used by experiment
+    /// campaigns that compare algorithms under identical conditions).
+    pub algorithm_override: Option<String>,
 }
 
 impl Default for AnalyzerConfig {
@@ -51,6 +55,7 @@ impl Default for AnalyzerConfig {
             latency_guard: 0.25,
             latency_slack: 0.1,
             min_gain: 0.01,
+            algorithm_override: None,
         }
     }
 }
@@ -159,7 +164,10 @@ impl CentralizedAnalyzer {
         let current_latency =
             Latency::new().evaluate(desi.system().model(), desi.system().deployment());
 
-        let mut algorithm = self.select_algorithm(desi.system().model()).to_owned();
+        let pinned = self.config.algorithm_override.clone();
+        let mut algorithm = pinned
+            .clone()
+            .unwrap_or_else(|| self.select_algorithm(desi.system().model()).to_owned());
         let mut record = match desi.run_algorithm(&algorithm, objective) {
             Ok(r) => r,
             Err(redep_desi::DesiError::Algorithm(
@@ -175,7 +183,10 @@ impl CentralizedAnalyzer {
         // preferred algorithm finds no worthwhile gain and the system is
         // stable (time is cheap), resolve across the whole registered suite
         // and keep the best outcome.
-        if self.is_stable() && record.availability - current_availability < self.config.min_gain {
+        if pinned.is_none()
+            && self.is_stable()
+            && record.availability - current_availability < self.config.min_gain
+        {
             let names: Vec<String> = desi
                 .container()
                 .names()
@@ -386,6 +397,22 @@ mod tests {
             decision.record.result.value,
             avala_alone.value
         );
+    }
+
+    #[test]
+    fn algorithm_override_pins_the_choice() {
+        let mut d = desi(3, 6);
+        let mut a = CentralizedAnalyzer::new(AnalyzerConfig {
+            algorithm_override: Some("stochastic".into()),
+            ..AnalyzerConfig::default()
+        });
+        for i in 0..4 {
+            a.observe(i as f64, 0.5);
+        }
+        // Stable + small would select "exact"; the override wins and the
+        // whole-suite resolution must not displace it either.
+        let decision = a.analyze(&mut d, &Availability).unwrap();
+        assert_eq!(decision.algorithm, "stochastic");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::analyzer::{AnalyzerConfig, AnalyzerDecision, CentralizedAnalyzer};
 use crate::error::CoreError;
+use crate::recovery::RecoveryPolicy;
 use crate::runtime::{RuntimeConfig, SystemRuntime};
 use redep_algorithms::{
     AnnealingAlgorithm, AvalaAlgorithm, ExactAlgorithm, GeneticAlgorithm, RedeploymentAlgorithm,
@@ -27,6 +28,14 @@ pub struct CycleReport {
     pub decision: Option<AnalyzerDecision>,
     /// Whether an accepted redeployment completed within the cycle.
     pub redeployment_completed: bool,
+    /// Moves the deployer gave up on this cycle, with their last failure
+    /// reasons (empty when everything completed).
+    pub failed_moves: Vec<(String, String)>,
+    /// Whether an incomplete redeployment was reconciled: the model was
+    /// synchronized to the placement the running system actually reached and
+    /// every host directory was rewritten from ground truth. The cycle is
+    /// then degraded but consistent.
+    pub reconciled: bool,
     /// Measured availability (ground truth) up to the end of the cycle.
     pub measured_availability: f64,
 }
@@ -38,6 +47,7 @@ pub struct CentralizedFramework {
     desi: DeSi,
     adapter: MiddlewareAdapter,
     analyzer: CentralizedAnalyzer,
+    recovery: RecoveryPolicy,
     telemetry: Telemetry,
 }
 
@@ -80,8 +90,20 @@ impl CentralizedFramework {
             desi,
             adapter: MiddlewareAdapter::new(master),
             analyzer: CentralizedAnalyzer::new(analyzer_config),
+            recovery: RecoveryPolicy::default(),
             telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Sets the reaction to redeployments that do not finish cleanly
+    /// (default: [`RecoveryPolicy::Reconcile`] with one re-effect).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// Installs one telemetry handle across the framework and the running
@@ -132,15 +154,20 @@ impl CentralizedFramework {
     /// 2. pull monitoring data into the centralized model (Master Monitor),
     /// 3. let the analyzer observe / select / run an algorithm,
     /// 4. effect an accepted result (Master Effector) and wait up to
-    ///    `effect_wait` for completion.
+    ///    `effect_wait` per attempt for it to settle,
+    /// 5. recover from an unfinished redeployment per the
+    ///    [`RecoveryPolicy`]: re-effect the remainder against ground truth,
+    ///    and finally reconcile model and directories with the placement
+    ///    actually reached, reporting a degraded-but-consistent cycle.
     ///
     /// Analysis is skipped (decision `None`) until every host has reported.
     ///
     /// # Errors
     ///
     /// Propagates adapter and analyzer failures;
-    /// [`CoreError::RedeploymentTimeout`] when an accepted redeployment does
-    /// not complete within `effect_wait`.
+    /// [`CoreError::RedeploymentTimeout`] only under
+    /// [`RecoveryPolicy::Abort`] when an accepted redeployment does not
+    /// complete within `effect_wait`.
     pub fn cycle(
         &mut self,
         objective: &dyn Objective,
@@ -155,6 +182,8 @@ impl CentralizedFramework {
         let now = self.runtime.sim().now().as_secs_f64();
         let mut decision = None;
         let mut completed = false;
+        let mut failed_moves = Vec::new();
+        let mut reconciled = false;
 
         if snapshots == self.runtime.hosts().len() {
             let availability = redep_model::Availability
@@ -187,46 +216,105 @@ impl CentralizedFramework {
             if d.accepted {
                 let effect_start = self.runtime.sim().now();
                 let measured_before = self.runtime.measured_availability();
-                self.adapter.push_deployment(
-                    self.runtime.sim_mut(),
-                    self.desi.system(),
-                    &d.record.result.deployment,
-                )?;
-                // Drive the system until the deployer confirms completion.
+                let target = d.record.result.deployment.clone();
                 let step = Duration::from_millis(500);
-                let mut waited = Duration::ZERO;
-                while waited < effect_wait {
-                    self.runtime.run_for(step);
-                    waited = waited + step;
+                for attempt in 1..=self.recovery.effect_attempts() {
+                    if attempt > 1 {
+                        // Ground every directory in the placement actually
+                        // reached, so the new epoch's diff (and its holder
+                        // resolution) starts from truth, not from the failed
+                        // epoch's optimistic broadcast.
+                        self.runtime.resync_directories();
+                    }
+                    self.adapter.push_deployment(
+                        self.runtime.sim_mut(),
+                        self.desi.system(),
+                        &target,
+                    )?;
+                    // Drive the system until the epoch settles: everything
+                    // confirmed, or every unfinished move given up on.
+                    let mut waited = Duration::ZERO;
+                    while waited < effect_wait {
+                        self.runtime.run_for(step);
+                        waited = waited + step;
+                        if self.adapter.redeployment_settled(self.runtime.sim())? {
+                            break;
+                        }
+                    }
                     if self.adapter.redeployment_complete(self.runtime.sim())? {
                         completed = true;
                         break;
                     }
                 }
+                failed_moves = self.adapter.redeployment_failures(self.runtime.sim())?;
                 self.telemetry
                     .span(
                         "core.redeployment",
                         effect_start.as_micros(),
                         self.runtime.sim().now().as_micros(),
                     )
-                    .field("moves", d.record.result.deployment.len())
+                    .field("moves", target.len())
                     .field("completed", completed)
+                    .field("failed", failed_moves.len())
                     .field("measured_before", measured_before)
                     .field("measured_after", self.runtime.measured_availability())
                     .emit();
-                if !completed {
-                    let master = self.runtime.master().expect("centralized");
-                    let stuck = self
-                        .runtime
-                        .host(master)
-                        .and_then(|h| h.deployer().map(|d| d.status().in_flight))
-                        .unwrap_or_default();
-                    return Err(CoreError::RedeploymentTimeout(stuck));
+                if completed {
+                    self.desi.adopt_deployment(target);
+                } else {
+                    match self.recovery {
+                        RecoveryPolicy::Abort => {
+                            let master = self.runtime.master().expect("centralized");
+                            let mut stuck = self
+                                .runtime
+                                .host(master)
+                                .and_then(|h| h.deployer().map(|d| d.status().in_flight))
+                                .unwrap_or_default();
+                            stuck.extend(failed_moves.iter().map(|(c, _)| c.clone()));
+                            return Err(CoreError::RedeploymentTimeout(stuck));
+                        }
+                        RecoveryPolicy::Reconcile { .. } => {
+                            // Accept what the system actually reached: the
+                            // model follows reality, every directory is
+                            // rewritten from ground truth, and the next
+                            // cycle's analysis starts consistent.
+                            let actual = self.runtime.actual_deployment_by_id();
+                            self.runtime.resync_directories();
+                            self.desi.adopt_deployment(actual);
+                            reconciled = true;
+                            self.telemetry
+                                .event("core.recovery", self.runtime.sim().now().as_micros())
+                                .field("mode", "reconcile")
+                                .field("failed_moves", failed_moves.len())
+                                .field(
+                                    "measured_availability",
+                                    self.runtime.measured_availability(),
+                                )
+                                .emit();
+                        }
+                    }
                 }
-                self.desi
-                    .adopt_deployment(d.record.result.deployment.clone());
             }
             decision = Some(d);
+        }
+
+        // A transfer from a superseded epoch can land *after* that epoch
+        // settled (reliable channels retransmit through arbitrarily long
+        // outages), silently re-materializing a component the model gave up
+        // on. This can happen even when the *current* epoch completed, so
+        // the check is unconditional: never end a cycle with the model
+        // diverging from the running system.
+        {
+            let actual = self.runtime.actual_deployment_by_id();
+            if self.desi.system().deployment() != &actual {
+                self.runtime.resync_directories();
+                self.desi.adopt_deployment(actual);
+                reconciled = true;
+                self.telemetry
+                    .event("core.recovery", self.runtime.sim().now().as_micros())
+                    .field("mode", "drift")
+                    .emit();
+            }
         }
 
         let measured_availability = self.runtime.measured_availability();
@@ -235,6 +323,7 @@ impl CentralizedFramework {
             .field("snapshots", snapshots)
             .field("analyzed", decision.is_some())
             .field("redeployed", completed)
+            .field("reconciled", reconciled)
             .field("measured_availability", measured_availability)
             .emit();
         Ok(CycleReport {
@@ -242,6 +331,8 @@ impl CentralizedFramework {
             snapshots_applied: snapshots,
             decision,
             redeployment_completed: completed,
+            failed_moves,
+            reconciled,
             measured_availability,
         })
     }

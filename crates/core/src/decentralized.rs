@@ -9,6 +9,7 @@
 //! ("Local Effectors, which collaborate in performing the redeployment").
 
 use crate::error::CoreError;
+use crate::recovery::RecoveryPolicy;
 use crate::runtime::{RuntimeConfig, SystemRuntime};
 use redep_algorithms::{
     CoordinationProtocol, DecApAlgorithm, RedeploymentAlgorithm, VotingProtocol,
@@ -35,6 +36,13 @@ pub struct DecentralizedCycleReport {
     pub adopted: bool,
     /// Component moves performed.
     pub moves: usize,
+    /// Whether every adopted move landed in the running system (vacuously
+    /// true when nothing was adopted).
+    pub completed: bool,
+    /// Whether an incomplete redeployment was reconciled: the synchronized
+    /// model was set to the placement actually reached and every host
+    /// directory was rewritten from ground truth.
+    pub reconciled: bool,
     /// Measured availability (ground truth) up to the end of the cycle.
     pub measured_availability: f64,
 }
@@ -45,6 +53,7 @@ pub struct DecentralizedFramework {
     system: SystemData,
     awareness: AwarenessGraph,
     adapter: MiddlewareAdapter,
+    recovery: RecoveryPolicy,
 }
 
 impl std::fmt::Debug for DecentralizedFramework {
@@ -101,7 +110,19 @@ impl DecentralizedFramework {
             system: SystemData::new(model, initial),
             awareness,
             adapter,
+            recovery: RecoveryPolicy::default(),
         })
+    }
+
+    /// Sets the reaction to adopted moves that do not land cleanly
+    /// (default: [`RecoveryPolicy::Reconcile`] with one re-request pass).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// The running system.
@@ -148,13 +169,17 @@ impl DecentralizedFramework {
     /// 3. run the DecAp auctions over awareness-restricted views,
     /// 4. vote: each host compares current vs. proposed on its own partial
     ///    view; the proposal is adopted on a strict majority,
-    /// 5. effect adopted moves pairwise between local effectors and wait up
-    ///    to `effect_wait`.
+    /// 5. effect adopted moves pairwise between local effectors, wait up to
+    ///    `effect_wait` per attempt, and recover per the [`RecoveryPolicy`]:
+    ///    re-request stragglers from wherever they actually live, and
+    ///    finally reconcile the synchronized model (and every directory)
+    ///    with the placement actually reached.
     ///
     /// # Errors
     ///
     /// Propagates adapter/algorithm failures;
-    /// [`CoreError::RedeploymentTimeout`] when moves do not complete.
+    /// [`CoreError::RedeploymentTimeout`] only under
+    /// [`RecoveryPolicy::Abort`] when moves do not complete.
     pub fn cycle(
         &mut self,
         objective: &dyn Objective,
@@ -223,6 +248,8 @@ impl DecentralizedFramework {
             .emit();
 
         let mut moves = 0;
+        let mut completed = true;
+        let mut reconciled = false;
         if adopted {
             let effect_start = self.runtime.sim().now();
             let measured_before = self.runtime.measured_availability();
@@ -248,23 +275,47 @@ impl DecentralizedFramework {
                     }
                 }
             }
-            // Wait for the moves to land.
+            let landed = |rt: &SystemRuntime, m: &redep_model::Migration| {
+                let name = &names[&m.component];
+                rt.host(m.to)
+                    .is_some_and(|h| h.architecture().contains_component(name))
+            };
+            // Wait for the moves to land; re-request stragglers from their
+            // *actual* holders between attempts (a crashed or partitioned
+            // holder may have left the original pairwise request in limbo).
             let step = Duration::from_millis(500);
-            let mut waited = Duration::ZERO;
             let mut done = false;
-            while waited < effect_wait {
-                self.runtime.run_for(step);
-                waited = waited + step;
-                done = migrations.iter().all(|m| {
-                    let name = &names[&m.component];
-                    self.runtime
-                        .host(m.to)
-                        .is_some_and(|h| h.architecture().contains_component(name))
-                });
+            for attempt in 1..=self.recovery.effect_attempts() {
+                if attempt > 1 {
+                    let actual = self.runtime.actual_deployment();
+                    for m in &migrations {
+                        if landed(&self.runtime, m) {
+                            continue;
+                        }
+                        let name = names[&m.component].clone();
+                        if let Some(&holder) = actual.get(&name) {
+                            if holder != m.to {
+                                if let Some(host) = self.runtime.host_mut(m.to) {
+                                    host.request_component(&name, holder);
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut waited = Duration::ZERO;
+                while waited < effect_wait {
+                    self.runtime.run_for(step);
+                    waited = waited + step;
+                    done = migrations.iter().all(|m| landed(&self.runtime, m));
+                    if done {
+                        break;
+                    }
+                }
                 if done {
                     break;
                 }
             }
+            completed = done;
             self.runtime
                 .telemetry()
                 .span(
@@ -277,21 +328,59 @@ impl DecentralizedFramework {
                 .field("measured_before", measured_before)
                 .field("measured_after", self.runtime.measured_availability())
                 .emit();
-            if !done {
-                let stuck = migrations
+            if done {
+                self.system.set_deployment(proposed);
+            } else {
+                let stuck: Vec<String> = migrations
                     .iter()
-                    .filter(|m| {
-                        let name = &names[&m.component];
-                        !self
-                            .runtime
-                            .host(m.to)
-                            .is_some_and(|h| h.architecture().contains_component(name))
-                    })
+                    .filter(|m| !landed(&self.runtime, m))
                     .map(|m| names[&m.component].clone())
                     .collect();
-                return Err(CoreError::RedeploymentTimeout(stuck));
+                match self.recovery {
+                    RecoveryPolicy::Abort => {
+                        return Err(CoreError::RedeploymentTimeout(stuck));
+                    }
+                    RecoveryPolicy::Reconcile { .. } => {
+                        // Follow reality: the synchronized model adopts the
+                        // placement actually reached, and every host's
+                        // directory is rewritten from ground truth so the
+                        // next cycle routes (and auctions) consistently.
+                        let actual = self.runtime.actual_deployment_by_id();
+                        self.runtime.resync_directories();
+                        self.system.set_deployment(actual);
+                        reconciled = true;
+                        self.runtime
+                            .telemetry()
+                            .event("core.recovery", self.runtime.sim().now().as_micros())
+                            .field("mode", "reconcile")
+                            .field("stuck_moves", stuck.len())
+                            .field(
+                                "measured_availability",
+                                self.runtime.measured_availability(),
+                            )
+                            .emit();
+                    }
+                }
             }
-            self.system.set_deployment(proposed);
+        }
+
+        // A component shipped in an earlier cycle can land after that cycle
+        // reconciled without it (reliable channels retransmit through long
+        // outages). Fold such late arrivals back in before reporting — even
+        // after an in-cycle reconcile, since a transfer can land between the
+        // reconcile and the end of the cycle's bookkeeping.
+        {
+            let actual = self.runtime.actual_deployment_by_id();
+            if self.system.deployment() != &actual {
+                self.runtime.resync_directories();
+                self.system.set_deployment(actual);
+                reconciled = true;
+                self.runtime
+                    .telemetry()
+                    .event("core.recovery", self.runtime.sim().now().as_micros())
+                    .field("mode", "drift")
+                    .emit();
+            }
         }
 
         Ok(DecentralizedCycleReport {
@@ -302,6 +391,8 @@ impl DecentralizedFramework {
             votes_for,
             adopted,
             moves,
+            completed,
+            reconciled,
             measured_availability: self.runtime.measured_availability(),
         })
     }

@@ -41,6 +41,7 @@ pub mod analyzer;
 pub mod centralized;
 pub mod decentralized;
 pub mod error;
+pub mod recovery;
 pub mod runtime;
 pub mod scenario;
 
@@ -48,5 +49,6 @@ pub use analyzer::{AnalyzerConfig, AnalyzerDecision, CentralizedAnalyzer};
 pub use centralized::{CentralizedFramework, CycleReport};
 pub use decentralized::{DecentralizedCycleReport, DecentralizedFramework};
 pub use error::CoreError;
+pub use recovery::RecoveryPolicy;
 pub use runtime::{RuntimeConfig, SystemRuntime};
 pub use scenario::{Scenario, ScenarioConfig};

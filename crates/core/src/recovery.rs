@@ -1,0 +1,80 @@
+//! What a framework does when a redeployment does not finish cleanly.
+//!
+//! The paper's target environments — fluctuating wireless links, hosts that
+//! crash and restart — make incomplete redeployments a normal outcome, not
+//! an exceptional one. A framework that errors out of its improvement loop
+//! on the first unfinished move stalls exactly when it is needed most.
+//! [`RecoveryPolicy`] makes the reaction explicit: re-issue the unfinished
+//! moves a bounded number of times, then *reconcile* — accept the placement
+//! the running system actually reached, fold it back into the model, and
+//! resynchronize every host's directory so the next cycle starts from
+//! consistent (if degraded) state.
+
+/// Policy applied when an effected redeployment is still unfinished after
+/// its wait budget (some moves failed or remained in flight).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryPolicy {
+    /// Fail the cycle with
+    /// [`CoreError::RedeploymentTimeout`](crate::CoreError::RedeploymentTimeout)
+    /// — the pre-hardening behavior, kept for experiments that want to
+    /// *observe* stalls rather than survive them.
+    Abort,
+    /// Re-effect the unfinished moves up to `max_effect_attempts` times
+    /// (each re-effect opens a fresh redeployment epoch), then reconcile
+    /// the model with the running system's actual placement and report a
+    /// degraded-but-consistent cycle instead of an error.
+    Reconcile {
+        /// Total `effect` attempts per cycle (the initial effect counts as
+        /// the first attempt).
+        max_effect_attempts: u32,
+    },
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::Reconcile {
+            max_effect_attempts: 2,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Total effect attempts this policy allows per cycle (1 under
+    /// [`RecoveryPolicy::Abort`]).
+    pub fn effect_attempts(self) -> u32 {
+        match self {
+            RecoveryPolicy::Abort => 1,
+            RecoveryPolicy::Reconcile {
+                max_effect_attempts,
+            } => max_effect_attempts.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reconciles_with_a_retry() {
+        assert_eq!(
+            RecoveryPolicy::default(),
+            RecoveryPolicy::Reconcile {
+                max_effect_attempts: 2
+            }
+        );
+        assert_eq!(RecoveryPolicy::default().effect_attempts(), 2);
+    }
+
+    #[test]
+    fn attempt_floor_is_one() {
+        assert_eq!(RecoveryPolicy::Abort.effect_attempts(), 1);
+        assert_eq!(
+            RecoveryPolicy::Reconcile {
+                max_effect_attempts: 0
+            }
+            .effect_attempts(),
+            1
+        );
+    }
+}

@@ -29,10 +29,15 @@ pub struct RuntimeConfig {
     /// Whether hosts park events for absent components during migrations
     /// (disable only for the buffering ablation).
     pub buffer_during_migration: bool,
+    /// How long the deployer waits for a move's ack before reissuing it.
+    pub move_deadline: Duration,
+    /// Send attempts per move before the deployer reports it failed.
+    pub max_move_attempts: u32,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
+        let host_defaults = HostConfig::default();
         RuntimeConfig {
             seed: 0,
             master: Some(HostId::new(0)),
@@ -40,6 +45,8 @@ impl Default for RuntimeConfig {
             epsilon: 0.5,
             stable_windows: 2,
             buffer_during_migration: true,
+            move_deadline: host_defaults.move_deadline,
+            max_move_attempts: host_defaults.max_move_attempts,
         }
     }
 }
@@ -133,6 +140,8 @@ impl SystemRuntime {
                 epsilon: config.epsilon,
                 stable_windows: config.stable_windows,
                 buffer_during_migration: config.buffer_during_migration,
+                move_deadline: config.move_deadline,
+                max_move_attempts: config.max_move_attempts,
                 ..HostConfig::default()
             };
             let mut prism = PrismHost::new(h, factory, host_config);
@@ -280,6 +289,19 @@ impl SystemRuntime {
             .iter()
             .filter_map(|(id, name)| by_name.get(name).map(|h| (*id, *h)))
             .collect()
+    }
+
+    /// Rewrites every host's deployment directory from ground truth (the
+    /// components actually attached to each running architecture), flushing
+    /// events parked for components that turn out to live elsewhere. Called
+    /// by the frameworks after reconciling an incomplete redeployment.
+    pub fn resync_directories(&mut self) {
+        let actual = self.actual_deployment();
+        for h in self.hosts.clone() {
+            if let Some(host) = self.host_mut(h) {
+                host.resync_directory(actual.clone());
+            }
+        }
     }
 }
 

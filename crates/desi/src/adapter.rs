@@ -165,6 +165,50 @@ impl MiddlewareAdapter {
         })?;
         Ok(deployer.status().is_complete())
     }
+
+    /// Whether the last pushed redeployment has *settled*: nothing is in
+    /// flight anymore, though some moves may have failed for good (see
+    /// [`MiddlewareAdapter::redeployment_failures`]). A settled-but-
+    /// incomplete redeployment is the frameworks' cue to reconcile instead
+    /// of waiting longer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesiError::Adapter`] when the deployer host is absent or
+    /// not running a deployer.
+    pub fn redeployment_settled(&self, sim: &Simulator) -> Result<bool, DesiError> {
+        let host = sim
+            .node_ref::<PrismHost>(self.deployer_host)
+            .ok_or_else(|| {
+                DesiError::Adapter(format!("no Prism host at {}", self.deployer_host))
+            })?;
+        let deployer = host.deployer().ok_or_else(|| {
+            DesiError::Adapter(format!("{} runs no deployer", self.deployer_host))
+        })?;
+        Ok(deployer.status().is_settled())
+    }
+
+    /// Moves of the last pushed redeployment the deployer has given up on,
+    /// with their failure reasons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesiError::Adapter`] when the deployer host is absent or
+    /// not running a deployer.
+    pub fn redeployment_failures(
+        &self,
+        sim: &Simulator,
+    ) -> Result<Vec<(String, String)>, DesiError> {
+        let host = sim
+            .node_ref::<PrismHost>(self.deployer_host)
+            .ok_or_else(|| {
+                DesiError::Adapter(format!("no Prism host at {}", self.deployer_host))
+            })?;
+        let deployer = host.deployer().ok_or_else(|| {
+            DesiError::Adapter(format!("{} runs no deployer", self.deployer_host))
+        })?;
+        Ok(deployer.status().failed)
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@
 //! * **disconnection**: links and hosts going down and coming back
 //!   ([`Simulator::set_link_up`], [`Simulator::set_host_up`],
 //!   [`Simulator::partition`]),
+//! * deterministic, serde-loadable **fault plans** — timed schedules of
+//!   crashes, partitions, degradations and flaps ([`faultplan`],
+//!   [`Simulator::install_fault_plan`]),
 //! * ground-truth **statistics** per link ([`NetStats`]) against which
 //!   monitoring accuracy can be judged.
 //!
@@ -57,6 +60,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod faultplan;
 pub mod fluctuation;
 pub mod message;
 pub mod node;
@@ -65,6 +69,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use faultplan::{FaultEpisode, FaultKind, FaultPlan};
 pub use fluctuation::{FluctuationModel, MarkovLinkChurn, RandomWalkFluctuation};
 pub use message::Message;
 pub use node::{Node, NodeCtx};

@@ -1,5 +1,6 @@
 //! The discrete-event simulation loop.
 
+use crate::faultplan::{FaultAction, FaultPlan};
 use crate::fluctuation::FluctuationModel;
 use crate::message::Message;
 use crate::node::{Node, NodeAction, NodeCtx};
@@ -21,6 +22,7 @@ enum Event {
     Deliver { msg: Message },
     Timer { host: HostId, token: u64 },
     Fluctuate { index: usize },
+    Fault { action: FaultAction },
 }
 
 struct Scheduled {
@@ -85,6 +87,14 @@ pub struct Simulator {
     /// Per-link medium occupancy: transmissions serialize behind each other
     /// (half-duplex), so bursts over thin links experience queueing delay.
     link_busy_until: BTreeMap<redep_model::HostPair, SimTime>,
+    /// Timers that fired while their host was down, kept in firing order and
+    /// replayed when the host comes back up. Without this a restarted host
+    /// would have lost every periodic loop (retransmit, ping, monitoring)
+    /// forever — the silent-stall failure mode fault plans exist to expose.
+    deferred_timers: BTreeMap<HostId, Vec<u64>>,
+    /// Original link specs saved by [`FaultAction::Degrade`], restored at
+    /// episode end.
+    degraded_specs: BTreeMap<redep_model::HostPair, LinkSpec>,
     scratch: Vec<NodeAction>,
     telemetry: Telemetry,
     counters: NetCounters,
@@ -116,6 +126,8 @@ impl Simulator {
             stats: NetStats::new(),
             fluctuations: Vec::new(),
             link_busy_until: BTreeMap::new(),
+            deferred_timers: BTreeMap::new(),
+            degraded_specs: BTreeMap::new(),
             scratch: Vec::new(),
             telemetry,
             counters,
@@ -209,7 +221,9 @@ impl Simulator {
     }
 
     /// Marks a host up or down. A down host receives neither messages nor
-    /// timer callbacks; both are silently dropped while it is down.
+    /// timer callbacks; messages are dropped, timers are deferred and replay
+    /// immediately when the host comes back up (so periodic loops resume
+    /// after a restart instead of dying with the crash).
     pub fn set_host_up(&mut self, host: HostId, up: bool) {
         self.topology.set_host_up(host, up);
         self.telemetry
@@ -217,6 +231,13 @@ impl Simulator {
             .field("host", host.raw())
             .field("up", up)
             .emit();
+        if up {
+            if let Some(tokens) = self.deferred_timers.remove(&host) {
+                for token in tokens {
+                    self.schedule(self.now, Event::Timer { host, token });
+                }
+            }
+        }
     }
 
     /// Partitions the network (see [`NetworkTopology::partition`]).
@@ -235,6 +256,60 @@ impl Simulator {
         self.telemetry
             .event("net.partition.heal", self.now.as_micros())
             .emit();
+    }
+
+    /// Installs a fault plan: every episode is expanded into timed topology
+    /// actions on the event queue ([`FaultPlan::expand`]). Times are absolute
+    /// simulated seconds; actions already in the past run at the current
+    /// instant, preserving their relative order. Each applied action emits a
+    /// `net.fault` telemetry event, so a journal replays the fault history.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for (time, action) in plan.expand() {
+            self.schedule(time.max(self.now), Event::Fault { action });
+        }
+    }
+
+    /// Applies one primitive fault action to the live topology.
+    fn apply_fault(&mut self, action: FaultAction) {
+        self.telemetry
+            .event("net.fault", self.now.as_micros())
+            .field("action", action.label())
+            .emit();
+        match action {
+            FaultAction::HostDown(h) => self.set_host_up(h, false),
+            FaultAction::HostUp(h) => self.set_host_up(h, true),
+            FaultAction::PartitionStart(groups) => self.partition(&groups),
+            FaultAction::PartitionHeal(groups) => {
+                self.topology.heal_between(&groups);
+                self.telemetry
+                    .event("net.partition.heal", self.now.as_micros())
+                    .emit();
+            }
+            FaultAction::Degrade {
+                a,
+                b,
+                reliability_factor,
+                bandwidth_factor,
+            } => {
+                let pair = redep_model::HostPair::new(a, b);
+                if let Some(state) = self.topology.link_mut(a, b) {
+                    self.degraded_specs.entry(pair).or_insert(state.spec);
+                    state.spec.reliability =
+                        (state.spec.reliability * reliability_factor).clamp(0.0, 1.0);
+                    state.spec.bandwidth = (state.spec.bandwidth * bandwidth_factor).max(1.0);
+                }
+            }
+            FaultAction::Restore(a, b) => {
+                let pair = redep_model::HostPair::new(a, b);
+                if let Some(original) = self.degraded_specs.remove(&pair) {
+                    if let Some(state) = self.topology.link_mut(a, b) {
+                        state.spec = original;
+                    }
+                }
+            }
+            FaultAction::LinkDown(a, b) => self.set_link_up(a, b, false),
+            FaultAction::LinkUp(a, b) => self.set_link_up(a, b, true),
+        }
     }
 
     /// Installs a fluctuation model applied every `interval`.
@@ -404,7 +479,14 @@ impl Simulator {
             Event::Timer { host, token } => {
                 if self.topology.host_is_up(host) {
                     self.run_callback(host, |node, ctx| node.on_timer(ctx, token));
+                } else if self.nodes.contains_key(&host) {
+                    // Defer instead of dropping: the token replays when the
+                    // host restarts, so its periodic loops survive the crash.
+                    self.deferred_timers.entry(host).or_default().push(token);
                 }
+            }
+            Event::Fault { action } => {
+                self.apply_fault(action);
             }
             Event::Fluctuate { index } => {
                 let (interval, mut model) = {
@@ -953,6 +1035,144 @@ mod tests {
                 "net.host.state"
             ]
         );
+    }
+
+    struct Periodic2 {
+        ticks: u32,
+    }
+    impl Node for Periodic2 {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration::from_millis(100), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+            self.ticks += 1;
+            ctx.set_timer(Duration::from_millis(100), 0);
+        }
+    }
+
+    #[test]
+    fn crashed_host_resumes_periodic_timers_on_restart() {
+        use crate::faultplan::{FaultKind, FaultPlan};
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), Periodic2 { ticks: 0 });
+        sim.install_fault_plan(&FaultPlan::new().episode(
+            1.0,
+            1.0,
+            FaultKind::HostCrash { host: h(0) },
+        ));
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let at_restart = sim.node_ref::<Periodic2>(h(0)).unwrap().ticks;
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        let after = sim.node_ref::<Periodic2>(h(0)).unwrap().ticks;
+        assert!(
+            after >= at_restart + 9,
+            "periodic loop did not resume after restart: {at_restart} -> {after}"
+        );
+        // And the down window really silenced it: ~20 ticks, not ~30.
+        assert!(after < 25, "crash window did not suppress ticks: {after}");
+    }
+
+    #[test]
+    fn degrade_episode_restores_the_original_spec() {
+        use crate::faultplan::{FaultKind, FaultPlan};
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), sink());
+        sim.add_host(h(1), sink());
+        let spec = LinkSpec {
+            reliability: 0.9,
+            bandwidth: 50_000.0,
+            delay: 0.01,
+        };
+        sim.set_link(h(0), h(1), spec);
+        sim.install_fault_plan(&FaultPlan::new().episode(
+            1.0,
+            2.0,
+            FaultKind::LinkDegrade {
+                a: h(0),
+                b: h(1),
+                reliability_factor: 0.5,
+                bandwidth_factor: 0.1,
+            },
+        ));
+        sim.run_until(SimTime::from_secs_f64(1.5));
+        let mid = sim.topology().link(h(0), h(1)).unwrap().spec;
+        assert!((mid.reliability - 0.45).abs() < 1e-12);
+        assert!((mid.bandwidth - 5_000.0).abs() < 1e-9);
+        sim.run_until(SimTime::from_secs_f64(4.0));
+        assert_eq!(sim.topology().link(h(0), h(1)).unwrap().spec, spec);
+    }
+
+    #[test]
+    fn partition_episode_heals_only_its_own_cuts() {
+        use crate::faultplan::{FaultKind, FaultPlan};
+        let mut sim = Simulator::new(1);
+        for n in 0..3 {
+            sim.add_host(h(n), sink());
+        }
+        sim.set_link(h(0), h(1), LinkSpec::default());
+        sim.set_link(h(1), h(2), LinkSpec::default());
+        sim.set_link(h(0), h(2), LinkSpec::default());
+        // An unrelated outage on 0–1 must survive the partition heal.
+        sim.set_link_up(h(0), h(1), false);
+        sim.install_fault_plan(&FaultPlan::new().episode(
+            1.0,
+            1.0,
+            FaultKind::Partition {
+                groups: vec![vec![h(0), h(1)], vec![h(2)]],
+            },
+        ));
+        sim.run_until(SimTime::from_secs_f64(1.5));
+        assert!(!sim.topology().reachable(h(0), h(2)));
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        assert!(sim.topology().reachable(h(0), h(2)));
+        assert!(sim.topology().reachable(h(1), h(2)));
+        // Partition start raised in-group links; heal_between left 0–1 as
+        // the partition set it (up), documenting partition() semantics.
+        assert!(sim.topology().reachable(h(0), h(1)));
+    }
+
+    #[test]
+    fn same_fault_plan_and_seed_export_identical_journals() {
+        use crate::faultplan::{FaultKind, FaultPlan};
+        fn run() -> String {
+            let plan = FaultPlan::new()
+                .episode(0.5, 1.0, FaultKind::HostCrash { host: h(1) })
+                .episode(
+                    2.0,
+                    1.0,
+                    FaultKind::LinkFlap {
+                        a: h(0),
+                        b: h(1),
+                        period_secs: 0.25,
+                    },
+                );
+            let plan = FaultPlan::from_json(&plan.to_json()).unwrap();
+            let mut sim = Simulator::new(77);
+            sim.set_telemetry(Telemetry::default());
+            sim.add_host(
+                h(0),
+                Burst {
+                    peer: h(1),
+                    count: 200,
+                    size: 10,
+                },
+            );
+            sim.add_host(h(1), sink());
+            sim.set_link(
+                h(0),
+                h(1),
+                LinkSpec {
+                    reliability: 0.8,
+                    ..LinkSpec::default()
+                },
+            );
+            sim.install_fault_plan(&plan);
+            sim.run_until(SimTime::from_secs_f64(5.0));
+            sim.telemetry().export_jsonl()
+        }
+        let a = run();
+        assert!(a.contains("net.fault"));
+        assert_eq!(a, run(), "same plan + seed must replay byte-identically");
     }
 
     #[test]

@@ -214,6 +214,27 @@ impl NetworkTopology {
             state.up = true;
         }
     }
+
+    /// Re-raises exactly the links that cross group boundaries of the given
+    /// grouping — the inverse of [`NetworkTopology::partition`]. Links whose
+    /// endpoints fall in the same group, or that the grouping never named,
+    /// keep their current state (so a concurrent link-down fault survives a
+    /// partition heal).
+    pub fn heal_between(&mut self, groups: &[Vec<HostId>]) {
+        let mut group_of: BTreeMap<HostId, usize> = BTreeMap::new();
+        for (i, g) in groups.iter().enumerate() {
+            for h in g {
+                group_of.insert(*h, i);
+            }
+        }
+        for (pair, state) in self.links.iter_mut() {
+            if let (Some(x), Some(y)) = (group_of.get(&pair.lo()), group_of.get(&pair.hi())) {
+                if x != y {
+                    state.up = true;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

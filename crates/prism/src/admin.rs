@@ -13,15 +13,28 @@
 //!    remote locations of components it must obtain ([`EV_CONFIGURE`]).
 //! 2. Each **admin** diffs the configuration against its architecture and
 //!    requests the components to be deployed locally from their current
-//!    holders ([`EV_REQUEST`]); unreachable holders are mediated through the
-//!    deployer ([`EV_MEDIATE`]).
+//!    holders ([`EV_REQUEST`]); a host without a direct route sends its
+//!    request through the deployer, which relays it ([`EV_MEDIATE`]).
 //! 3. A holder detaches the requested component, serializes it, and ships it
 //!    ([`EV_TRANSFER`]).
 //! 4. The recipient reconstitutes the migrant, re-welds it, replays events
 //!    buffered during the move, and confirms to the deployer ([`EV_ACK`]).
 //!
 //! All protocol traffic travels over reliable channels; only application
-//! events are exposed to link loss.
+//! events are exposed to link loss. Reliable channels alone do not make the
+//! protocol self-healing, so it is hardened for the faulty networks the
+//! paper targets:
+//!
+//! * a host that *cannot* fulfil a request or transfer answers with an
+//!   explicit [`EV_NACK`] (reason attached) instead of dropping it;
+//! * every redeployment is **epoch-tagged**: acks and nacks from an earlier
+//!   `effect` call are ignored, so overlapping redeployments cannot corrupt
+//!   each other's progress accounting;
+//! * the deployer keeps a **per-move deadline**; expiry re-resolves the
+//!   holder from the freshest monitoring inventories and re-issues the move,
+//!   up to a configurable attempt budget, after which the move is reported
+//!   as failed in [`RedeploymentStatus::failed`] rather than pending
+//!   forever.
 
 use crate::architecture::Architecture;
 use crate::brick::{BrickId, ComponentFactory};
@@ -30,7 +43,7 @@ use crate::host::{HostConfig, HostServices, ADMIN_ADDRESS, DEPLOYER_ADDRESS};
 use crate::monitor::{EventFrequencyMonitor, MonitoringSnapshot};
 use crate::stability::StabilityGauge;
 use redep_model::HostId;
-use redep_netsim::SimTime;
+use redep_netsim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -44,6 +57,9 @@ pub const EV_REQUEST: &str = "prism.deploy.request";
 pub const EV_TRANSFER: &str = "prism.deploy.transfer";
 /// Event name: a recipient confirms a completed move to the deployer.
 pub const EV_ACK: &str = "prism.deploy.ack";
+/// Event name: a host reports to the deployer that it cannot fulfil a
+/// requested move (component absent, reconstruction failed, …).
+pub const EV_NACK: &str = "prism.deploy.nack";
 /// Event name: a control event relayed through the deployer because its
 /// sender cannot reach the destination directly.
 pub const EV_MEDIATE: &str = "prism.deploy.mediate";
@@ -56,6 +72,10 @@ pub const P_FINAL_COMPONENT: &str = "final_component";
 pub const P_COMPONENT: &str = "component";
 /// Parameter: the host a request originates from.
 pub const P_REQUESTER: &str = "requester";
+/// Parameter: the redeployment epoch a protocol event belongs to.
+pub const P_EPOCH: &str = "epoch";
+/// Parameter: why a move could not be fulfilled (on [`EV_NACK`]).
+pub const P_REASON: &str = "reason";
 
 /// Body of an [`EV_CONFIGURE`] event.
 #[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
@@ -64,6 +84,9 @@ pub(crate) struct ConfigureDoc {
     pub directory: BTreeMap<String, HostId>,
     /// Components this host must fetch, with their current holders.
     pub fetches: Vec<(String, HostId)>,
+    /// The redeployment epoch this configuration belongs to.
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 /// Body of an [`EV_TRANSFER`] event: one serialized migrant component.
@@ -72,22 +95,38 @@ pub(crate) struct TransferDoc {
     pub name: String,
     pub type_name: String,
     pub state: Vec<u8>,
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 /// Progress of an in-flight redeployment, as seen by the deployer.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct RedeploymentStatus {
+    /// The epoch of the redeployment this status describes (bumped by every
+    /// `effect` call; acks from earlier epochs are ignored).
+    pub epoch: u64,
     /// Component moves the last `effect` call requested.
     pub requested: u64,
     /// Moves confirmed by recipient admins.
     pub confirmed: u64,
     /// Components still in flight.
     pub in_flight: Vec<String>,
+    /// Components whose move exhausted its attempt budget, with the last
+    /// failure reason. These are *settled* — the deployer has given up on
+    /// them for this epoch — but not complete.
+    pub failed: Vec<(String, String)>,
 }
 
 impl RedeploymentStatus {
     /// Whether every requested move has been confirmed.
     pub fn is_complete(&self) -> bool {
+        self.in_flight.is_empty() && self.failed.is_empty()
+    }
+
+    /// Whether the deployer has stopped working on this epoch: every move
+    /// either confirmed or given up on. A settled-but-incomplete epoch is
+    /// what the framework's recovery policy reconciles.
+    pub fn is_settled(&self) -> bool {
         self.in_flight.is_empty()
     }
 }
@@ -281,14 +320,15 @@ impl AdminComponent {
         services.replace_directory(doc.directory);
         for (component, holder) in doc.fetches {
             if arch.contains_component(&component) {
-                // Already here (no-op move); confirm immediately.
-                let ack = Event::notification(EV_ACK).with_param(P_COMPONENT, component.as_str());
-                services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &ack);
+                // Already here (no-op move or retried configure after the
+                // transfer landed); confirm immediately.
+                send_ack(services, &component, doc.epoch);
                 continue;
             }
             let request = Event::request(EV_REQUEST)
                 .with_param(P_COMPONENT, component.as_str())
-                .with_param(P_REQUESTER, self.host.raw() as i64);
+                .with_param(P_REQUESTER, self.host.raw() as i64)
+                .with_param(P_EPOCH, doc.epoch as i64);
             services.send_reliable(holder, ADMIN_ADDRESS, &request);
         }
     }
@@ -300,15 +340,20 @@ impl AdminComponent {
         let Some(requester) = event.param(P_REQUESTER).and_then(|v| v.as_i64()) else {
             return;
         };
+        let epoch = event_epoch(event);
         let requester = HostId::new(requester as u32);
         let Ok((type_name, state)) = arch.detach_component(&component) else {
-            // Not here (already moved or never was); nothing to ship.
+            // Not here (already moved or never was). Silence would stall the
+            // deployer's accounting forever; answer with an explicit nack so
+            // it can re-resolve the holder or give the move up.
+            send_nack(services, &component, epoch, "absent");
             return;
         };
         let doc = TransferDoc {
             name: component,
             type_name,
             state,
+            epoch,
         };
         let transfer = Event::reply(EV_TRANSFER)
             .with_payload(serde_json::to_vec(&doc).expect("transfer docs serialize"));
@@ -327,10 +372,17 @@ impl AdminComponent {
             return;
         };
         let Ok(behavior) = factory.build(&doc.type_name, &doc.state) else {
+            // The migrant cannot be reconstituted here (unknown type,
+            // corrupt state): report instead of losing the move silently.
+            send_nack(services, &doc.name, doc.epoch, "build");
             return;
         };
         let Ok(id) = arch.add_boxed_component(doc.name.clone(), behavior) else {
-            return; // duplicate arrival of the same migrant
+            // Duplicate arrival of the same migrant (a retry raced the
+            // original transfer). The component is here — re-confirm so a
+            // lost ack cannot stall the deployer.
+            send_ack(services, &doc.name, doc.epoch);
+            return;
         };
         let _ = arch.weld(id, app_connector);
         services.directory_set(doc.name.clone(), self.host);
@@ -338,9 +390,48 @@ impl AdminComponent {
         for buffered in services.take_buffered(&doc.name) {
             let _ = arch.publish(&doc.name, buffered);
         }
-        let ack = Event::notification(EV_ACK).with_param(P_COMPONENT, doc.name.as_str());
-        services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &ack);
+        send_ack(services, &doc.name, doc.epoch);
     }
+}
+
+/// Confirms one landed move to the deployer.
+fn send_ack(services: &mut HostServices, component: &str, epoch: u64) {
+    let ack = Event::notification(EV_ACK)
+        .with_param(P_COMPONENT, component)
+        .with_param(P_EPOCH, epoch as i64);
+    services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &ack);
+}
+
+/// Reports one unfulfillable move to the deployer.
+fn send_nack(services: &mut HostServices, component: &str, epoch: u64, reason: &str) {
+    let nack = Event::notification(EV_NACK)
+        .with_param(P_COMPONENT, component)
+        .with_param(P_EPOCH, epoch as i64)
+        .with_param(P_REASON, reason);
+    services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &nack);
+}
+
+/// Reads the epoch parameter (0 for pre-epoch peers and direct host-to-host
+/// requests outside any deployer-run redeployment).
+fn event_epoch(event: &Event) -> u64 {
+    event
+        .param(P_EPOCH)
+        .and_then(|v| v.as_i64())
+        .map(|e| e as u64)
+        .unwrap_or(0)
+}
+
+/// One move the deployer is still responsible for.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct PendingMove {
+    /// Where the component must end up.
+    dest: HostId,
+    /// The holder the last attempt requested it from.
+    holder: HostId,
+    /// Attempts so far (the initial `effect` issue counts as attempt 1).
+    attempts: u32,
+    /// When the current attempt expires.
+    deadline: SimTime,
 }
 
 /// The master-host deployer (the paper's `DeployerComponent` — the
@@ -351,9 +442,18 @@ pub struct DeployerComponent {
     /// Hosts the deployer has ever heard of (reports, past move sources);
     /// all of them receive directory refreshes.
     known_hosts: BTreeSet<HostId>,
-    pending: BTreeSet<String>,
+    /// Moves of the current epoch still awaiting confirmation.
+    pending: BTreeMap<String, PendingMove>,
+    /// Moves of the current epoch given up on, with the last failure reason.
+    failed: BTreeMap<String, String>,
+    /// The directory the current epoch is steering towards (re-sent with
+    /// every retry so late joiners converge on the same view).
+    target_directory: BTreeMap<String, HostId>,
+    epoch: u64,
     requested: u64,
     confirmed: u64,
+    move_deadline: Duration,
+    max_move_attempts: u32,
 }
 
 impl std::fmt::Debug for DeployerComponent {
@@ -361,20 +461,27 @@ impl std::fmt::Debug for DeployerComponent {
         f.debug_struct("DeployerComponent")
             .field("host", &self.host)
             .field("snapshots", &self.snapshots.len())
+            .field("epoch", &self.epoch)
             .field("pending", &self.pending.len())
+            .field("failed", &self.failed.len())
             .finish()
     }
 }
 
 impl DeployerComponent {
-    pub(crate) fn new(host: HostId) -> Self {
+    pub(crate) fn new(host: HostId, config: &HostConfig) -> Self {
         DeployerComponent {
             host,
             snapshots: BTreeMap::new(),
             known_hosts: BTreeSet::new(),
-            pending: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            failed: BTreeMap::new(),
+            target_directory: BTreeMap::new(),
+            epoch: 0,
             requested: 0,
             confirmed: 0,
+            move_deadline: config.move_deadline,
+            max_move_attempts: config.max_move_attempts,
         }
     }
 
@@ -386,17 +493,33 @@ impl DeployerComponent {
     /// Progress of the redeployment issued by the last `effect` call.
     pub fn status(&self) -> RedeploymentStatus {
         RedeploymentStatus {
+            epoch: self.epoch,
             requested: self.requested,
             confirmed: self.confirmed,
-            in_flight: self.pending.iter().cloned().collect(),
+            in_flight: self.pending.keys().cloned().collect(),
+            failed: self
+                .failed
+                .iter()
+                .map(|(c, r)| (c.clone(), r.clone()))
+                .collect(),
         }
     }
 
     /// Issues a redeployment: computes per-host configurations from the
     /// desired `target` and the current directory, and sends every admin its
     /// new configuration (including the refreshed global directory).
+    ///
+    /// Every call opens a fresh epoch: progress counters reset, moves still
+    /// pending from an earlier epoch are dropped (their late acks will be
+    /// ignored by the epoch check), and `status()` describes only this call.
     pub(crate) fn effect(&mut self, services: &mut HostServices, target: DeploymentCommand) {
         let current = services.directory().clone();
+        self.epoch += 1;
+        self.pending.clear();
+        self.failed.clear();
+        self.requested = 0;
+        self.confirmed = 0;
+        let now = services.now();
         let mut fetches_by_host: BTreeMap<HostId, Vec<(String, HostId)>> = BTreeMap::new();
         let mut new_directory = current.clone();
         for (component, to) in &target {
@@ -408,7 +531,15 @@ impl DeployerComponent {
                         .entry(*to)
                         .or_default()
                         .push((component.clone(), *from));
-                    self.pending.insert(component.clone());
+                    self.pending.insert(
+                        component.clone(),
+                        PendingMove {
+                            dest: *to,
+                            holder: *from,
+                            attempts: 1,
+                            deadline: now + self.move_deadline,
+                        },
+                    );
                     self.requested += 1;
                     // The source host may hold nothing else afterwards, yet
                     // it must learn the new directory to chase stale events.
@@ -417,6 +548,7 @@ impl DeployerComponent {
                 None => {}
             }
         }
+        self.target_directory = new_directory.clone();
         // Every known host gets the new directory — component holders, but
         // also bystanders (known from their monitoring reports), whose
         // stale directories would otherwise misroute application events.
@@ -427,11 +559,82 @@ impl DeployerComponent {
             let doc = ConfigureDoc {
                 directory: new_directory.clone(),
                 fetches: fetches_by_host.remove(&host).unwrap_or_default(),
+                epoch: self.epoch,
             };
             let configure = Event::request(EV_CONFIGURE)
                 .with_payload(serde_json::to_vec(&doc).expect("configure docs serialize"));
             services.send_reliable(host, ADMIN_ADDRESS, &configure);
         }
+    }
+
+    /// Expires overdue moves: each one is re-issued with the holder
+    /// re-resolved from the freshest component inventories, until its
+    /// attempt budget runs out and it lands in `failed`. Returns
+    /// `(retried, newly_failed)` for the caller's telemetry.
+    pub(crate) fn on_deploy_tick(
+        &mut self,
+        services: &mut HostServices,
+    ) -> (Vec<String>, Vec<(String, String)>) {
+        let now = services.now();
+        let overdue: Vec<String> = self
+            .pending
+            .iter()
+            .filter(|(_, mv)| mv.deadline <= now)
+            .map(|(c, _)| c.clone())
+            .collect();
+        let mut retried = Vec::new();
+        let mut newly_failed = Vec::new();
+        for component in overdue {
+            if self.retry_move(services, &component, "timeout") {
+                retried.push(component);
+            } else {
+                let reason = self
+                    .failed
+                    .get(&component)
+                    .cloned()
+                    .unwrap_or_else(|| "timeout".to_owned());
+                newly_failed.push((component, reason));
+            }
+        }
+        (retried, newly_failed)
+    }
+
+    /// Re-issues one pending move (or gives it up when its budget is spent).
+    /// Returns `true` if a retry went out.
+    fn retry_move(&mut self, services: &mut HostServices, component: &str, reason: &str) -> bool {
+        let Some(mv) = self.pending.get_mut(component) else {
+            return false;
+        };
+        if mv.attempts >= self.max_move_attempts {
+            self.pending.remove(component);
+            self.failed.insert(component.to_owned(), reason.to_owned());
+            return false;
+        }
+        mv.attempts += 1;
+        mv.deadline = services.now() + self.move_deadline;
+        // Re-resolve the holder from the freshest inventories: the paper's
+        // monitoring reports double as a live component directory, so a
+        // component that moved (or whose holder crashed and restarted
+        // elsewhere) is chased to wherever it actually lives now.
+        let mut holder = mv.holder;
+        let mut freshest = f64::NEG_INFINITY;
+        for (host, snapshot) in self.snapshots.iter() {
+            if snapshot.taken_at_secs > freshest && snapshot.components.contains_key(component) {
+                holder = *host;
+                freshest = snapshot.taken_at_secs;
+            }
+        }
+        mv.holder = holder;
+        let dest = mv.dest;
+        let doc = ConfigureDoc {
+            directory: self.target_directory.clone(),
+            fetches: vec![(component.to_owned(), holder)],
+            epoch: self.epoch,
+        };
+        let configure = Event::request(EV_CONFIGURE)
+            .with_payload(serde_json::to_vec(&doc).expect("configure docs serialize"));
+        services.send_reliable(dest, ADMIN_ADDRESS, &configure);
+        true
     }
 
     /// Handles a control event addressed to [`DEPLOYER_ADDRESS`].
@@ -444,11 +647,32 @@ impl DeployerComponent {
                 }
             }
             EV_ACK => {
+                if event_epoch(event) != self.epoch {
+                    return; // stale ack from a superseded redeployment
+                }
                 if let Some(component) = event.param_text(P_COMPONENT) {
-                    if self.pending.remove(component) {
+                    if self.pending.remove(component).is_some() {
                         self.confirmed += 1;
+                        // A confirmed arrival supersedes any earlier verdict
+                        // a racing nack may have recorded.
+                        self.failed.remove(component);
                     }
                 }
+            }
+            EV_NACK => {
+                if event_epoch(event) != self.epoch {
+                    return;
+                }
+                let Some(component) = event.param_text(P_COMPONENT).map(str::to_owned) else {
+                    return;
+                };
+                let reason = event
+                    .param_text(P_REASON)
+                    .unwrap_or("unspecified")
+                    .to_owned();
+                // An explicit refusal: retry immediately (with holder
+                // re-resolution) instead of waiting out the deadline.
+                self.retry_move(services, &component, &reason);
             }
             EV_MEDIATE => {
                 let (Some(host), Some(component)) = (
@@ -486,22 +710,39 @@ mod tests {
             name: "tracker".into(),
             type_name: "workload".into(),
             state: vec![1, 2, 3],
+            epoch: 4,
         };
         let bytes = serde_json::to_vec(&doc).unwrap();
         let back: TransferDoc = serde_json::from_slice(&bytes).unwrap();
         assert_eq!(doc, back);
     }
 
+    fn deployer() -> DeployerComponent {
+        DeployerComponent::new(HostId::new(0), &HostConfig::default())
+    }
+
+    fn pending_move(dest: u32, holder: u32, attempts: u32) -> PendingMove {
+        PendingMove {
+            dest: HostId::new(dest),
+            holder: HostId::new(holder),
+            attempts,
+            // Already overdue at the test services' t=0 clock.
+            deadline: SimTime::ZERO,
+        }
+    }
+
     #[test]
     fn status_reports_completion() {
-        let mut d = DeployerComponent::new(HostId::new(0));
+        let mut d = deployer();
         assert!(d.status().is_complete());
-        d.pending.insert("x".into());
+        d.pending.insert("x".into(), pending_move(1, 2, 1));
         d.requested = 1;
         assert!(!d.status().is_complete());
         d.handle(
             &mut dummy_services(),
-            &Event::notification(EV_ACK).with_param(P_COMPONENT, "x"),
+            &Event::notification(EV_ACK)
+                .with_param(P_COMPONENT, "x")
+                .with_param(P_EPOCH, 0i64),
         );
         let s = d.status();
         assert!(s.is_complete());
@@ -509,8 +750,99 @@ mod tests {
     }
 
     #[test]
+    fn stale_epoch_acks_are_ignored() {
+        let mut d = deployer();
+        d.epoch = 3;
+        d.pending.insert("x".into(), pending_move(1, 2, 1));
+        d.requested = 1;
+        // An ack from epoch 2 (a superseded redeployment) must not count.
+        d.handle(
+            &mut dummy_services(),
+            &Event::notification(EV_ACK)
+                .with_param(P_COMPONENT, "x")
+                .with_param(P_EPOCH, 2i64),
+        );
+        assert_eq!(d.status().confirmed, 0);
+        assert!(!d.status().is_complete());
+        // The current epoch's ack does.
+        d.handle(
+            &mut dummy_services(),
+            &Event::notification(EV_ACK)
+                .with_param(P_COMPONENT, "x")
+                .with_param(P_EPOCH, 3i64),
+        );
+        assert_eq!(d.status().confirmed, 1);
+        assert!(d.status().is_complete());
+    }
+
+    #[test]
+    fn nack_retries_until_budget_then_fails_the_move() {
+        let mut d = deployer();
+        let mut services = dummy_services();
+        let budget = d.max_move_attempts;
+        d.pending.insert("x".into(), pending_move(1, 2, 1));
+        d.requested = 1;
+        let nack = Event::notification(EV_NACK)
+            .with_param(P_COMPONENT, "x")
+            .with_param(P_EPOCH, 0i64)
+            .with_param(P_REASON, "absent");
+        for _ in 1..budget {
+            d.handle(&mut services, &nack);
+            assert!(d.pending.contains_key("x"), "retry should keep it pending");
+        }
+        d.handle(&mut services, &nack);
+        assert!(d.pending.is_empty());
+        let s = d.status();
+        assert!(s.is_settled(), "given-up move settles the epoch");
+        assert!(!s.is_complete(), "…but does not complete it");
+        assert_eq!(s.failed, vec![("x".to_owned(), "absent".to_owned())]);
+    }
+
+    #[test]
+    fn deadline_expiry_reissues_with_reresolved_holder() {
+        let mut d = deployer();
+        let mut services = dummy_services();
+        d.pending.insert("x".into(), pending_move(1, 2, 1));
+        // A fresh inventory shows the component actually lives on host 5.
+        let snap = MonitoringSnapshot {
+            host: HostId::new(5),
+            components: [("x".to_owned(), "workload".to_owned())].into(),
+            taken_at_secs: 9.0,
+            ..MonitoringSnapshot::default()
+        };
+        d.handle(
+            &mut services,
+            &Event::notification(EV_REPORT).with_payload(snap.encode().unwrap()),
+        );
+        let (retried, failed) = d.on_deploy_tick(&mut services);
+        assert_eq!(retried, vec!["x".to_owned()]);
+        assert!(failed.is_empty());
+        assert_eq!(d.pending["x"].holder, HostId::new(5));
+        assert_eq!(d.pending["x"].attempts, 2);
+    }
+
+    #[test]
+    fn effect_opens_a_fresh_epoch() {
+        let mut d = deployer();
+        let mut services = dummy_services();
+        services.directory_set("x", HostId::new(1));
+        d.effect(&mut services, [("x".to_owned(), HostId::new(2))].into());
+        assert_eq!(d.status().epoch, 1);
+        assert_eq!(d.status().requested, 1);
+        // Leftover state must not leak into the next call.
+        d.failed.insert("ghost".into(), "timeout".into());
+        d.confirmed = 7;
+        d.effect(&mut services, [("x".to_owned(), HostId::new(3))].into());
+        let s = d.status();
+        assert_eq!(s.epoch, 2);
+        assert_eq!(s.requested, 1);
+        assert_eq!(s.confirmed, 0);
+        assert!(s.failed.is_empty());
+    }
+
+    #[test]
     fn report_events_populate_snapshots() {
-        let mut d = DeployerComponent::new(HostId::new(0));
+        let mut d = deployer();
         let snap = MonitoringSnapshot {
             host: HostId::new(3),
             ..MonitoringSnapshot::default()

@@ -33,6 +33,7 @@ const FORWARDED_MARKER: &str = "prism.forwarded";
 const TOKEN_RTO: u64 = 0;
 const TOKEN_PING: u64 = 1;
 const TOKEN_MONITOR: u64 = 2;
+const TOKEN_DEPLOY: u64 = 3;
 const TOKEN_COMPONENT_BASE: u64 = 1000;
 
 /// Static configuration of a host runtime.
@@ -60,6 +61,14 @@ pub struct HostConfig {
     /// replayed after the component arrives (the paper's behavior).
     /// Disable only for the buffering ablation — events are then dropped.
     pub buffer_during_migration: bool,
+    /// How long the deployer waits for a move's EV_ACK before reissuing
+    /// the move (with a freshly resolved holder).
+    pub move_deadline: Duration,
+    /// Send attempts per move before the deployer gives up and records the
+    /// move as failed.
+    pub max_move_attempts: u32,
+    /// Interval of the deployer's deadline sweep.
+    pub deploy_tick: Duration,
 }
 
 impl Default for HostConfig {
@@ -74,6 +83,9 @@ impl Default for HostConfig {
             epsilon: 0.1,
             stable_windows: 2,
             buffer_during_migration: true,
+            move_deadline: Duration::from_secs_f64(8.0),
+            max_move_attempts: 5,
+            deploy_tick: Duration::from_secs_f64(1.0),
         }
     }
 }
@@ -115,6 +127,7 @@ pub struct HostServices {
     routes: BTreeMap<HostId, HostId>,
     directory: BTreeMap<String, HostId>,
     channels: BTreeMap<HostId, ReliableChannel>,
+    rto: Duration,
     /// The platform-dependent reliability monitor (ping counters).
     pub(crate) probe: ReliabilityProbe,
     outbox: Vec<(HostId, WireMsg)>,
@@ -144,6 +157,7 @@ impl HostServices {
             routes: config.routes.clone(),
             directory: BTreeMap::new(),
             channels: BTreeMap::new(),
+            rto: config.rto,
             probe: ReliabilityProbe::new(),
             outbox: Vec::new(),
             buffered: BTreeMap::new(),
@@ -230,9 +244,12 @@ impl HostServices {
             return;
         }
         if self.next_hop(dst).is_some() || dst == self.deployer_host {
+            let (now, rto) = (self.now, self.rto);
             let frame = self.channels.entry(dst).or_default().send(
                 to_component.to_owned(),
                 event.encode().expect("events serialize"),
+                now,
+                rto,
             );
             self.stats.control_sent += 1;
             self.wire(dst, frame);
@@ -246,9 +263,12 @@ impl HostServices {
                 .with_param(crate::admin::P_FINAL_HOST, dst.raw() as i64)
                 .with_param(crate::admin::P_FINAL_COMPONENT, to_component)
                 .with_payload(event.encode().expect("events serialize"));
+            let (now, rto) = (self.now, self.rto);
             let frame = self.channels.entry(self.deployer_host).or_default().send(
                 DEPLOYER_ADDRESS.to_owned(),
                 wrapped.encode().expect("events serialize"),
+                now,
+                rto,
             );
             self.stats.control_sent += 1;
             let deployer = self.deployer_host;
@@ -382,6 +402,7 @@ fn migration_phase(event_name: &str) -> Option<&'static str> {
         crate::admin::EV_REQUEST => Some("request"),
         crate::admin::EV_TRANSFER => Some("transfer"),
         crate::admin::EV_ACK => Some("ack"),
+        crate::admin::EV_NACK => Some("nack"),
         _ => None,
     }
 }
@@ -471,7 +492,7 @@ impl PrismHost {
 
     /// Enables the deployer role (call on the master host only).
     pub fn enable_deployer(&mut self) {
-        self.deployer = Some(DeployerComponent::new(self.arch.host()));
+        self.deployer = Some(DeployerComponent::new(self.arch.host(), &self.config));
     }
 
     /// Whether this host runs the deployer.
@@ -581,6 +602,27 @@ impl PrismHost {
     /// decentralized counterpart of the deployer's directory broadcast).
     pub fn update_directory(&mut self, component: impl Into<String>, host: HostId) {
         self.services.directory_set(component, host);
+    }
+
+    /// Replaces the whole directory with ground truth and forwards any
+    /// buffered events whose target turns out to live elsewhere — the
+    /// recovery path frameworks use after reconciling an incomplete
+    /// redeployment, so no host keeps routing on a stale map forever.
+    pub fn resync_directory(&mut self, directory: BTreeMap<String, HostId>) {
+        self.services.replace_directory(directory);
+        for component in self.services.buffered_components() {
+            match self.services.locate(&component) {
+                Some(there) if there != self.arch.host() => {
+                    for event in self.services.take_buffered(&component) {
+                        let event = event.with_param(FORWARDED_MARKER, true);
+                        self.services.send_raw(there, &component, &event);
+                    }
+                }
+                // Still mapped here (or unknown): leave the events parked
+                // for the component's arrival.
+                _ => {}
+            }
+        }
     }
 
     /// Routes an event to a component address on this host: meta-level
@@ -819,6 +861,9 @@ impl Node for PrismHost {
         ctx.set_timer(self.config.rto, TOKEN_RTO);
         ctx.set_timer(self.config.ping_interval, TOKEN_PING);
         ctx.set_timer(self.config.monitor_window, TOKEN_MONITOR);
+        if self.deployer.is_some() {
+            ctx.set_timer(self.config.deploy_tick, TOKEN_DEPLOY);
+        }
         self.services.now = ctx.now();
         self.flush(ctx);
     }
@@ -840,9 +885,13 @@ impl Node for PrismHost {
         self.services.now = ctx.now();
         match token {
             TOKEN_RTO => {
+                // Only frames whose exponential backoff has expired go out;
+                // a long outage degrades to a low-rate probe instead of a
+                // full-backlog resend every RTO tick.
+                let (now, rto) = (self.services.now, self.services.rto);
                 let mut frames = Vec::new();
-                for (peer, ch) in self.services.channels.iter() {
-                    for frame in ch.retransmits() {
+                for (peer, ch) in self.services.channels.iter_mut() {
+                    for frame in ch.due_retransmits(now, rto) {
                         frames.push((*peer, frame));
                     }
                 }
@@ -858,6 +907,27 @@ impl Node for PrismHost {
                     self.services.ping(peer);
                 }
                 ctx.set_timer(self.config.ping_interval, TOKEN_PING);
+            }
+            TOKEN_DEPLOY => {
+                if let Some(deployer) = self.deployer.as_mut() {
+                    let (retried, newly_failed) = deployer.on_deploy_tick(&mut self.services);
+                    for component in retried {
+                        self.telemetry
+                            .event("prism.migration.retry", ctx.now().as_micros())
+                            .field("host", self.arch.host().raw())
+                            .field("component", component)
+                            .emit();
+                    }
+                    for (component, reason) in newly_failed {
+                        self.telemetry
+                            .event("prism.migration.failed", ctx.now().as_micros())
+                            .field("host", self.arch.host().raw())
+                            .field("component", component)
+                            .field("reason", reason)
+                            .emit();
+                    }
+                    ctx.set_timer(self.config.deploy_tick, TOKEN_DEPLOY);
+                }
             }
             TOKEN_MONITOR => {
                 let reports_before = self.admin.reports_sent();

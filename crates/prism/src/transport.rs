@@ -16,6 +16,7 @@
 //!   monitor.
 
 use redep_model::HostId;
+use redep_netsim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -86,18 +87,40 @@ impl WireMsg {
     }
 }
 
+/// One unacknowledged outbound frame with its retransmission schedule.
+#[derive(Clone, PartialEq, Debug)]
+struct PendingFrame {
+    to_component: String,
+    event: Vec<u8>,
+    /// Retransmissions so far; drives the exponential backoff.
+    attempts: u32,
+    /// Earliest instant the next retransmission may go out.
+    next_due: SimTime,
+}
+
+/// Retransmission intervals double per attempt up to `rto << MAX_BACKOFF_SHIFT`
+/// (64× the base RTO), so a long outage costs a trickle, not a flood.
+const MAX_BACKOFF_SHIFT: u32 = 6;
+
 /// Sender/receiver state of one reliable channel to a single peer.
 ///
 /// At-least-once retransmission plus receiver-side deduplication gives
 /// exactly-once *delivery to the application* for control traffic, as long
-/// as the link is eventually up.
+/// as the link is eventually up. Each unacked frame backs off exponentially
+/// (doubling per retransmission, capped at 64× the RTO), so an unreachable
+/// peer degrades to a low-rate probe instead of a full-backlog resend every
+/// RTO tick. Receiver-side dedup state is a contiguous delivered watermark
+/// plus a small out-of-order set, bounded by the reorder window instead of
+/// growing with channel lifetime.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct ReliableChannel {
     next_seq: u64,
-    /// Unacknowledged outbound frames: seq → (destination component, event).
-    pending: BTreeMap<u64, (String, Vec<u8>)>,
-    /// Sequence numbers already delivered to the application.
-    seen: BTreeSet<u64>,
+    /// Unacknowledged outbound frames by sequence number.
+    pending: BTreeMap<u64, PendingFrame>,
+    /// Every seq below this has been delivered to the application.
+    next_expected: u64,
+    /// Delivered seqs at or above the watermark (arrival ran ahead).
+    out_of_order: BTreeSet<u64>,
 }
 
 impl ReliableChannel {
@@ -111,14 +134,35 @@ impl ReliableChannel {
         self.pending.len()
     }
 
+    /// Size of the receiver's out-of-order set — the only dedup state that
+    /// is not O(1). Bounded by the reorder window of the link, not by the
+    /// number of frames ever delivered.
+    pub fn dedup_footprint(&self) -> usize {
+        self.out_of_order.len()
+    }
+
     /// Enqueues an event for reliable delivery; returns the frame to put on
-    /// the wire now (retransmissions follow via
-    /// [`ReliableChannel::retransmits`]).
-    pub(crate) fn send(&mut self, to_component: String, event: Vec<u8>) -> WireMsg {
+    /// the wire now. The first retransmission becomes due one `rto` after
+    /// `now`; each later one doubles the wait (see
+    /// [`ReliableChannel::due_retransmits`]).
+    pub(crate) fn send(
+        &mut self,
+        to_component: String,
+        event: Vec<u8>,
+        now: SimTime,
+        rto: Duration,
+    ) -> WireMsg {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending
-            .insert(seq, (to_component.clone(), event.clone()));
+        self.pending.insert(
+            seq,
+            PendingFrame {
+                to_component: to_component.clone(),
+                event: event.clone(),
+                attempts: 0,
+                next_due: now + rto,
+            },
+        );
         WireMsg::Seq {
             seq,
             to_component,
@@ -134,17 +178,52 @@ impl ReliableChannel {
     /// Handles an incoming sequenced frame; returns `true` exactly once per
     /// sequence number (the first arrival), `false` for duplicates.
     pub(crate) fn on_seq(&mut self, seq: u64) -> bool {
-        self.seen.insert(seq)
+        if seq < self.next_expected || self.out_of_order.contains(&seq) {
+            return false;
+        }
+        if seq == self.next_expected {
+            self.next_expected += 1;
+            while self.out_of_order.remove(&self.next_expected) {
+                self.next_expected += 1;
+            }
+        } else {
+            self.out_of_order.insert(seq);
+        }
+        true
     }
 
-    /// Frames to retransmit (everything unacknowledged), oldest first.
+    /// Frames whose backoff timer has expired, oldest first. Each returned
+    /// frame's attempt count is bumped and its next due time doubled
+    /// (capped), so calling this every RTO tick re-sends a frame after
+    /// 1, 2, 4, … RTOs instead of on every tick.
+    pub(crate) fn due_retransmits(&mut self, now: SimTime, rto: Duration) -> Vec<WireMsg> {
+        let mut due = Vec::new();
+        for (seq, frame) in self.pending.iter_mut() {
+            if frame.next_due <= now {
+                frame.attempts += 1;
+                let backoff = rto.saturating_mul(1 << frame.attempts.min(MAX_BACKOFF_SHIFT));
+                frame.next_due = now + backoff;
+                due.push(WireMsg::Seq {
+                    seq: *seq,
+                    to_component: frame.to_component.clone(),
+                    event: frame.event.clone(),
+                });
+            }
+        }
+        due
+    }
+
+    /// Every unacknowledged frame, oldest first, regardless of backoff
+    /// (test oracle; the wire path uses
+    /// [`ReliableChannel::due_retransmits`]).
+    #[cfg(test)]
     pub(crate) fn retransmits(&self) -> Vec<WireMsg> {
         self.pending
             .iter()
-            .map(|(seq, (to_component, event))| WireMsg::Seq {
+            .map(|(seq, frame)| WireMsg::Seq {
                 seq: *seq,
-                to_component: to_component.clone(),
-                event: event.clone(),
+                to_component: frame.to_component.clone(),
+                event: frame.event.clone(),
             })
             .collect()
     }
@@ -154,6 +233,10 @@ impl ReliableChannel {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+
+    fn send(ch: &mut ReliableChannel, to: String, event: Vec<u8>) -> WireMsg {
+        ch.send(to, event, SimTime::ZERO, Duration::from_millis(200))
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
@@ -165,7 +248,7 @@ mod proptests {
             let mut ch = ReliableChannel::new();
             let mut seqs = Vec::new();
             for i in 0..sends {
-                if let WireMsg::Seq { seq, .. } = ch.send(format!("c{i}"), vec![i as u8]) {
+                if let WireMsg::Seq { seq, .. } = send(&mut ch, format!("c{i}"), vec![i as u8]) {
                     seqs.push(seq);
                 }
             }
@@ -201,6 +284,36 @@ mod proptests {
             }
         }
 
+        /// The watermark + out-of-order compaction answers exactly like the
+        /// unbounded seen-set it replaced, arrival order and duplication
+        /// notwithstanding — and once the prefix is contiguous the
+        /// out-of-order set is empty again.
+        #[test]
+        fn compacted_dedup_matches_the_unbounded_model(arrivals in proptest::collection::vec(0u64..24, 1..96)) {
+            let mut ch = ReliableChannel::new();
+            let mut model = std::collections::BTreeSet::new();
+            for seq in arrivals {
+                prop_assert_eq!(ch.on_seq(seq), model.insert(seq), "divergence at seq {}", seq);
+                // Footprint stays within the highest gap, never the full history.
+                let contiguous = (0..).take_while(|s| model.contains(s)).count() as u64;
+                prop_assert_eq!(
+                    ch.dedup_footprint(),
+                    model.iter().filter(|&&s| s >= contiguous).count()
+                );
+            }
+        }
+
+        /// In-order delivery keeps the receiver state O(1): the out-of-order
+        /// set never holds anything.
+        #[test]
+        fn in_order_delivery_needs_no_out_of_order_state(n in 1u64..512) {
+            let mut ch = ReliableChannel::new();
+            for seq in 0..n {
+                prop_assert!(ch.on_seq(seq));
+                prop_assert_eq!(ch.dedup_footprint(), 0);
+            }
+        }
+
         /// Wire frames round-trip through the codec.
         #[test]
         fn wire_roundtrip_any_payload(seq in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 0..128)) {
@@ -214,11 +327,17 @@ mod proptests {
 mod tests {
     use super::*;
 
+    const RTO: Duration = Duration::from_millis(200);
+
+    fn send(ch: &mut ReliableChannel, to: &str, event: Vec<u8>) -> WireMsg {
+        ch.send(to.into(), event, SimTime::ZERO, RTO)
+    }
+
     #[test]
     fn send_assigns_increasing_seqs() {
         let mut ch = ReliableChannel::new();
-        let a = ch.send("x".into(), vec![1]);
-        let b = ch.send("x".into(), vec![2]);
+        let a = send(&mut ch, "x", vec![1]);
+        let b = send(&mut ch, "x", vec![2]);
         match (a, b) {
             (WireMsg::Seq { seq: s1, .. }, WireMsg::Seq { seq: s2, .. }) => {
                 assert!(s2 > s1);
@@ -231,7 +350,7 @@ mod tests {
     #[test]
     fn ack_clears_pending() {
         let mut ch = ReliableChannel::new();
-        let WireMsg::Seq { seq, .. } = ch.send("x".into(), vec![]) else {
+        let WireMsg::Seq { seq, .. } = send(&mut ch, "x", vec![]) else {
             panic!()
         };
         ch.on_ack(seq);
@@ -242,11 +361,44 @@ mod tests {
     #[test]
     fn retransmits_repeat_unacked_frames() {
         let mut ch = ReliableChannel::new();
-        ch.send("x".into(), vec![1]);
-        ch.send("y".into(), vec![2]);
+        send(&mut ch, "x", vec![1]);
+        send(&mut ch, "y", vec![2]);
         assert_eq!(ch.retransmits().len(), 2);
         // Retransmission does not consume.
         assert_eq!(ch.retransmits().len(), 2);
+    }
+
+    #[test]
+    fn backoff_doubles_per_retransmission() {
+        let mut ch = ReliableChannel::new();
+        send(&mut ch, "x", vec![1]);
+        // Not yet due before one RTO has passed.
+        assert!(ch
+            .due_retransmits(SimTime::from_micros(RTO.as_micros() - 1), RTO)
+            .is_empty());
+        // Due at exactly one RTO; the next wait doubles each time after.
+        let mut t = SimTime::ZERO + RTO;
+        for round in 0..4u32 {
+            assert_eq!(ch.due_retransmits(t, RTO).len(), 1, "round {round}");
+            let wait = RTO.saturating_mul(1 << (round + 1));
+            // One microsecond before the next deadline: silent.
+            assert!(ch
+                .due_retransmits(t + Duration::from_micros(wait.as_micros() - 1), RTO)
+                .is_empty());
+            t += wait;
+        }
+    }
+
+    #[test]
+    fn backoff_caps_instead_of_overflowing() {
+        let mut ch = ReliableChannel::new();
+        send(&mut ch, "x", vec![1]);
+        let mut t = SimTime::ZERO + RTO;
+        for _ in 0..40 {
+            assert_eq!(ch.due_retransmits(t, RTO).len(), 1);
+            t += RTO.saturating_mul(1 << MAX_BACKOFF_SHIFT);
+        }
+        assert_eq!(ch.in_flight(), 1);
     }
 
     #[test]
