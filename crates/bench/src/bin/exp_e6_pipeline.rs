@@ -1,0 +1,170 @@
+//! E6-pipeline: runtime hot-path throughput of the event pipeline.
+//!
+//! Drives a full `SystemRuntime` (Prism hosts, workload components, the
+//! network simulator) at three scales — 8×32, 64×256, 256×1024
+//! hosts×components — and measures the wall-clock event rate of the whole
+//! pipeline: routing through interned-symbol adjacency, `Arc`-shared
+//! payloads, the binary wire codec, and the calendar-queue scheduler.
+//!
+//! Each scale runs twice: once on the **fast path** (the default binary
+//! codec) and once on the **legacy path** (`codec=json`, the serde_json
+//! wire format this PR replaced), so the report carries both numbers and
+//! their ratio. Events are counted by the middleware's own
+//! `pipeline.events.routed` counter and wire volume by
+//! `pipeline.codec.bytes`, giving events/second and bytes/event per cell.
+//!
+//! `--quick` runs only the 8×32 cell (the CI smoke configuration);
+//! `--json` writes `BENCH_pipeline.json` in the shared `ExpReport` schema.
+
+use redep_bench::{print_table, ExpReport};
+use redep_core::{RuntimeConfig, SystemRuntime};
+use redep_model::{Generator, GeneratorConfig};
+use redep_netsim::SimTime;
+use redep_prism::{set_wire_codec, WireCodec};
+use redep_telemetry::Telemetry;
+use std::time::Instant;
+
+/// One measured cell: a (scale, codec) pair.
+struct Sample {
+    /// Events routed through component handlers (`pipeline.events.routed`).
+    events: u64,
+    /// Bytes produced by the wire codec (`pipeline.codec.bytes`).
+    bytes: u64,
+    /// Wall-clock seconds for the simulated horizon.
+    wall_secs: f64,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+    fn bytes_per_event(&self) -> f64 {
+        self.bytes as f64 / self.events.max(1) as f64
+    }
+}
+
+/// Builds a runtime at the given scale and runs it for `horizon` simulated
+/// seconds under `codec`, reading the pipeline counters afterwards.
+fn run_cell(
+    hosts: usize,
+    comps: usize,
+    horizon: f64,
+    codec: WireCodec,
+) -> Result<Sample, Box<dyn std::error::Error>> {
+    set_wire_codec(codec);
+    let system = Generator::generate(&GeneratorConfig::sized(hosts, comps).with_seed(11))?;
+    let runtime_config = RuntimeConfig {
+        seed: 1,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = SystemRuntime::build(&system.model, &system.initial, &runtime_config)?;
+    // A disabled handle journals nothing (we are measuring the hot path,
+    // not recording it) but its counters still count.
+    let telemetry = Telemetry::disabled();
+    rt.set_telemetry(telemetry.clone());
+    let routed = telemetry.metrics().counter("pipeline.events.routed");
+    let bytes = telemetry.metrics().counter("pipeline.codec.bytes");
+
+    let started = Instant::now();
+    rt.sim_mut().run_until(SimTime::from_secs_f64(horizon));
+    let wall_secs = started.elapsed().as_secs_f64();
+    set_wire_codec(WireCodec::Binary);
+    Ok(Sample {
+        events: routed.get(),
+        bytes: bytes.get(),
+        wall_secs,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // (hosts, components, simulated horizon): larger systems carry more
+    // traffic per simulated second, so the horizon shrinks with scale to
+    // keep each cell's wall time in the seconds range.
+    let scales: &[(usize, usize, f64)] = if quick {
+        &[(8, 32, 10.0)]
+    } else {
+        &[(8, 32, 10.0), (64, 256, 5.0), (256, 1024, 1.0)]
+    };
+
+    let mut report = ExpReport::new(
+        "pipeline",
+        "E6-pipeline: hot-path throughput, binary codec vs legacy JSON",
+    );
+    report.note(if quick {
+        "quick mode: 8x32 only, 10 s simulated horizon"
+    } else {
+        "full mode: 8x32 / 64x256 / 256x1024, horizons 10/5/1 s simulated"
+    });
+
+    let mut rows = Vec::new();
+    let mut gate_speedup = f64::INFINITY;
+    for &(hosts, comps, horizon) in scales {
+        let fast = run_cell(hosts, comps, horizon, WireCodec::Binary)?;
+        let legacy = run_cell(hosts, comps, horizon, WireCodec::Json)?;
+        assert!(
+            fast.events > 0 && legacy.events > 0,
+            "{hosts}x{comps}: pipeline routed no events"
+        );
+        let speedup = fast.events_per_sec() / legacy.events_per_sec().max(1e-9);
+        // The acceptance gate reads the 64x256 cell in full mode; quick
+        // mode gates on its only cell.
+        if quick || (hosts, comps) == (64, 256) {
+            gate_speedup = gate_speedup.min(speedup);
+        }
+        let key = format!("{hosts}x{comps}");
+        report.metric(format!("events_per_sec_{key}_fast"), fast.events_per_sec());
+        report.metric(
+            format!("events_per_sec_{key}_legacy"),
+            legacy.events_per_sec(),
+        );
+        report.metric(
+            format!("bytes_per_event_{key}_fast"),
+            fast.bytes_per_event(),
+        );
+        report.metric(
+            format!("bytes_per_event_{key}_legacy"),
+            legacy.bytes_per_event(),
+        );
+        report.metric(format!("speedup_{key}"), speedup);
+        rows.push(vec![
+            key,
+            format!("{:.0}", fast.events_per_sec()),
+            format!("{:.0}", legacy.events_per_sec()),
+            format!("{speedup:.1}×"),
+            format!("{:.0}", fast.bytes_per_event()),
+            format!("{:.0}", legacy.bytes_per_event()),
+        ]);
+    }
+    print_table(
+        "E6-pipeline: wall-clock throughput (events routed per second)",
+        &[
+            "k×n",
+            "binary ev/s",
+            "json ev/s",
+            "speedup",
+            "B/ev bin",
+            "B/ev json",
+        ],
+        &rows,
+    );
+
+    // Acceptance: the binary fast path must clear the legacy JSON path by
+    // 3× at the 64×256 scale (quick mode only sanity-checks its one cell,
+    // since CI machines vary).
+    let threshold = if quick { 1.0 } else { 3.0 };
+    report.set_passed(gate_speedup >= threshold);
+    report.note(format!(
+        "acceptance: fast path ≥{threshold}× legacy at the gated scale \
+         (observed {gate_speedup:.1}×)"
+    ));
+    assert!(
+        gate_speedup >= threshold,
+        "pipeline FAILED: speedup {gate_speedup:.1}× below the {threshold}× gate"
+    );
+    if let Some(file) = report.emit_if_requested()? {
+        println!("\nwrote {file}");
+    }
+    println!("\nE6-pipeline PASS: binary fast path {gate_speedup:.1}× the legacy JSON path.");
+    Ok(())
+}

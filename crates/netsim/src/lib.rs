@@ -60,6 +60,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod faultplan;
 pub mod fluctuation;
 pub mod message;
@@ -69,6 +70,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use calendar::CalendarQueue;
 pub use faultplan::{FaultEpisode, FaultKind, FaultPlan};
 pub use fluctuation::{FluctuationModel, MarkovLinkChurn, RandomWalkFluctuation};
 pub use message::Message;

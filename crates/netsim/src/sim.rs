@@ -1,5 +1,6 @@
 //! The discrete-event simulation loop.
 
+use crate::calendar::CalendarQueue;
 use crate::faultplan::{FaultAction, FaultPlan};
 use crate::fluctuation::FluctuationModel;
 use crate::message::Message;
@@ -12,8 +13,7 @@ use rand_chacha::ChaCha8Rng;
 use redep_model::HostId;
 use redep_telemetry::{Counter, Telemetry};
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 /// What happens at a scheduled instant.
 #[derive(Debug)]
@@ -23,32 +23,6 @@ enum Event {
     Timer { host: HostId, token: u64 },
     Fluctuate { index: usize },
     Fault { action: FaultAction },
-}
-
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-// Min-heap ordering on (time, seq): the sequence number breaks ties in
-// scheduling order, which is what makes the whole simulation deterministic.
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 /// Counter handles cached at telemetry install time, so the per-message hot
@@ -78,7 +52,15 @@ impl NetCounters {
 pub struct Simulator {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled>,
+    /// Pending events in a calendar queue (bucketed time-wheel): O(1)
+    /// schedule and amortized O(1) pop for the near-future timer swarm, with
+    /// pop order identical to the `BinaryHeap` it replaced — see
+    /// [`CalendarQueue`].
+    queue: CalendarQueue<Event>,
+    /// Count of scheduled-but-unprocessed [`Event::Deliver`] entries,
+    /// maintained incrementally so [`Simulator::in_flight`] is O(1) instead
+    /// of an O(n) queue scan.
+    deliver_in_flight: usize,
     nodes: BTreeMap<HostId, Box<dyn Node>>,
     topology: NetworkTopology,
     rng: ChaCha8Rng,
@@ -119,7 +101,8 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
+            deliver_in_flight: 0,
             nodes: BTreeMap::new(),
             topology: NetworkTopology::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
@@ -179,10 +162,7 @@ impl Simulator {
     /// this makes conservation checkable at any instant:
     /// `sent == delivered + dropped + in_flight`.
     pub fn in_flight(&self) -> usize {
-        self.queue
-            .iter()
-            .filter(|s| matches!(s.event, Event::Deliver { .. }))
-            .count()
+        self.deliver_in_flight
     }
 
     /// Registers a node on `host` and schedules its [`Node::on_start`].
@@ -351,7 +331,10 @@ impl Simulator {
     fn schedule(&mut self, time: SimTime, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { time, seq, event });
+        if matches!(event, Event::Deliver { .. }) {
+            self.deliver_in_flight += 1;
+        }
+        self.queue.push(time, seq, event);
     }
 
     /// Records one dropped message in the counters and the journal.
@@ -456,12 +439,15 @@ impl Simulator {
 
     /// Processes the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(scheduled) = self.queue.pop() else {
+        let Some((time, _seq, event)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(scheduled.time >= self.now, "time went backwards");
-        self.now = scheduled.time;
-        match scheduled.event {
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
+        if matches!(event, Event::Deliver { .. }) {
+            self.deliver_in_flight -= 1;
+        }
+        match event {
             Event::Start { host } => {
                 self.run_callback(host, |node, ctx| node.on_start(ctx));
             }
@@ -514,8 +500,8 @@ impl Simulator {
     /// with fluctuation must be driven by deadline, never to exhaustion.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(next) = self.queue.peek() {
-            if next.time > deadline {
+        while let Some(next_time) = self.queue.peek_time() {
+            if next_time > deadline {
                 break;
             }
             self.step();

@@ -4,20 +4,27 @@ use crate::brick::{BrickId, ComponentAction, ComponentBehavior, ComponentCtx};
 use crate::connector::Connector;
 use crate::event::Event;
 use crate::monitor::ConnectorMonitor;
+use crate::symbol::Symbol;
 use crate::PrismError;
 use redep_model::HostId;
 use redep_netsim::{Duration, SimTime};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// A queued local delivery.
+///
+/// Events are `Arc`-shared: routing an emission to N recipients bumps a
+/// reference count N times instead of deep-cloning name, params, and payload
+/// per hop. Handlers receive `&Event` and never mutate in place, so no
+/// copy-on-write is required on the delivery path.
 #[derive(Debug)]
 enum Delivery {
     /// Run `on_attach` for the component.
     Attach(BrickId),
     /// Hand an event to the component.
-    Handle(BrickId, Event),
+    Handle(BrickId, Arc<Event>),
     /// Fire a timer on the component.
     Timer(BrickId, u64),
 }
@@ -31,7 +38,7 @@ pub(crate) enum HostAction {
         /// Destination host.
         host: HostId,
         /// Destination component instance name.
-        to_component: String,
+        to_component: Symbol,
         /// The event.
         event: Event,
     },
@@ -39,14 +46,14 @@ pub(crate) enum HostAction {
     /// currently lives.
     SendNamed {
         /// Destination component instance name.
-        to_component: String,
+        to_component: Symbol,
         /// The event.
         event: Event,
     },
     /// Arm a timer for a local component.
     SetTimer {
         /// The component to wake.
-        component: String,
+        component: Symbol,
         /// Delay from now.
         delay: Duration,
         /// Token passed back on expiry.
@@ -55,7 +62,7 @@ pub(crate) enum HostAction {
 }
 
 struct ComponentSlot {
-    name: String,
+    name: Symbol,
     behavior: Box<dyn ComponentBehavior>,
     welded: BTreeSet<BrickId>,
 }
@@ -102,12 +109,21 @@ pub struct Architecture {
     name: String,
     host: HostId,
     next_brick: u64,
-    components: BTreeMap<BrickId, ComponentSlot>,
+    /// Component slots indexed by `BrickId::raw()`. `None` marks ids that
+    /// belong to connectors or to detached components; brick ids are drawn
+    /// from one counter, so both tables are sparse by design. Indexing
+    /// replaces the name-keyed `BTreeMap` lookups on the routing hot path.
+    components: Vec<Option<ComponentSlot>>,
     by_name: BTreeMap<String, BrickId>,
-    connectors: BTreeMap<BrickId, Connector>,
+    /// Connector slots indexed by `BrickId::raw()` (see `components`).
+    connectors: Vec<Option<Connector>>,
     queue: VecDeque<Delivery>,
     host_actions: Vec<HostAction>,
     scratch: Vec<ComponentAction>,
+    /// Reusable recipient buffer for `route_emission`.
+    route_scratch: Vec<(BrickId, Symbol)>,
+    /// Reusable welded-connector buffer for `route_emission`.
+    welded_scratch: Vec<BrickId>,
     events_processed: u64,
     now: SimTime,
 }
@@ -118,7 +134,7 @@ impl fmt::Debug for Architecture {
             .field("name", &self.name)
             .field("host", &self.host)
             .field("components", &self.by_name.keys().collect::<Vec<_>>())
-            .field("connectors", &self.connectors.len())
+            .field("connectors", &self.connector_count())
             .field("queued", &self.queue.len())
             .finish()
     }
@@ -131,15 +147,33 @@ impl Architecture {
             name: name.into(),
             host,
             next_brick: 0,
-            components: BTreeMap::new(),
+            components: Vec::new(),
             by_name: BTreeMap::new(),
-            connectors: BTreeMap::new(),
+            connectors: Vec::new(),
             queue: VecDeque::new(),
             host_actions: Vec::new(),
             scratch: Vec::new(),
+            route_scratch: Vec::new(),
+            welded_scratch: Vec::new(),
             events_processed: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    fn component_slot(&self, id: BrickId) -> Option<&ComponentSlot> {
+        self.components.get(id.raw() as usize)?.as_ref()
+    }
+
+    fn component_slot_mut(&mut self, id: BrickId) -> Option<&mut ComponentSlot> {
+        self.components.get_mut(id.raw() as usize)?.as_mut()
+    }
+
+    fn connector_slot(&self, id: BrickId) -> Option<&Connector> {
+        self.connectors.get(id.raw() as usize)?.as_ref()
+    }
+
+    fn connector_slot_mut(&mut self, id: BrickId) -> Option<&mut Connector> {
+        self.connectors.get_mut(id.raw() as usize)?.as_mut()
     }
 
     /// The architecture's name.
@@ -194,15 +228,17 @@ impl Architecture {
             return Err(PrismError::DuplicateComponent(name));
         }
         let id = self.fresh_id();
-        self.by_name.insert(name.clone(), id);
-        self.components.insert(
-            id,
-            ComponentSlot {
-                name,
-                behavior,
-                welded: BTreeSet::new(),
-            },
-        );
+        let symbol = Symbol::intern(&name);
+        self.by_name.insert(name, id);
+        let idx = id.raw() as usize;
+        if self.components.len() <= idx {
+            self.components.resize_with(idx + 1, || None);
+        }
+        self.components[idx] = Some(ComponentSlot {
+            name: symbol,
+            behavior,
+            welded: BTreeSet::new(),
+        });
         self.queue.push_back(Delivery::Attach(id));
         Ok(id)
     }
@@ -218,9 +254,11 @@ impl Architecture {
             .by_name
             .remove(name)
             .ok_or_else(|| PrismError::UnknownComponent(name.to_owned()))?;
-        let slot = self.components.remove(&id).expect("maps in sync");
+        let slot = self.components[id.raw() as usize]
+            .take()
+            .expect("maps in sync");
         for conn in slot.welded {
-            if let Some(c) = self.connectors.get_mut(&conn) {
+            if let Some(c) = self.connector_slot_mut(conn) {
                 c.unweld(id);
             }
         }
@@ -238,7 +276,11 @@ impl Architecture {
     /// Adds a connector.
     pub fn add_connector(&mut self, name: impl Into<String>) -> BrickId {
         let id = self.fresh_id();
-        self.connectors.insert(id, Connector::new(id, name));
+        let idx = id.raw() as usize;
+        if self.connectors.len() <= idx {
+            self.connectors.resize_with(idx + 1, || None);
+        }
+        self.connectors[idx] = Some(Connector::new(id, name));
         id
     }
 
@@ -250,16 +292,18 @@ impl Architecture {
     /// [`PrismError::InvalidWeld`] if `component`/`connector` name bricks of
     /// the wrong kinds.
     pub fn weld(&mut self, component: BrickId, connector: BrickId) -> Result<(), PrismError> {
-        if self.connectors.contains_key(&component) || self.components.contains_key(&connector) {
+        if self.connector_slot(component).is_some() || self.component_slot(connector).is_some() {
             return Err(PrismError::InvalidWeld(component, connector));
         }
         let slot = self
             .components
-            .get_mut(&component)
+            .get_mut(component.raw() as usize)
+            .and_then(Option::as_mut)
             .ok_or(PrismError::UnknownBrick(component))?;
         let conn = self
             .connectors
-            .get_mut(&connector)
+            .get_mut(connector.raw() as usize)
+            .and_then(Option::as_mut)
             .ok_or(PrismError::UnknownBrick(connector))?;
         slot.welded.insert(connector);
         conn.weld(component);
@@ -274,11 +318,13 @@ impl Architecture {
     pub fn unweld(&mut self, component: BrickId, connector: BrickId) -> Result<(), PrismError> {
         let slot = self
             .components
-            .get_mut(&component)
+            .get_mut(component.raw() as usize)
+            .and_then(Option::as_mut)
             .ok_or(PrismError::UnknownBrick(component))?;
         let conn = self
             .connectors
-            .get_mut(&connector)
+            .get_mut(connector.raw() as usize)
+            .and_then(Option::as_mut)
             .ok_or(PrismError::UnknownBrick(connector))?;
         slot.welded.remove(&connector);
         conn.unweld(component);
@@ -295,8 +341,7 @@ impl Architecture {
         connector: BrickId,
         monitor: impl ConnectorMonitor,
     ) -> Result<(), PrismError> {
-        self.connectors
-            .get_mut(&connector)
+        self.connector_slot_mut(connector)
             .ok_or(PrismError::UnknownBrick(connector))?
             .add_monitor(Box::new(monitor));
         Ok(())
@@ -304,8 +349,7 @@ impl Architecture {
 
     /// Borrows a connector's monitor of concrete type `T`, if attached.
     pub fn monitor_ref<T: ConnectorMonitor>(&self, connector: BrickId) -> Option<&T> {
-        self.connectors
-            .get(&connector)?
+        self.connector_slot(connector)?
             .monitors()
             .iter()
             .find_map(|m| {
@@ -316,8 +360,7 @@ impl Architecture {
 
     /// Mutably borrows a connector's monitor of concrete type `T`.
     pub fn monitor_mut<T: ConnectorMonitor>(&mut self, connector: BrickId) -> Option<&mut T> {
-        self.connectors
-            .get_mut(&connector)?
+        self.connector_slot_mut(connector)?
             .monitors_mut()
             .iter_mut()
             .find_map(|m| {
@@ -338,33 +381,33 @@ impl Architecture {
         self.by_name
             .iter()
             .map(|(name, id)| {
-                let ty = self.components[id].behavior.type_name().to_owned();
-                (name.clone(), ty)
+                let slot = self.component_slot(*id).expect("maps in sync");
+                (name.clone(), slot.behavior.type_name().to_owned())
             })
             .collect()
     }
 
     /// Number of components.
     pub fn component_count(&self) -> usize {
-        self.components.len()
+        self.by_name.len()
     }
 
     /// Number of connectors.
     pub fn connector_count(&self) -> usize {
-        self.connectors.len()
+        self.connectors.iter().flatten().count()
     }
 
     /// Borrows a component downcast to its concrete type.
     pub fn component_ref<T: ComponentBehavior>(&self, name: &str) -> Option<&T> {
-        let id = self.by_name.get(name)?;
-        let any: &dyn Any = self.components.get(id)?.behavior.as_ref();
+        let id = *self.by_name.get(name)?;
+        let any: &dyn Any = self.component_slot(id)?.behavior.as_ref();
         any.downcast_ref::<T>()
     }
 
     /// Mutably borrows a component downcast to its concrete type.
     pub fn component_mut<T: ComponentBehavior>(&mut self, name: &str) -> Option<&mut T> {
         let id = *self.by_name.get(name)?;
-        let any: &mut dyn Any = self.components.get_mut(&id)?.behavior.as_mut();
+        let any: &mut dyn Any = self.component_slot_mut(id)?.behavior.as_mut();
         any.downcast_mut::<T>()
     }
 
@@ -383,7 +426,7 @@ impl Architecture {
             .by_name
             .get(to_component)
             .ok_or_else(|| PrismError::UnknownComponent(to_component.to_owned()))?;
-        self.queue.push_back(Delivery::Handle(*id, event));
+        self.queue.push_back(Delivery::Handle(*id, Arc::new(event)));
         Ok(())
     }
 
@@ -404,34 +447,59 @@ impl Architecture {
 
     /// Routes an emission from `src` through all its welded connectors,
     /// notifying monitors per delivery.
+    ///
+    /// Hot path: names are `Copy` symbols, recipient lists reuse persistent
+    /// scratch buffers, and the event is `Arc`-shared across recipients
+    /// instead of deep-cloned per hop (a single-recipient delivery moves the
+    /// sole reference).
     fn route_emission(&mut self, src: BrickId, event: Event) {
-        let src_name = match self.components.get(&src) {
-            Some(s) => s.name.clone(),
+        let src_name = match self.component_slot(src) {
+            Some(s) => s.name,
             None => return, // emitter detached mid-pump
         };
-        let connectors: Vec<BrickId> = self.components[&src].welded.iter().copied().collect();
-        let mut deliveries: Vec<BrickId> = Vec::new();
-        for conn_id in connectors {
-            let recipients: Vec<BrickId> = match self.connectors.get(&conn_id) {
-                Some(c) => c.attached().filter(|b| *b != src).collect(),
-                None => continue,
-            };
-            for dst in recipients {
-                let dst_name = match self.components.get(&dst) {
-                    Some(s) => s.name.clone(),
-                    None => continue,
+        let now = self.now;
+        let event = Arc::new(event);
+        let mut welded = std::mem::take(&mut self.welded_scratch);
+        welded.clear();
+        welded.extend(
+            self.component_slot(src)
+                .expect("checked above")
+                .welded
+                .iter()
+                .copied(),
+        );
+        let mut recipients = std::mem::take(&mut self.route_scratch);
+        recipients.clear();
+        for &conn_id in &welded {
+            let start = recipients.len();
+            {
+                let Some(conn) = self.connector_slot(conn_id) else {
+                    continue;
                 };
-                if let Some(conn) = self.connectors.get_mut(&conn_id) {
-                    for m in conn.monitors_mut() {
-                        m.observe(&src_name, &dst_name, &event, self.now);
+                for dst in conn.attached() {
+                    if dst == src {
+                        continue;
+                    }
+                    if let Some(slot) = self.component_slot(dst) {
+                        recipients.push((dst, slot.name));
                     }
                 }
-                deliveries.push(dst);
+            }
+            if let Some(conn) = self.connector_slot_mut(conn_id) {
+                for &(_, dst_name) in &recipients[start..] {
+                    for m in conn.monitors_mut() {
+                        m.observe(src_name.as_str(), dst_name.as_str(), &event, now);
+                    }
+                }
             }
         }
-        for dst in deliveries {
-            self.queue.push_back(Delivery::Handle(dst, event.clone()));
+        for &(dst, _) in &recipients {
+            self.queue
+                .push_back(Delivery::Handle(dst, Arc::clone(&event)));
         }
+        recipients.clear();
+        self.route_scratch = recipients;
+        self.welded_scratch = welded;
     }
 
     /// Drains the delivery queue, running component callbacks. Returns the
@@ -450,17 +518,21 @@ impl Architecture {
                 Delivery::Handle(id, event) => (id, Box::new(move |b, ctx| b.handle(ctx, &event))),
                 Delivery::Timer(id, token) => (id, Box::new(move |b, ctx| b.on_timer(ctx, token))),
             };
-            let Some(mut slot) = self.components.remove(&id) else {
+            let Some(mut slot) = self
+                .components
+                .get_mut(id.raw() as usize)
+                .and_then(Option::take)
+            else {
                 continue; // component detached while the delivery was queued
             };
             let mut actions = std::mem::take(&mut self.scratch);
             actions.clear();
             {
-                let mut ctx = ComponentCtx::new(&slot.name, self.host, now, &mut actions);
+                let mut ctx = ComponentCtx::new(slot.name, self.host, now, &mut actions);
                 work(slot.behavior.as_mut(), &mut ctx);
             }
-            let name = slot.name.clone();
-            self.components.insert(id, slot);
+            let name = slot.name;
+            self.components[id.raw() as usize] = Some(slot);
             for action in actions.drain(..) {
                 match action {
                     ComponentAction::Emit(event) => self.route_emission(id, event),
@@ -482,7 +554,7 @@ impl Architecture {
                     }),
                     ComponentAction::SetTimer { delay, token } => {
                         self.host_actions.push(HostAction::SetTimer {
-                            component: name.clone(),
+                            component: name,
                             delay,
                             token,
                         })

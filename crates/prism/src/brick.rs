@@ -1,6 +1,7 @@
 //! Bricks: the identities and behaviors of architectural elements.
 
 use crate::event::Event;
+use crate::symbol::Symbol;
 use crate::PrismError;
 use redep_model::HostId;
 use redep_netsim::{Duration, SimTime};
@@ -41,12 +42,12 @@ pub(crate) enum ComponentAction {
     /// Ship an event to a named component on another host.
     SendRemote {
         host: HostId,
-        to_component: String,
+        to_component: Symbol,
         event: Event,
     },
     /// Ship an event to a named component wherever it currently lives
     /// (the host resolves the location through its deployment directory).
-    SendNamed { to_component: String, event: Event },
+    SendNamed { to_component: Symbol, event: Event },
     /// Arm a one-shot timer for this component.
     SetTimer { delay: Duration, token: u64 },
 }
@@ -58,7 +59,7 @@ pub(crate) enum ComponentAction {
 /// deterministic.
 #[derive(Debug)]
 pub struct ComponentCtx<'a> {
-    component: &'a str,
+    component: Symbol,
     host: HostId,
     now: SimTime,
     actions: &'a mut Vec<ComponentAction>,
@@ -66,13 +67,13 @@ pub struct ComponentCtx<'a> {
 
 impl<'a> ComponentCtx<'a> {
     pub(crate) fn new(
-        component: &'a str,
+        component: impl Into<Symbol>,
         host: HostId,
         now: SimTime,
         actions: &'a mut Vec<ComponentAction>,
     ) -> Self {
         ComponentCtx {
-            component,
+            component: component.into(),
             host,
             now,
             actions,
@@ -81,7 +82,7 @@ impl<'a> ComponentCtx<'a> {
 
     /// This component's instance name.
     pub fn component(&self) -> &str {
-        self.component
+        self.component.as_str()
     }
 
     /// The host this architecture runs on.
@@ -102,7 +103,7 @@ impl<'a> ComponentCtx<'a> {
 
     /// Sends an event to the component named `to_component` on `host`
     /// (through the host's distribution transport).
-    pub fn send_remote(&mut self, host: HostId, to_component: impl Into<String>, mut event: Event) {
+    pub fn send_remote(&mut self, host: HostId, to_component: impl Into<Symbol>, mut event: Event) {
         event.set_source(self.component);
         self.actions.push(ComponentAction::SendRemote {
             host,
@@ -115,7 +116,7 @@ impl<'a> ComponentCtx<'a> {
     /// currently deployed — locally or on a remote host. The host runtime
     /// resolves the location through its deployment directory, so senders
     /// keep working across migrations of their peers.
-    pub fn send_to(&mut self, to_component: impl Into<String>, mut event: Event) {
+    pub fn send_to(&mut self, to_component: impl Into<Symbol>, mut event: Event) {
         event.set_source(self.component);
         self.actions.push(ComponentAction::SendNamed {
             to_component: to_component.into(),

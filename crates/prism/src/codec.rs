@@ -1,0 +1,493 @@
+//! Wire codecs for events and transport frames.
+//!
+//! The default codec is a compact length-prefixed little-endian binary
+//! format: symbol names travel as LEB128 varint interner ids, parameter
+//! values as one tag byte plus a raw value, payloads as varint-length raw
+//! bytes. The previous `serde_json` encoding is retained behind the
+//! `codec=json` debug option ([`set_wire_codec`]) for human-readable frame
+//! dumps; decoders sniff the leading magic byte, so both codecs can coexist
+//! on one link.
+//!
+//! Shipping interner ids is sound here because the "wire" never leaves the
+//! process: netsim simulates all hosts in one address space sharing one
+//! interner (see [`crate::symbol`]), and encoded frames never reach
+//! journals or reports.
+//!
+//! # Binary layout
+//!
+//! Event (`0xE5` magic):
+//!
+//! ```text
+//! [0xE5][kind u8][flags u8][name varint]
+//!   [source varint  — iff flags bit0]
+//!   [size varint    — iff flags bit1]
+//! [param_count varint]
+//!   repeat: [key varint][tag u8][value]
+//!     tag 0/1 = bool false/true (no value bytes)
+//!     tag 2   = int, zigzag varint
+//!     tag 3   = float, 8 bytes f64 LE
+//!     tag 4   = text, varint length + UTF-8 bytes
+//! [payload_len varint][payload bytes]
+//! ```
+//!
+//! Transport frame (`0xEB` magic): `[0xEB][variant u8]` then the variant's
+//! fields in order, ids/seqs/nonces as varints, embedded frames as varint
+//! length + bytes.
+
+use crate::event::{Event, EventKind, ParamVec};
+use crate::symbol::Symbol;
+use crate::PrismError;
+use redep_model::ParamValue;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Leading byte of a binary-encoded [`Event`]. Distinct from `{` (0x7B), so
+/// decoders can tell binary frames from JSON ones.
+pub const EVENT_MAGIC: u8 = 0xE5;
+
+/// Leading byte of a binary-encoded transport frame.
+pub(crate) const WIRE_MAGIC: u8 = 0xEB;
+
+/// Which encoding [`Event::encode`] and the transport use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireCodec {
+    /// Compact binary (the default).
+    Binary,
+    /// `serde_json`, kept as a debug option for readable frame dumps.
+    Json,
+}
+
+static WIRE_CODEC: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-wide wire codec (`codec=json` debug switch).
+pub fn set_wire_codec(codec: WireCodec) {
+    WIRE_CODEC.store(
+        match codec {
+            WireCodec::Binary => 0,
+            WireCodec::Json => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The currently selected process-wide wire codec.
+pub fn wire_codec() -> WireCodec {
+    match WIRE_CODEC.load(Ordering::Relaxed) {
+        0 => WireCodec::Binary,
+        _ => WireCodec::Json,
+    }
+}
+
+// --- varint primitives ---------------------------------------------------
+
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, PrismError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| codec_err("truncated varint"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(codec_err("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_symbol(out: &mut Vec<u8>, s: Symbol) {
+    put_varint(out, u64::from(s.id()));
+}
+
+fn get_symbol(bytes: &[u8], pos: &mut usize) -> Result<Symbol, PrismError> {
+    let id = get_varint(bytes, pos)?;
+    let id = u32::try_from(id).map_err(|_| codec_err("symbol id out of range"))?;
+    Symbol::from_id(id).ok_or_else(|| codec_err("unknown symbol id"))
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_varint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn get_bytes<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], PrismError> {
+    let len = get_varint(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| codec_err("truncated bytes"))?;
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn codec_err(msg: &str) -> PrismError {
+    PrismError::Codec(msg.to_owned())
+}
+
+// --- event codec ---------------------------------------------------------
+
+const TAG_FALSE: u8 = 0;
+const TAG_TRUE: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_TEXT: u8 = 4;
+
+const FLAG_SOURCE: u8 = 0b01;
+const FLAG_SIZE: u8 = 0b10;
+
+/// Encodes an event in the binary layout (see module docs).
+pub(crate) fn encode_event(e: &Event) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + e.payload.len());
+    out.push(EVENT_MAGIC);
+    out.push(match e.kind {
+        EventKind::Request => 0,
+        EventKind::Reply => 1,
+        EventKind::Notification => 2,
+    });
+    let mut flags = 0u8;
+    if e.source.is_some() {
+        flags |= FLAG_SOURCE;
+    }
+    if e.size.is_some() {
+        flags |= FLAG_SIZE;
+    }
+    out.push(flags);
+    put_symbol(&mut out, e.name);
+    if let Some(src) = e.source {
+        put_symbol(&mut out, src);
+    }
+    if let Some(size) = e.size {
+        put_varint(&mut out, size);
+    }
+    put_varint(&mut out, e.params.len() as u64);
+    for (k, v) in e.params.iter() {
+        put_symbol(&mut out, *k);
+        match v {
+            ParamValue::Bool(false) => out.push(TAG_FALSE),
+            ParamValue::Bool(true) => out.push(TAG_TRUE),
+            ParamValue::Int(i) => {
+                out.push(TAG_INT);
+                put_varint(&mut out, zigzag(*i));
+            }
+            ParamValue::Float(f) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            ParamValue::Text(s) => {
+                out.push(TAG_TEXT);
+                put_bytes(&mut out, s.as_bytes());
+            }
+        }
+    }
+    put_bytes(&mut out, &e.payload);
+    out
+}
+
+/// Decodes a binary event, rejecting trailing garbage.
+pub(crate) fn decode_event(bytes: &[u8]) -> Result<Event, PrismError> {
+    let mut pos = 0usize;
+    if bytes.get(pos) != Some(&EVENT_MAGIC) {
+        return Err(codec_err("bad event magic"));
+    }
+    pos += 1;
+    let kind = match bytes.get(pos) {
+        Some(0) => EventKind::Request,
+        Some(1) => EventKind::Reply,
+        Some(2) => EventKind::Notification,
+        _ => return Err(codec_err("bad event kind")),
+    };
+    pos += 1;
+    let flags = *bytes.get(pos).ok_or_else(|| codec_err("truncated event"))?;
+    pos += 1;
+    let name = get_symbol(bytes, &mut pos)?;
+    let source = if flags & FLAG_SOURCE != 0 {
+        Some(get_symbol(bytes, &mut pos)?)
+    } else {
+        None
+    };
+    let size = if flags & FLAG_SIZE != 0 {
+        Some(get_varint(bytes, &mut pos)?)
+    } else {
+        None
+    };
+    let count = get_varint(bytes, &mut pos)? as usize;
+    let mut params = ParamVec::new();
+    for _ in 0..count {
+        let key = get_symbol(bytes, &mut pos)?;
+        let tag = *bytes.get(pos).ok_or_else(|| codec_err("truncated param"))?;
+        pos += 1;
+        let value = match tag {
+            TAG_FALSE => ParamValue::Bool(false),
+            TAG_TRUE => ParamValue::Bool(true),
+            TAG_INT => ParamValue::Int(unzigzag(get_varint(bytes, &mut pos)?)),
+            TAG_FLOAT => {
+                let end = pos + 8;
+                let raw = bytes
+                    .get(pos..end)
+                    .ok_or_else(|| codec_err("truncated float"))?;
+                pos = end;
+                ParamValue::Float(f64::from_le_bytes(raw.try_into().expect("8-byte slice")))
+            }
+            TAG_TEXT => {
+                let raw = get_bytes(bytes, &mut pos)?;
+                ParamValue::Text(
+                    std::str::from_utf8(raw)
+                        .map_err(|_| codec_err("param text not utf-8"))?
+                        .to_owned(),
+                )
+            }
+            _ => return Err(codec_err("bad param tag")),
+        };
+        params.insert(key, value);
+    }
+    let payload = get_bytes(bytes, &mut pos)?.to_vec();
+    if pos != bytes.len() {
+        return Err(codec_err("trailing bytes after event"));
+    }
+    Ok(Event {
+        name,
+        kind,
+        params,
+        payload,
+        source,
+        size,
+    })
+}
+
+// --- transport frame codec -----------------------------------------------
+
+use crate::transport::WireMsg;
+use redep_model::HostId;
+
+const WIRE_FORWARD: u8 = 0;
+const WIRE_RAW: u8 = 1;
+const WIRE_SEQ: u8 = 2;
+const WIRE_ACK: u8 = 3;
+const WIRE_PING: u8 = 4;
+const WIRE_PONG: u8 = 5;
+
+/// Encodes a transport frame in the binary layout (see module docs).
+pub(crate) fn encode_wire(m: &WireMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.push(WIRE_MAGIC);
+    match m {
+        WireMsg::Forward { src, dst, frame } => {
+            out.push(WIRE_FORWARD);
+            put_varint(&mut out, u64::from(src.raw()));
+            put_varint(&mut out, u64::from(dst.raw()));
+            put_bytes(&mut out, frame);
+        }
+        WireMsg::Raw {
+            to_component,
+            event,
+        } => {
+            out.push(WIRE_RAW);
+            put_symbol(&mut out, *to_component);
+            put_bytes(&mut out, event);
+        }
+        WireMsg::Seq {
+            seq,
+            to_component,
+            event,
+        } => {
+            out.push(WIRE_SEQ);
+            put_varint(&mut out, *seq);
+            put_symbol(&mut out, *to_component);
+            put_bytes(&mut out, event);
+        }
+        WireMsg::Ack { seq } => {
+            out.push(WIRE_ACK);
+            put_varint(&mut out, *seq);
+        }
+        WireMsg::Ping { nonce } => {
+            out.push(WIRE_PING);
+            put_varint(&mut out, *nonce);
+        }
+        WireMsg::Pong { nonce } => {
+            out.push(WIRE_PONG);
+            put_varint(&mut out, *nonce);
+        }
+    }
+    out
+}
+
+/// Decodes a binary transport frame, rejecting trailing garbage.
+pub(crate) fn decode_wire(bytes: &[u8]) -> Result<WireMsg, PrismError> {
+    let mut pos = 0usize;
+    if bytes.get(pos) != Some(&WIRE_MAGIC) {
+        return Err(codec_err("bad wire magic"));
+    }
+    pos += 1;
+    let variant = *bytes.get(pos).ok_or_else(|| codec_err("truncated frame"))?;
+    pos += 1;
+    let msg = match variant {
+        WIRE_FORWARD => {
+            let src = get_host(bytes, &mut pos)?;
+            let dst = get_host(bytes, &mut pos)?;
+            let frame = get_bytes(bytes, &mut pos)?.to_vec();
+            WireMsg::Forward { src, dst, frame }
+        }
+        WIRE_RAW => {
+            let to_component = get_symbol(bytes, &mut pos)?;
+            let event = get_bytes(bytes, &mut pos)?.to_vec();
+            WireMsg::Raw {
+                to_component,
+                event,
+            }
+        }
+        WIRE_SEQ => {
+            let seq = get_varint(bytes, &mut pos)?;
+            let to_component = get_symbol(bytes, &mut pos)?;
+            let event = get_bytes(bytes, &mut pos)?.to_vec();
+            WireMsg::Seq {
+                seq,
+                to_component,
+                event,
+            }
+        }
+        WIRE_ACK => WireMsg::Ack {
+            seq: get_varint(bytes, &mut pos)?,
+        },
+        WIRE_PING => WireMsg::Ping {
+            nonce: get_varint(bytes, &mut pos)?,
+        },
+        WIRE_PONG => WireMsg::Pong {
+            nonce: get_varint(bytes, &mut pos)?,
+        },
+        _ => return Err(codec_err("bad wire variant")),
+    };
+    if pos != bytes.len() {
+        return Err(codec_err("trailing bytes after frame"));
+    }
+    Ok(msg)
+}
+
+fn get_host(bytes: &[u8], pos: &mut usize) -> Result<HostId, PrismError> {
+    let raw = get_varint(bytes, pos)?;
+    let raw = u32::try_from(raw).map_err(|_| codec_err("host id out of range"))?;
+    Ok(HostId::new(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn event_roundtrip_all_param_kinds() {
+        let mut e = Event::request("codec.test")
+            .with_param("b0", false)
+            .with_param("b1", true)
+            .with_param("i", -42i64)
+            .with_param("f", 2.5)
+            .with_param("t", "hello")
+            .with_payload(vec![0, 255, 7])
+            .with_size(1234);
+        e.set_source("codec-src");
+        let bytes = encode_event(&e);
+        assert_eq!(bytes[0], EVENT_MAGIC);
+        assert_eq!(decode_event(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let e = Event::notification("codec.trunc").with_param("k", 7i64);
+        let bytes = encode_event(&e);
+        for cut in 0..bytes.len() {
+            assert!(decode_event(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_event(&padded).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_symbol_id() {
+        let mut out = vec![EVENT_MAGIC, 2, 0];
+        put_varint(&mut out, u64::from(u32::MAX)); // never interned
+        put_varint(&mut out, 0);
+        put_varint(&mut out, 0);
+        assert!(decode_event(&out).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip_all_variants() {
+        let frames = [
+            WireMsg::Forward {
+                src: HostId::new(1),
+                dst: HostId::new(300),
+                frame: vec![1, 2, 3],
+            },
+            WireMsg::Raw {
+                to_component: Symbol::intern("wire-raw-dst"),
+                event: vec![9; 40],
+            },
+            WireMsg::Seq {
+                seq: 129,
+                to_component: Symbol::intern("wire-seq-dst"),
+                event: Vec::new(),
+            },
+            WireMsg::Ack { seq: u64::MAX },
+            WireMsg::Ping { nonce: 7 },
+            WireMsg::Pong { nonce: 8 },
+        ];
+        for m in frames {
+            let bytes = encode_wire(&m);
+            assert_eq!(bytes[0], WIRE_MAGIC);
+            assert_eq!(decode_wire(&bytes).unwrap(), m);
+            let mut padded = bytes.clone();
+            padded.push(1);
+            assert!(decode_wire(&padded).is_err());
+        }
+    }
+
+    #[test]
+    fn codec_switch_is_observable() {
+        assert_eq!(wire_codec(), WireCodec::Binary);
+        set_wire_codec(WireCodec::Json);
+        assert_eq!(wire_codec(), WireCodec::Json);
+        set_wire_codec(WireCodec::Binary);
+        assert_eq!(wire_codec(), WireCodec::Binary);
+    }
+}

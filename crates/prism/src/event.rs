@@ -1,7 +1,8 @@
 //! Events — the sole communication mechanism between Prism components.
 
+use crate::symbol::Symbol;
 use redep_model::ParamValue;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -26,14 +27,130 @@ impl fmt::Display for EventKind {
     }
 }
 
+/// Parameters of one event, ordered by name.
+///
+/// Most events carry at most a handful of parameters, so the list stores up
+/// to [`INLINE_PARAMS`] entries inline (no heap allocation at all for the
+/// common case) and spills to a `Vec` beyond that. Entries are kept sorted
+/// by parameter *name* on insert, preserving the overwrite semantics,
+/// deterministic iteration order, and JSON shape of the `BTreeMap` it
+/// replaced.
+#[derive(Clone, Debug)]
+pub(crate) enum ParamVec {
+    /// Up to [`INLINE_PARAMS`] entries, filled prefix-first.
+    Inline {
+        /// Number of occupied slots.
+        len: u8,
+        /// The slots; `slots[..len]` are `Some`, the rest `None`.
+        slots: [Option<(Symbol, ParamValue)>; INLINE_PARAMS],
+    },
+    /// Heap fallback for parameter-heavy events.
+    Spilled(Vec<(Symbol, ParamValue)>),
+}
+
+/// Number of parameters stored without touching the heap.
+pub(crate) const INLINE_PARAMS: usize = 4;
+
+impl ParamVec {
+    pub(crate) fn new() -> Self {
+        ParamVec::Inline {
+            len: 0,
+            slots: [None, None, None, None],
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ParamVec::Inline { len, .. } => *len as usize,
+            ParamVec::Spilled(v) => v.len(),
+        }
+    }
+
+    pub(crate) fn iter(&self) -> ParamIter<'_> {
+        match self {
+            ParamVec::Inline { len, slots } => ParamIter::Inline(slots[..*len as usize].iter()),
+            ParamVec::Spilled(v) => ParamIter::Spilled(v.iter()),
+        }
+    }
+
+    /// Inserts keeping name order; an existing entry with the same name is
+    /// overwritten (the `BTreeMap` contract).
+    pub(crate) fn insert(&mut self, key: Symbol, value: ParamValue) {
+        match self {
+            ParamVec::Inline { len, slots } => {
+                let n = *len as usize;
+                let mut pos = n;
+                for (i, slot) in slots[..n].iter().enumerate() {
+                    let existing = slot.as_ref().expect("prefix filled").0;
+                    if existing == key {
+                        slots[i] = Some((key, value));
+                        return;
+                    }
+                    if existing > key {
+                        pos = i;
+                        break;
+                    }
+                }
+                if n < INLINE_PARAMS {
+                    for i in (pos..n).rev() {
+                        slots[i + 1] = slots[i].take();
+                    }
+                    slots[pos] = Some((key, value));
+                    *len += 1;
+                } else {
+                    let mut spilled: Vec<(Symbol, ParamValue)> = Vec::with_capacity(n + 1);
+                    spilled.extend(slots.iter_mut().map(|s| s.take().expect("prefix filled")));
+                    spilled.insert(pos, (key, value));
+                    *self = ParamVec::Spilled(spilled);
+                }
+            }
+            ParamVec::Spilled(v) => match v.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => v[i] = (key, value),
+                Err(i) => v.insert(i, (key, value)),
+            },
+        }
+    }
+
+    pub(crate) fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.iter().find(|(k, _)| k.as_str() == key).map(|(_, v)| v)
+    }
+}
+
+/// Iterator over a [`ParamVec`]'s `(name, value)` entries in name order.
+pub(crate) enum ParamIter<'a> {
+    Inline(std::slice::Iter<'a, Option<(Symbol, ParamValue)>>),
+    Spilled(std::slice::Iter<'a, (Symbol, ParamValue)>),
+}
+
+impl<'a> Iterator for ParamIter<'a> {
+    type Item = &'a (Symbol, ParamValue);
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            ParamIter::Inline(it) => it.next().map(|o| o.as_ref().expect("prefix filled")),
+            ParamIter::Spilled(it) => it.next(),
+        }
+    }
+}
+
+impl PartialEq for ParamVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
 /// An event routed between components by connectors (and between hosts by
 /// the distribution transport).
 ///
-/// Events carry a name, typed parameters, and an optional opaque payload
-/// (used e.g. to ship serialized component state during redeployment). The
-/// `size` field is what network accounting charges — it defaults to a rough
-/// serialized size but workload generators can set it explicitly to model
-/// arbitrary interaction volumes.
+/// Events carry an interned [`Symbol`] name, typed parameters (inline up to
+/// four, see [`ParamVec`]), and an optional opaque payload (used e.g. to
+/// ship serialized component state during redeployment). The `size` field is
+/// what network accounting charges — it defaults to a rough serialized size
+/// but workload generators can set it explicitly to model arbitrary
+/// interaction volumes.
+///
+/// The string API is a thin shim over the symbols: any `impl Into<Symbol>`
+/// (including `&str` and `String`) is accepted where a name goes, and
+/// [`Event::name`] hands the `&str` back without allocating.
 ///
 /// # Example
 ///
@@ -48,28 +165,25 @@ impl fmt::Display for EventKind {
 /// assert_eq!(e.param_f64("lat"), Some(34.02));
 /// assert_eq!(e.size(), 64);
 /// ```
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Event {
-    name: String,
-    kind: EventKind,
-    params: BTreeMap<String, ParamValue>,
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
-    payload: Vec<u8>,
+    pub(crate) name: Symbol,
+    pub(crate) kind: EventKind,
+    pub(crate) params: ParamVec,
+    pub(crate) payload: Vec<u8>,
     /// Name of the component that emitted the event (set by the runtime).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    source: Option<String>,
+    pub(crate) source: Option<Symbol>,
     /// Explicit wire size override.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    size: Option<u64>,
+    pub(crate) size: Option<u64>,
 }
 
 impl Event {
     /// Creates an event of the given kind.
-    pub fn new(name: impl Into<String>, kind: EventKind) -> Self {
+    pub fn new(name: impl Into<Symbol>, kind: EventKind) -> Self {
         Event {
             name: name.into(),
             kind,
-            params: BTreeMap::new(),
+            params: ParamVec::new(),
             payload: Vec::new(),
             source: None,
             size: None,
@@ -77,23 +191,28 @@ impl Event {
     }
 
     /// Creates a request event.
-    pub fn request(name: impl Into<String>) -> Self {
+    pub fn request(name: impl Into<Symbol>) -> Self {
         Event::new(name, EventKind::Request)
     }
 
     /// Creates a reply event.
-    pub fn reply(name: impl Into<String>) -> Self {
+    pub fn reply(name: impl Into<Symbol>) -> Self {
         Event::new(name, EventKind::Reply)
     }
 
     /// Creates a notification event.
-    pub fn notification(name: impl Into<String>) -> Self {
+    pub fn notification(name: impl Into<Symbol>) -> Self {
         Event::new(name, EventKind::Notification)
     }
 
     /// The event name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.as_str()
+    }
+
+    /// The event name as its interned symbol (id comparison, no memcmp).
+    pub fn name_symbol(&self) -> Symbol {
+        self.name
     }
 
     /// The event kind.
@@ -103,16 +222,16 @@ impl Event {
 
     /// The emitting component's instance name, if stamped by the runtime.
     pub fn source(&self) -> Option<&str> {
-        self.source.as_deref()
+        self.source.map(Symbol::as_str)
     }
 
     /// Stamps the emitting component (done by the runtime on emission).
-    pub(crate) fn set_source(&mut self, source: impl Into<String>) {
+    pub(crate) fn set_source(&mut self, source: impl Into<Symbol>) {
         self.source = Some(source.into());
     }
 
     /// Adds a typed parameter (builder style).
-    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+    pub fn with_param(mut self, key: impl Into<Symbol>, value: impl Into<ParamValue>) -> Self {
         self.params.insert(key.into(), value.into());
         self
     }
@@ -150,41 +269,167 @@ impl Event {
     }
 
     /// The size charged on the wire: the explicit override when set,
-    /// otherwise an estimate (name + params + payload bytes).
+    /// otherwise an estimate (name + params + payload bytes), computed
+    /// without allocating.
     pub fn size(&self) -> u64 {
         self.size.unwrap_or_else(|| {
             let params: u64 = self
                 .params
                 .iter()
-                .map(|(k, v)| k.len() as u64 + 8 + v.to_string().len() as u64)
+                .map(|(k, v)| k.as_str().len() as u64 + 8 + param_value_width(v))
                 .sum();
-            self.name.len() as u64 + params + self.payload.len() as u64 + 16
+            self.name.as_str().len() as u64 + params + self.payload.len() as u64 + 16
         })
     }
 
-    /// Serializes the event for the wire.
+    /// Serializes the event for the wire: the compact binary codec by
+    /// default, JSON when the `codec=json` debug option is active (see
+    /// [`crate::codec::set_wire_codec`]).
     ///
     /// # Errors
     ///
     /// Returns [`crate::PrismError::Codec`] if serialization fails.
     pub fn encode(&self) -> Result<Vec<u8>, crate::PrismError> {
-        serde_json::to_vec(self).map_err(|e| crate::PrismError::Codec(e.to_string()))
+        self.encode_with(crate::codec::wire_codec())
     }
 
-    /// Deserializes an event from the wire.
+    /// Serializes with an explicit codec, bypassing the global setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PrismError::Codec`] if serialization fails.
+    pub fn encode_with(
+        &self,
+        codec: crate::codec::WireCodec,
+    ) -> Result<Vec<u8>, crate::PrismError> {
+        match codec {
+            crate::codec::WireCodec::Binary => Ok(crate::codec::encode_event(self)),
+            crate::codec::WireCodec::Json => {
+                serde_json::to_vec(self).map_err(|e| crate::PrismError::Codec(e.to_string()))
+            }
+        }
+    }
+
+    /// Deserializes an event from the wire. The codec is sniffed from the
+    /// leading byte, so binary and JSON frames can coexist on one link.
     ///
     /// # Errors
     ///
     /// Returns [`crate::PrismError::Codec`] for malformed bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self, crate::PrismError> {
-        serde_json::from_slice(bytes).map_err(|e| crate::PrismError::Codec(e.to_string()))
+        if bytes.first() == Some(&crate::codec::EVENT_MAGIC) {
+            crate::codec::decode_event(bytes)
+        } else {
+            serde_json::from_slice(bytes).map_err(|e| crate::PrismError::Codec(e.to_string()))
+        }
+    }
+}
+
+/// Width estimate of one parameter value's textual form, allocation-free
+/// (the previous implementation built a `String` per parameter only to take
+/// its length).
+fn param_value_width(v: &ParamValue) -> u64 {
+    match v {
+        ParamValue::Bool(b) => {
+            if *b {
+                4 // "true"
+            } else {
+                5 // "false"
+            }
+        }
+        ParamValue::Int(i) => decimal_width(*i),
+        // f64 Display output varies; charge the round-trip-precision worst
+        // case instead of formatting.
+        ParamValue::Float(_) => 17,
+        ParamValue::Text(s) => s.len() as u64,
+    }
+}
+
+/// Number of characters in the decimal rendering of `i`.
+fn decimal_width(i: i64) -> u64 {
+    let mut w = u64::from(i < 0);
+    let mut magnitude = i.unsigned_abs();
+    loop {
+        w += 1;
+        magnitude /= 10;
+        if magnitude == 0 {
+            return w;
+        }
+    }
+}
+
+impl Serialize for Event {
+    fn serialize(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("name".to_owned(), self.name.serialize());
+        obj.insert("kind".to_owned(), self.kind.serialize());
+        let mut params = BTreeMap::new();
+        for (k, v) in self.params.iter() {
+            params.insert(k.as_str().to_owned(), v.serialize());
+        }
+        obj.insert("params".to_owned(), Value::Object(params));
+        if !self.payload.is_empty() {
+            obj.insert("payload".to_owned(), self.payload.serialize());
+        }
+        if let Some(source) = self.source {
+            obj.insert("source".to_owned(), source.serialize());
+        }
+        if let Some(size) = self.size {
+            obj.insert("size".to_owned(), size.serialize());
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for Event {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let Value::Object(obj) = value else {
+            return Err(serde::Error::expected("event object", value));
+        };
+        let name = Symbol::deserialize(
+            obj.get("name")
+                .ok_or_else(|| serde::Error::custom("event missing 'name'"))?,
+        )?;
+        let kind = EventKind::deserialize(
+            obj.get("kind")
+                .ok_or_else(|| serde::Error::custom("event missing 'kind'"))?,
+        )?;
+        let mut params = ParamVec::new();
+        if let Some(v) = obj.get("params") {
+            let Value::Object(map) = v else {
+                return Err(serde::Error::expected("params object", v));
+            };
+            for (k, v) in map {
+                params.insert(Symbol::intern(k), ParamValue::deserialize(v)?);
+            }
+        }
+        let payload = match obj.get("payload") {
+            Some(v) => Vec::<u8>::deserialize(v)?,
+            None => Vec::new(),
+        };
+        let source = match obj.get("source") {
+            Some(v) => Some(Symbol::deserialize(v)?),
+            None => None,
+        };
+        let size = match obj.get("size") {
+            Some(v) => Some(u64::deserialize(v)?),
+            None => None,
+        };
+        Ok(Event {
+            name,
+            kind,
+            params,
+            payload,
+            source,
+            size,
+        })
     }
 }
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} '{}'", self.kind, self.name)?;
-        if let Some(src) = &self.source {
+        if let Some(src) = self.source {
             write!(f, " from {src}")?;
         }
         Ok(())
@@ -215,6 +460,33 @@ mod tests {
     }
 
     #[test]
+    fn params_overwrite_and_stay_name_ordered() {
+        let mut e = Event::notification("n");
+        for (k, v) in [("zz", 1i64), ("aa", 2), ("mm", 3), ("zz", 4), ("bb", 5)] {
+            e = e.with_param(k, v);
+        }
+        let keys: Vec<&str> = e.params.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["aa", "bb", "mm", "zz"]);
+        assert_eq!(e.param_f64("zz"), Some(4.0), "later insert overwrites");
+    }
+
+    #[test]
+    fn params_spill_beyond_inline_capacity() {
+        let mut e = Event::notification("n");
+        for i in 0..10i64 {
+            e = e.with_param(format!("p{i}"), i);
+        }
+        assert_eq!(e.params.len(), 10);
+        for i in 0..10i64 {
+            assert_eq!(e.param_f64(&format!("p{i}")), Some(i as f64));
+        }
+        let keys: Vec<&str> = e.params.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
     fn size_override_and_estimate() {
         let small = Event::notification("n");
         assert!(small.size() > 0);
@@ -222,6 +494,21 @@ mod tests {
         assert_eq!(sized.size(), 4096);
         let with_payload = Event::notification("n").with_payload(vec![0; 100]);
         assert!(with_payload.size() >= 100);
+    }
+
+    #[test]
+    fn size_estimate_counts_params_without_allocating() {
+        let bare = Event::notification("n");
+        let with_params = Event::notification("n")
+            .with_param("flag", true)
+            .with_param("count", -1234i64)
+            .with_param("ratio", 0.25)
+            .with_param("label", "hello");
+        assert!(with_params.size() > bare.size());
+        // The integer estimate matches its decimal width exactly.
+        assert_eq!(decimal_width(-1234), 5);
+        assert_eq!(decimal_width(0), 1);
+        assert_eq!(decimal_width(i64::MIN), 20);
     }
 
     #[test]
@@ -235,6 +522,26 @@ mod tests {
         let back = Event::decode(&bytes).unwrap();
         assert_eq!(e, back);
         assert_eq!(back.source(), Some("sensor-1"));
+    }
+
+    #[test]
+    fn json_codec_roundtrip_and_cross_codec_equivalence() {
+        use crate::codec::WireCodec;
+        let mut e = Event::reply("status")
+            .with_param("ok", true)
+            .with_param("detail", "fine")
+            .with_payload(vec![9, 8, 7]);
+        e.set_source("probe");
+        let json = e.encode_with(WireCodec::Json).unwrap();
+        let binary = e.encode_with(WireCodec::Binary).unwrap();
+        assert_eq!(Event::decode(&json).unwrap(), e);
+        assert_eq!(Event::decode(&binary).unwrap(), e);
+        assert!(
+            binary.len() <= json.len(),
+            "binary ({}) must not exceed JSON ({})",
+            binary.len(),
+            json.len()
+        );
     }
 
     #[test]

@@ -12,11 +12,12 @@ use crate::architecture::{Architecture, HostAction};
 use crate::brick::{BrickId, ComponentBehavior, ComponentFactory};
 use crate::event::Event;
 use crate::monitor::{EventFrequencyMonitor, ReliabilityProbe};
+use crate::symbol::Symbol;
 use crate::transport::{ReliableChannel, WireMsg};
 use crate::PrismError;
 use redep_model::HostId;
 use redep_netsim::{Duration, Message, Node, NodeCtx, SimTime};
-use redep_telemetry::{Histogram, Telemetry};
+use redep_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -230,14 +231,15 @@ impl HostServices {
     /// destinations are mediated through the deployer host, reproducing the
     /// paper's "the relevant request events are sent to the
     /// DeployerComponent, which then mediates their interaction".
-    pub fn send_reliable(&mut self, dst: HostId, to_component: &str, event: &Event) {
+    pub fn send_reliable(&mut self, dst: HostId, to_component: impl Into<Symbol>, event: &Event) {
+        let to_component = to_component.into();
         if dst == self.host {
             // Local control messages short-circuit at the host layer; the
             // runtime routes them on the next processing pass.
             self.outbox.push((
                 dst,
                 WireMsg::Raw {
-                    to_component: to_component.to_owned(),
+                    to_component,
                     event: event.encode().expect("events serialize"),
                 },
             ));
@@ -246,7 +248,7 @@ impl HostServices {
         if self.next_hop(dst).is_some() || dst == self.deployer_host {
             let (now, rto) = (self.now, self.rto);
             let frame = self.channels.entry(dst).or_default().send(
-                to_component.to_owned(),
+                to_component,
                 event.encode().expect("events serialize"),
                 now,
                 rto,
@@ -261,11 +263,11 @@ impl HostServices {
             // Mediate via the deployer.
             let wrapped = Event::request(crate::admin::EV_MEDIATE)
                 .with_param(crate::admin::P_FINAL_HOST, dst.raw() as i64)
-                .with_param(crate::admin::P_FINAL_COMPONENT, to_component)
+                .with_param(crate::admin::P_FINAL_COMPONENT, to_component.as_str())
                 .with_payload(event.encode().expect("events serialize"));
             let (now, rto) = (self.now, self.rto);
             let frame = self.channels.entry(self.deployer_host).or_default().send(
-                DEPLOYER_ADDRESS.to_owned(),
+                Symbol::intern(DEPLOYER_ADDRESS),
                 wrapped.encode().expect("events serialize"),
                 now,
                 rto,
@@ -278,12 +280,12 @@ impl HostServices {
 
     /// Sends an application event unreliably (raw frame) to a component on
     /// `dst`. Subject to link loss — by design.
-    pub fn send_raw(&mut self, dst: HostId, to_component: &str, event: &Event) {
+    pub fn send_raw(&mut self, dst: HostId, to_component: impl Into<Symbol>, event: &Event) {
         self.stats.app_events_sent += 1;
         self.wire(
             dst,
             WireMsg::Raw {
-                to_component: to_component.to_owned(),
+                to_component: to_component.into(),
                 event: event.encode().expect("events serialize"),
             },
         );
@@ -376,9 +378,15 @@ pub struct PrismHost {
     config: HostConfig,
     app_connector: BrickId,
     next_timer: u64,
-    timers: BTreeMap<u64, (String, u64)>,
+    timers: BTreeMap<u64, (Symbol, u64)>,
     telemetry: Telemetry,
     routing_latency: Histogram,
+    /// Deliveries pumped through the local architecture
+    /// (`pipeline.events.routed`).
+    events_routed: Counter,
+    /// Bytes produced by the wire codec for outbound frames
+    /// (`pipeline.codec.bytes`).
+    codec_bytes: Counter,
 }
 
 /// Upper-inclusive bounds (sim microseconds) for the event-routing latency
@@ -438,6 +446,8 @@ impl PrismHost {
         let routing_latency = telemetry
             .metrics()
             .histogram("prism.routing.latency_us", ROUTING_LATENCY_BOUNDS_US);
+        let events_routed = telemetry.metrics().counter("pipeline.events.routed");
+        let codec_bytes = telemetry.metrics().counter("pipeline.codec.bytes");
         PrismHost {
             arch,
             factory,
@@ -450,6 +460,8 @@ impl PrismHost {
             timers: BTreeMap::new(),
             telemetry,
             routing_latency,
+            events_routed,
+            codec_bytes,
         }
     }
 
@@ -460,6 +472,8 @@ impl PrismHost {
         self.routing_latency = telemetry
             .metrics()
             .histogram("prism.routing.latency_us", ROUTING_LATENCY_BOUNDS_US);
+        self.events_routed = telemetry.metrics().counter("pipeline.events.routed");
+        self.codec_bytes = telemetry.metrics().counter("pipeline.codec.bytes");
         self.telemetry = telemetry;
     }
 
@@ -710,7 +724,8 @@ impl PrismHost {
         // Keep pumping until neither the architecture nor the meta layer
         // produces more local work.
         loop {
-            self.arch.pump(ctx.now());
+            let pumped = self.arch.pump(ctx.now());
+            self.events_routed.add(pumped);
             let actions = self.arch.take_host_actions();
             if actions.is_empty() {
                 break;
@@ -723,9 +738,9 @@ impl PrismHost {
                         event,
                     } => {
                         if host == self.arch.host() {
-                            self.deliver_local(&to_component, event, false);
+                            self.deliver_local(to_component.as_str(), event, false);
                         } else {
-                            self.services.send_raw(host, &to_component, &event);
+                            self.services.send_raw(host, to_component, &event);
                         }
                     }
                     HostAction::SendNamed {
@@ -738,16 +753,16 @@ impl PrismHost {
                         self.services.stats.app_events_emitted += 1;
                         self.admin.observe_interaction(
                             event.source(),
-                            &to_component,
+                            to_component.as_str(),
                             &event,
                             ctx.now(),
                         );
-                        match self.services.locate(&to_component) {
+                        match self.services.locate(to_component.as_str()) {
                             Some(host) if host == self.arch.host() => {
-                                self.deliver_local(&to_component, event, false);
+                                self.deliver_local(to_component.as_str(), event, false);
                             }
                             Some(host) => {
-                                self.services.send_raw(host, &to_component, &event);
+                                self.services.send_raw(host, to_component, &event);
                             }
                             None => {
                                 self.services.stats.events_undeliverable += 1;
@@ -776,13 +791,15 @@ impl PrismHost {
                 } = frame
                 {
                     if let Ok(event) = Event::decode(&event) {
-                        self.deliver_local(&to_component, event, true);
+                        self.deliver_local(to_component.as_str(), event, true);
                     }
                 }
                 continue;
             }
             let size = frame.wire_size();
-            ctx.send(dst, frame.encode(), size);
+            let bytes = frame.encode();
+            self.codec_bytes.add(bytes.len() as u64);
+            ctx.send(dst, bytes, size);
         }
     }
 }
@@ -825,7 +842,7 @@ impl PrismHost {
                 event,
             } => {
                 if let Ok(event) = Event::decode(&event) {
-                    self.deliver_local(&to_component, event, false);
+                    self.deliver_local(to_component.as_str(), event, false);
                 }
             }
             WireMsg::Seq {
@@ -843,7 +860,7 @@ impl PrismHost {
                     .on_seq(seq);
                 if fresh {
                     if let Ok(event) = Event::decode(&event) {
-                        self.deliver_local(&to_component, event, true);
+                        self.deliver_local(to_component.as_str(), event, true);
                     }
                 }
             }
@@ -954,7 +971,7 @@ impl Node for PrismHost {
                 if let Some((component, token)) = self.timers.remove(&id) {
                     // The component may have migrated away; its timer dies
                     // with the departure.
-                    let _ = self.arch.deliver_timer(&component, token);
+                    let _ = self.arch.deliver_timer(component.as_str(), token);
                 }
             }
         }

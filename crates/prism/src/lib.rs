@@ -38,23 +38,27 @@
 pub mod admin;
 pub mod architecture;
 pub mod brick;
+pub mod codec;
 pub mod connector;
 pub mod error;
 pub mod event;
 pub mod host;
 pub mod monitor;
 pub mod stability;
+pub mod symbol;
 pub mod transport;
 pub mod workload;
 
 pub use admin::{AdminComponent, DeployerComponent, DeploymentCommand, RedeploymentStatus};
 pub use architecture::Architecture;
 pub use brick::{BrickId, ComponentBehavior, ComponentCtx, ComponentFactory};
+pub use codec::{set_wire_codec, wire_codec, WireCodec};
 pub use connector::Connector;
 pub use error::PrismError;
 pub use event::{Event, EventKind};
 pub use host::{HostServices, PrismHost};
 pub use monitor::{EventFrequencyMonitor, MonitoringSnapshot, ReliabilityProbe};
 pub use stability::StabilityGauge;
+pub use symbol::Symbol;
 pub use transport::ReliableChannel;
 pub use workload::WorkloadComponent;

@@ -1,0 +1,253 @@
+//! Interned name symbols — the fast-path identity of events and components.
+//!
+//! Every event, component, and connector name in a running system is drawn
+//! from a small, essentially static vocabulary (protocol event names,
+//! generated component names). Carrying them as owned `String`s made every
+//! event construction, clone, and comparison allocate and memcmp. A
+//! [`Symbol`] is the interned form: a `u32` id plus a `&'static str` borrowed
+//! from the process-wide interner, so
+//!
+//! * construction from an already-interned name is a hash lookup,
+//! * copies are free (`Symbol` is `Copy`),
+//! * equality is one integer compare,
+//! * reading the name back never takes a lock.
+//!
+//! The interner is process-global rather than per-architecture so that the
+//! binary wire codec can ship symbol ids between simulated hosts of one
+//! process (see [`crate::codec`]). Interned strings are leaked deliberately:
+//! the vocabulary of a simulation is bounded, and a leaked name is exactly
+//! what makes `Symbol::as_str` lock-free.
+//!
+//! Determinism note: symbol *ids* depend on interning order and may differ
+//! between runs. Nothing observable derives from ids — journals, reports,
+//! and orderings all use the interned *string* ([`Symbol`]'s `Ord` compares
+//! names, not ids) — so double-run byte-identical journals are preserved.
+
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned name: a `Copy` handle to a process-global string.
+///
+/// # Example
+///
+/// ```
+/// use redep_prism::Symbol;
+/// let a = Symbol::intern("app.interaction");
+/// let b = Symbol::intern("app.interaction");
+/// assert_eq!(a, b); // same id, one integer compare
+/// assert_eq!(a.as_str(), "app.interaction");
+/// ```
+#[derive(Clone, Copy)]
+pub struct Symbol {
+    id: u32,
+    name: &'static str,
+}
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns a name, returning its symbol. Idempotent: the same string
+    /// always maps to the same symbol within one process.
+    pub fn intern(name: &str) -> Symbol {
+        let mut table = interner().lock().expect("interner poisoned");
+        if let Some(&id) = table.by_name.get(name) {
+            return Symbol {
+                id,
+                name: table.names[id as usize],
+            };
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(table.names.len()).expect("symbol table overflow");
+        table.names.push(leaked);
+        table.by_name.insert(leaked, id);
+        Symbol { id, name: leaked }
+    }
+
+    /// Resolves a raw interner id (the wire representation of the binary
+    /// codec). Returns `None` for ids this process never interned.
+    pub fn from_id(id: u32) -> Option<Symbol> {
+        let table = interner().lock().expect("interner poisoned");
+        let name = *table.names.get(id as usize)?;
+        Some(Symbol { id, name })
+    }
+
+    /// The interned string. Lock-free: the name is borrowed from the
+    /// interner's leaked storage.
+    pub fn as_str(self) -> &'static str {
+        self.name
+    }
+
+    /// The raw interner id (process-local; see the module docs on
+    /// determinism).
+    pub fn id(self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Symbol {}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+// Ordering compares the *names*, not the ids: containers keyed by `Symbol`
+// iterate in the same deterministic name order the previous
+// `BTreeMap<String, _>` representation had, independent of interning order.
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            self.name.cmp(other.name)
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.name)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.name
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.name == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.name == *other
+    }
+}
+
+// Symbols serialize as their string on the JSON debug codec, so `codec=json`
+// frames stay human-readable and never leak process-local ids.
+impl Serialize for Symbol {
+    fn serialize(&self) -> Value {
+        Value::String(self.name.to_owned())
+    }
+}
+
+impl Deserialize for Symbol {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::String(s) => Ok(Symbol::intern(s)),
+            other => Err(serde::Error::expected("string symbol", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("alpha-test-symbol");
+        let b = Symbol::intern("alpha-test-symbol");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "alpha-test-symbol");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let a = Symbol::intern("sym-one");
+        let b = Symbol::intern("sym-two");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn from_id_resolves_interned_only() {
+        let a = Symbol::intern("resolvable");
+        assert_eq!(Symbol::from_id(a.id()), Some(a));
+        assert_eq!(Symbol::from_id(u32::MAX), None);
+    }
+
+    #[test]
+    fn ordering_follows_names_not_ids() {
+        // Intern in reverse lexicographic order; Ord must still sort by name.
+        let z = Symbol::intern("zz-order-test");
+        let a = Symbol::intern("aa-order-test");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, [a, z]);
+    }
+
+    #[test]
+    fn serde_roundtrip_via_string() {
+        let s = Symbol::intern("serde-sym");
+        let v = s.serialize();
+        assert_eq!(v, Value::String("serde-sym".to_owned()));
+        assert_eq!(Symbol::deserialize(&v).unwrap(), s);
+        assert!(Symbol::deserialize(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn display_and_eq_str() {
+        let s = Symbol::intern("shown");
+        assert_eq!(s.to_string(), "shown");
+        assert_eq!(s, "shown");
+        assert_eq!(s, *"shown");
+    }
+}

@@ -15,6 +15,8 @@
 //! * **Ping/Pong** frames — the raw probes of the network-reliability
 //!   monitor.
 
+use crate::codec;
+use crate::symbol::Symbol;
 use redep_model::HostId;
 use redep_netsim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -38,7 +40,7 @@ pub(crate) enum WireMsg {
     /// Unreliable application event addressed to a component.
     Raw {
         /// Destination component instance name.
-        to_component: String,
+        to_component: Symbol,
         /// Encoded [`Event`](crate::Event).
         event: Vec<u8>,
     },
@@ -47,7 +49,7 @@ pub(crate) enum WireMsg {
         /// Channel sequence number.
         seq: u64,
         /// Destination component instance name.
-        to_component: String,
+        to_component: Symbol,
         /// Encoded [`Event`](crate::Event).
         event: Vec<u8>,
     },
@@ -70,11 +72,20 @@ pub(crate) enum WireMsg {
 
 impl WireMsg {
     pub(crate) fn encode(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("wire messages always serialize")
+        match codec::wire_codec() {
+            codec::WireCodec::Binary => codec::encode_wire(self),
+            codec::WireCodec::Json => {
+                serde_json::to_vec(self).expect("wire messages always serialize")
+            }
+        }
     }
 
     pub(crate) fn decode(bytes: &[u8]) -> Result<Self, crate::PrismError> {
-        serde_json::from_slice(bytes).map_err(|e| crate::PrismError::Codec(e.to_string()))
+        if bytes.first() == Some(&codec::WIRE_MAGIC) {
+            codec::decode_wire(bytes)
+        } else {
+            serde_json::from_slice(bytes).map_err(|e| crate::PrismError::Codec(e.to_string()))
+        }
     }
 
     /// Wire size charged for this frame.
@@ -90,7 +101,7 @@ impl WireMsg {
 /// One unacknowledged outbound frame with its retransmission schedule.
 #[derive(Clone, PartialEq, Debug)]
 struct PendingFrame {
-    to_component: String,
+    to_component: Symbol,
     event: Vec<u8>,
     /// Retransmissions so far; drives the exponential backoff.
     attempts: u32,
@@ -147,7 +158,7 @@ impl ReliableChannel {
     /// [`ReliableChannel::due_retransmits`]).
     pub(crate) fn send(
         &mut self,
-        to_component: String,
+        to_component: Symbol,
         event: Vec<u8>,
         now: SimTime,
         rto: Duration,
@@ -157,7 +168,7 @@ impl ReliableChannel {
         self.pending.insert(
             seq,
             PendingFrame {
-                to_component: to_component.clone(),
+                to_component,
                 event: event.clone(),
                 attempts: 0,
                 next_due: now + rto,
@@ -205,7 +216,7 @@ impl ReliableChannel {
                 frame.next_due = now + backoff;
                 due.push(WireMsg::Seq {
                     seq: *seq,
-                    to_component: frame.to_component.clone(),
+                    to_component: frame.to_component,
                     event: frame.event.clone(),
                 });
             }
@@ -222,7 +233,7 @@ impl ReliableChannel {
             .iter()
             .map(|(seq, frame)| WireMsg::Seq {
                 seq: *seq,
-                to_component: frame.to_component.clone(),
+                to_component: frame.to_component,
                 event: frame.event.clone(),
             })
             .collect()
@@ -234,8 +245,8 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    fn send(ch: &mut ReliableChannel, to: String, event: Vec<u8>) -> WireMsg {
-        ch.send(to, event, SimTime::ZERO, Duration::from_millis(200))
+    fn send(ch: &mut ReliableChannel, to: impl Into<Symbol>, event: Vec<u8>) -> WireMsg {
+        ch.send(to.into(), event, SimTime::ZERO, Duration::from_millis(200))
     }
 
     proptest! {

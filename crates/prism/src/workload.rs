@@ -9,8 +9,17 @@
 
 use crate::brick::{ComponentBehavior, ComponentCtx};
 use crate::event::Event;
+use crate::symbol::Symbol;
 use redep_netsim::Duration;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// The interned form of [`EV_APP`], resolved once so the per-event hot path
+/// never touches the interner lock.
+fn ev_app_symbol() -> Symbol {
+    static SYM: OnceLock<Symbol> = OnceLock::new();
+    *SYM.get_or_init(|| Symbol::intern(EV_APP))
+}
 
 /// The factory type name of [`WorkloadComponent`].
 pub const WORKLOAD_TYPE: &str = "redep.workload";
@@ -59,9 +68,19 @@ struct WorkloadState {
 /// assert_eq!(clone.snapshot(), w.snapshot());
 /// # Ok::<(), redep_prism::PrismError>(())
 /// ```
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkloadComponent {
     state: WorkloadState,
+    /// Interned peer names, index-aligned with `state.interactions` —
+    /// derived (not serialized) so the per-timer send path is symbol-only.
+    peer_syms: Vec<Symbol>,
+}
+
+// Equality is over the serialized state only; `peer_syms` is derived.
+impl PartialEq for WorkloadComponent {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state
+    }
 }
 
 impl WorkloadComponent {
@@ -79,12 +98,17 @@ impl WorkloadComponent {
             );
             assert!(spec.event_size > 0, "event size must be positive");
         }
+        let peer_syms = interactions
+            .iter()
+            .map(|s| Symbol::intern(&s.peer))
+            .collect();
         WorkloadComponent {
             state: WorkloadState {
                 interactions,
                 sent: 0,
                 received: 0,
             },
+            peer_syms,
         }
     }
 
@@ -92,7 +116,12 @@ impl WorkloadComponent {
     /// Register under [`WORKLOAD_TYPE`].
     pub fn build(state: &[u8]) -> Box<dyn ComponentBehavior> {
         let state: WorkloadState = serde_json::from_slice(state).unwrap_or_default();
-        Box::new(WorkloadComponent { state })
+        let peer_syms = state
+            .interactions
+            .iter()
+            .map(|s| Symbol::intern(&s.peer))
+            .collect();
+        Box::new(WorkloadComponent { state, peer_syms })
     }
 
     /// Events sent so far.
@@ -133,8 +162,8 @@ impl ComponentBehavior for WorkloadComponent {
         let Some(spec) = self.state.interactions.get(token as usize) else {
             return;
         };
-        let event = Event::notification(EV_APP).with_size(spec.event_size);
-        ctx.send_to(spec.peer.clone(), event);
+        let event = Event::notification(ev_app_symbol()).with_size(spec.event_size);
+        ctx.send_to(self.peer_syms[token as usize], event);
         self.state.sent += 1;
         // Re-arm for periodic emission.
         let period = Duration::from_secs_f64(1.0 / spec.frequency);
@@ -142,7 +171,7 @@ impl ComponentBehavior for WorkloadComponent {
     }
 
     fn handle(&mut self, _ctx: &mut ComponentCtx<'_>, event: &Event) {
-        if event.name() == EV_APP {
+        if event.name_symbol() == ev_app_symbol() {
             self.state.received += 1;
         }
     }

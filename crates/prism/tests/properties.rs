@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use redep_prism::monitor::pair_map;
-use redep_prism::{Event, StabilityGauge};
+use redep_prism::{Event, StabilityGauge, WireCodec};
 use std::collections::BTreeMap;
 
 fn event_strategy() -> impl Strategy<Value = Event> {
@@ -33,6 +33,21 @@ proptest! {
         let bytes = event.encode().unwrap();
         let back = Event::decode(&bytes).unwrap();
         prop_assert_eq!(back, event);
+    }
+
+    #[test]
+    fn both_codecs_roundtrip_and_binary_never_exceeds_json(event in event_strategy()) {
+        // Cross-codec equivalence: the same event survives either wire
+        // format, and `decode` tells them apart by the leading magic byte.
+        let binary = event.encode_with(WireCodec::Binary).unwrap();
+        let json = event.encode_with(WireCodec::Json).unwrap();
+        prop_assert_eq!(Event::decode(&binary).unwrap(), event.clone());
+        prop_assert_eq!(Event::decode(&json).unwrap(), event);
+        // The size claim the binary codec exists for.
+        prop_assert!(
+            binary.len() <= json.len(),
+            "binary frame ({}) larger than JSON ({})", binary.len(), json.len()
+        );
     }
 
     #[test]

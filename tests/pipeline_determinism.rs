@@ -1,0 +1,46 @@
+//! Regression gate for the runtime fast path: the interned-symbol router,
+//! the binary wire codec, and the calendar-queue scheduler must not perturb
+//! determinism. Two identical runs of a full centralized
+//! monitor→analyze→effect cycle must export byte-identical journals, and
+//! the journal must never leak interner state (symbol ids) — only names.
+
+use redep::framework::{AnalyzerConfig, CentralizedFramework, RuntimeConfig};
+use redep::model::{Availability, Generator, GeneratorConfig};
+use redep::netsim::Duration;
+use redep::telemetry::Telemetry;
+
+/// One full centralized run: build, install telemetry, advance with
+/// interleaved framework cycles, export the journal.
+fn centralized_journal(seed: u64) -> String {
+    let system = Generator::generate(&GeneratorConfig::sized(4, 12).with_seed(13)).unwrap();
+    let runtime_config = RuntimeConfig {
+        seed,
+        ..RuntimeConfig::default()
+    };
+    let mut fw = CentralizedFramework::new(
+        system.model.clone(),
+        system.initial.clone(),
+        &runtime_config,
+        AnalyzerConfig::default(),
+    )
+    .unwrap();
+    fw.set_telemetry(Telemetry::default());
+    for _ in 0..3 {
+        fw.advance(Duration::from_secs_f64(5.0));
+        fw.cycle(&Availability, Duration::ZERO, Duration::from_secs_f64(20.0))
+            .unwrap();
+    }
+    fw.runtime().telemetry().export_jsonl()
+}
+
+#[test]
+fn two_identical_centralized_runs_export_byte_identical_journals() {
+    let a = centralized_journal(5);
+    assert!(!a.is_empty(), "the run recorded nothing");
+    let b = centralized_journal(5);
+    assert_eq!(a, b, "same seed + same system must replay byte-identically");
+    // Different seeds genuinely change the run (the equality above is not
+    // comparing two empty or degenerate journals).
+    let c = centralized_journal(6);
+    assert_ne!(a, c, "seed is not reaching the simulation");
+}
