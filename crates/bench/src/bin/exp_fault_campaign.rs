@@ -38,6 +38,12 @@ struct CellOutcome {
     recovered: bool,
     consistency_violations: u64,
     journal: String,
+    /// Every windowed availability sample, for percentile reporting.
+    availability_samples: Vec<f64>,
+    /// Journal-overflow count — non-zero means traces are incomplete.
+    journal_dropped: u64,
+    /// Structural trace-invariant violations found in the cell's journal.
+    trace_violations: Vec<String>,
 }
 
 /// Campaign horizons (simulated seconds).
@@ -263,6 +269,15 @@ fn run_cell(
     let final_availability = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
     let recovered = recovery_secs.is_some() && final_availability >= recovery_threshold;
 
+    // Reconstruct span trees from the journal and run the structural trace
+    // invariants: every child span has a live parent, every opened move
+    // settles, no traced cycle ends with the model diverging from the actual.
+    let journal = fw.journal();
+    let events = redep_telemetry::trace::parse_jsonl(&journal)
+        .map_err(|e| format!("{class}/{algo}: journal does not parse: {e}"))?;
+    let trace_violations = redep_telemetry::trace::check_journal(&events);
+    let journal_dropped = fw.runtime().telemetry().journal().dropped();
+
     Ok(CellOutcome {
         baseline,
         dip,
@@ -270,12 +285,30 @@ fn run_cell(
         final_availability,
         recovered,
         consistency_violations,
-        journal: fw.journal(),
+        journal,
+        availability_samples: samples.iter().map(|&(_, a)| a).collect(),
+        journal_dropped,
+        trace_violations,
     })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // `--journal <dir>`: write each cell's run journal to
+    // `<dir>/<fault>_<algo>.jsonl` for offline analysis with `redep-trace`.
+    let journal_dir = args
+        .iter()
+        .position(|a| a == "--journal")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or("--journal requires a directory argument")
+        })
+        .transpose()?;
+    if let Some(dir) = &journal_dir {
+        std::fs::create_dir_all(dir)?;
+    }
     let algorithms: &[&str] = if quick {
         &["stochastic", "decap"]
     } else {
@@ -295,16 +328,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     let mut all_recovered = true;
     let mut total_violations = 0;
+    let mut total_trace_violations = 0usize;
     for &class in &FAULT_CLASSES {
         for &algo in algorithms {
             let cell = run_cell(class, algo, quick)?;
             all_recovered &= cell.recovered;
             total_violations += cell.consistency_violations;
+            for violation in &cell.trace_violations {
+                eprintln!("trace invariant [{class}.{algo}]: {violation}");
+            }
+            total_trace_violations += cell.trace_violations.len();
+            report.add_journal_dropped(cell.journal_dropped);
             let key = format!("{class}.{algo}");
             report.metric(format!("{key}.baseline"), cell.baseline);
             report.metric(format!("{key}.dip"), cell.dip);
             report.metric(format!("{key}.recovery_secs"), cell.recovery_secs);
             report.metric(format!("{key}.final"), cell.final_availability);
+            report.percentiles_of(format!("{key}.availability"), &cell.availability_samples);
+            if let Some(dir) = &journal_dir {
+                std::fs::write(format!("{dir}/{class}_{algo}.jsonl"), &cell.journal)?;
+            }
             rows.push(vec![
                 class.to_owned(),
                 algo.to_owned(),
@@ -342,8 +385,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     report.metric("consistency.violations", total_violations as f64);
+    report.metric("trace.violations", total_trace_violations as f64);
     report.metric("determinism.identical", f64::from(u8::from(deterministic)));
-    report.set_passed(all_recovered && total_violations == 0 && deterministic);
+    report.set_passed(
+        all_recovered && total_violations == 0 && total_trace_violations == 0 && deterministic,
+    );
 
     assert!(
         all_recovered,
@@ -352,6 +398,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(
         total_violations, 0,
         "fault campaign FAILED: a cycle left the model diverging from the running system"
+    );
+    assert_eq!(
+        total_trace_violations, 0,
+        "fault campaign FAILED: a cell's journal violates the trace invariants"
     );
     assert!(
         deterministic,

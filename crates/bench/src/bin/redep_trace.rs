@@ -1,0 +1,93 @@
+//! Trace-analysis CLI over run journals (`Telemetry::export_jsonl` output).
+//!
+//! ```text
+//! redep-trace summarize <journal.jsonl> …   span trees, critical paths, phase stats
+//! redep-trace check     <journal.jsonl> …   invariant check; exit 1 on violation
+//! redep-trace diff      <a.jsonl> <b.jsonl> phase-latency deltas between two runs
+//! ```
+//!
+//! `summarize` reconstructs every trace in the journal into a span tree and
+//! prints per-cycle critical paths, phase latency breakdowns, and windowed
+//! per-host availability. `check` runs the structural invariants (every child
+//! has a live parent, every opened move settles, no cycle ends with the model
+//! diverged from the actual deployment) and exits non-zero when any journal
+//! violates one — CI runs it over the fault-campaign journals. `diff` compares
+//! phase totals across two journals, for spotting latency regressions between
+//! runs or algorithm variants.
+
+use redep_telemetry::trace::{check_journal, diff_jsonl, parse_jsonl, summarize};
+use std::io::Write;
+
+const USAGE: &str = "usage: redep-trace <summarize|check|diff> <journal.jsonl> …\n\
+                     \x20 summarize <file> …   reconstruct span trees and report latency stats\n\
+                     \x20 check     <file> …   run trace invariants; exit 1 on any violation\n\
+                     \x20 diff      <a> <b>    compare phase latency totals between two journals";
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Prints to stdout, exiting quietly when the reader went away — so
+/// `redep-trace summarize run.jsonl | head` doesn't panic on the closed
+/// pipe.
+fn out(text: std::fmt::Arguments<'_>) {
+    if writeln!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, files) = args.split_first().ok_or(USAGE)?;
+    match cmd.as_str() {
+        "summarize" => {
+            if files.is_empty() {
+                return Err(USAGE.into());
+            }
+            for file in files {
+                let events = parse_jsonl(&read(file)?).map_err(|e| format!("{file}: {e}"))?;
+                out(format_args!("== {file} =="));
+                out(format_args!("{}", summarize(&events)));
+            }
+            Ok(())
+        }
+        "check" => {
+            if files.is_empty() {
+                return Err(USAGE.into());
+            }
+            let mut violations = 0usize;
+            for file in files {
+                let events = parse_jsonl(&read(file)?).map_err(|e| format!("{file}: {e}"))?;
+                let problems = check_journal(&events);
+                if problems.is_empty() {
+                    out(format_args!("{file}: ok ({} records)", events.len()));
+                } else {
+                    for problem in &problems {
+                        eprintln!("{file}: {problem}");
+                    }
+                    violations += problems.len();
+                }
+            }
+            if violations > 0 {
+                Err(format!("{violations} invariant violation(s)"))
+            } else {
+                Ok(())
+            }
+        }
+        "diff" => {
+            let [a, b] = files else {
+                return Err(USAGE.into());
+            };
+            out(format_args!("{}", diff_jsonl(&read(a)?, &read(b)?)));
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+}

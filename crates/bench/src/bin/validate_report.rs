@@ -28,6 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
             .into());
         }
+        if report.journal_dropped > 0 {
+            return Err(format!(
+                "{file}: experiment '{}' overflowed its telemetry journal \
+                 ({} events dropped) — derived metrics and traces are incomplete",
+                report.experiment, report.journal_dropped
+            )
+            .into());
+        }
         println!(
             "{file}: ok (experiment '{}', {} metrics)",
             report.experiment,

@@ -31,7 +31,9 @@ pub const REPORT_SCHEMA: &str = "redep-bench/v1";
 ///
 /// ```json
 /// {"schema":"redep-bench/v1","experiment":"e11","title":"...",
-///  "passed":true,"metrics":{"mean_rel_error":0.02},"notes":["..."]}
+///  "passed":true,"metrics":{"mean_rel_error":0.02},
+///  "percentiles":{"cycle_ms":{"p50":12.0,"p90":31.0,"p99":44.0}},
+///  "journal_dropped":0,"notes":["..."]}
 /// ```
 #[derive(Clone, PartialEq, Debug)]
 pub struct ExpReport {
@@ -44,6 +46,14 @@ pub struct ExpReport {
     /// Flat scalar results, keyed by metric name (sorted, so exports are
     /// deterministic).
     pub metrics: BTreeMap<String, f64>,
+    /// Distribution summaries (p50/p90/p99 per sample name), for metrics
+    /// where a single scalar hides the tail.
+    pub percentiles: BTreeMap<String, [f64; 3]>,
+    /// Telemetry events dropped because a journal overflowed its capacity
+    /// during the run. A non-zero count means the journal (and anything
+    /// derived from it — trace trees, invariant checks) is incomplete, so
+    /// `validate_report` rejects such reports.
+    pub journal_dropped: u64,
     /// Free-form remarks (tolerances used, truncations applied, …).
     pub notes: Vec<String>,
 }
@@ -56,6 +66,8 @@ impl ExpReport {
             title: title.into(),
             passed: true,
             metrics: BTreeMap::new(),
+            percentiles: BTreeMap::new(),
+            journal_dropped: 0,
             notes: Vec::new(),
         }
     }
@@ -63,6 +75,22 @@ impl ExpReport {
     /// Records one scalar metric (last write wins on duplicate names).
     pub fn metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
         self.metrics.insert(name.into(), value);
+        self
+    }
+
+    /// Records a p50/p90/p99 summary of `samples` under `name` (nearest-rank,
+    /// matching `Telemetry::summary`). A no-op on an empty sample.
+    pub fn percentiles_of(&mut self, name: impl Into<String>, samples: &[f64]) -> &mut Self {
+        if let Some(p) = redep_telemetry::percentiles(samples) {
+            self.percentiles.insert(name.into(), p);
+        }
+        self
+    }
+
+    /// Accumulates the dropped-event count of a run's journal. Call once per
+    /// run/cell with `telemetry.journal().dropped()`.
+    pub fn add_journal_dropped(&mut self, dropped: u64) -> &mut Self {
+        self.journal_dropped += dropped;
         self
     }
 
@@ -94,6 +122,22 @@ impl ExpReport {
             .map(|(k, &v)| (k.clone(), Value::Number(serde_json::Number::F(v))))
             .collect();
         obj.insert("metrics".to_owned(), Value::Object(metrics));
+        let percentiles: BTreeMap<String, Value> = self
+            .percentiles
+            .iter()
+            .map(|(k, &[p50, p90, p99])| {
+                let mut q = BTreeMap::new();
+                q.insert("p50".to_owned(), Value::Number(serde_json::Number::F(p50)));
+                q.insert("p90".to_owned(), Value::Number(serde_json::Number::F(p90)));
+                q.insert("p99".to_owned(), Value::Number(serde_json::Number::F(p99)));
+                (k.clone(), Value::Object(q))
+            })
+            .collect();
+        obj.insert("percentiles".to_owned(), Value::Object(percentiles));
+        obj.insert(
+            "journal_dropped".to_owned(),
+            Value::Number(serde_json::Number::U(self.journal_dropped)),
+        );
         obj.insert(
             "notes".to_owned(),
             Value::Array(self.notes.iter().cloned().map(Value::String).collect()),
@@ -138,6 +182,31 @@ impl ExpReport {
                     .ok_or_else(|| serde::Error::custom(format!("metric {k} is not a number")))
             })
             .collect::<Result<BTreeMap<_, _>, _>>()?;
+        // Optional-with-default for reports written before these fields
+        // existed; the schema tag stays `redep-bench/v1`.
+        let mut percentiles = BTreeMap::new();
+        if let Some(p) = obj.get("percentiles") {
+            let p = p
+                .as_object()
+                .ok_or_else(|| serde::Error::custom("percentiles must be an object"))?;
+            for (name, quantiles) in p {
+                let q = quantiles.as_object().ok_or_else(|| {
+                    serde::Error::custom(format!("percentiles[{name}] is not an object"))
+                })?;
+                let get = |key: &str| {
+                    q.get(key).and_then(Value::as_f64).ok_or_else(|| {
+                        serde::Error::custom(format!("percentiles[{name}] misses {key}"))
+                    })
+                };
+                percentiles.insert(name.clone(), [get("p50")?, get("p90")?, get("p99")?]);
+            }
+        }
+        let journal_dropped = match obj.get("journal_dropped") {
+            None => 0,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| serde::Error::custom("journal_dropped is not a count"))?,
+        };
         let notes = obj
             .get("notes")
             .and_then(Value::as_array)
@@ -157,6 +226,8 @@ impl ExpReport {
                 .and_then(Value::as_bool)
                 .ok_or_else(|| missing("passed"))?,
             metrics,
+            percentiles,
+            journal_dropped,
             notes,
         })
     }
@@ -277,13 +348,35 @@ mod tests {
         report
             .metric("mean_rel_error", 0.021)
             .metric("mean_freq_error", 0.104)
+            .percentiles_of("cycle_ms", &[10.0, 20.0, 30.0, 40.0])
+            .add_journal_dropped(3)
             .note("frequency table truncated to 15 rows")
             .set_passed(true);
         let text = serde_json::to_string_pretty(&report.to_json()).unwrap();
         let back = ExpReport::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, report);
         assert!(text.contains(REPORT_SCHEMA));
+        assert!(text.contains("journal_dropped"));
+        assert_eq!(back.percentiles["cycle_ms"], [20.0, 40.0, 40.0]);
+        assert_eq!(back.journal_dropped, 3);
         assert_eq!(report.file_name(), "BENCH_e11.json");
+    }
+
+    #[test]
+    fn pre_percentile_reports_still_parse() {
+        // Reports written before the percentiles/journal_dropped fields
+        // existed keep the same schema tag and must keep parsing.
+        let mut report = ExpReport::new("e1", "legacy");
+        report.metric("x", 1.0);
+        let Value::Object(mut obj) = report.to_json() else {
+            panic!("reports serialize to objects")
+        };
+        obj.remove("percentiles");
+        obj.remove("journal_dropped");
+        let back = ExpReport::from_json(&Value::Object(obj)).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.journal_dropped, 0);
+        assert!(back.percentiles.is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use redep_algorithms::{
 use redep_desi::{DeSi, MiddlewareAdapter};
 use redep_model::{Deployment, DeploymentModel, Objective};
 use redep_netsim::Duration;
-use redep_telemetry::Telemetry;
+use redep_telemetry::{trace::DOMAIN_FRAMEWORK, SpanIdGen, Telemetry};
 
 /// The outcome of one monitoring/analysis/redeployment cycle.
 #[derive(Clone, PartialEq, Debug)]
@@ -49,6 +49,8 @@ pub struct CentralizedFramework {
     analyzer: CentralizedAnalyzer,
     recovery: RecoveryPolicy,
     telemetry: Telemetry,
+    /// Allocates the per-cycle trace roots and framework-phase span ids.
+    tracer: SpanIdGen,
 }
 
 impl std::fmt::Debug for CentralizedFramework {
@@ -92,6 +94,7 @@ impl CentralizedFramework {
             analyzer: CentralizedAnalyzer::new(analyzer_config),
             recovery: RecoveryPolicy::default(),
             telemetry: Telemetry::disabled(),
+            tracer: SpanIdGen::new(DOMAIN_FRAMEWORK, 0),
         })
     }
 
@@ -174,10 +177,24 @@ impl CentralizedFramework {
         monitor_for: Duration,
         effect_wait: Duration,
     ) -> Result<CycleReport, CoreError> {
+        // One trace per cycle: the cycle span is the root, and monitoring,
+        // analysis, redeployment (down to every protocol hop) and recovery
+        // hang off it in the journal.
+        let cycle_start = self.runtime.sim().now();
+        let cycle_ctx = self.tracer.root();
         self.runtime.run_for(monitor_for);
         let snapshots = self
             .adapter
             .pull_monitoring_data(self.runtime.sim(), self.desi.system_mut())?;
+        self.telemetry
+            .span(
+                "core.monitor",
+                cycle_start.as_micros(),
+                self.runtime.sim().now().as_micros(),
+            )
+            .field("snapshots", snapshots)
+            .trace(self.tracer.child(&cycle_ctx))
+            .emit();
 
         let now = self.runtime.sim().now().as_secs_f64();
         let mut decision = None;
@@ -203,6 +220,7 @@ impl CentralizedFramework {
                 .field("current_latency", d.current_latency)
                 .field("predicted_latency", d.record.latency)
                 .field("reason", d.reason.clone())
+                .trace(self.tracer.child(&cycle_ctx))
                 .emit();
             // Aggregate how much of the search ran on the compiled
             // delta-scoring path vs full rescoring.
@@ -215,6 +233,7 @@ impl CentralizedFramework {
                 .add(d.record.result.delta_evaluations);
             if d.accepted {
                 let effect_start = self.runtime.sim().now();
+                let redeploy_ctx = self.tracer.child(&cycle_ctx);
                 let measured_before = self.runtime.measured_availability();
                 let target = d.record.result.deployment.clone();
                 let step = Duration::from_millis(500);
@@ -226,10 +245,11 @@ impl CentralizedFramework {
                         // epoch's optimistic broadcast.
                         self.runtime.resync_directories();
                     }
-                    self.adapter.push_deployment(
+                    self.adapter.push_deployment_traced(
                         self.runtime.sim_mut(),
                         self.desi.system(),
                         &target,
+                        Some(redeploy_ctx),
                     )?;
                     // Drive the system until the epoch settles: everything
                     // confirmed, or every unfinished move given up on.
@@ -258,6 +278,7 @@ impl CentralizedFramework {
                     .field("failed", failed_moves.len())
                     .field("measured_before", measured_before)
                     .field("measured_after", self.runtime.measured_availability())
+                    .trace(redeploy_ctx)
                     .emit();
                 if completed {
                     self.desi.adopt_deployment(target);
@@ -277,7 +298,11 @@ impl CentralizedFramework {
                             // Accept what the system actually reached: the
                             // model follows reality, every directory is
                             // rewritten from ground truth, and the next
-                            // cycle's analysis starts consistent.
+                            // cycle's analysis starts consistent. Giving up
+                            // settles the epoch's still-open move spans as
+                            // `abandoned` first, so the journal never ends
+                            // with dangling moves.
+                            self.adapter.abandon_pending_moves(self.runtime.sim_mut())?;
                             let actual = self.runtime.actual_deployment_by_id();
                             self.runtime.resync_directories();
                             self.desi.adopt_deployment(actual);
@@ -290,6 +315,7 @@ impl CentralizedFramework {
                                     "measured_availability",
                                     self.runtime.measured_availability(),
                                 )
+                                .trace(self.tracer.child(&cycle_ctx))
                                 .emit();
                         }
                     }
@@ -313,18 +339,27 @@ impl CentralizedFramework {
                 self.telemetry
                     .event("core.recovery", self.runtime.sim().now().as_micros())
                     .field("mode", "drift")
+                    .trace(self.tracer.child(&cycle_ctx))
                     .emit();
             }
         }
 
         let measured_availability = self.runtime.measured_availability();
+        let model_matches_actual =
+            self.desi.system().deployment() == &self.runtime.actual_deployment_by_id();
         self.telemetry
-            .event("core.cycle", self.runtime.sim().now().as_micros())
+            .span(
+                "core.cycle",
+                cycle_start.as_micros(),
+                self.runtime.sim().now().as_micros(),
+            )
             .field("snapshots", snapshots)
             .field("analyzed", decision.is_some())
             .field("redeployed", completed)
             .field("reconciled", reconciled)
             .field("measured_availability", measured_availability)
+            .field("model_matches_actual", model_matches_actual)
+            .trace(cycle_ctx)
             .emit();
         Ok(CycleReport {
             time_secs: self.runtime.sim().now().as_secs_f64(),

@@ -18,6 +18,7 @@ use redep_desi::{MiddlewareAdapter, SystemData};
 use redep_model::{Availability, AwarenessGraph, Deployment, DeploymentModel, HostId, Objective};
 use redep_netsim::Duration;
 use redep_prism::MonitoringSnapshot;
+use redep_telemetry::{trace::DOMAIN_FRAMEWORK, SpanIdGen, TraceCtx};
 
 /// The outcome of one decentralized cycle.
 #[derive(Clone, PartialEq, Debug)]
@@ -54,6 +55,8 @@ pub struct DecentralizedFramework {
     awareness: AwarenessGraph,
     adapter: MiddlewareAdapter,
     recovery: RecoveryPolicy,
+    /// Allocates the per-cycle trace roots and per-move span ids.
+    tracer: SpanIdGen,
 }
 
 impl std::fmt::Debug for DecentralizedFramework {
@@ -111,6 +114,7 @@ impl DecentralizedFramework {
             awareness,
             adapter,
             recovery: RecoveryPolicy::default(),
+            tracer: SpanIdGen::new(DOMAIN_FRAMEWORK, 0),
         })
     }
 
@@ -186,6 +190,10 @@ impl DecentralizedFramework {
         monitor_for: Duration,
         effect_wait: Duration,
     ) -> Result<DecentralizedCycleReport, CoreError> {
+        // One trace per cycle, rooted in the `core.decentralized.cycle`
+        // span emitted at the end.
+        let cycle_start = self.runtime.sim().now();
+        let cycle_ctx = self.tracer.root();
         self.runtime.run_for(monitor_for);
         let snapshots = self.collect_snapshots();
         let hosts_reporting = snapshots.len();
@@ -245,6 +253,7 @@ impl DecentralizedFramework {
             .field("adopted", adopted)
             .field("availability_before", availability_before)
             .field("availability_proposed", availability_proposed)
+            .trace(self.tracer.child(&cycle_ctx))
             .emit();
 
         let mut moves = 0;
@@ -252,10 +261,17 @@ impl DecentralizedFramework {
         let mut reconciled = false;
         if adopted {
             let effect_start = self.runtime.sim().now();
+            let redeploy_ctx = self.tracer.child(&cycle_ctx);
+            let telemetry = self.runtime.telemetry().clone();
             let measured_before = self.runtime.measured_availability();
             let names = self.runtime.component_names().clone();
             let migrations = current.diff(&proposed);
             moves = migrations.len();
+            // One span per pairwise move: the `.open` marker and the settle
+            // record after the landing loop share a span id, and the
+            // request/transfer hops journal as its children.
+            let mut move_ctxs: std::collections::BTreeMap<String, TraceCtx> =
+                std::collections::BTreeMap::new();
             // Update every host's directory (the paper's model sync between
             // connected hosts, collapsed to one pass), then let destination
             // effectors request their components from the holders.
@@ -270,8 +286,17 @@ impl DecentralizedFramework {
                     }
                 }
                 if let Some(from) = m.from {
+                    let ctx = redeploy_ctx.child(self.tracer.next_id());
+                    telemetry
+                        .event("core.move.open", effect_start.as_micros())
+                        .field("component", name.clone())
+                        .field("from", from.raw())
+                        .field("to", m.to.raw())
+                        .trace(ctx)
+                        .emit();
+                    move_ctxs.insert(name.clone(), ctx);
                     if let Some(host) = self.runtime.host_mut(m.to) {
-                        host.request_component(&name, from);
+                        host.request_component_traced(&name, from, Some(ctx));
                     }
                 }
             }
@@ -295,8 +320,12 @@ impl DecentralizedFramework {
                         let name = names[&m.component].clone();
                         if let Some(&holder) = actual.get(&name) {
                             if holder != m.to {
+                                // Re-requests carry the move's own span, so
+                                // every straggler chase chains back to the
+                                // move it serves.
+                                let ctx = move_ctxs.get(&name).copied();
                                 if let Some(host) = self.runtime.host_mut(m.to) {
-                                    host.request_component(&name, holder);
+                                    host.request_component_traced(&name, holder, ctx);
                                 }
                             }
                         }
@@ -316,6 +345,31 @@ impl DecentralizedFramework {
                 }
             }
             completed = done;
+            // Settle every move span: landed moves confirm, stragglers are
+            // abandoned (the reconcile below follows reality for them), so
+            // no journal ends with an open move span.
+            let settle_end = self.runtime.sim().now();
+            for m in &migrations {
+                let name = &names[&m.component];
+                let Some(ctx) = move_ctxs.get(name).copied() else {
+                    continue;
+                };
+                let outcome = if landed(&self.runtime, m) {
+                    "confirmed"
+                } else {
+                    "abandoned"
+                };
+                telemetry
+                    .span(
+                        "core.move",
+                        effect_start.as_micros(),
+                        settle_end.as_micros(),
+                    )
+                    .field("component", name.clone())
+                    .field("outcome", outcome)
+                    .trace(ctx)
+                    .emit();
+            }
             self.runtime
                 .telemetry()
                 .span(
@@ -327,6 +381,7 @@ impl DecentralizedFramework {
                 .field("completed", done)
                 .field("measured_before", measured_before)
                 .field("measured_after", self.runtime.measured_availability())
+                .trace(redeploy_ctx)
                 .emit();
             if done {
                 self.system.set_deployment(proposed);
@@ -358,6 +413,7 @@ impl DecentralizedFramework {
                                 "measured_availability",
                                 self.runtime.measured_availability(),
                             )
+                            .trace(self.tracer.child(&cycle_ctx))
                             .emit();
                     }
                 }
@@ -379,10 +435,29 @@ impl DecentralizedFramework {
                     .telemetry()
                     .event("core.recovery", self.runtime.sim().now().as_micros())
                     .field("mode", "drift")
+                    .trace(self.tracer.child(&cycle_ctx))
                     .emit();
             }
         }
 
+        let measured_availability = self.runtime.measured_availability();
+        let model_matches_actual =
+            self.system.deployment() == &self.runtime.actual_deployment_by_id();
+        self.runtime
+            .telemetry()
+            .span(
+                "core.decentralized.cycle",
+                cycle_start.as_micros(),
+                self.runtime.sim().now().as_micros(),
+            )
+            .field("hosts_reporting", hosts_reporting)
+            .field("adopted", adopted)
+            .field("completed", completed)
+            .field("reconciled", reconciled)
+            .field("measured_availability", measured_availability)
+            .field("model_matches_actual", model_matches_actual)
+            .trace(cycle_ctx)
+            .emit();
         Ok(DecentralizedCycleReport {
             time_secs: self.runtime.sim().now().as_secs_f64(),
             hosts_reporting,
@@ -393,7 +468,7 @@ impl DecentralizedFramework {
             moves,
             completed,
             reconciled,
-            measured_availability: self.runtime.measured_availability(),
+            measured_availability,
         })
     }
 }

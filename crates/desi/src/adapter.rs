@@ -128,6 +128,25 @@ impl MiddlewareAdapter {
         system: &SystemData,
         target: &Deployment,
     ) -> Result<(), DesiError> {
+        self.push_deployment_traced(sim, system, target, None)
+    }
+
+    /// [`MiddlewareAdapter::push_deployment`] with the migration protocol
+    /// traced: every move span (and its configure/request/transfer/ack
+    /// cascade) journals as a child of `parent` — typically the framework's
+    /// redeployment span for the cycle that decided the move.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesiError::Adapter`] when the deployer host is absent or
+    /// not running a deployer.
+    pub fn push_deployment_traced(
+        &self,
+        sim: &mut Simulator,
+        system: &SystemData,
+        target: &Deployment,
+        parent: Option<redep_prism::TraceCtx>,
+    ) -> Result<(), DesiError> {
         let mut by_name: BTreeMap<String, HostId> = BTreeMap::new();
         for (c, h) in target.iter() {
             let name = system
@@ -143,8 +162,25 @@ impl MiddlewareAdapter {
             .ok_or_else(|| {
                 DesiError::Adapter(format!("no Prism host at {}", self.deployer_host))
             })?;
-        host.effect_redeployment(by_name)
+        host.effect_redeployment_traced(by_name, parent)
             .map_err(|e| DesiError::Adapter(e.to_string()))
+    }
+
+    /// Settles any still-open move spans of the deployer's current epoch as
+    /// `abandoned` — called by a framework giving up on an incomplete
+    /// redeployment, so no journal ends with dangling move spans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesiError::Adapter`] when the deployer host is absent.
+    pub fn abandon_pending_moves(&self, sim: &mut Simulator) -> Result<(), DesiError> {
+        let host = sim
+            .node_mut::<PrismHost>(self.deployer_host)
+            .ok_or_else(|| {
+                DesiError::Adapter(format!("no Prism host at {}", self.deployer_host))
+            })?;
+        host.abandon_pending_moves();
+        Ok(())
     }
 
     /// Whether the last pushed redeployment has completed in the running

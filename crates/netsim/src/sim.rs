@@ -11,7 +11,7 @@ use crate::topology::{LinkSpec, NetworkTopology};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use redep_model::HostId;
-use redep_telemetry::{Counter, Telemetry};
+use redep_telemetry::{trace::DOMAIN_NET, Counter, SpanIdGen, Telemetry, TraceCtx};
 use std::any::Any;
 use std::collections::BTreeMap;
 
@@ -22,7 +22,7 @@ enum Event {
     Deliver { msg: Message },
     Timer { host: HostId, token: u64 },
     Fluctuate { index: usize },
-    Fault { action: FaultAction },
+    Fault { action: FaultAction, ctx: TraceCtx },
 }
 
 /// Counter handles cached at telemetry install time, so the per-message hot
@@ -80,6 +80,12 @@ pub struct Simulator {
     scratch: Vec<NodeAction>,
     telemetry: Telemetry,
     counters: NetCounters,
+    /// Deterministic span IDs for fault traces (domain [`DOMAIN_NET`]).
+    tracer: SpanIdGen,
+    /// The fault action currently being applied; topology events emitted
+    /// while it is set (host/link state, partitions, timer replays) become
+    /// child spans of that fault, linking cause to effect in the journal.
+    fault_ctx: Option<TraceCtx>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -114,6 +120,8 @@ impl Simulator {
             scratch: Vec::new(),
             telemetry,
             counters,
+            tracer: SpanIdGen::new(DOMAIN_NET, 0),
+            fault_ctx: None,
         }
     }
 
@@ -192,12 +200,20 @@ impl Simulator {
     /// Marks a link up or down.
     pub fn set_link_up(&mut self, a: HostId, b: HostId, up: bool) {
         self.topology.set_link_up(a, b, up);
+        let ctx = self.fault_child();
         self.telemetry
             .event("net.link.state", self.now.as_micros())
             .field("a", a.raw())
             .field("b", b.raw())
             .field("up", up)
+            .trace_opt(ctx)
             .emit();
+    }
+
+    /// A child context under the fault action currently being applied, if
+    /// any. Only called off the hot path (topology changes, replays).
+    fn fault_child(&self) -> Option<TraceCtx> {
+        self.fault_ctx.map(|ctx| self.tracer.child(&ctx))
     }
 
     /// Marks a host up or down. A down host receives neither messages nor
@@ -206,13 +222,22 @@ impl Simulator {
     /// after a restart instead of dying with the crash).
     pub fn set_host_up(&mut self, host: HostId, up: bool) {
         self.topology.set_host_up(host, up);
+        let ctx = self.fault_child();
         self.telemetry
             .event("net.host.state", self.now.as_micros())
             .field("host", host.raw())
             .field("up", up)
+            .trace_opt(ctx)
             .emit();
         if up {
             if let Some(tokens) = self.deferred_timers.remove(&host) {
+                let replay_ctx = self.fault_child();
+                self.telemetry
+                    .event("net.host.timer.replay", self.now.as_micros())
+                    .field("host", host.raw())
+                    .field("timers", tokens.len())
+                    .trace_opt(replay_ctx)
+                    .emit();
                 for token in tokens {
                     self.schedule(self.now, Event::Timer { host, token });
                 }
@@ -223,18 +248,22 @@ impl Simulator {
     /// Partitions the network (see [`NetworkTopology::partition`]).
     pub fn partition(&mut self, groups: &[Vec<HostId>]) {
         self.topology.partition(groups);
+        let ctx = self.fault_child();
         self.telemetry
             .event("net.partition", self.now.as_micros())
             .field("groups", groups.len())
             .field("hosts", groups.iter().map(Vec::len).sum::<usize>())
+            .trace_opt(ctx)
             .emit();
     }
 
     /// Heals all partitions.
     pub fn heal(&mut self) {
         self.topology.heal();
+        let ctx = self.fault_child();
         self.telemetry
             .event("net.partition.heal", self.now.as_micros())
+            .trace_opt(ctx)
             .emit();
     }
 
@@ -245,24 +274,32 @@ impl Simulator {
     /// `net.fault` telemetry event, so a journal replays the fault history.
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
         for (time, action) in plan.expand() {
-            self.schedule(time.max(self.now), Event::Fault { action });
+            // Each action roots its own trace; everything it knocks over
+            // (host/link state, partitions, deferred-timer replays) links
+            // back to it as child spans.
+            let ctx = self.tracer.root();
+            self.schedule(time.max(self.now), Event::Fault { action, ctx });
         }
     }
 
     /// Applies one primitive fault action to the live topology.
-    fn apply_fault(&mut self, action: FaultAction) {
+    fn apply_fault(&mut self, action: FaultAction, ctx: TraceCtx) {
         self.telemetry
             .event("net.fault", self.now.as_micros())
             .field("action", action.label())
+            .trace(ctx)
             .emit();
+        self.fault_ctx = Some(ctx);
         match action {
             FaultAction::HostDown(h) => self.set_host_up(h, false),
             FaultAction::HostUp(h) => self.set_host_up(h, true),
             FaultAction::PartitionStart(groups) => self.partition(&groups),
             FaultAction::PartitionHeal(groups) => {
                 self.topology.heal_between(&groups);
+                let child = self.fault_child();
                 self.telemetry
                     .event("net.partition.heal", self.now.as_micros())
+                    .trace_opt(child)
                     .emit();
             }
             FaultAction::Degrade {
@@ -290,6 +327,7 @@ impl Simulator {
             FaultAction::LinkDown(a, b) => self.set_link_up(a, b, false),
             FaultAction::LinkUp(a, b) => self.set_link_up(a, b, true),
         }
+        self.fault_ctx = None;
     }
 
     /// Installs a fluctuation model applied every `interval`.
@@ -471,8 +509,8 @@ impl Simulator {
                     self.deferred_timers.entry(host).or_default().push(token);
                 }
             }
-            Event::Fault { action } => {
-                self.apply_fault(action);
+            Event::Fault { action, ctx } => {
+                self.apply_fault(action, ctx);
             }
             Event::Fluctuate { index } => {
                 let (interval, mut model) = {

@@ -44,6 +44,10 @@ use crate::monitor::{EventFrequencyMonitor, MonitoringSnapshot};
 use crate::stability::StabilityGauge;
 use redep_model::HostId;
 use redep_netsim::{Duration, SimTime};
+use redep_telemetry::{
+    trace::{DOMAIN_DEPLOYER, DOMAIN_HOST},
+    SpanIdGen, Telemetry, TraceCtx,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -145,6 +149,8 @@ pub struct AdminComponent {
     latest_reliabilities: BTreeMap<HostId, f64>,
     reports_sent: u64,
     last_snapshot: Option<MonitoringSnapshot>,
+    /// Allocates span ids for protocol hops handled on this host.
+    tracer: SpanIdGen,
 }
 
 impl std::fmt::Debug for AdminComponent {
@@ -167,6 +173,7 @@ impl AdminComponent {
             latest_reliabilities: BTreeMap::new(),
             reports_sent: 0,
             last_snapshot: None,
+            tracer: SpanIdGen::new(DOMAIN_HOST, host.raw()),
         }
     }
 
@@ -319,16 +326,25 @@ impl AdminComponent {
         };
         services.replace_directory(doc.directory);
         for (component, holder) in doc.fetches {
+            // Each hop of the protocol opens its own child span under the
+            // incoming event's context, so a journal reconstructs the full
+            // configure → request → transfer → ack causal chain.
+            let ctx = event
+                .trace()
+                .map(|parent| parent.child(self.tracer.next_id()));
             if arch.contains_component(&component) {
                 // Already here (no-op move or retried configure after the
                 // transfer landed); confirm immediately.
-                send_ack(services, &component, doc.epoch);
+                send_ack(services, &component, doc.epoch, ctx);
                 continue;
             }
-            let request = Event::request(EV_REQUEST)
+            let mut request = Event::request(EV_REQUEST)
                 .with_param(P_COMPONENT, component.as_str())
                 .with_param(P_REQUESTER, self.host.raw() as i64)
                 .with_param(P_EPOCH, doc.epoch as i64);
+            if let Some(ctx) = ctx {
+                request = request.with_trace(ctx);
+            }
             services.send_reliable(holder, ADMIN_ADDRESS, &request);
         }
     }
@@ -342,11 +358,14 @@ impl AdminComponent {
         };
         let epoch = event_epoch(event);
         let requester = HostId::new(requester as u32);
+        let ctx = event
+            .trace()
+            .map(|parent| parent.child(self.tracer.next_id()));
         let Ok((type_name, state)) = arch.detach_component(&component) else {
             // Not here (already moved or never was). Silence would stall the
             // deployer's accounting forever; answer with an explicit nack so
             // it can re-resolve the holder or give the move up.
-            send_nack(services, &component, epoch, "absent");
+            send_nack(services, &component, epoch, "absent", ctx);
             return;
         };
         let doc = TransferDoc {
@@ -355,8 +374,11 @@ impl AdminComponent {
             state,
             epoch,
         };
-        let transfer = Event::reply(EV_TRANSFER)
+        let mut transfer = Event::reply(EV_TRANSFER)
             .with_payload(serde_json::to_vec(&doc).expect("transfer docs serialize"));
+        if let Some(ctx) = ctx {
+            transfer = transfer.with_trace(ctx);
+        }
         services.send_reliable(requester, ADMIN_ADDRESS, &transfer);
     }
 
@@ -371,17 +393,20 @@ impl AdminComponent {
         let Ok(doc) = serde_json::from_slice::<TransferDoc>(event.payload()) else {
             return;
         };
+        let ctx = event
+            .trace()
+            .map(|parent| parent.child(self.tracer.next_id()));
         let Ok(behavior) = factory.build(&doc.type_name, &doc.state) else {
             // The migrant cannot be reconstituted here (unknown type,
             // corrupt state): report instead of losing the move silently.
-            send_nack(services, &doc.name, doc.epoch, "build");
+            send_nack(services, &doc.name, doc.epoch, "build", ctx);
             return;
         };
         let Ok(id) = arch.add_boxed_component(doc.name.clone(), behavior) else {
             // Duplicate arrival of the same migrant (a retry raced the
             // original transfer). The component is here — re-confirm so a
             // lost ack cannot stall the deployer.
-            send_ack(services, &doc.name, doc.epoch);
+            send_ack(services, &doc.name, doc.epoch, ctx);
             return;
         };
         let _ = arch.weld(id, app_connector);
@@ -390,24 +415,36 @@ impl AdminComponent {
         for buffered in services.take_buffered(&doc.name) {
             let _ = arch.publish(&doc.name, buffered);
         }
-        send_ack(services, &doc.name, doc.epoch);
+        send_ack(services, &doc.name, doc.epoch, ctx);
     }
 }
 
 /// Confirms one landed move to the deployer.
-fn send_ack(services: &mut HostServices, component: &str, epoch: u64) {
-    let ack = Event::notification(EV_ACK)
+fn send_ack(services: &mut HostServices, component: &str, epoch: u64, ctx: Option<TraceCtx>) {
+    let mut ack = Event::notification(EV_ACK)
         .with_param(P_COMPONENT, component)
         .with_param(P_EPOCH, epoch as i64);
+    if let Some(ctx) = ctx {
+        ack = ack.with_trace(ctx);
+    }
     services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &ack);
 }
 
 /// Reports one unfulfillable move to the deployer.
-fn send_nack(services: &mut HostServices, component: &str, epoch: u64, reason: &str) {
-    let nack = Event::notification(EV_NACK)
+fn send_nack(
+    services: &mut HostServices,
+    component: &str,
+    epoch: u64,
+    reason: &str,
+    ctx: Option<TraceCtx>,
+) {
+    let mut nack = Event::notification(EV_NACK)
         .with_param(P_COMPONENT, component)
         .with_param(P_EPOCH, epoch as i64)
         .with_param(P_REASON, reason);
+    if let Some(ctx) = ctx {
+        nack = nack.with_trace(ctx);
+    }
     services.send_reliable(services.deployer_host(), DEPLOYER_ADDRESS, &nack);
 }
 
@@ -432,6 +469,14 @@ struct PendingMove {
     attempts: u32,
     /// When the current attempt expires.
     deadline: SimTime,
+    /// Trace context of this move's span: the `.open` marker and the settle
+    /// record share its span id, so a journal merges them into one span.
+    ctx: Option<TraceCtx>,
+    /// When the move was issued (the span's start time).
+    started: SimTime,
+    /// Whether the span was already settled (framework abandon at
+    /// reconcile); settling is idempotent per move.
+    settled: bool,
 }
 
 /// The master-host deployer (the paper's `DeployerComponent` — the
@@ -454,6 +499,16 @@ pub struct DeployerComponent {
     confirmed: u64,
     move_deadline: Duration,
     max_move_attempts: u32,
+    /// Allocates the per-move and per-configure span ids.
+    tracer: SpanIdGen,
+    /// The framework span the current epoch's moves are children of.
+    epoch_ctx: Option<TraceCtx>,
+    /// Trace contexts of this epoch's failed moves (the move is out of
+    /// `pending`, but its span id is still needed for `prism.migration.failed`).
+    failed_ctx: BTreeMap<String, TraceCtx>,
+    /// Where move open/settle records go (a disabled no-op sink until the
+    /// host installs its telemetry handle).
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for DeployerComponent {
@@ -482,6 +537,61 @@ impl DeployerComponent {
             confirmed: 0,
             move_deadline: config.move_deadline,
             max_move_attempts: config.max_move_attempts,
+            tracer: SpanIdGen::new(DOMAIN_DEPLOYER, host.raw()),
+            epoch_ctx: None,
+            failed_ctx: BTreeMap::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Installs the telemetry handle move open/settle records are journaled
+    /// through (the host runtime forwards its own handle here).
+    pub(crate) fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The trace context of a move still pending — or already failed — in
+    /// the current epoch (for the host runtime's retry/failure telemetry).
+    pub(crate) fn move_ctx(&self, component: &str) -> Option<TraceCtx> {
+        self.pending
+            .get(component)
+            .and_then(|mv| mv.ctx)
+            .or_else(|| self.failed_ctx.get(component).copied())
+    }
+
+    /// Emits the settle record of one move span. Outcomes: `confirmed`,
+    /// `failed`, `superseded`, `abandoned`.
+    fn settle_move(&self, component: &str, mv: &PendingMove, now: SimTime, outcome: &str) {
+        let Some(ctx) = mv.ctx else { return };
+        if mv.settled {
+            return;
+        }
+        self.telemetry
+            .span(
+                "prism.migration.move",
+                mv.started.as_micros(),
+                now.as_micros(),
+            )
+            .field("component", component.to_owned())
+            .field("to", mv.dest.raw())
+            .field("attempts", mv.attempts)
+            .field("outcome", outcome.to_owned())
+            .trace(ctx)
+            .emit();
+    }
+
+    /// Settles every still-open move span as `abandoned` — called by a
+    /// framework that reconciles an incomplete epoch, so no run ends with
+    /// unsettled move spans. Accounting (`status()`) is untouched.
+    pub(crate) fn abandon_pending(&mut self, now: SimTime) {
+        let components: Vec<String> = self.pending.keys().cloned().collect();
+        for component in components {
+            let mv = self.pending[&component].clone();
+            self.settle_move(&component, &mv, now, "abandoned");
+            self.pending
+                .get_mut(&component)
+                .expect("still pending")
+                .settled = true;
         }
     }
 
@@ -512,14 +622,35 @@ impl DeployerComponent {
     /// Every call opens a fresh epoch: progress counters reset, moves still
     /// pending from an earlier epoch are dropped (their late acks will be
     /// ignored by the epoch check), and `status()` describes only this call.
-    pub(crate) fn effect(&mut self, services: &mut HostServices, target: DeploymentCommand) {
+    ///
+    /// `parent` is the trace context the new epoch's move spans hang off
+    /// (typically a framework's redeployment span); `None` leaves the
+    /// protocol untraced.
+    pub(crate) fn effect(
+        &mut self,
+        services: &mut HostServices,
+        target: DeploymentCommand,
+        parent: Option<TraceCtx>,
+    ) {
         let current = services.directory().clone();
+        let now = services.now();
+        // Moves still open from the previous epoch are dropped; settle their
+        // spans so the journal shows *why* they never confirmed.
+        let superseded: Vec<(String, PendingMove)> = self
+            .pending
+            .iter()
+            .map(|(c, m)| (c.clone(), m.clone()))
+            .collect();
+        for (component, mv) in superseded {
+            self.settle_move(&component, &mv, now, "superseded");
+        }
         self.epoch += 1;
+        self.epoch_ctx = parent;
         self.pending.clear();
         self.failed.clear();
+        self.failed_ctx.clear();
         self.requested = 0;
         self.confirmed = 0;
-        let now = services.now();
         let mut fetches_by_host: BTreeMap<HostId, Vec<(String, HostId)>> = BTreeMap::new();
         let mut new_directory = current.clone();
         for (component, to) in &target {
@@ -531,6 +662,20 @@ impl DeployerComponent {
                         .entry(*to)
                         .or_default()
                         .push((component.clone(), *from));
+                    let ctx = parent.map(|p| p.child(self.tracer.next_id()));
+                    if let Some(ctx) = ctx {
+                        // The `.open` marker shares the settle record's span
+                        // id; a journal with an open marker and no settle is
+                        // a trace-invariant violation.
+                        self.telemetry
+                            .event("prism.migration.move.open", now.as_micros())
+                            .field("component", component.clone())
+                            .field("from", from.raw())
+                            .field("to", to.raw())
+                            .field("epoch", self.epoch)
+                            .trace(ctx)
+                            .emit();
+                    }
                     self.pending.insert(
                         component.clone(),
                         PendingMove {
@@ -538,6 +683,9 @@ impl DeployerComponent {
                             holder: *from,
                             attempts: 1,
                             deadline: now + self.move_deadline,
+                            ctx,
+                            started: now,
+                            settled: false,
                         },
                     );
                     self.requested += 1;
@@ -561,8 +709,13 @@ impl DeployerComponent {
                 fetches: fetches_by_host.remove(&host).unwrap_or_default(),
                 epoch: self.epoch,
             };
-            let configure = Event::request(EV_CONFIGURE)
+            let mut configure = Event::request(EV_CONFIGURE)
                 .with_payload(serde_json::to_vec(&doc).expect("configure docs serialize"));
+            // One configure-wave span per host, under the epoch's framework
+            // span; remote admins open further children off it per hop.
+            if let Some(p) = parent {
+                configure = configure.with_trace(p.child(self.tracer.next_id()));
+            }
             services.send_reliable(host, ADMIN_ADDRESS, &configure);
         }
     }
@@ -606,7 +759,11 @@ impl DeployerComponent {
             return false;
         };
         if mv.attempts >= self.max_move_attempts {
-            self.pending.remove(component);
+            let mv = self.pending.remove(component).expect("just looked up");
+            self.settle_move(component, &mv, services.now(), "failed");
+            if let Some(ctx) = mv.ctx {
+                self.failed_ctx.insert(component.to_owned(), ctx);
+            }
             self.failed.insert(component.to_owned(), reason.to_owned());
             return false;
         }
@@ -626,13 +783,19 @@ impl DeployerComponent {
         }
         mv.holder = holder;
         let dest = mv.dest;
+        let ctx = mv.ctx;
         let doc = ConfigureDoc {
             directory: self.target_directory.clone(),
             fetches: vec![(component.to_owned(), holder)],
             epoch: self.epoch,
         };
-        let configure = Event::request(EV_CONFIGURE)
+        let mut configure = Event::request(EV_CONFIGURE)
             .with_payload(serde_json::to_vec(&doc).expect("configure docs serialize"));
+        // A retry's configure carries the *move* span itself, so every
+        // fault-induced re-issue chains back to the move it serves.
+        if let Some(ctx) = ctx {
+            configure = configure.with_trace(ctx);
+        }
         services.send_reliable(dest, ADMIN_ADDRESS, &configure);
         true
     }
@@ -651,11 +814,13 @@ impl DeployerComponent {
                     return; // stale ack from a superseded redeployment
                 }
                 if let Some(component) = event.param_text(P_COMPONENT) {
-                    if self.pending.remove(component).is_some() {
+                    if let Some(mv) = self.pending.remove(component) {
+                        self.settle_move(component, &mv, services.now(), "confirmed");
                         self.confirmed += 1;
                         // A confirmed arrival supersedes any earlier verdict
                         // a racing nack may have recorded.
                         self.failed.remove(component);
+                        self.failed_ctx.remove(component);
                     }
                 }
             }
@@ -728,6 +893,9 @@ mod tests {
             attempts,
             // Already overdue at the test services' t=0 clock.
             deadline: SimTime::ZERO,
+            ctx: None,
+            started: SimTime::ZERO,
+            settled: false,
         }
     }
 
@@ -826,13 +994,21 @@ mod tests {
         let mut d = deployer();
         let mut services = dummy_services();
         services.directory_set("x", HostId::new(1));
-        d.effect(&mut services, [("x".to_owned(), HostId::new(2))].into());
+        d.effect(
+            &mut services,
+            [("x".to_owned(), HostId::new(2))].into(),
+            None,
+        );
         assert_eq!(d.status().epoch, 1);
         assert_eq!(d.status().requested, 1);
         // Leftover state must not leak into the next call.
         d.failed.insert("ghost".into(), "timeout".into());
         d.confirmed = 7;
-        d.effect(&mut services, [("x".to_owned(), HostId::new(3))].into());
+        d.effect(
+            &mut services,
+            [("x".to_owned(), HostId::new(3))].into(),
+            None,
+        );
         let s = d.status();
         assert_eq!(s.epoch, 2);
         assert_eq!(s.requested, 1);

@@ -21,6 +21,8 @@
 //! [0xE5][kind u8][flags u8][name varint]
 //!   [source varint  — iff flags bit0]
 //!   [size varint    — iff flags bit1]
+//!   [trace_id varint][span_id varint] — iff flags bit2
+//!   [parent_id varint — iff flags bit3, only valid with bit2]
 //! [param_count varint]
 //!   repeat: [key varint][tag u8][value]
 //!     tag 0/1 = bool false/true (no value bytes)
@@ -158,6 +160,13 @@ const TAG_TEXT: u8 = 4;
 
 const FLAG_SOURCE: u8 = 0b01;
 const FLAG_SIZE: u8 = 0b10;
+/// Event carries a `TraceCtx` (`trace_id` + `span_id` varints follow the
+/// optional size field). Events without one keep a pre-trace flags byte and
+/// encode byte-identically to the pre-trace wire format.
+const FLAG_TRACE: u8 = 0b100;
+/// Only ever set together with [`FLAG_TRACE`]: a `parent_id` varint follows
+/// the span id.
+const FLAG_TRACE_PARENT: u8 = 0b1000;
 
 /// Encodes an event in the binary layout (see module docs).
 pub(crate) fn encode_event(e: &Event) -> Vec<u8> {
@@ -175,6 +184,12 @@ pub(crate) fn encode_event(e: &Event) -> Vec<u8> {
     if e.size.is_some() {
         flags |= FLAG_SIZE;
     }
+    if let Some(trace) = e.trace {
+        flags |= FLAG_TRACE;
+        if trace.parent_id.is_some() {
+            flags |= FLAG_TRACE_PARENT;
+        }
+    }
     out.push(flags);
     put_symbol(&mut out, e.name);
     if let Some(src) = e.source {
@@ -182,6 +197,13 @@ pub(crate) fn encode_event(e: &Event) -> Vec<u8> {
     }
     if let Some(size) = e.size {
         put_varint(&mut out, size);
+    }
+    if let Some(trace) = e.trace {
+        put_varint(&mut out, trace.trace_id);
+        put_varint(&mut out, trace.span_id);
+        if let Some(parent) = trace.parent_id {
+            put_varint(&mut out, parent);
+        }
     }
     put_varint(&mut out, e.params.len() as u64);
     for (k, v) in e.params.iter() {
@@ -234,6 +256,25 @@ pub(crate) fn decode_event(bytes: &[u8]) -> Result<Event, PrismError> {
     } else {
         None
     };
+    if flags & FLAG_TRACE_PARENT != 0 && flags & FLAG_TRACE == 0 {
+        return Err(codec_err("trace parent flag without trace flag"));
+    }
+    let trace = if flags & FLAG_TRACE != 0 {
+        let trace_id = get_varint(bytes, &mut pos)?;
+        let span_id = get_varint(bytes, &mut pos)?;
+        let parent_id = if flags & FLAG_TRACE_PARENT != 0 {
+            Some(get_varint(bytes, &mut pos)?)
+        } else {
+            None
+        };
+        Some(redep_telemetry::TraceCtx {
+            trace_id,
+            span_id,
+            parent_id,
+        })
+    } else {
+        None
+    };
     let count = get_varint(bytes, &mut pos)? as usize;
     let mut params = ParamVec::new();
     for _ in 0..count {
@@ -275,6 +316,7 @@ pub(crate) fn decode_event(bytes: &[u8]) -> Result<Event, PrismError> {
         payload,
         source,
         size,
+        trace,
     })
 }
 
@@ -440,6 +482,40 @@ mod tests {
         let mut padded = bytes.clone();
         padded.push(0);
         assert!(decode_event(&padded).is_err());
+    }
+
+    #[test]
+    fn event_roundtrip_with_trace_ctx() {
+        use redep_telemetry::TraceCtx;
+        let root =
+            Event::notification("codec.trace").with_trace(TraceCtx::root(0x0300_0001_0000_0001));
+        let bytes = encode_event(&root);
+        assert_eq!(decode_event(&bytes).unwrap(), root);
+        let child = Event::request("codec.trace.child").with_trace(TraceCtx {
+            trace_id: 5,
+            span_id: 9,
+            parent_id: Some(5),
+        });
+        let bytes = encode_event(&child);
+        assert_eq!(decode_event(&bytes).unwrap(), child);
+        for cut in 0..bytes.len() {
+            assert!(decode_event(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trace_parent_flag_requires_trace_flag() {
+        let e = Event::notification("codec.badflags");
+        let mut bytes = encode_event(&e);
+        bytes[2] = 0b1000; // parent without trace
+        assert!(decode_event(&bytes).is_err());
+    }
+
+    #[test]
+    fn traceless_event_flags_byte_stays_pre_trace() {
+        let e = Event::notification("codec.noflags");
+        let bytes = encode_event(&e);
+        assert_eq!(bytes[2] & (FLAG_TRACE | FLAG_TRACE_PARENT), 0);
     }
 
     #[test]

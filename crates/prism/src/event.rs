@@ -2,6 +2,7 @@
 
 use crate::symbol::Symbol;
 use redep_model::ParamValue;
+use redep_telemetry::TraceCtx;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -175,6 +176,9 @@ pub struct Event {
     pub(crate) source: Option<Symbol>,
     /// Explicit wire size override.
     pub(crate) size: Option<u64>,
+    /// Causal trace context, carried across hosts on the wire. Events
+    /// without one encode byte-identically to the pre-trace format.
+    pub(crate) trace: Option<TraceCtx>,
 }
 
 impl Event {
@@ -187,6 +191,7 @@ impl Event {
             payload: Vec::new(),
             source: None,
             size: None,
+            trace: None,
         }
     }
 
@@ -266,6 +271,24 @@ impl Event {
     pub fn with_size(mut self, size: u64) -> Self {
         self.size = Some(size);
         self
+    }
+
+    /// Attaches a causal trace context (builder style). The context rides
+    /// the wire with the event and links the receiving host's telemetry to
+    /// the span that caused the send.
+    pub fn with_trace(mut self, ctx: TraceCtx) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
+
+    /// Stamps or replaces the trace context in place.
+    pub fn set_trace(&mut self, ctx: TraceCtx) {
+        self.trace = Some(ctx);
+    }
+
+    /// The causal trace context, if the event carries one.
+    pub fn trace(&self) -> Option<TraceCtx> {
+        self.trace
     }
 
     /// The size charged on the wire: the explicit override when set,
@@ -377,6 +400,15 @@ impl Serialize for Event {
         if let Some(size) = self.size {
             obj.insert("size".to_owned(), size.serialize());
         }
+        if let Some(trace) = self.trace {
+            let mut t = BTreeMap::new();
+            t.insert("trace_id".to_owned(), trace.trace_id.serialize());
+            t.insert("span_id".to_owned(), trace.span_id.serialize());
+            if let Some(parent) = trace.parent_id {
+                t.insert("parent_id".to_owned(), parent.serialize());
+            }
+            obj.insert("trace".to_owned(), Value::Object(t));
+        }
         Value::Object(obj)
     }
 }
@@ -415,6 +447,31 @@ impl Deserialize for Event {
             Some(v) => Some(u64::deserialize(v)?),
             None => None,
         };
+        let trace = match obj.get("trace") {
+            Some(v) => {
+                let Value::Object(t) = v else {
+                    return Err(serde::Error::expected("trace object", v));
+                };
+                let trace_id = u64::deserialize(
+                    t.get("trace_id")
+                        .ok_or_else(|| serde::Error::custom("trace missing 'trace_id'"))?,
+                )?;
+                let span_id = u64::deserialize(
+                    t.get("span_id")
+                        .ok_or_else(|| serde::Error::custom("trace missing 'span_id'"))?,
+                )?;
+                let parent_id = match t.get("parent_id") {
+                    Some(p) => Some(u64::deserialize(p)?),
+                    None => None,
+                };
+                Some(TraceCtx {
+                    trace_id,
+                    span_id,
+                    parent_id,
+                })
+            }
+            None => None,
+        };
         Ok(Event {
             name,
             kind,
@@ -422,6 +479,7 @@ impl Deserialize for Event {
             payload,
             source,
             size,
+            trace,
         })
     }
 }

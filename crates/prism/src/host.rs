@@ -17,7 +17,7 @@ use crate::transport::{ReliableChannel, WireMsg};
 use crate::PrismError;
 use redep_model::HostId;
 use redep_netsim::{Duration, Message, Node, NodeCtx, SimTime};
-use redep_telemetry::{Counter, Histogram, Telemetry};
+use redep_telemetry::{Counter, Histogram, Telemetry, TraceCtx};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -474,6 +474,9 @@ impl PrismHost {
             .histogram("prism.routing.latency_us", ROUTING_LATENCY_BOUNDS_US);
         self.events_routed = telemetry.metrics().counter("pipeline.events.routed");
         self.codec_bytes = telemetry.metrics().counter("pipeline.codec.bytes");
+        if let Some(deployer) = self.deployer.as_mut() {
+            deployer.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
     }
 
@@ -506,7 +509,9 @@ impl PrismHost {
 
     /// Enables the deployer role (call on the master host only).
     pub fn enable_deployer(&mut self) {
-        self.deployer = Some(DeployerComponent::new(self.arch.host(), &self.config));
+        let mut deployer = DeployerComponent::new(self.arch.host(), &self.config);
+        deployer.set_telemetry(self.telemetry.clone());
+        self.deployer = Some(deployer);
     }
 
     /// Whether this host runs the deployer.
@@ -584,19 +589,43 @@ impl PrismHost {
         &mut self,
         target: BTreeMap<String, HostId>,
     ) -> Result<(), PrismError> {
+        self.effect_redeployment_traced(target, None)
+    }
+
+    /// [`PrismHost::effect_redeployment`] with the migration protocol traced:
+    /// every move span (and the whole configure/request/transfer/ack cascade)
+    /// becomes a child of `parent` — typically a framework's redeployment
+    /// span, so journals link each move to the cycle that decided it.
+    pub fn effect_redeployment_traced(
+        &mut self,
+        target: BTreeMap<String, HostId>,
+        parent: Option<TraceCtx>,
+    ) -> Result<(), PrismError> {
         let deployer = self
             .deployer
             .as_mut()
             .ok_or_else(|| PrismError::UnknownComponent(DEPLOYER_ADDRESS.to_owned()))?;
         let moves = target.len();
-        deployer.effect(&mut self.services, target);
+        deployer.effect(&mut self.services, target, parent);
         self.telemetry
             .event("prism.migration.effect", self.services.now.as_micros())
             .field("host", self.arch.host().raw())
             .field("moves", moves)
             .field("in_flight", deployer.status().in_flight.len())
+            .trace_opt(parent)
             .emit();
         Ok(())
+    }
+
+    /// Settles any still-open move spans of the current epoch as
+    /// `abandoned` — called by frameworks when they reconcile an incomplete
+    /// redeployment, so no journal ends with dangling move spans. A no-op on
+    /// non-deployer hosts.
+    pub fn abandon_pending_moves(&mut self) {
+        let now = self.services.now;
+        if let Some(deployer) = self.deployer.as_mut() {
+            deployer.abandon_pending(now);
+        }
     }
 
     /// Asks the admin on `holder` to ship `component` here — the pairwise
@@ -606,9 +635,24 @@ impl PrismHost {
     /// pass; completion is observable via
     /// [`Architecture::contains_component`].
     pub fn request_component(&mut self, component: &str, holder: HostId) {
-        let request = Event::request(crate::admin::EV_REQUEST)
+        self.request_component_traced(component, holder, None);
+    }
+
+    /// [`PrismHost::request_component`] carrying a trace context, so the
+    /// resulting request/transfer hops journal as children of the caller's
+    /// span (decentralized frameworks pass their per-move span here).
+    pub fn request_component_traced(
+        &mut self,
+        component: &str,
+        holder: HostId,
+        ctx: Option<TraceCtx>,
+    ) {
+        let mut request = Event::request(crate::admin::EV_REQUEST)
             .with_param(crate::admin::P_COMPONENT, component)
             .with_param(crate::admin::P_REQUESTER, self.arch.host().raw() as i64);
+        if let Some(ctx) = ctx {
+            request = request.with_trace(ctx);
+        }
         self.services.send_reliable(holder, ADMIN_ADDRESS, &request);
     }
 
@@ -664,7 +708,8 @@ impl PrismHost {
                         .field(
                             "replayed",
                             self.services.stats.events_replayed - replayed_before,
-                        );
+                        )
+                        .trace_opt(event.trace());
                     if let Some(component) = event.param_text(crate::admin::P_COMPONENT) {
                         builder = builder.field("component", component.to_owned());
                     }
@@ -682,7 +727,8 @@ impl PrismHost {
                             .field("host", self.arch.host().raw())
                             .field("phase", phase)
                             .field("in_flight", status.in_flight.len())
-                            .field("confirmed", status.confirmed);
+                            .field("confirmed", status.confirmed)
+                            .trace_opt(event.trace());
                         if let Some(component) = event.param_text(crate::admin::P_COMPONENT) {
                             builder = builder.field("component", component.to_owned());
                         }
@@ -929,18 +975,22 @@ impl Node for PrismHost {
                 if let Some(deployer) = self.deployer.as_mut() {
                     let (retried, newly_failed) = deployer.on_deploy_tick(&mut self.services);
                     for component in retried {
+                        let move_ctx = deployer.move_ctx(&component);
                         self.telemetry
                             .event("prism.migration.retry", ctx.now().as_micros())
                             .field("host", self.arch.host().raw())
                             .field("component", component)
+                            .trace_opt(move_ctx)
                             .emit();
                     }
                     for (component, reason) in newly_failed {
+                        let move_ctx = deployer.move_ctx(&component);
                         self.telemetry
                             .event("prism.migration.failed", ctx.now().as_micros())
                             .field("host", self.arch.host().raw())
                             .field("component", component)
                             .field("reason", reason)
+                            .trace_opt(move_ctx)
                             .emit();
                     }
                     ctx.set_timer(self.config.deploy_tick, TOKEN_DEPLOY);

@@ -58,6 +58,7 @@ pub use error::PrismError;
 pub use event::{Event, EventKind};
 pub use host::{HostServices, PrismHost};
 pub use monitor::{EventFrequencyMonitor, MonitoringSnapshot, ReliabilityProbe};
+pub use redep_telemetry::{SpanIdGen, TraceCtx};
 pub use stability::StabilityGauge;
 pub use symbol::Symbol;
 pub use transport::ReliableChannel;

@@ -88,6 +88,20 @@ impl WireMsg {
         }
     }
 
+    /// The trace context of the embedded event, for frames that carry one
+    /// (`Raw`/`Seq` directly; `Forward` by unwrapping the inner frame).
+    /// Diagnostic accessor: the hot path never decodes just for this.
+    #[cfg(test)]
+    pub(crate) fn trace_ctx(&self) -> Option<redep_telemetry::TraceCtx> {
+        match self {
+            WireMsg::Raw { event, .. } | WireMsg::Seq { event, .. } => {
+                crate::Event::decode(event).ok()?.trace()
+            }
+            WireMsg::Forward { frame, .. } => WireMsg::decode(frame).ok()?.trace_ctx(),
+            WireMsg::Ack { .. } | WireMsg::Ping { .. } | WireMsg::Pong { .. } => None,
+        }
+    }
+
     /// Wire size charged for this frame.
     pub(crate) fn wire_size(&self) -> u64 {
         match self {
@@ -429,6 +443,34 @@ mod tests {
         };
         assert_eq!(WireMsg::decode(&m.encode()).unwrap(), m);
         assert!(WireMsg::decode(b"junk").is_err());
+    }
+
+    #[test]
+    fn trace_ctx_survives_the_wire_even_through_forwarding() {
+        use redep_telemetry::TraceCtx;
+        let ctx = TraceCtx {
+            trace_id: 11,
+            span_id: 12,
+            parent_id: Some(11),
+        };
+        let event = crate::Event::notification("traced").with_trace(ctx);
+        let raw = WireMsg::Raw {
+            to_component: "admin".into(),
+            event: event.encode().unwrap(),
+        };
+        assert_eq!(raw.trace_ctx(), Some(ctx));
+        let forwarded = WireMsg::Forward {
+            src: HostId::new(1),
+            dst: HostId::new(2),
+            frame: raw.encode(),
+        };
+        assert_eq!(forwarded.trace_ctx(), Some(ctx));
+        assert_eq!(WireMsg::Ack { seq: 1 }.trace_ctx(), None);
+        let untraced = WireMsg::Raw {
+            to_component: "admin".into(),
+            event: crate::Event::notification("plain").encode().unwrap(),
+        };
+        assert_eq!(untraced.trace_ctx(), None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use redep_prism::monitor::pair_map;
-use redep_prism::{Event, StabilityGauge, WireCodec};
+use redep_prism::{Event, StabilityGauge, TraceCtx, WireCodec};
 use std::collections::BTreeMap;
 
 fn event_strategy() -> impl Strategy<Value = Event> {
@@ -23,6 +23,27 @@ fn event_strategy() -> impl Strategy<Value = Event> {
             }
             e
         })
+}
+
+fn trace_strategy() -> impl Strategy<Value = TraceCtx> {
+    (
+        1u64..u64::MAX,
+        1u64..u64::MAX,
+        proptest::option::of(1u64..u64::MAX),
+    )
+        .prop_map(|(trace_id, span_id, parent_id)| TraceCtx {
+            trace_id,
+            span_id,
+            parent_id,
+        })
+}
+
+/// Advances `pos` past one LEB128 varint in the binary event layout.
+fn skip_varint(bytes: &[u8], pos: &mut usize) {
+    while bytes[*pos] & 0x80 != 0 {
+        *pos += 1;
+    }
+    *pos += 1;
 }
 
 proptest! {
@@ -48,6 +69,63 @@ proptest! {
             binary.len() <= json.len(),
             "binary frame ({}) larger than JSON ({})", binary.len(), json.len()
         );
+    }
+
+    #[test]
+    fn traced_events_roundtrip_through_both_codecs(
+        event in event_strategy(),
+        trace in proptest::option::of(trace_strategy()),
+    ) {
+        let event = match trace {
+            Some(ctx) => event.with_trace(ctx),
+            None => event,
+        };
+        let binary = event.encode_with(WireCodec::Binary).unwrap();
+        let json = event.encode_with(WireCodec::Json).unwrap();
+        prop_assert_eq!(Event::decode(&binary).unwrap(), event.clone());
+        prop_assert_eq!(Event::decode(&json).unwrap(), event);
+    }
+
+    #[test]
+    fn traceless_events_encode_byte_identical_to_pre_trace_wire_format(
+        event in event_strategy(),
+        trace in trace_strategy(),
+    ) {
+        // The trace context is a purely additive wire extension: an event
+        // without one must produce the exact byte sequence the pre-trace
+        // codec produced. Pin that by encoding the same event with and
+        // without a context — stripping the trace varints and flag bits
+        // from the traced frame must reproduce the trace-less frame, i.e.
+        // the trace adds bytes in exactly one documented place and leaves
+        // no other residue.
+        const FLAG_SOURCE: u8 = 0b01;
+        const FLAG_SIZE: u8 = 0b10;
+        const FLAG_TRACE_BITS: u8 = 0b1100;
+
+        let plain = event.encode_with(WireCodec::Binary).unwrap();
+        prop_assert_eq!(plain[2] & FLAG_TRACE_BITS, 0, "trace-less event set a trace flag");
+
+        let traced = event.clone().with_trace(trace).encode_with(WireCodec::Binary).unwrap();
+        // Walk the header: magic, kind, flags, then the name varint and the
+        // optional source/size varints — the trace fields sit right after.
+        let mut pos = 3;
+        skip_varint(&traced, &mut pos); // name
+        if traced[2] & FLAG_SOURCE != 0 {
+            skip_varint(&traced, &mut pos);
+        }
+        if traced[2] & FLAG_SIZE != 0 {
+            skip_varint(&traced, &mut pos);
+        }
+        let trace_start = pos;
+        skip_varint(&traced, &mut pos); // trace_id
+        skip_varint(&traced, &mut pos); // span_id
+        if trace.parent_id.is_some() {
+            skip_varint(&traced, &mut pos);
+        }
+        let mut stripped = traced.clone();
+        stripped.drain(trace_start..pos);
+        stripped[2] &= !FLAG_TRACE_BITS;
+        prop_assert_eq!(stripped, plain);
     }
 
     #[test]

@@ -41,8 +41,10 @@ use parking_lot::Mutex;
 use serde_json::{Number, Value};
 
 pub mod metrics;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use trace::{SpanIdGen, TraceCtx};
 
 /// One structured field value attached to an [`Event`].
 #[derive(Clone, Debug, PartialEq)]
@@ -233,6 +235,38 @@ impl EventBuilder<'_> {
         self
     }
 
+    /// Attaches a causal trace context as the standard `trace_id` /
+    /// `span_id` / `parent_id` fields.
+    #[must_use]
+    pub fn trace(mut self, ctx: TraceCtx) -> Self {
+        if self.journal.is_some() {
+            self.event.fields.push((
+                Cow::Borrowed(trace::FIELD_TRACE_ID),
+                FieldValue::U64(ctx.trace_id),
+            ));
+            self.event.fields.push((
+                Cow::Borrowed(trace::FIELD_SPAN_ID),
+                FieldValue::U64(ctx.span_id),
+            ));
+            if let Some(parent) = ctx.parent_id {
+                self.event.fields.push((
+                    Cow::Borrowed(trace::FIELD_PARENT_ID),
+                    FieldValue::U64(parent),
+                ));
+            }
+        }
+        self
+    }
+
+    /// Attaches a trace context when one is present; no-op otherwise.
+    #[must_use]
+    pub fn trace_opt(self, ctx: Option<TraceCtx>) -> Self {
+        match ctx {
+            Some(ctx) => self.trace(ctx),
+            None => self,
+        }
+    }
+
     /// Writes the record into the journal.
     pub fn emit(self) {
         if let Some(journal) = self.journal {
@@ -382,9 +416,49 @@ impl Telemetry {
                 let _ = writeln!(out, "    {name:<40} {n:>8}");
             }
         }
+        let mut durations: std::collections::BTreeMap<&str, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for event in &events {
+            if let Some(end) = event.end_us {
+                durations
+                    .entry(event.name.as_ref())
+                    .or_default()
+                    .push(end.saturating_sub(event.t_us) as f64 / 1e3);
+            }
+        }
+        if !durations.is_empty() {
+            let _ = writeln!(out, "  span durations (ms):");
+            for (name, samples) in durations {
+                if let Some([p50, p90, p99]) = percentiles(&samples) {
+                    let _ = writeln!(
+                        out,
+                        "    {name:<40} n={:>6} p50={p50:.3} p90={p90:.3} p99={p99:.3}",
+                        samples.len()
+                    );
+                }
+            }
+        }
         out.push_str(&self.inner.metrics.render());
         out
     }
+}
+
+/// Exact nearest-rank p50/p90/p99 over a sample set; `None` when empty.
+///
+/// Unlike [`HistogramSnapshot::quantile`] this sorts the raw samples, so
+/// it is exact — use it for bounded sample sets (per-window availability,
+/// span durations), not unbounded hot-path streams.
+pub fn percentiles(samples: &[f64]) -> Option<[f64; 3]> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pick = |q: f64| {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    };
+    Some([pick(0.50), pick(0.90), pick(0.99)])
 }
 
 #[cfg(test)]
@@ -463,6 +537,28 @@ mod tests {
             tele.export_jsonl()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        assert_eq!(percentiles(&[]), None);
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let [p50, p90, p99] = percentiles(&samples).unwrap();
+        assert_eq!(p50, 50.0);
+        assert_eq!(p90, 90.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(percentiles(&[7.0]), Some([7.0, 7.0, 7.0]));
+    }
+
+    #[test]
+    fn summary_reports_span_duration_percentiles() {
+        let tele = Telemetry::new(16);
+        for i in 0..4u64 {
+            tele.span("core.cycle", i * 1000, i * 1000 + 500 + i).emit();
+        }
+        let summary = tele.summary();
+        assert!(summary.contains("span durations (ms)"), "{summary}");
+        assert!(summary.contains("p90="), "{summary}");
     }
 
     #[test]

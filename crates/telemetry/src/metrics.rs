@@ -314,10 +314,11 @@ impl MetricsRegistry {
                     let snap = h.snapshot();
                     let _ = writeln!(
                         out,
-                        "    {name:<40} count={} mean={:.2} p50={:.2} p99={:.2}",
+                        "    {name:<40} count={} mean={:.2} p50={:.2} p90={:.2} p99={:.2}",
                         snap.count,
                         h.mean(),
                         snap.quantile(0.50),
+                        snap.quantile(0.90),
                         snap.quantile(0.99),
                     );
                 }

@@ -1,0 +1,171 @@
+//! Property-based tests on span-tree reconstruction: arbitrary interleaved
+//! span open/close sequences must always rebuild into well-formed trees.
+
+use proptest::prelude::*;
+use redep_telemetry::trace::TraceForest;
+use redep_telemetry::{Telemetry, TraceCtx};
+
+/// One planned span: which trace it joins, which earlier span (within that
+/// trace) parents it, how long after its parent it starts (causality: a
+/// child never starts before its parent), how long it runs (`None` = never
+/// settles), and a key that scrambles the emission order.
+#[derive(Clone, Debug)]
+struct SpanPlan {
+    trace_slot: usize,
+    parent_choice: usize,
+    start_offset_us: u64,
+    duration_us: Option<u64>,
+    order_key: u64,
+}
+
+/// A resolved record ready to emit: its context plus the plan's timing.
+struct Planned {
+    ctx: TraceCtx,
+    start_us: u64,
+    end_us: Option<u64>,
+    order_key: u64,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Vec<SpanPlan>> {
+    proptest::collection::vec(
+        (
+            0usize..3,
+            any::<usize>(),
+            0u64..1_000_000,
+            proptest::option::of(0u64..1_000_000),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(trace_slot, parent_choice, start_offset_us, duration_us, order_key)| SpanPlan {
+                    trace_slot,
+                    parent_choice,
+                    start_offset_us,
+                    duration_us,
+                    order_key,
+                },
+            ),
+        1..32,
+    )
+}
+
+/// Resolves plans into concrete spans: unique span IDs, parents drawn from
+/// earlier spans of the same trace (or none, making a root).
+fn resolve(plans: &[SpanPlan]) -> Vec<Planned> {
+    let mut per_trace: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 3]; // (span_id, start)
+    let mut out = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let span_id = 1 + i as u64;
+        let trace_id = 100 + plan.trace_slot as u64;
+        let earlier = &per_trace[plan.trace_slot];
+        // Choice space is `earlier.len() + 1`: the extra slot means "root".
+        // A child starts at `parent start + offset`, never before it.
+        let (parent_id, start_us) = match plan.parent_choice % (earlier.len() + 1) {
+            0 => (None, plan.start_offset_us),
+            n => {
+                let (pid, pstart) = earlier[n - 1];
+                (Some(pid), pstart + plan.start_offset_us)
+            }
+        };
+        per_trace[plan.trace_slot].push((span_id, start_us));
+        out.push(Planned {
+            ctx: TraceCtx {
+                trace_id,
+                span_id,
+                parent_id,
+            },
+            start_us,
+            end_us: plan.duration_us.map(|d| start_us + d),
+            order_key: plan.order_key,
+        });
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleaved_span_records_rebuild_into_well_formed_trees(plans in plan_strategy()) {
+        let spans = resolve(&plans);
+
+        // Emit in an arbitrary interleaving, not creation order: children
+        // may hit the journal before their parents, closes before opens.
+        let mut order: Vec<usize> = (0..spans.len()).collect();
+        order.sort_by_key(|&i| (spans[i].order_key, i));
+        let telemetry = Telemetry::new(4096);
+        for &i in &order {
+            let s = &spans[i];
+            match s.end_us {
+                Some(end) => telemetry.span("prop.span", s.start_us, end),
+                None => telemetry.event("prop.span.pending", s.start_us),
+            }
+            .trace(s.ctx)
+            .emit();
+        }
+
+        let events = redep_telemetry::trace::parse_jsonl(&telemetry.export_jsonl()).unwrap();
+        let forest = TraceForest::build(&events);
+
+        // Every record is traced, and no span vanished or was invented.
+        prop_assert_eq!(forest.traced_records, spans.len());
+        prop_assert_eq!(forest.untraced_records, 0);
+        let total: usize = forest.traces.values().map(|t| t.spans.len()).sum();
+        prop_assert_eq!(total, spans.len());
+
+        for s in &spans {
+            let tree = forest.traces.get(&s.ctx.trace_id).expect("trace exists");
+            let span = tree.spans.get(&s.ctx.span_id).expect("span exists");
+            // Reconstructed timing matches the plan regardless of order.
+            prop_assert_eq!(span.start_us, s.start_us);
+            prop_assert_eq!(span.end_us, s.end_us);
+            prop_assert_eq!(span.parent_id, s.ctx.parent_id);
+            match s.ctx.parent_id {
+                // Every child hangs off its live parent…
+                Some(parent) => {
+                    let parent_span = tree.spans.get(&parent).expect("parent exists");
+                    prop_assert!(parent_span.children.contains(&s.ctx.span_id));
+                }
+                // …and every root is listed as one.
+                None => prop_assert!(tree.roots.contains(&s.ctx.span_id)),
+            }
+        }
+
+        for tree in forest.traces.values() {
+            // Child lists are sorted by (start, id) — rendering and
+            // critical-path walks rely on this.
+            for span in tree.spans.values() {
+                let keys: Vec<(u64, u64)> = span
+                    .children
+                    .iter()
+                    .map(|id| (tree.spans[id].start_us, *id))
+                    .collect();
+                prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            }
+            // The critical path starts at a root and follows child links.
+            let path = tree.critical_path();
+            if let Some(first) = path.first() {
+                prop_assert!(tree.roots.contains(&first.span_id));
+                for pair in path.windows(2) {
+                    prop_assert!(pair[0].children.contains(&pair[1].span_id));
+                }
+            }
+        }
+
+        // No structural invariant fires: parents all exist, nothing is an
+        // unsettled `.open` marker, no cycle record reports divergence.
+        prop_assert_eq!(forest.check(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unsettled_open_markers_are_flagged(start_us in 0u64..1_000_000) {
+        let telemetry = Telemetry::new(64);
+        telemetry
+            .event("prop.move.open", start_us)
+            .trace(TraceCtx::root(7))
+            .emit();
+        let events = redep_telemetry::trace::parse_jsonl(&telemetry.export_jsonl()).unwrap();
+        let violations = TraceForest::build(&events).check();
+        prop_assert_eq!(violations.len(), 1);
+        prop_assert!(violations[0].contains("never settled"), "{}", violations[0]);
+    }
+}
