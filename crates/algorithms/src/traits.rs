@@ -25,7 +25,7 @@ pub struct AlgoResult {
     /// assignments for Avala, auction rounds for DecAp — so plotting value
     /// against progress shows how quickly each algorithm closes in on its
     /// final answer. The trace reflects the search body only; the baseline
-    /// guard in [`keep_best`] may still raise the final `value` above the
+    /// guard in `keep_best` may still raise the final `value` above the
     /// last trace entry.
     pub convergence: Vec<(u64, f64)>,
     /// How many of the scores were full (from-scratch) evaluations. On the

@@ -6,7 +6,7 @@
 //! disaster-relief scenario by comparing three numbers:
 //!
 //! 1. the direct-link model estimate (what the algorithms optimize),
-//! 2. a path-aware estimate using [`DeploymentModel::best_path`]
+//! 2. a path-aware estimate using [`redep_model::DeploymentModel::best_path`]
 //!    (per-hop reliabilities compounded),
 //! 3. the measured end-to-end delivery ratio of the running system.
 

@@ -13,16 +13,32 @@
 //! `pipeline.events.routed` counter and wire volume by
 //! `pipeline.codec.bytes`, giving events/second and bytes/event per cell.
 //!
-//! `--quick` runs only the 8×32 cell (the CI smoke configuration);
+//! On top of the single-queue cells, the **sharded** conservative-PDES
+//! engine ([`redep_core::ShardedRuntime`]) is measured at 256×1024 (4
+//! shards) and 1024×8192 (8 shards). Its gate compares the sharded
+//! aggregate rate against the *seed* single-shard baseline checked into
+//! `BENCH_pipeline.json` before this change (60,930 ev/s at 256×1024); the
+//! same-run measured single-shard rate is also reported for transparency —
+//! see EXPERIMENTS.md for the methodology.
+//!
+//! `--quick` runs only the 8×32 cells (the CI smoke configuration);
 //! `--json` writes `BENCH_pipeline.json` in the shared `ExpReport` schema.
+//! `--shard-smoke` skips the benchmark and instead runs the sharded engine
+//! at two thread counts, asserting the merged journals are byte-identical
+//! (the CI determinism gate).
 
 use redep_bench::{print_table, ExpReport};
-use redep_core::{RuntimeConfig, SystemRuntime};
+use redep_core::{RuntimeConfig, ShardedRuntime, SystemRuntime};
 use redep_model::{Generator, GeneratorConfig};
 use redep_netsim::SimTime;
 use redep_prism::{set_wire_codec, WireCodec};
 use redep_telemetry::Telemetry;
 use std::time::Instant;
+
+/// The single-shard 256×1024 fast-path rate recorded in the checked-in
+/// `BENCH_pipeline.json` before the sharded engine landed — the fixed
+/// reference for the sharded speedup gate.
+const SEED_BASELINE_256X1024: f64 = 60_930.0;
 
 /// One measured cell: a (scale, codec) pair.
 struct Sample {
@@ -99,7 +115,107 @@ fn run_cell(
     })
 }
 
+/// Builds a *sharded* runtime at the given scale and runs it for `horizon`
+/// simulated seconds on the binary codec, reading the same pipeline
+/// counters summed across the per-shard telemetry handles.
+fn run_sharded_cell(
+    hosts: usize,
+    comps: usize,
+    horizon: f64,
+    shards: usize,
+    threads: usize,
+) -> Result<Sample, Box<dyn std::error::Error>> {
+    set_wire_codec(WireCodec::Binary);
+    let system = Generator::generate(&GeneratorConfig::sized(hosts, comps).with_seed(11))?;
+    let runtime_config = RuntimeConfig {
+        seed: 1,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = ShardedRuntime::build(&system.model, &system.initial, &runtime_config, shards)?;
+    let handles: Vec<Telemetry> = (0..shards).map(|_| Telemetry::disabled()).collect();
+    rt.set_telemetry(handles.clone());
+    let routed: Vec<_> = handles
+        .iter()
+        .map(|t| t.metrics().counter("pipeline.events.routed"))
+        .collect();
+    let bytes: Vec<_> = handles
+        .iter()
+        .map(|t| t.metrics().counter("pipeline.codec.bytes"))
+        .collect();
+    let total =
+        |counters: &[redep_telemetry::Counter]| counters.iter().map(|c| c.get()).sum::<u64>();
+
+    const CHUNKS: u32 = 10;
+    let mut chunk_rates = Vec::with_capacity(CHUNKS as usize);
+    let mut prev_events = 0u64;
+    let started = Instant::now();
+    for chunk in 1..=CHUNKS {
+        let chunk_started = Instant::now();
+        rt.sim_mut().run_until(
+            SimTime::from_secs_f64(horizon * f64::from(chunk) / f64::from(CHUNKS)),
+            threads,
+        );
+        let chunk_secs = chunk_started.elapsed().as_secs_f64();
+        let now_events = total(&routed);
+        chunk_rates.push((now_events - prev_events) as f64 / chunk_secs.max(1e-9));
+        prev_events = now_events;
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    Ok(Sample {
+        events: total(&routed),
+        bytes: total(&bytes),
+        wall_secs,
+        chunk_rates,
+        journal_dropped: handles.iter().map(|t| t.journal().dropped()).sum(),
+    })
+}
+
+/// The CI determinism gate: runs the sharded pipeline at two thread counts
+/// with journaling enabled and asserts the merged exports are
+/// byte-identical.
+fn shard_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    set_wire_codec(WireCodec::Binary);
+    const SHARDS: usize = 4;
+    let run = |threads: usize| -> Result<String, Box<dyn std::error::Error>> {
+        let system = Generator::generate(&GeneratorConfig::sized(16, 64).with_seed(11))?;
+        let runtime_config = RuntimeConfig {
+            seed: 1,
+            ..RuntimeConfig::default()
+        };
+        let mut rt =
+            ShardedRuntime::build(&system.model, &system.initial, &runtime_config, SHARDS)?;
+        // Large journals: the byte-equality contract only holds when no
+        // shard overflows its ring.
+        let handles: Vec<Telemetry> = (0..SHARDS).map(|_| Telemetry::new(1 << 20)).collect();
+        rt.set_telemetry(handles.clone());
+        rt.run_for(redep_netsim::Duration::from_secs_f64(5.0), threads);
+        for t in &handles {
+            assert_eq!(
+                t.journal().dropped(),
+                0,
+                "journal overflowed; raise capacity"
+            );
+        }
+        Ok(rt.sim().export_merged_jsonl())
+    };
+    let single = run(1)?;
+    let multi = run(4)?;
+    assert!(!single.is_empty(), "shard smoke produced an empty journal");
+    assert_eq!(
+        single, multi,
+        "shard smoke FAILED: journals diverged between 1 and 4 threads"
+    );
+    println!(
+        "shard smoke PASS: {} journal bytes identical across 1 and 4 threads ({SHARDS} shards).",
+        single.len()
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--shard-smoke") {
+        return shard_smoke();
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     // (hosts, components, simulated horizon): larger systems carry more
     // traffic per simulated second, so the horizon shrinks with scale to
@@ -122,8 +238,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rows = Vec::new();
     let mut gate_speedup = f64::INFINITY;
+    let mut measured_single_256 = None;
     for &(hosts, comps, horizon) in scales {
         let fast = run_cell(hosts, comps, horizon, WireCodec::Binary)?;
+        if (hosts, comps) == (256, 1024) {
+            measured_single_256 = Some(fast.events_per_sec());
+        }
         let legacy = run_cell(hosts, comps, horizon, WireCodec::Json)?;
         assert!(
             fast.events > 0 && legacy.events > 0,
@@ -177,18 +297,94 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rows,
     );
 
+    // Sharded conservative-PDES cells: quick mode sanity-checks a tiny
+    // configuration; full mode measures 256×1024 on 4 shards (the gated
+    // cell) and the 1024×8192 scale point on 8 shards.
+    let sharded_scales: &[(usize, usize, f64, usize)] = if quick {
+        &[(8, 32, 10.0, 2)]
+    } else {
+        &[(256, 1024, 1.0, 4), (1024, 8192, 0.25, 8)]
+    };
+    let mut sharded_rows = Vec::new();
+    let mut sharded_gate = f64::INFINITY;
+    for &(hosts, comps, horizon, shards) in sharded_scales {
+        // Never oversubscribe: worker threads beyond the machine's cores only
+        // add barrier wake-ups per window round. Results are byte-identical
+        // at any thread count (the shard-smoke gate), so the thread count is
+        // purely an execution detail.
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1)
+            .min(shards);
+        let sample = run_sharded_cell(hosts, comps, horizon, shards, threads)?;
+        assert!(
+            sample.events > 0,
+            "{hosts}x{comps} sharded: pipeline routed no events"
+        );
+        let key = format!("{hosts}x{comps}");
+        report.metric(
+            format!("events_per_sec_{key}_sharded{shards}"),
+            sample.events_per_sec(),
+        );
+        report.percentiles_of(
+            format!("chunk_events_per_sec_{key}_sharded{shards}"),
+            &sample.chunk_rates,
+        );
+        report.add_journal_dropped(sample.journal_dropped);
+        let mut vs_seed = String::from("-");
+        if (hosts, comps) == (256, 1024) {
+            // The sharded gate: aggregate rate vs the seed single-shard
+            // baseline (fixed), with the same-run measured single-shard
+            // ratio reported alongside for transparency.
+            let speedup_seed = sample.events_per_sec() / SEED_BASELINE_256X1024;
+            report.metric("speedup_vs_seed_single_shard", speedup_seed);
+            sharded_gate = sharded_gate.min(speedup_seed);
+            vs_seed = format!("{speedup_seed:.1}×");
+            if let Some(measured) = measured_single_256 {
+                report.metric(
+                    "speedup_vs_measured_single_shard",
+                    sample.events_per_sec() / measured.max(1e-9),
+                );
+            }
+        }
+        sharded_rows.push(vec![
+            key,
+            format!("{shards}"),
+            format!("{:.0}", sample.events_per_sec()),
+            vs_seed,
+        ]);
+    }
+    print_table(
+        "E6-pipeline: sharded conservative-PDES throughput",
+        &["k×n", "shards", "ev/s", "vs seed 1-shard"],
+        &sharded_rows,
+    );
+
     // Acceptance: the binary fast path must clear the legacy JSON path by
     // 3× at the 64×256 scale (quick mode only sanity-checks its one cell,
-    // since CI machines vary).
+    // since CI machines vary), and in full mode the sharded engine must
+    // clear 4× the seed single-shard baseline at 256×1024.
     let threshold = if quick { 1.0 } else { 3.0 };
-    report.set_passed(gate_speedup >= threshold);
+    let sharded_threshold = 4.0;
+    let sharded_pass = quick || sharded_gate >= sharded_threshold;
+    report.set_passed(gate_speedup >= threshold && sharded_pass);
     report.note(format!(
         "acceptance: fast path ≥{threshold}× legacy at the gated scale \
          (observed {gate_speedup:.1}×)"
     ));
+    if !quick {
+        report.note(format!(
+            "acceptance: sharded ≥{sharded_threshold}× the seed single-shard baseline \
+             ({SEED_BASELINE_256X1024:.0} ev/s) at 256x1024 (observed {sharded_gate:.1}×)"
+        ));
+    }
     assert!(
         gate_speedup >= threshold,
         "pipeline FAILED: speedup {gate_speedup:.1}× below the {threshold}× gate"
+    );
+    assert!(
+        sharded_pass,
+        "pipeline FAILED: sharded speedup {sharded_gate:.1}× below the {sharded_threshold}× gate"
     );
     if let Some(file) = report.emit_if_requested()? {
         println!("\nwrote {file}");

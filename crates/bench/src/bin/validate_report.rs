@@ -7,8 +7,38 @@
 //! field types), and requires `passed: true`. Exits non-zero on the first
 //! violation — CI runs this right after regenerating a report to catch both
 //! schema drift and silently-failing experiments.
+//!
+//! Report-specific gates: a *full-mode* pipeline report (one carrying the
+//! `speedup_vs_seed_single_shard` metric) must clear the sharded-engine
+//! acceptance — ≥ 4× the seed single-shard baseline at 256×1024 — and must
+//! include the 1024×8192 sharded scale row. Quick-mode (CI smoke) reports
+//! omit those metrics and skip the gate.
 
 use redep_bench::ExpReport;
+
+/// Enforces the sharded-pipeline acceptance on full-mode pipeline reports.
+fn check_pipeline_gates(file: &str, report: &ExpReport) -> Result<(), String> {
+    let Some(&speedup) = report.metrics.get("speedup_vs_seed_single_shard") else {
+        return Ok(()); // quick-mode report: nothing to gate
+    };
+    if speedup < 4.0 {
+        return Err(format!(
+            "{file}: sharded speedup {speedup:.2}× is below the 4× \
+             seed-single-shard gate"
+        ));
+    }
+    if !report
+        .metrics
+        .keys()
+        .any(|k| k.starts_with("events_per_sec_1024x8192_sharded"))
+    {
+        return Err(format!(
+            "{file}: full-mode pipeline report is missing the 1024x8192 \
+             sharded scale row"
+        ));
+    }
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let files: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 report.experiment, report.journal_dropped
             )
             .into());
+        }
+        if report.experiment == "pipeline" {
+            check_pipeline_gates(file, &report)?;
         }
         println!(
             "{file}: ok (experiment '{}', {} metrics)",

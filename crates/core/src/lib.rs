@@ -50,5 +50,5 @@ pub use centralized::{CentralizedFramework, CycleReport};
 pub use decentralized::{DecentralizedCycleReport, DecentralizedFramework};
 pub use error::CoreError;
 pub use recovery::RecoveryPolicy;
-pub use runtime::{RuntimeConfig, SystemRuntime};
+pub use runtime::{RuntimeConfig, ShardedRuntime, SystemRuntime};
 pub use scenario::{Scenario, ScenarioConfig};

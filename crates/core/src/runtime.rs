@@ -7,7 +7,7 @@
 
 use crate::error::CoreError;
 use redep_model::{ComponentId, Deployment, DeploymentModel, HostId};
-use redep_netsim::{Duration, NetworkTopology, Simulator};
+use redep_netsim::{Duration, NetworkTopology, ShardedSimulator, Simulator};
 use redep_prism::workload::{InteractionSpec, WORKLOAD_TYPE};
 use redep_prism::{host::HostConfig, ComponentFactory, PrismHost, WorkloadComponent};
 use std::collections::{BTreeMap, BTreeSet};
@@ -87,74 +87,11 @@ impl SystemRuntime {
         deployment: &Deployment,
         config: &RuntimeConfig,
     ) -> Result<Self, CoreError> {
-        deployment.validate(model)?;
-
-        // Component instance names must be unique: they are the middleware's
-        // addressing scheme.
-        let mut names: BTreeMap<ComponentId, String> = BTreeMap::new();
-        let mut seen: BTreeSet<String> = BTreeSet::new();
-        for c in model.components() {
-            if !seen.insert(c.name().to_owned()) {
-                return Err(CoreError::Build(format!(
-                    "duplicate component name '{}'",
-                    c.name()
-                )));
-            }
-            names.insert(c.id(), c.name().to_owned());
-        }
-
-        // Interaction specs: one sender per logical link.
-        let mut specs: BTreeMap<ComponentId, Vec<InteractionSpec>> = BTreeMap::new();
-        for link in model.logical_links() {
-            let (lo, hi) = (link.ends().lo(), link.ends().hi());
-            if link.frequency() <= 0.0 {
-                continue;
-            }
-            specs.entry(lo).or_default().push(InteractionSpec {
-                peer: names[&hi].clone(),
-                frequency: link.frequency(),
-                event_size: link.event_size().max(1.0) as u64,
-            });
-        }
-
-        let directory: BTreeMap<String, HostId> = deployment
-            .iter()
-            .map(|(c, h)| (names[&c].clone(), h))
-            .collect();
-
+        let (assembled, names) = assemble_hosts(model, deployment, config)?;
         let mut sim = Simulator::new(config.seed);
-        let hosts = model.host_ids();
-        let routes = routing_tables(model);
-        let master = config.master;
-        // Even without a master, control traffic needs a mediation address;
-        // unreachable mediation is simply dropped.
-        let mediation = master.or_else(|| hosts.first().copied());
-        for &h in &hosts {
-            let mut factory = ComponentFactory::new();
-            factory.register(WORKLOAD_TYPE, WorkloadComponent::build);
-            let host_config = HostConfig {
-                deployer_host: mediation.unwrap_or(h),
-                neighbors: model.neighbors(h).into_iter().collect(),
-                routes: routes.get(&h).cloned().unwrap_or_default(),
-                monitor_window: config.monitor_window,
-                epsilon: config.epsilon,
-                stable_windows: config.stable_windows,
-                buffer_during_migration: config.buffer_during_migration,
-                move_deadline: config.move_deadline,
-                max_move_attempts: config.max_move_attempts,
-                ..HostConfig::default()
-            };
-            let mut prism = PrismHost::new(h, factory, host_config);
-            if Some(h) == master {
-                prism.enable_deployer();
-            }
-            for c in deployment.components_on(h) {
-                let behavior = WorkloadComponent::new(specs.remove(&c).unwrap_or_default());
-                prism
-                    .add_app_component(names[&c].clone(), behavior)
-                    .map_err(CoreError::Prism)?;
-            }
-            prism.set_initial_directory(directory.clone());
+        let mut hosts = Vec::with_capacity(assembled.len());
+        for (h, prism) in assembled {
+            hosts.push(h);
             sim.add_host(h, prism);
         }
 
@@ -167,7 +104,7 @@ impl SystemRuntime {
         Ok(SystemRuntime {
             sim,
             hosts,
-            master,
+            master: config.master,
             names,
         })
     }
@@ -305,26 +242,268 @@ impl SystemRuntime {
     }
 }
 
+/// Output of [`assemble_hosts`]: configured hosts in model order plus the
+/// component-name table.
+type AssembledHosts = (Vec<(HostId, PrismHost)>, BTreeMap<ComponentId, String>);
+
+/// Assembles one configured [`PrismHost`] per model host — the common
+/// front half of [`SystemRuntime::build`] and [`ShardedRuntime::build`].
+fn assemble_hosts(
+    model: &DeploymentModel,
+    deployment: &Deployment,
+    config: &RuntimeConfig,
+) -> Result<AssembledHosts, CoreError> {
+    deployment.validate(model)?;
+
+    // Component instance names must be unique: they are the middleware's
+    // addressing scheme.
+    let mut names: BTreeMap<ComponentId, String> = BTreeMap::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for c in model.components() {
+        if !seen.insert(c.name().to_owned()) {
+            return Err(CoreError::Build(format!(
+                "duplicate component name '{}'",
+                c.name()
+            )));
+        }
+        names.insert(c.id(), c.name().to_owned());
+    }
+
+    // Interaction specs: one sender per logical link.
+    let mut specs: BTreeMap<ComponentId, Vec<InteractionSpec>> = BTreeMap::new();
+    for link in model.logical_links() {
+        let (lo, hi) = (link.ends().lo(), link.ends().hi());
+        if link.frequency() <= 0.0 {
+            continue;
+        }
+        specs.entry(lo).or_default().push(InteractionSpec {
+            peer: names[&hi].clone(),
+            frequency: link.frequency(),
+            event_size: link.event_size().max(1.0) as u64,
+        });
+    }
+
+    let directory: BTreeMap<String, HostId> = deployment
+        .iter()
+        .map(|(c, h)| (names[&c].clone(), h))
+        .collect();
+
+    let hosts = model.host_ids();
+    // One O(links) pass instead of a full link scan per host.
+    let mut neighbor_lists: BTreeMap<HostId, BTreeSet<HostId>> = BTreeMap::new();
+    for link in model.physical_links() {
+        let (lo, hi) = (link.ends().lo(), link.ends().hi());
+        neighbor_lists.entry(lo).or_default().insert(hi);
+        neighbor_lists.entry(hi).or_default().insert(lo);
+    }
+    let routes = routing_tables(model);
+    let master = config.master;
+    // Even without a master, control traffic needs a mediation address;
+    // unreachable mediation is simply dropped.
+    let mediation = master.or_else(|| hosts.first().copied());
+    let mut assembled = Vec::with_capacity(hosts.len());
+    for &h in &hosts {
+        let mut factory = ComponentFactory::new();
+        factory.register(WORKLOAD_TYPE, WorkloadComponent::build);
+        let host_config = HostConfig {
+            deployer_host: mediation.unwrap_or(h),
+            neighbors: neighbor_lists
+                .remove(&h)
+                .unwrap_or_default()
+                .into_iter()
+                .collect(),
+            routes: routes.get(&h).cloned().unwrap_or_default(),
+            monitor_window: config.monitor_window,
+            epsilon: config.epsilon,
+            stable_windows: config.stable_windows,
+            buffer_during_migration: config.buffer_during_migration,
+            move_deadline: config.move_deadline,
+            max_move_attempts: config.max_move_attempts,
+            ..HostConfig::default()
+        };
+        let mut prism = PrismHost::new(h, factory, host_config);
+        if Some(h) == master {
+            prism.enable_deployer();
+        }
+        for c in deployment.components_on(h) {
+            let behavior = WorkloadComponent::new(specs.remove(&c).unwrap_or_default());
+            prism
+                .add_app_component(names[&c].clone(), behavior)
+                .map_err(CoreError::Prism)?;
+        }
+        prism.set_initial_directory(directory.clone());
+        assembled.push((h, prism));
+    }
+    Ok((assembled, names))
+}
+
+/// A running distributed system on the **sharded** conservative-PDES
+/// simulator ([`ShardedSimulator`]): the same per-host Prism middleware as
+/// [`SystemRuntime`], but the event loop is partitioned over shards and can
+/// run on multiple threads — and is deterministic across both counts.
+///
+/// Used by the scale experiments (thousands of hosts); the frameworks'
+/// adaptation loops still run on [`SystemRuntime`], whose single-queue
+/// simulator supports runtime topology edits and fluctuation models.
+pub struct ShardedRuntime {
+    sim: ShardedSimulator,
+    hosts: Vec<HostId>,
+    master: Option<HostId>,
+    names: BTreeMap<ComponentId, String>,
+}
+
+impl std::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("hosts", &self.hosts.len())
+            .field("components", &self.names.len())
+            .field("shards", &self.sim.plan().shards())
+            .finish()
+    }
+}
+
+impl ShardedRuntime {
+    /// Assembles and starts a sharded runtime for `model` deployed as
+    /// `deployment`, partitioned into `shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SystemRuntime::build`].
+    pub fn build(
+        model: &DeploymentModel,
+        deployment: &Deployment,
+        config: &RuntimeConfig,
+        shards: usize,
+    ) -> Result<Self, CoreError> {
+        let (assembled, names) = assemble_hosts(model, deployment, config)?;
+        let topo = NetworkTopology::from_model(model);
+        let mut sim = ShardedSimulator::new(config.seed, &topo, shards);
+        let mut hosts = Vec::with_capacity(assembled.len());
+        for (h, prism) in assembled {
+            hosts.push(h);
+            sim.add_host(h, prism);
+        }
+        Ok(ShardedRuntime {
+            sim,
+            hosts,
+            master: config.master,
+            names,
+        })
+    }
+
+    /// Installs per-shard telemetry: each Prism host journals into its
+    /// shard's handle, so the merged export
+    /// ([`ShardedSimulator::export_merged_jsonl`]) interleaves middleware
+    /// and network records in one global order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one handle per shard is given.
+    pub fn set_telemetry(&mut self, handles: Vec<redep_telemetry::Telemetry>) {
+        for &h in &self.hosts.clone() {
+            let shard = self.sim.plan().shard_of(h);
+            let telemetry = handles[shard].clone();
+            if let Some(host) = self.host_mut(h) {
+                host.set_telemetry(telemetry);
+            }
+        }
+        self.sim.set_telemetry(handles);
+    }
+
+    /// The underlying sharded simulator.
+    pub fn sim(&self) -> &ShardedSimulator {
+        &self.sim
+    }
+
+    /// The underlying sharded simulator, mutable (fault plans, …).
+    pub fn sim_mut(&mut self) -> &mut ShardedSimulator {
+        &mut self.sim
+    }
+
+    /// Advances the system by `span` of simulated time on up to `threads`
+    /// OS threads. Returns the number of events processed.
+    pub fn run_for(&mut self, span: Duration, threads: usize) -> u64 {
+        let deadline = self.sim.now() + span;
+        self.sim.run_until(deadline, threads)
+    }
+
+    /// All host ids.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// The master host, when one exists.
+    pub fn master(&self) -> Option<HostId> {
+        self.master
+    }
+
+    /// Component instance names by model id.
+    pub fn component_names(&self) -> &BTreeMap<ComponentId, String> {
+        &self.names
+    }
+
+    /// Borrows the Prism runtime of one host.
+    pub fn host(&self, h: HostId) -> Option<&PrismHost> {
+        self.sim.node_ref::<PrismHost>(h)
+    }
+
+    /// Mutably borrows the Prism runtime of one host.
+    pub fn host_mut(&mut self, h: HostId) -> Option<&mut PrismHost> {
+        self.sim.node_mut::<PrismHost>(h)
+    }
+
+    /// The *measured* availability so far — same definition as
+    /// [`SystemRuntime::measured_availability`].
+    pub fn measured_availability(&self) -> f64 {
+        let mut emitted = 0;
+        let mut received = 0;
+        for &h in &self.hosts {
+            if let Some(host) = self.host(h) {
+                let stats = host.services().stats();
+                emitted += stats.app_events_emitted;
+                received += stats.app_events_received;
+            }
+        }
+        if emitted == 0 {
+            1.0
+        } else {
+            received as f64 / emitted as f64
+        }
+    }
+}
+
 /// Computes per-host next-hop routing tables over the model's physical
 /// topology (BFS shortest paths). Entry `tables[h][d] = n` means host `h`
 /// relays frames for `d` through its neighbor `n`; direct neighbors are
 /// omitted (they need no relay).
 fn routing_tables(model: &DeploymentModel) -> BTreeMap<HostId, BTreeMap<HostId, HostId>> {
     let hosts = model.host_ids();
+    // Precompute adjacency once: `model.neighbors` scans every physical
+    // link, so calling it per BFS visit makes this O(hosts² · links) —
+    // minutes at a thousand dense hosts.
+    let mut adjacency: BTreeMap<HostId, Vec<HostId>> = BTreeMap::new();
+    for &h in &hosts {
+        adjacency.insert(h, Vec::new());
+    }
+    for link in model.physical_links() {
+        let (lo, hi) = (link.ends().lo(), link.ends().hi());
+        adjacency.entry(lo).or_default().push(hi);
+        adjacency.entry(hi).or_default().push(lo);
+    }
     let mut tables: BTreeMap<HostId, BTreeMap<HostId, HostId>> = BTreeMap::new();
     for &src in &hosts {
         let mut parent: BTreeMap<HostId, HostId> = BTreeMap::new();
         let mut queue = std::collections::VecDeque::from([src]);
         let mut seen: BTreeSet<HostId> = BTreeSet::from([src]);
         while let Some(u) = queue.pop_front() {
-            for v in model.neighbors(u) {
+            for &v in &adjacency[&u] {
                 if seen.insert(v) {
                     parent.insert(v, u);
                     queue.push_back(v);
                 }
             }
         }
-        let neighbors: BTreeSet<HostId> = model.neighbors(src).into_iter().collect();
+        let neighbors: BTreeSet<HostId> = adjacency[&src].iter().copied().collect();
         let table = tables.entry(src).or_default();
         for &dst in &hosts {
             if dst == src || neighbors.contains(&dst) || !parent.contains_key(&dst) {
@@ -397,6 +576,42 @@ mod tests {
         for &h in rt.hosts() {
             assert!(!rt.host(h).unwrap().is_deployer());
         }
+    }
+
+    #[test]
+    fn sharded_runtime_is_shard_and_thread_count_invariant() {
+        let (m, d) = system();
+        let run = |shards: usize, threads: usize| {
+            let mut rt = ShardedRuntime::build(&m, &d, &RuntimeConfig::default(), shards).unwrap();
+            rt.set_telemetry(
+                (0..shards)
+                    .map(|_| redep_telemetry::Telemetry::default())
+                    .collect(),
+            );
+            let events = rt.run_for(Duration::from_secs_f64(5.0), threads);
+            assert!(events > 0);
+            (
+                rt.sim().export_merged_jsonl(),
+                rt.sim().stats(),
+                rt.measured_availability(),
+            )
+        };
+        let reference = run(1, 1);
+        assert!(!reference.0.is_empty());
+        assert_eq!(run(2, 1), reference, "diverged at 2 shards");
+        assert_eq!(run(2, 2), reference, "diverged at 2 threads");
+        assert_eq!(run(3, 2), reference, "diverged at 3 shards / 2 threads");
+    }
+
+    #[test]
+    fn sharded_runtime_carries_workload() {
+        let (m, d) = system();
+        let mut rt = ShardedRuntime::build(&m, &d, &RuntimeConfig::default(), 2).unwrap();
+        rt.run_for(Duration::from_secs_f64(5.0), 2);
+        let availability = rt.measured_availability();
+        assert!((0.0..=1.0).contains(&availability));
+        assert!(rt.sim().stats().sent > 0);
+        assert_eq!(rt.hosts().len(), 3);
     }
 
     #[test]

@@ -279,6 +279,52 @@ mod tests {
     }
 
     #[test]
+    fn same_timestamp_fifo_survives_the_wheel_overflow_boundary() {
+        // Regression pin: entries with one timestamp can be *split* between
+        // the overflow heap (pushed while the bucket was beyond the wheel
+        // horizon) and a wheel slot (pushed after the cursor advanced far
+        // enough to bring the bucket into range), and even the current heap
+        // (pushed after the cursor passed the bucket). Pops must still come
+        // out in pure seq (insertion) order across all three stores.
+        let mut q = CalendarQueue::with_geometry(2, 4); // 4 µs × 4 slots
+        let t = SimTime::from_micros(20); // bucket 5
+        q.push(t, 0, 0); // cursor 0, horizon bucket 4 → overflow
+        q.push(t, 1, 1); // overflow
+        q.push(SimTime::from_micros(6), 2, 99); // bucket 1 → wheel
+        q.push(SimTime::from_micros(10), 3, 98); // bucket 2 → wheel
+        assert_eq!(q.pop(), Some((SimTime::from_micros(6), 2, 99)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(10), 3, 98)));
+        // Cursor is now at bucket 2; bucket 5 is inside the wheel window.
+        q.push(t, 4, 2); // wheel slot — same timestamp as the overflow pair
+        q.push(t, 5, 3); // wheel slot
+        assert_eq!(q.pop(), Some((t, 0, 0)), "overflow entry must pop first");
+        // Cursor has passed bucket 5: a fresh same-timestamp push lands in
+        // the current heap, the third storage location.
+        q.push(t, 6, 4);
+        assert_eq!(q.pop(), Some((t, 1, 1)));
+        assert_eq!(q.pop(), Some((t, 4, 2)));
+        assert_eq!(q.pop(), Some((t, 5, 3)));
+        assert_eq!(q.pop(), Some((t, 6, 4)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_timestamp_fifo_survives_cursor_jumps() {
+        // Regression pin: when the wheel is empty, ensure_front jumps the
+        // cursor straight to the earliest overflow bucket and migrates the
+        // whole bucket at once — a same-timestamp burst must come back in
+        // insertion order after the jump.
+        let mut q = CalendarQueue::with_geometry(2, 4);
+        let t = SimTime::from_micros(1_000_000);
+        for seq in 0..10u64 {
+            q.push(t, seq, seq as u32);
+        }
+        for seq in 0..10u64 {
+            assert_eq!(q.pop(), Some((t, seq, seq as u32)));
+        }
+    }
+
+    #[test]
     fn far_future_entries_ride_the_overflow() {
         let mut q = CalendarQueue::with_geometry(2, 4); // 4 µs × 4 slots
         q.push(SimTime::from_micros(1_000_000), 0, 1); // deep overflow

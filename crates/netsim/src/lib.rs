@@ -65,6 +65,7 @@ pub mod faultplan;
 pub mod fluctuation;
 pub mod message;
 pub mod node;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -75,6 +76,7 @@ pub use faultplan::{FaultEpisode, FaultKind, FaultPlan};
 pub use fluctuation::{FluctuationModel, MarkovLinkChurn, RandomWalkFluctuation};
 pub use message::Message;
 pub use node::{Node, NodeCtx};
+pub use shard::{ShardPlan, ShardedSimulator};
 pub use sim::Simulator;
 pub use stats::{LinkStats, NetStats};
 pub use time::{Duration, SimTime};

@@ -154,6 +154,27 @@ impl NetStats {
         }
     }
 
+    /// Folds another `NetStats` into this one, summing every global and
+    /// per-link counter. The sharded simulator keeps one `NetStats` per
+    /// shard (each message is accounted exactly once, in its sender's
+    /// shard) and merges them into the whole-run view; summing is exact
+    /// because the per-shard maps never share a directed sender.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped_loss += other.dropped_loss;
+        self.dropped_disconnected += other.dropped_disconnected;
+        self.bytes_delivered += other.bytes_delivered;
+        for (pair, stats) in &other.per_link {
+            let l = self.per_link.entry(*pair).or_default();
+            l.sent += stats.sent;
+            l.delivered += stats.delivered;
+            l.dropped_loss += stats.dropped_loss;
+            l.dropped_disconnected += stats.dropped_disconnected;
+            l.bytes_delivered += stats.bytes_delivered;
+        }
+    }
+
     /// Folds the ground-truth totals into registry gauges under the
     /// `net.truth.*` prefix, plus a per-link delivery-ratio gauge for every
     /// link that carried traffic. Monitors publish their *estimates*

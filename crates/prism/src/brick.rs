@@ -139,7 +139,7 @@ impl<'a> ComponentCtx<'a> {
 /// a stable [`type_name`](ComponentBehavior::type_name), implement
 /// [`snapshot`](ComponentBehavior::snapshot), and register a constructor with
 /// the [`ComponentFactory`].
-pub trait ComponentBehavior: Any {
+pub trait ComponentBehavior: Any + Send {
     /// Stable type name used to reconstitute the component after migration.
     fn type_name(&self) -> &str;
 
@@ -198,7 +198,7 @@ pub struct ComponentFactory {
 }
 
 /// A constructor reconstituting a component from its state snapshot.
-pub type Constructor = Box<dyn Fn(&[u8]) -> Box<dyn ComponentBehavior>>;
+pub type Constructor = Box<dyn Fn(&[u8]) -> Box<dyn ComponentBehavior> + Send>;
 
 impl fmt::Debug for ComponentFactory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -218,7 +218,7 @@ impl ComponentFactory {
     pub fn register(
         &mut self,
         type_name: impl Into<String>,
-        constructor: impl Fn(&[u8]) -> Box<dyn ComponentBehavior> + 'static,
+        constructor: impl Fn(&[u8]) -> Box<dyn ComponentBehavior> + Send + 'static,
     ) {
         self.constructors
             .insert(type_name.into(), Box::new(constructor));

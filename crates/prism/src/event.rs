@@ -143,7 +143,7 @@ impl PartialEq for ParamVec {
 /// the distribution transport).
 ///
 /// Events carry an interned [`Symbol`] name, typed parameters (inline up to
-/// four, see [`ParamVec`]), and an optional opaque payload (used e.g. to
+/// four, stored in a small-vector `ParamVec`), and an optional opaque payload (used e.g. to
 /// ship serialized component state during redeployment). The `size` field is
 /// what network accounting charges — it defaults to a rough serialized size
 /// but workload generators can set it explicitly to model arbitrary

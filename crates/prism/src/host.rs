@@ -17,8 +17,9 @@ use crate::transport::{ReliableChannel, WireMsg};
 use crate::PrismError;
 use redep_model::HostId;
 use redep_netsim::{Duration, Message, Node, NodeCtx, SimTime};
+
 use redep_telemetry::{Counter, Histogram, Telemetry, TraceCtx};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Reserved component address of the admin on every host.
@@ -127,6 +128,10 @@ pub struct HostServices {
     neighbors: BTreeSet<HostId>,
     routes: BTreeMap<HostId, HostId>,
     directory: BTreeMap<String, HostId>,
+    /// Derived O(1) lookup index over `directory` — the per-event `locate`
+    /// path must not pay a string-keyed tree walk. Rebuilt on every
+    /// directory mutation; never iterated, so its order cannot leak.
+    dir_index: HashMap<String, HostId>,
     channels: BTreeMap<HostId, ReliableChannel>,
     rto: Duration,
     /// The platform-dependent reliability monitor (ping counters).
@@ -157,6 +162,7 @@ impl HostServices {
             neighbors: config.neighbors.clone(),
             routes: config.routes.clone(),
             directory: BTreeMap::new(),
+            dir_index: HashMap::new(),
             channels: BTreeMap::new(),
             rto: config.rto,
             probe: ReliabilityProbe::new(),
@@ -214,17 +220,22 @@ impl HostServices {
 
     /// Replaces the whole directory (sent with every redeployment command).
     pub fn replace_directory(&mut self, directory: BTreeMap<String, HostId>) {
+        self.dir_index.clear();
+        self.dir_index
+            .extend(directory.iter().map(|(c, h)| (c.clone(), *h)));
         self.directory = directory;
     }
 
     /// Records one component's location.
     pub fn directory_set(&mut self, component: impl Into<String>, host: HostId) {
-        self.directory.insert(component.into(), host);
+        let component = component.into();
+        self.dir_index.insert(component.clone(), host);
+        self.directory.insert(component, host);
     }
 
     /// Looks up where a component currently lives.
     pub fn locate(&self, component: &str) -> Option<HostId> {
-        self.directory.get(component).copied()
+        self.dir_index.get(component).copied()
     }
 
     /// Sends a control event reliably to a component on `dst`. Unreachable

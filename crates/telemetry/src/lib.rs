@@ -28,7 +28,14 @@
 //! - [`Telemetry`] — a cheap-to-clone handle bundling both plus the
 //!   enabled/disabled switch; [`Telemetry::export_jsonl`] renders the
 //!   machine-readable journal and [`Telemetry::summary`] the human one.
+//! - [`trace`] — causal trace contexts ([`TraceCtx`]) with deterministic
+//!   span-id generation ([`SpanIdGen`]).
+//! - [`merge_journals`] / [`merge_export_jsonl`] — reconstruct the single
+//!   global record order from the per-shard journals of the sharded
+//!   simulator, using the `(sim_time, event_key)` order stamps written via
+//!   [`Telemetry::set_order`].
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::borrow::Cow;
@@ -122,6 +129,14 @@ pub struct Event {
     pub name: Cow<'static, str>,
     /// Structured payload, in insertion order.
     pub fields: Vec<(Cow<'static, str>, FieldValue)>,
+    /// Global-order stamp `[sim_time_us, event_key, intra]` used to merge
+    /// per-shard journals back into the single-queue processing order (see
+    /// [`merge_journals`]). The sharded simulator sets the first two
+    /// components per processed sim event via [`Telemetry::set_order`]; the
+    /// third counts records emitted under that sim event. Single-queue runs
+    /// never call `set_order`, so the first two components stay zero there,
+    /// and the stamp never appears in exported JSONL.
+    pub ord: [u64; 3],
 }
 
 impl Event {
@@ -159,6 +174,9 @@ pub struct Journal {
     buf: Mutex<VecDeque<Event>>,
     capacity: usize,
     dropped: AtomicU64,
+    ord0: AtomicU64,
+    ord1: AtomicU64,
+    intra: AtomicU64,
 }
 
 impl Journal {
@@ -168,11 +186,31 @@ impl Journal {
             buf: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
+            ord0: AtomicU64::new(0),
+            ord1: AtomicU64::new(0),
+            intra: AtomicU64::new(0),
         }
     }
 
-    /// Appends one event, evicting the oldest when at capacity.
-    pub fn record(&self, event: Event) {
+    /// Sets the order stamp applied to subsequent records: `t_us` is the
+    /// simulation time of the sim event being processed and `key` its
+    /// queue tie-break key. Resets the intra-event counter. The sharded
+    /// simulator calls this before every node/fault callback so that
+    /// per-shard journals can be merged back into global processing order.
+    pub fn set_order(&self, t_us: u64, key: u64) {
+        self.ord0.store(t_us, Ordering::Relaxed);
+        self.ord1.store(key, Ordering::Relaxed);
+        self.intra.store(0, Ordering::Relaxed);
+    }
+
+    /// Appends one event, evicting the oldest when at capacity. The event
+    /// is stamped with the current order (see [`Journal::set_order`]).
+    pub fn record(&self, mut event: Event) {
+        event.ord = [
+            self.ord0.load(Ordering::Relaxed),
+            self.ord1.load(Ordering::Relaxed),
+            self.intra.fetch_add(1, Ordering::Relaxed),
+        ];
         let mut buf = self.buf.lock();
         if buf.len() >= self.capacity {
             buf.pop_front();
@@ -340,6 +378,14 @@ impl Telemetry {
         &self.inner.journal
     }
 
+    /// Sets the order stamp for subsequent journal records; see
+    /// [`Journal::set_order`]. No-op on a disabled handle.
+    pub fn set_order(&self, t_us: u64, key: u64) {
+        if self.inner.enabled {
+            self.inner.journal.set_order(t_us, key);
+        }
+    }
+
     /// Starts a point event at simulation time `t_us`.
     #[must_use]
     pub fn event(&self, name: &'static str, t_us: u64) -> EventBuilder<'_> {
@@ -350,6 +396,7 @@ impl Telemetry {
                 end_us: None,
                 name: Cow::Borrowed(name),
                 fields: Vec::new(),
+                ord: [0; 3],
             },
         }
     }
@@ -364,6 +411,7 @@ impl Telemetry {
                 end_us: Some(end_us),
                 name: Cow::Borrowed(name),
                 fields: Vec::new(),
+                ord: [0; 3],
             },
         }
     }
@@ -459,6 +507,41 @@ pub fn percentiles(samples: &[f64]) -> Option<[f64; 3]> {
         sorted[rank - 1]
     };
     Some([pick(0.50), pick(0.90), pick(0.99)])
+}
+
+/// Merges per-shard journals into the global processing order.
+///
+/// Each shard of the sharded simulator journals into its own [`Telemetry`]
+/// handle, stamping every record with the `(sim_time, queue_key)` of the sim
+/// event that produced it (see [`Telemetry::set_order`]). Because those keys
+/// reproduce the single-queue pop order, sorting the concatenation by
+/// `(ord, shard_index)` yields exactly the record sequence a single-shard run
+/// would have journaled — provided no shard's journal dropped records.
+///
+/// Within one shard the stamps are non-decreasing, so a stable sort here is
+/// a k-way merge; shard index only breaks ties between records that carry an
+/// identical stamp, which cannot happen for records of distinct sim events.
+pub fn merge_journals(shards: &[&Telemetry]) -> Vec<Event> {
+    let mut all: Vec<(usize, Event)> = Vec::new();
+    for (idx, tele) in shards.iter().enumerate() {
+        all.extend(tele.journal().snapshot().into_iter().map(|e| (idx, e)));
+    }
+    all.sort_by(|(ia, a), (ib, b)| a.ord.cmp(&b.ord).then(ia.cmp(ib)));
+    all.into_iter().map(|(_, e)| e).collect()
+}
+
+/// Renders [`merge_journals`] as JSON Lines — the sharded counterpart of
+/// [`Telemetry::export_jsonl`], byte-identical to a single-shard export of
+/// the same run when no journal overflowed.
+pub fn merge_export_jsonl(shards: &[&Telemetry]) -> String {
+    let mut out = String::new();
+    for event in merge_journals(shards) {
+        out.push_str(
+            &serde_json::to_string(&event.to_json()).expect("journal events always serialize"),
+        );
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]

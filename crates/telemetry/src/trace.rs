@@ -194,6 +194,7 @@ fn event_from_json(value: &Value) -> Result<Event, String> {
         end_us,
         name: name.into(),
         fields,
+        ord: [0; 3],
     })
 }
 
