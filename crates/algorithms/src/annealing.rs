@@ -7,8 +7,13 @@
 //! Avala's constructive strategy at equal evaluation budgets.
 
 use crate::compiled::{try_compile, Compiled};
+use crate::hierarchy::{
+    coarse_descent, finish_hierarchical, run_hierarchical, HierOutcome, HierarchicalConfig,
+};
 use crate::parallel::{run_shards, shard_seed};
-use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use crate::traits::{
+    keep_best, keep_best_compiled, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use redep_model::{
@@ -60,6 +65,7 @@ impl Default for AnnealingConfig {
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct AnnealingAlgorithm {
     config: AnnealingConfig,
+    hierarchy: Option<HierarchicalConfig>,
 }
 
 /// Margin within which a delta-scored move is re-scored from scratch before
@@ -87,7 +93,125 @@ impl AnnealingAlgorithm {
             config.initial_temperature > 0.0,
             "temperature must be positive"
         );
-        AnnealingAlgorithm { config }
+        AnnealingAlgorithm {
+            config,
+            hierarchy: None,
+        }
+    }
+
+    /// Runs the hierarchical variant (`annealing-h`): greedy coarse
+    /// placement over super-node clusters followed by deterministic
+    /// best-improvement descent on the coarse model, frontier-pruned
+    /// refinement within each cluster in parallel, and finally a
+    /// frontier-pruned annealing chain on the merged assignment (the flat
+    /// Metropolis schedule at the same iteration budget, with targets drawn
+    /// from the incident-link frontier instead of all hosts). Requires the
+    /// compiled path; a non-compilable objective or checker falls back to
+    /// the flat naive body.
+    pub fn with_hierarchy(mut self, config: HierarchicalConfig) -> Self {
+        self.hierarchy = Some(config);
+        self
+    }
+
+    /// Frontier-pruned annealing chain run on the merged hierarchical
+    /// assignment. Same proposal count and cooling schedule as one flat
+    /// chain, but each move's target host is sampled from the component's
+    /// incident-link frontier plus a deterministic exploration-ring window
+    /// rather than uniformly over all hosts; the hosts the cut never
+    /// scored are charged to `pruned`. The chain is sequential on the
+    /// master state after the shard merge, so thread-count invariance of
+    /// the engine is preserved.
+    fn pruned_polish(&self, c: &Compiled, hcfg: &HierarchicalConfig, out: &mut HierOutcome) {
+        let cfg = self.config;
+        let cm = &c.model;
+        let n_hosts = cm.n_hosts();
+        let n_comps = cm.n_comps();
+        if n_comps == 0 || n_hosts < 2 {
+            return;
+        }
+        // A seed stream no flat chain uses, so annealing and annealing-h
+        // stay statistically independent under the same config seed.
+        let mut rng = ChaCha8Rng::seed_from_u64(shard_seed(cfg.seed, u32::MAX));
+        let mut inc = IncrementalScore::new(cm, &c.objective);
+        let mut assign = out.assign.clone();
+        let mut current_value = inc.assign_from(&assign);
+        let mut load = c.constraints.load_of(&assign);
+        let mut best = assign.clone();
+        let mut best_value = current_value;
+        let mut temperature = cfg.initial_temperature;
+        let ring = hcfg.exploration_ring.max(1).min(n_hosts);
+        let mut pruned = 0u64;
+        let mut cand: Vec<u32> = Vec::new();
+
+        for _ in 0..cfg.iterations {
+            let comp = rng.random_range(0..n_comps) as u32;
+            let old = assign[comp as usize];
+            // Frontier: hosts where the component's logical neighbors sit,
+            // across all clusters.
+            cand.clear();
+            for &li in cm.incident(comp) {
+                let l = &cm.links()[li as usize];
+                let h = assign[l.other(comp) as usize];
+                if h != UNASSIGNED {
+                    cand.push(h);
+                }
+            }
+            // Deterministic exploration ring, as in cluster refinement, so
+            // pruning cannot trap a component next to its neighbors forever.
+            let start = comp as usize % n_hosts;
+            for r in 0..ring {
+                cand.push(((start + r) % n_hosts) as u32);
+            }
+            cand.sort_unstable();
+            cand.dedup();
+            pruned += (n_hosts as u64).saturating_sub(cand.len() as u64);
+            let h = cand[rng.random_range(0..cand.len())];
+            if h == old || !c.constraints.admits_with_load(&assign, &load, comp, h) {
+                temperature *= cfg.cooling;
+                continue;
+            }
+            let value = inc.peek(comp, h);
+            // Signed gain: positive when the move improves the objective.
+            let gain = if c.objective.is_improvement(current_value, value) {
+                (value - current_value).abs()
+            } else {
+                -(value - current_value).abs()
+            };
+            let accept = gain >= 0.0 || rng.random_bool((gain / temperature).exp().clamp(0.0, 1.0));
+            if accept {
+                let mem = cm.comp_memory()[comp as usize];
+                load[old as usize] -= mem;
+                load[h as usize] += mem;
+                assign[comp as usize] = h;
+                inc.set(comp, h);
+                current_value = value;
+                // Same near-best re-score idiom as the flat chain: recorded
+                // bests are pure values, never drifted deltas.
+                let near = match c.objective.direction() {
+                    Direction::Maximize => value > best_value - NEAR_EPS,
+                    Direction::Minimize => value < best_value + NEAR_EPS,
+                };
+                if near {
+                    let pure = inc.score_full();
+                    current_value = pure;
+                    if c.objective.is_improvement(best_value, pure) {
+                        best.clone_from(&assign);
+                        best_value = pure;
+                    }
+                }
+            }
+            temperature *= cfg.cooling;
+        }
+
+        if c.objective.is_improvement(out.value, best_value) {
+            debug_assert!(c.constraints.check(&best));
+            out.assign = best;
+            out.value = best_value;
+        }
+        out.full += inc.full_evaluations();
+        out.delta += inc.delta_evaluations();
+        out.pruned += pruned;
+        out.convergence.push((3, out.value));
     }
 
     fn run_compiled(
@@ -123,6 +247,9 @@ impl AnnealingAlgorithm {
                 convergence: vec![(1, value)],
                 full_evaluations: inc.full_evaluations(),
                 delta_evaluations: inc.delta_evaluations(),
+                pruned_evaluations: 0,
+                hierarchy_clusters: 0,
+                refine_rounds: 0,
             });
         }
 
@@ -266,10 +393,9 @@ impl AnnealingAlgorithm {
             return Err(first_err.unwrap_or(AlgoError::NoFeasibleDeployment));
         };
 
-        let (deployment, value) = keep_best(
-            model,
+        let (deployment, value) = keep_best_compiled(
+            c,
             objective,
-            constraints,
             initial,
             Some((cm.decode_assignment(&best_assign), best_value)),
         )
@@ -283,13 +409,20 @@ impl AnnealingAlgorithm {
             convergence,
             full_evaluations: full,
             delta_evaluations: delta,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }
 
 impl RedeploymentAlgorithm for AnnealingAlgorithm {
     fn name(&self) -> &str {
-        "annealing"
+        if self.hierarchy.is_some() {
+            "annealing-h"
+        } else {
+            "annealing"
+        }
     }
 
     fn run(
@@ -302,6 +435,11 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
         let started = Instant::now();
         let (hosts, components) = preflight(model)?;
         if let Some(c) = try_compile(model, objective, constraints) {
+            if let Some(hcfg) = &self.hierarchy {
+                let mut out = run_hierarchical(&c, hcfg, |cc| coarse_descent(cc, 2))?;
+                self.pruned_polish(&c, hcfg, &mut out);
+                return finish_hierarchical(&c, objective, initial, started, self.name(), out);
+            }
             return self.run_compiled(&c, model, objective, constraints, initial, started);
         }
         let cfg = self.config;
@@ -345,6 +483,9 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
                 convergence: vec![(1, value)],
                 full_evaluations: 1,
                 delta_evaluations: 0,
+                pruned_evaluations: 0,
+                hierarchy_clusters: 0,
+                refine_rounds: 0,
             });
         }
 
@@ -414,6 +555,9 @@ impl RedeploymentAlgorithm for AnnealingAlgorithm {
             convergence,
             full_evaluations: evaluations,
             delta_evaluations: 0,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }

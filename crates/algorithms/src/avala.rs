@@ -13,7 +13,10 @@
 //! algorithm is O(n³)." (§5.1)
 
 use crate::compiled::{try_compile, Compiled};
-use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use crate::hierarchy::{coarse_greedy, finish_hierarchical, run_hierarchical, HierarchicalConfig};
+use crate::traits::{
+    keep_best, keep_best_compiled, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm,
+};
 use redep_model::{
     ComponentId, ConstraintChecker, Deployment, DeploymentModel, HostId, IncrementalScore,
     Objective, UNASSIGNED,
@@ -29,13 +32,25 @@ use std::time::Instant;
 /// trace is maintained through [`IncrementalScore`] delta moves instead of
 /// re-evaluating the partial deployment from scratch after every greedy
 /// assignment.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct AvalaAlgorithm;
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct AvalaAlgorithm {
+    hierarchy: Option<HierarchicalConfig>,
+}
 
 impl AvalaAlgorithm {
     /// Creates the algorithm.
     pub fn new() -> Self {
-        AvalaAlgorithm
+        AvalaAlgorithm::default()
+    }
+
+    /// Runs the hierarchical variant (`avala-h`): the avala-flavored coarse
+    /// greedy places components onto super-node clusters, then frontier-
+    /// pruned refinement picks hosts within each cluster in parallel.
+    /// Requires the compiled path; a non-compilable objective or checker
+    /// falls back to the flat naive body.
+    pub fn with_hierarchy(mut self, config: HierarchicalConfig) -> Self {
+        self.hierarchy = Some(config);
+        self
     }
 
     /// Host desirability: Σ (reliability + normalized bandwidth) to other
@@ -95,7 +110,6 @@ impl AvalaAlgorithm {
         c: &Compiled,
         model: &DeploymentModel,
         objective: &dyn Objective,
-        constraints: &dyn ConstraintChecker,
         initial: Option<&Deployment>,
         started: Instant,
         max_bandwidth: f64,
@@ -143,6 +157,11 @@ impl AvalaAlgorithm {
 
         let mut assign: Vec<u32> = vec![UNASSIGNED; n_comps];
         let mut unassigned: Vec<bool> = vec![true; n_comps];
+        // Per-host memory load, maintained incrementally so admissibility is
+        // O(groups) per candidate instead of an O(n_comps) matrix rescan —
+        // the rescan made the greedy loop accidentally cubic (~4M memory
+        // probes at 20×160) and was the bulk of avala's 120 evals/s anomaly.
+        let mut load: Vec<f64> = c.constraints.load_of(&assign);
         let mut left = n_comps;
         let mut inc = IncrementalScore::new(cm, &c.objective);
         let mut evaluations = 0u64;
@@ -159,7 +178,9 @@ impl AvalaAlgorithm {
                 // placed here.
                 let mut best: Option<(u32, f64)> = None;
                 for ci in 0..n_comps as u32 {
-                    if !unassigned[ci as usize] || !c.constraints.admits(&assign, ci, h) {
+                    if !unassigned[ci as usize]
+                        || !c.constraints.admits_with_load(&assign, &load, ci, h)
+                    {
                         continue;
                     }
                     let score = if host_empty {
@@ -189,6 +210,7 @@ impl AvalaAlgorithm {
                     break; // host full (or nothing admissible): next host
                 };
                 assign[ci as usize] = h;
+                load[h as usize] += cm.comp_memory()[ci as usize];
                 unassigned[ci as usize] = false;
                 host_empty = false;
                 left -= 1;
@@ -209,7 +231,7 @@ impl AvalaAlgorithm {
         };
         let full = inc.full_evaluations();
         let delta = inc.delta_evaluations();
-        let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+        let (deployment, value) = keep_best_compiled(c, objective, initial, candidate)
             .ok_or(AlgoError::NoFeasibleDeployment)?;
         Ok(AlgoResult {
             algorithm: self.name().to_owned(),
@@ -220,13 +242,20 @@ impl AvalaAlgorithm {
             convergence,
             full_evaluations: full,
             delta_evaluations: delta,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }
 
 impl RedeploymentAlgorithm for AvalaAlgorithm {
     fn name(&self) -> &str {
-        "avala"
+        if self.hierarchy.is_some() {
+            "avala-h"
+        } else {
+            "avala"
+        }
     }
 
     fn run(
@@ -256,11 +285,14 @@ impl RedeploymentAlgorithm for AvalaAlgorithm {
             .fold(0.0f64, f64::max);
 
         if let Some(c) = try_compile(model, objective, constraints) {
+            if let Some(hcfg) = &self.hierarchy {
+                let out = run_hierarchical(&c, hcfg, coarse_greedy)?;
+                return finish_hierarchical(&c, objective, initial, started, self.name(), out);
+            }
             return self.run_compiled(
                 &c,
                 model,
                 objective,
-                constraints,
                 initial,
                 started,
                 max_bandwidth,
@@ -339,6 +371,9 @@ impl RedeploymentAlgorithm for AvalaAlgorithm {
             convergence,
             full_evaluations: evaluations,
             delta_evaluations: 0,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }

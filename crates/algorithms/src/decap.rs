@@ -23,19 +23,49 @@
 
 use crate::compiled::{try_compile, Compiled};
 use crate::coordination::AuctionProtocol;
-use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use crate::hierarchy::HierarchicalConfig;
+use crate::parallel::run_shards;
+use crate::traits::{
+    keep_best, keep_best_compiled, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm,
+};
 use redep_model::{
-    AwarenessGraph, ComponentId, ConstraintChecker, Deployment, DeploymentModel, HostId,
+    AwarenessGraph, ComponentId, ConstraintChecker, Deployment, DeploymentModel, Hierarchy, HostId,
     IncrementalScore, Objective, UNASSIGNED,
 };
 use std::collections::BTreeSet;
 use std::time::Instant;
+
+/// How monitoring information spreads between auction rounds.
+///
+/// The paper's base protocol auctions against a *static* partial view, so a
+/// poorly connected host can starve: no bidder that could profitably take
+/// its components ever becomes visible, capping the final availability well
+/// below what centralized algorithms reach. Gossip exchange models the
+/// monitoring layer forwarding its host inventories to every aware peer
+/// between rounds, transitively widening each agent's view until the
+/// auctions can see across the whole connected system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MonitoringExchange {
+    /// No exchange: the awareness graph stays as configured.
+    #[default]
+    None,
+    /// After each auction round every host merges the awareness sets of the
+    /// hosts it can already see, `hops` times per round. An isolated host
+    /// can see only itself and learns nothing — gossip never invents
+    /// connectivity, it only forwards what some peer already observed.
+    Gossip {
+        /// Merge steps per round (1 doubles the view radius each round).
+        hops: usize,
+    },
+}
 
 /// The decentralized auction algorithm.
 #[derive(Clone, PartialEq, Debug)]
 pub struct DecApAlgorithm {
     max_rounds: usize,
     awareness: Option<AwarenessGraph>,
+    exchange: MonitoringExchange,
+    hierarchy: Option<HierarchicalConfig>,
 }
 
 impl Default for DecApAlgorithm {
@@ -54,12 +84,31 @@ impl DecApAlgorithm {
         DecApAlgorithm {
             max_rounds: Self::DEFAULT_MAX_ROUNDS,
             awareness: None,
+            exchange: MonitoringExchange::None,
+            hierarchy: None,
         }
     }
 
     /// Uses an explicit awareness graph instead of physical connectivity.
     pub fn with_awareness(mut self, awareness: AwarenessGraph) -> Self {
         self.awareness = Some(awareness);
+        self
+    }
+
+    /// Sets how monitoring information spreads between rounds.
+    pub fn with_exchange(mut self, exchange: MonitoringExchange) -> Self {
+        self.exchange = exchange;
+        self
+    }
+
+    /// Runs the hierarchical variant (`decap-h`): one auction per super-node
+    /// cluster per round, conducted in parallel over the refinement shards
+    /// and applied deterministically in cluster order, with the configured
+    /// [`MonitoringExchange`] widening views between rounds. Requires the
+    /// compiled path; a non-compilable objective or checker falls back to
+    /// the flat naive body.
+    pub fn with_hierarchy(mut self, config: HierarchicalConfig) -> Self {
+        self.hierarchy = Some(config);
         self
     }
 
@@ -136,6 +185,69 @@ impl DecApAlgorithm {
         Some(value)
     }
 
+    /// One or more gossip widening passes on the dense visibility matrix;
+    /// returns whether anything changed. Dense mirror of the naive path's
+    /// [`AwarenessGraph`] widening: `new_aware(a) = ∪_{p ∈ aware(a)}
+    /// aware(p)` — symmetric whenever the input relation is, and a fixed
+    /// point for isolated hosts.
+    fn gossip_dense(
+        visible: &mut Vec<Vec<bool>>,
+        aware_dense: &mut [Vec<u32>],
+        hops: usize,
+    ) -> bool {
+        let n = visible.len();
+        let mut widened = false;
+        for _ in 0..hops {
+            let mut next = visible.clone();
+            for (a, row) in next.iter_mut().enumerate() {
+                for &p in &aware_dense[a] {
+                    for (b, cell) in row.iter_mut().enumerate() {
+                        if visible[p as usize][b] {
+                            *cell = true;
+                        }
+                    }
+                }
+            }
+            if next == *visible {
+                break;
+            }
+            widened = true;
+            *visible = next;
+        }
+        if widened {
+            for (a, list) in aware_dense.iter_mut().enumerate() {
+                *list = (0..n as u32).filter(|&b| visible[a][b as usize]).collect();
+            }
+        }
+        widened
+    }
+
+    /// The naive-path equivalent of [`Self::gossip_dense`], widening the
+    /// [`AwarenessGraph`] in place.
+    fn gossip_graph(awareness: &mut AwarenessGraph, hosts: &[HostId], hops: usize) -> bool {
+        let mut widened = false;
+        for _ in 0..hops {
+            let mut additions: Vec<(HostId, HostId)> = Vec::new();
+            for &a in hosts {
+                for p in awareness.aware_of(a) {
+                    for x in awareness.aware_of(p) {
+                        if !awareness.is_aware(a, x) {
+                            additions.push((a, x));
+                        }
+                    }
+                }
+            }
+            if additions.is_empty() {
+                break;
+            }
+            widened = true;
+            for (a, x) in additions {
+                awareness.connect(a, x);
+            }
+        }
+        widened
+    }
+
     #[allow(clippy::too_many_arguments)] // internal: mirrors the naive body's precomputed inputs
     fn run_compiled(
         &self,
@@ -154,14 +266,14 @@ impl DecApAlgorithm {
 
         // Precompute the visibility mask and per-host awareness lists once
         // (hosts outside the model cannot bid or conduct, so they drop out).
-        let visible: Vec<Vec<bool>> = (0..n_hosts)
+        let mut visible: Vec<Vec<bool>> = (0..n_hosts)
             .map(|a| {
                 (0..n_hosts)
                     .map(|b| awareness.is_aware(host_ids[a], host_ids[b]))
                     .collect()
             })
             .collect();
-        let aware_dense: Vec<Vec<u32>> = (0..n_hosts)
+        let mut aware_dense: Vec<Vec<u32>> = (0..n_hosts)
             .map(|a| {
                 awareness
                     .aware_of(host_ids[a])
@@ -251,7 +363,15 @@ impl DecApAlgorithm {
             evaluations += 1;
             last_value = inc.assign_from(&assign);
             convergence.push((round as u64 + 1, last_value));
-            if !moved {
+            let widened = match self.exchange {
+                MonitoringExchange::None => false,
+                MonitoringExchange::Gossip { hops } => {
+                    Self::gossip_dense(&mut visible, &mut aware_dense, hops)
+                }
+            };
+            // A widened view can unlock auctions that had no visible bidder,
+            // so only stop once both the deployment and the views are stable.
+            if !moved && !widened {
                 break;
             }
         }
@@ -259,7 +379,7 @@ impl DecApAlgorithm {
         let full = inc.full_evaluations();
         let delta = inc.delta_evaluations();
         let candidate = Some((cm.decode_assignment(&assign), last_value));
-        let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+        let (deployment, value) = keep_best_compiled(c, objective, initial, candidate)
             .ok_or(AlgoError::NoFeasibleDeployment)?;
         Ok(AlgoResult {
             algorithm: self.name().to_owned(),
@@ -270,13 +390,264 @@ impl DecApAlgorithm {
             convergence,
             full_evaluations: full,
             delta_evaluations: delta,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
+        })
+    }
+
+    /// The hierarchical auction (`decap-h`): hosts are decomposed into
+    /// super-node clusters and every round runs *one auction per cluster in
+    /// parallel* over the shard pool. Each shard proposes winning moves
+    /// against a private [`IncrementalScore`] clone of the round-start state
+    /// (bids may cross cluster borders — that, plus the configured
+    /// [`MonitoringExchange`], is what un-starves poorly connected hosts),
+    /// and proposals are applied sequentially in cluster order with a full
+    /// admissibility re-check, so the outcome is byte-identical at any
+    /// thread count.
+    #[allow(clippy::too_many_arguments)] // internal: mirrors run_compiled's inputs
+    fn run_hier_compiled(
+        &self,
+        c: &Compiled,
+        hcfg: &HierarchicalConfig,
+        model: &DeploymentModel,
+        objective: &dyn Objective,
+        constraints: &dyn ConstraintChecker,
+        initial: Option<&Deployment>,
+        awareness: &AwarenessGraph,
+        started: Instant,
+    ) -> Result<AlgoResult, AlgoError> {
+        let cm = &c.model;
+        let n_hosts = cm.n_hosts();
+        let n_comps = cm.n_comps();
+        let host_ids = cm.host_ids();
+        let hier = Hierarchy::build(cm, &hcfg.clustering());
+        let k = hier.n_clusters();
+
+        let mut visible: Vec<Vec<bool>> = (0..n_hosts)
+            .map(|a| {
+                (0..n_hosts)
+                    .map(|b| awareness.is_aware(host_ids[a], host_ids[b]))
+                    .collect()
+            })
+            .collect();
+        let mut aware_dense: Vec<Vec<u32>> = (0..n_hosts)
+            .map(|a| {
+                awareness
+                    .aware_of(host_ids[a])
+                    .iter()
+                    .filter_map(|&h| cm.host_index(h))
+                    .collect()
+            })
+            .collect();
+
+        let mut assign: Vec<u32> = match initial {
+            Some(d) if constraints.check(model, d).is_ok() => cm.compile_assignment(d),
+            _ => {
+                let mut a = vec![UNASSIGNED; n_comps];
+                'comp: for ci in 0..n_comps as u32 {
+                    for h in 0..n_hosts as u32 {
+                        if c.constraints.admits(&a, ci, h) {
+                            a[ci as usize] = h;
+                            continue 'comp;
+                        }
+                    }
+                    return Err(AlgoError::NoFeasibleDeployment);
+                }
+                a
+            }
+        };
+
+        struct AuctionOut {
+            /// `(component, from-host, to-host)` winning moves, in the order
+            /// the shard's auctioneers produced them.
+            proposals: Vec<(u32, u32, u32)>,
+            delta: u64,
+            pruned: u64,
+        }
+
+        let mut inc = IncrementalScore::new(cm, &c.objective);
+        let mut last_value = inc.assign_from(&assign);
+        let mut convergence = vec![(0u64, last_value)];
+        let mut shard_delta = 0u64;
+        let mut pruned = 0u64;
+        let mut rounds_done = 0u64;
+        // With rotation, a single no-move round only proves the *current*
+        // rotation's auctioneers are done; convergence needs a full rotation
+        // (the largest cluster's worth of rounds) without movement.
+        let rotation = (0..k)
+            .map(|s| hier.hosts(s as u32).len())
+            .max()
+            .unwrap_or(1);
+        let mut idle_rounds = 0usize;
+        for round in 0..self.max_rounds {
+            rounds_done = round as u64 + 1;
+            let round_load = c.constraints.load_of(&assign);
+            let inc_ref = &inc;
+            let visible_ref = &visible;
+            let aware_ref = &aware_dense;
+            let load_ref = &round_load;
+            let base_delta = inc.delta_evaluations();
+            let outs: Vec<AuctionOut> = run_shards(k as u32, hcfg.threads.max(1) as u32, |shard| {
+                // Private round-start view: scoring clone, assignment
+                // scratch, and load mirror. All reads below are against
+                // this shard-local state, never the master.
+                let mut local = inc_ref.clone();
+                let mut scratch: Vec<u32> = local.assignment().to_vec();
+                let mut load = load_ref.clone();
+                let mut conducted = vec![false; n_hosts];
+                let mut proposals = Vec::new();
+                let mut local_pruned = 0u64;
+                // Rotate the conduction order by round: under wide
+                // awareness the "no aware host already conducting" rule
+                // would otherwise hand the auction to the same host
+                // every round, starving everyone else's components.
+                let cluster_hosts = hier.hosts(shard);
+                for idx in 0..cluster_hosts.len() {
+                    let auctioneer = cluster_hosts[(idx + round) % cluster_hosts.len()];
+                    let aware = &aware_ref[auctioneer as usize];
+                    if aware.iter().any(|&a| conducted[a as usize]) {
+                        continue;
+                    }
+                    conducted[auctioneer as usize] = true;
+
+                    let on_auctioneer: Vec<u32> = (0..n_comps as u32)
+                        .filter(|&ci| scratch[ci as usize] == auctioneer)
+                        .collect();
+                    for comp in on_auctioneer {
+                        let retention =
+                            Self::bid_compiled(c, visible_ref, &scratch, auctioneer, comp)
+                                .unwrap_or(0.0);
+                        // Everything outside the awareness view is a
+                        // pruned candidate: it never gets priced.
+                        local_pruned += (n_hosts as u64).saturating_sub(aware.len() as u64);
+                        let mut bids: Vec<(u32, f64)> = Vec::new();
+                        for &bidder in aware.iter().filter(|&&b| b != auctioneer) {
+                            scratch[comp as usize] = UNASSIGNED;
+                            let admissible = c
+                                .constraints
+                                .admits_with_load(&scratch, &load, comp, bidder);
+                            scratch[comp as usize] = auctioneer;
+                            if !admissible {
+                                continue;
+                            }
+                            if let Some(b) =
+                                Self::bid_compiled(c, visible_ref, &scratch, bidder, comp)
+                            {
+                                bids.push((bidder, b));
+                            }
+                        }
+                        // Award to the best bidder whose move the score
+                        // guard accepts: bidders outbidding the
+                        // retention value are tried in descending-bid
+                        // order and the component goes to the first one
+                        // that improves the shard's view of the global
+                        // objective, so local auction pressure cannot
+                        // degrade the system.
+                        bids.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                        for (bidder, bid) in bids {
+                            if bid <= retention {
+                                break; // bids only get lower from here
+                            }
+                            let v1 = local.peek(comp, bidder);
+                            if c.objective.is_improvement(local.value(), v1) {
+                                let mem = cm.comp_memory()[comp as usize];
+                                load[auctioneer as usize] -= mem;
+                                load[bidder as usize] += mem;
+                                scratch[comp as usize] = bidder;
+                                local.set(comp, bidder);
+                                proposals.push((comp, auctioneer, bidder));
+                                break;
+                            }
+                        }
+                    }
+                }
+                AuctionOut {
+                    proposals,
+                    delta: local.delta_evaluations() - base_delta,
+                    pruned: local_pruned,
+                }
+            });
+
+            // Apply phase: fold the per-cluster proposals in cluster order
+            // against the master state, re-checking admissibility because a
+            // proposal from an earlier cluster may have consumed the slot.
+            let mut moved = false;
+            let mut load = round_load;
+            for out in outs {
+                shard_delta += out.delta;
+                pruned += out.pruned;
+                for (comp, from, to) in out.proposals {
+                    if assign[comp as usize] != from {
+                        continue; // superseded by an earlier cluster's move
+                    }
+                    assign[comp as usize] = UNASSIGNED;
+                    let ok = c.constraints.admits_with_load(&assign, &load, comp, to);
+                    if ok {
+                        assign[comp as usize] = to;
+                        let mem = cm.comp_memory()[comp as usize];
+                        load[from as usize] -= mem;
+                        load[to as usize] += mem;
+                        moved = true;
+                    } else {
+                        assign[comp as usize] = from;
+                    }
+                }
+            }
+            debug_assert!(c.constraints.check(&assign));
+            last_value = inc.assign_from(&assign);
+            convergence.push((round as u64 + 1, last_value));
+            let widened = match self.exchange {
+                MonitoringExchange::None => false,
+                MonitoringExchange::Gossip { hops } => {
+                    Self::gossip_dense(&mut visible, &mut aware_dense, hops)
+                }
+            };
+            if moved || widened {
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds >= rotation {
+                    break;
+                }
+            }
+        }
+
+        let candidate = if c.constraints.check(&assign) {
+            Some((cm.decode_assignment(&assign), last_value))
+        } else {
+            debug_assert!(false, "hierarchical auction left an invalid deployment");
+            None
+        };
+        let full = inc.full_evaluations();
+        let delta = inc.delta_evaluations() + shard_delta;
+        let (deployment, value) = keep_best_compiled(c, objective, initial, candidate)
+            .ok_or(AlgoError::NoFeasibleDeployment)?;
+        Ok(AlgoResult {
+            algorithm: self.name().to_owned(),
+            deployment,
+            value,
+            // Like the refinement engine, every deployment scoring counts:
+            // the full/delta split below is the honest cost measure.
+            evaluations: full + delta,
+            wall_time: started.elapsed(),
+            convergence,
+            full_evaluations: full,
+            delta_evaluations: delta,
+            pruned_evaluations: pruned,
+            hierarchy_clusters: k as u64,
+            refine_rounds: rounds_done,
         })
     }
 }
 
 impl RedeploymentAlgorithm for DecApAlgorithm {
     fn name(&self) -> &str {
-        "decap"
+        if self.hierarchy.is_some() {
+            "decap-h"
+        } else {
+            "decap"
+        }
     }
 
     fn run(
@@ -288,12 +659,24 @@ impl RedeploymentAlgorithm for DecApAlgorithm {
     ) -> Result<AlgoResult, AlgoError> {
         let started = Instant::now();
         let (hosts, _components) = preflight(model)?;
-        let awareness = self
+        let mut awareness = self
             .awareness
             .clone()
             .unwrap_or_else(|| AwarenessGraph::from_connectivity(model));
 
         if let Some(c) = try_compile(model, objective, constraints) {
+            if let Some(hcfg) = &self.hierarchy {
+                return self.run_hier_compiled(
+                    &c,
+                    hcfg,
+                    model,
+                    objective,
+                    constraints,
+                    initial,
+                    &awareness,
+                    started,
+                );
+            }
             return self.run_compiled(
                 &c,
                 model,
@@ -368,7 +751,15 @@ impl RedeploymentAlgorithm for DecApAlgorithm {
             }
             evaluations += 1;
             convergence.push((round as u64 + 1, objective.evaluate(model, &current)));
-            if !moved {
+            let widened = match self.exchange {
+                MonitoringExchange::None => false,
+                MonitoringExchange::Gossip { hops } => {
+                    Self::gossip_graph(&mut awareness, &hosts, hops)
+                }
+            };
+            // A widened view can unlock auctions that had no visible bidder,
+            // so only stop once both the deployment and the views are stable.
+            if !moved && !widened {
                 break;
             }
         }
@@ -391,6 +782,9 @@ impl RedeploymentAlgorithm for DecApAlgorithm {
             convergence,
             full_evaluations: evaluations,
             delta_evaluations: 0,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }
@@ -511,5 +905,122 @@ mod tests {
     #[should_panic(expected = "at least one auction round")]
     fn zero_rounds_panics() {
         let _ = DecApAlgorithm::new().with_max_rounds(0);
+    }
+
+    #[test]
+    fn gossip_never_helps_isolated_hosts() {
+        // Gossip forwards what peers observed; an isolated host has no
+        // peers, so even with exchange enabled the deployment cannot change.
+        let (m, init) = generated(3);
+        let isolated = AwarenessGraph::isolated(m.host_ids());
+        let r = DecApAlgorithm::new()
+            .with_awareness(isolated)
+            .with_exchange(MonitoringExchange::Gossip { hops: 2 })
+            .run(&m, &Availability, m.constraints(), Some(&init))
+            .unwrap();
+        assert_eq!(r.deployment, init);
+    }
+
+    #[test]
+    fn gossip_recovers_low_awareness_quality() {
+        // With gossip the partial views widen to the connected closure, so a
+        // sparse awareness graph must converge to at least the static result.
+        for seed in [4u64, 7, 11] {
+            let (m, init) = generated(seed);
+            let hosts = m.host_ids();
+            let sparse = AwarenessGraph::random(&hosts, 0.3, 1);
+            let stat = DecApAlgorithm::new()
+                .with_awareness(sparse.clone())
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            let gossiped = DecApAlgorithm::new()
+                .with_awareness(sparse)
+                .with_exchange(MonitoringExchange::Gossip { hops: 1 })
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            assert!(
+                gossiped.value >= stat.value - 1e-12,
+                "seed {seed}: gossip {} < static {}",
+                gossiped.value,
+                stat.value
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_matches_between_naive_and_compiled_paths() {
+        use redep_model::Uncompiled;
+        for seed in [1u64, 2, 3] {
+            let (m, init) = generated(seed);
+            let sparse = AwarenessGraph::random(&m.host_ids(), 0.4, seed);
+            let fast = DecApAlgorithm::new()
+                .with_awareness(sparse.clone())
+                .with_exchange(MonitoringExchange::Gossip { hops: 1 })
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            let slow = DecApAlgorithm::new()
+                .with_awareness(sparse)
+                .with_exchange(MonitoringExchange::Gossip { hops: 1 })
+                .run(&m, &Uncompiled(&Availability), m.constraints(), Some(&init))
+                .unwrap();
+            assert_eq!(fast.deployment, slow.deployment, "seed {seed}");
+            assert_eq!(fast.value, slow.value, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_produces_valid_deployments_and_counters() {
+        let s = Generator::generate(&GeneratorConfig::sized(12, 40).with_seed(9)).unwrap();
+        let r = DecApAlgorithm::new()
+            .with_hierarchy(HierarchicalConfig::default())
+            .with_exchange(MonitoringExchange::Gossip { hops: 1 })
+            .run(
+                &s.model,
+                &Availability,
+                s.model.constraints(),
+                Some(&s.initial),
+            )
+            .unwrap();
+        assert_eq!(r.algorithm, "decap-h");
+        r.deployment.validate(&s.model).unwrap();
+        s.model
+            .constraints()
+            .check(&s.model, &r.deployment)
+            .unwrap();
+        assert!(r.hierarchy_clusters > 0);
+        assert!(r.refine_rounds > 0);
+        let before = Availability.evaluate(&s.model, &s.initial);
+        assert!(r.value >= before - 1e-12, "{} vs {before}", r.value);
+    }
+
+    #[test]
+    fn hierarchical_is_thread_invariant() {
+        let s = Generator::generate(&GeneratorConfig::sized(12, 40).with_seed(10)).unwrap();
+        let run = |threads: usize| {
+            DecApAlgorithm::new()
+                .with_hierarchy(HierarchicalConfig {
+                    threads,
+                    ..HierarchicalConfig::default()
+                })
+                .with_exchange(MonitoringExchange::Gossip { hops: 1 })
+                .run(
+                    &s.model,
+                    &Availability,
+                    s.model.constraints(),
+                    Some(&s.initial),
+                )
+                .unwrap()
+        };
+        let one = run(1);
+        for threads in [2, 8] {
+            let many = run(threads);
+            assert_eq!(one.deployment, many.deployment, "threads {threads}");
+            assert_eq!(one.value, many.value, "threads {threads}");
+            assert_eq!(one.evaluations, many.evaluations, "threads {threads}");
+            assert_eq!(
+                one.pruned_evaluations, many.pruned_evaluations,
+                "threads {threads}"
+            );
+        }
     }
 }

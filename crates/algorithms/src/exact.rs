@@ -5,7 +5,9 @@
 //! The complexity of this algorithm in the general case is O(kⁿ)" (§5.1).
 
 use crate::compiled::{try_compile, Compiled};
-use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use crate::traits::{
+    keep_best, keep_best_compiled, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm,
+};
 use redep_model::{
     ComponentId, ConstraintChecker, Deployment, DeploymentModel, Direction, HostId,
     IncrementalScore, Objective, UNASSIGNED,
@@ -206,7 +208,7 @@ impl RedeploymentAlgorithm for ExactAlgorithm {
                 &mut convergence,
             );
             let candidate = best.map(|(a, v)| (c.model.decode_assignment(&a), v));
-            let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+            let (deployment, value) = keep_best_compiled(&c, objective, initial, candidate)
                 .ok_or(AlgoError::NoFeasibleDeployment)?;
             return Ok(AlgoResult {
                 algorithm: self.name().to_owned(),
@@ -217,6 +219,9 @@ impl RedeploymentAlgorithm for ExactAlgorithm {
                 convergence,
                 full_evaluations: inc.full_evaluations(),
                 delta_evaluations: inc.delta_evaluations(),
+                pruned_evaluations: 0,
+                hierarchy_clusters: 0,
+                refine_rounds: 0,
             });
         }
 
@@ -245,6 +250,9 @@ impl RedeploymentAlgorithm for ExactAlgorithm {
             convergence,
             full_evaluations: evaluations,
             delta_evaluations: 0,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }

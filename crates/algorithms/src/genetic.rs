@@ -7,7 +7,9 @@
 
 use crate::compiled::{try_compile, Compiled};
 use crate::parallel::{run_shards, shard_seed};
-use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use crate::traits::{
+    keep_best, keep_best_compiled, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm,
+};
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -121,7 +123,6 @@ impl GeneticAlgorithm {
         c: &Compiled,
         model: &DeploymentModel,
         objective: &dyn Objective,
-        constraints: &dyn ConstraintChecker,
         initial: Option<&Deployment>,
         started: Instant,
     ) -> Result<AlgoResult, AlgoError> {
@@ -297,7 +298,7 @@ impl GeneticAlgorithm {
         }
 
         let candidate = best.map(|(genes, v)| (cm.decode_assignment(&genes), v));
-        let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+        let (deployment, value) = keep_best_compiled(c, objective, initial, candidate)
             .ok_or(AlgoError::NoFeasibleDeployment)?;
         Ok(AlgoResult {
             algorithm: self.name().to_owned(),
@@ -308,6 +309,9 @@ impl GeneticAlgorithm {
             convergence,
             full_evaluations: full,
             delta_evaluations: delta,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }
@@ -338,10 +342,13 @@ impl RedeploymentAlgorithm for GeneticAlgorithm {
                 convergence: vec![(1, value)],
                 full_evaluations: 1,
                 delta_evaluations: 0,
+                pruned_evaluations: 0,
+                hierarchy_clusters: 0,
+                refine_rounds: 0,
             });
         }
         if let Some(c) = try_compile(model, objective, constraints) {
-            return self.run_compiled(&c, model, objective, constraints, initial, started);
+            return self.run_compiled(&c, model, objective, initial, started);
         }
         let cfg = self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
@@ -483,6 +490,9 @@ impl RedeploymentAlgorithm for GeneticAlgorithm {
             convergence,
             full_evaluations: evaluations,
             delta_evaluations: 0,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }

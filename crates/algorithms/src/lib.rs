@@ -52,6 +52,7 @@ pub mod coordination;
 pub mod decap;
 pub mod exact;
 pub mod genetic;
+pub mod hierarchy;
 mod parallel;
 pub mod stochastic;
 pub mod traits;
@@ -59,8 +60,9 @@ pub mod traits;
 pub use annealing::AnnealingAlgorithm;
 pub use avala::AvalaAlgorithm;
 pub use coordination::{AuctionProtocol, CoordinationProtocol, PollingProtocol, VotingProtocol};
-pub use decap::DecApAlgorithm;
+pub use decap::{DecApAlgorithm, MonitoringExchange};
 pub use exact::ExactAlgorithm;
 pub use genetic::GeneticAlgorithm;
+pub use hierarchy::HierarchicalConfig;
 pub use stochastic::StochasticAlgorithm;
 pub use traits::{AlgoError, AlgoResult, RedeploymentAlgorithm};

@@ -7,8 +7,11 @@
 //! and the best obtained deployment is selected." (§5.1)
 
 use crate::compiled::{try_compile, Compiled};
+use crate::hierarchy::{coarse_random, finish_hierarchical, run_hierarchical, HierarchicalConfig};
 use crate::parallel::{run_shards, shard_seed};
-use crate::traits::{keep_best, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm};
+use crate::traits::{
+    keep_best, keep_best_compiled, preflight, AlgoError, AlgoResult, RedeploymentAlgorithm,
+};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -24,12 +27,13 @@ use std::time::Instant;
 /// split into parallel shards with [`with_parallelism`](Self::with_parallelism).
 /// Results are identical to the sequential naive path for the same
 /// configuration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct StochasticAlgorithm {
     iterations: u32,
     seed: u64,
     shards: u32,
     threads: u32,
+    hierarchy: Option<HierarchicalConfig>,
 }
 
 impl Default for StochasticAlgorithm {
@@ -49,6 +53,7 @@ impl StochasticAlgorithm {
             seed: 0,
             shards: 1,
             threads: 1,
+            hierarchy: None,
         }
     }
 
@@ -64,6 +69,7 @@ impl StochasticAlgorithm {
             seed,
             shards: 1,
             threads: 1,
+            hierarchy: None,
         }
     }
 
@@ -77,6 +83,16 @@ impl StochasticAlgorithm {
     pub fn with_parallelism(mut self, shards: u32, threads: u32) -> Self {
         self.shards = shards.max(1);
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs the hierarchical variant (`stochastic-h`): seeded random
+    /// first-fit over super-node clusters (a handful of shuffles of the
+    /// coarse problem), then frontier-pruned refinement within each cluster
+    /// in parallel. Requires the compiled path; a non-compilable objective
+    /// or checker falls back to the flat naive body.
+    pub fn with_hierarchy(mut self, config: HierarchicalConfig) -> Self {
+        self.hierarchy = Some(config);
         self
     }
 }
@@ -94,9 +110,7 @@ impl StochasticAlgorithm {
     fn run_compiled(
         &self,
         c: &Compiled,
-        model: &DeploymentModel,
         objective: &dyn Objective,
-        constraints: &dyn ConstraintChecker,
         initial: Option<&Deployment>,
         started: Instant,
     ) -> Result<AlgoResult, AlgoError> {
@@ -185,7 +199,7 @@ impl StochasticAlgorithm {
         }
 
         let candidate = best.map(|(a, v)| (cm.decode_assignment(&a), v));
-        let (deployment, value) = keep_best(model, objective, constraints, initial, candidate)
+        let (deployment, value) = keep_best_compiled(c, objective, initial, candidate)
             .ok_or(AlgoError::NoFeasibleDeployment)?;
         Ok(AlgoResult {
             algorithm: self.name().to_owned(),
@@ -196,13 +210,20 @@ impl StochasticAlgorithm {
             convergence,
             full_evaluations: full,
             delta_evaluations: delta,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }
 
 impl RedeploymentAlgorithm for StochasticAlgorithm {
     fn name(&self) -> &str {
-        "stochastic"
+        if self.hierarchy.is_some() {
+            "stochastic-h"
+        } else {
+            "stochastic"
+        }
     }
 
     fn run(
@@ -215,7 +236,12 @@ impl RedeploymentAlgorithm for StochasticAlgorithm {
         let started = Instant::now();
         let (hosts, components) = preflight(model)?;
         if let Some(c) = try_compile(model, objective, constraints) {
-            return self.run_compiled(&c, model, objective, constraints, initial, started);
+            if let Some(hcfg) = &self.hierarchy {
+                let (seed, iters) = (self.seed, self.iterations.min(16));
+                let out = run_hierarchical(&c, hcfg, |cc| coarse_random(cc, seed, iters))?;
+                return finish_hierarchical(&c, objective, initial, started, self.name(), out);
+            }
+            return self.run_compiled(&c, objective, initial, started);
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut best: Option<(Deployment, f64)> = None;
@@ -269,6 +295,9 @@ impl RedeploymentAlgorithm for StochasticAlgorithm {
             convergence,
             full_evaluations: evaluations,
             delta_evaluations: 0,
+            pruned_evaluations: 0,
+            hierarchy_clusters: 0,
+            refine_rounds: 0,
         })
     }
 }

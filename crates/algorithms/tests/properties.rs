@@ -2,6 +2,7 @@
 //! `RedeploymentAlgorithm` contract on arbitrary generated systems.
 
 use proptest::prelude::*;
+use redep_algorithms::hierarchy::HierarchicalConfig;
 use redep_algorithms::{
     AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
     RedeploymentAlgorithm, StochasticAlgorithm,
@@ -91,6 +92,40 @@ proptest! {
                 before,
                 r.value
             );
+        }
+    }
+
+    #[test]
+    fn hierarchical_bodies_are_thread_invariant(config in small_config()) {
+        // The hierarchical engine's contract: per-cluster refinement shards
+        // merge in shard order, so the AlgoResult is byte-identical at any
+        // thread count — same deployment, same value, same counters, same
+        // convergence trace. Only wall time may differ.
+        let system = Generator::generate(&config).unwrap();
+        let hier = |threads: usize| {
+            let hcfg = HierarchicalConfig { threads, ..HierarchicalConfig::default() };
+            let algos: Vec<Box<dyn RedeploymentAlgorithm>> = vec![
+                Box::new(AvalaAlgorithm::new().with_hierarchy(hcfg)),
+                Box::new(StochasticAlgorithm::with_config(10, 0).with_hierarchy(hcfg)),
+                Box::new(AnnealingAlgorithm::new().with_hierarchy(hcfg)),
+                Box::new(DecApAlgorithm::new().with_hierarchy(hcfg)),
+            ];
+            algos
+        };
+        for (one, many) in hier(1).into_iter().zip(hier(8)) {
+            let a = one
+                .run(&system.model, &Availability, system.model.constraints(), Some(&system.initial))
+                .unwrap();
+            let b = many
+                .run(&system.model, &Availability, system.model.constraints(), Some(&system.initial))
+                .unwrap();
+            prop_assert_eq!(&a.deployment, &b.deployment, "{}: deployment differs by threads", one.name());
+            prop_assert_eq!(a.value, b.value, "{}: value differs by threads", one.name());
+            prop_assert_eq!(a.evaluations, b.evaluations, "{}: evaluations differ by threads", one.name());
+            prop_assert_eq!(a.pruned_evaluations, b.pruned_evaluations, "{}: pruned differ by threads", one.name());
+            prop_assert_eq!(a.hierarchy_clusters, b.hierarchy_clusters, "{}: clusters differ by threads", one.name());
+            prop_assert_eq!(a.refine_rounds, b.refine_rounds, "{}: rounds differ by threads", one.name());
+            prop_assert_eq!(&a.convergence, &b.convergence, "{}: convergence differs by threads", one.name());
         }
     }
 

@@ -109,3 +109,56 @@ fn paper_claim_availability_improvement_also_tends_to_reduce_latency() {
         "latency improved in only {improved}/{total} cases"
     );
 }
+
+#[test]
+fn hierarchical_pruned_quality_within_two_percent_of_flat() {
+    // The E3d quality bar: frontier pruning plus super-node decomposition
+    // may only trade a sliver of solution quality for its throughput — the
+    // pruned stochastic and annealing variants must land within 2% of their
+    // flat counterparts (and actually exercise the pruning counters).
+    use redep_algorithms::hierarchy::HierarchicalConfig;
+
+    for (hosts, comps) in [(8usize, 32usize), (12, 80)] {
+        let s = Generator::generate(&GeneratorConfig::sized(hosts, comps).with_seed(5)).unwrap();
+        let (m, init) = (s.model, s.initial);
+        let hcfg = HierarchicalConfig::default();
+        let pairs: Vec<(
+            Box<dyn RedeploymentAlgorithm>,
+            Box<dyn RedeploymentAlgorithm>,
+        )> = vec![
+            (
+                Box::new(StochasticAlgorithm::with_config(20, 0)),
+                Box::new(StochasticAlgorithm::with_config(20, 0).with_hierarchy(hcfg)),
+            ),
+            (
+                Box::new(AnnealingAlgorithm::new()),
+                Box::new(AnnealingAlgorithm::new().with_hierarchy(hcfg)),
+            ),
+        ];
+        for (flat, hier) in pairs {
+            let f = flat
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            let h = hier
+                .run(&m, &Availability, m.constraints(), Some(&init))
+                .unwrap();
+            assert!(
+                h.value >= 0.98 * f.value,
+                "{} at {hosts}x{comps}: hierarchical {} vs flat {} (more than 2% worse)",
+                hier.name(),
+                h.value,
+                f.value
+            );
+            assert!(
+                h.pruned_evaluations > 0,
+                "{} at {hosts}x{comps}: pruning never engaged",
+                hier.name()
+            );
+            assert!(
+                h.hierarchy_clusters > 0,
+                "{} at {hosts}x{comps}: no clusters reported",
+                hier.name()
+            );
+        }
+    }
+}

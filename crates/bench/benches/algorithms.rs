@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use redep_algorithms::annealing::AnnealingConfig;
 use redep_algorithms::genetic::GeneticConfig;
+use redep_algorithms::hierarchy::HierarchicalConfig;
 use redep_algorithms::{
     AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
     RedeploymentAlgorithm, StochasticAlgorithm,
@@ -128,10 +129,36 @@ fn bench_compiled_vs_naive(c: &mut Criterion) {
     group.finish();
 }
 
+/// Regression guard for the avala hot loop: the greedy placement used to
+/// rescan the whole assignment matrix for admissibility on every candidate
+/// (accidentally cubic); this pins the fixed incremental-load path, flat vs
+/// hierarchical, at the E3d gate size so the rescan cannot creep back in.
+fn bench_avala_hot_loop(c: &mut Criterion) {
+    let (model, initial) = instance(20, 160);
+    let mut group = c.benchmark_group("avala_20x160");
+    group.sample_size(10);
+    let flat = AvalaAlgorithm::new();
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            flat.run(&model, &Availability, model.constraints(), Some(&initial))
+                .unwrap()
+        })
+    });
+    let hier = AvalaAlgorithm::new().with_hierarchy(HierarchicalConfig::default());
+    group.bench_function("hierarchical", |b| {
+        b.iter(|| {
+            hier.run(&model, &Availability, model.constraints(), Some(&initial))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_exact,
     bench_approximative,
-    bench_compiled_vs_naive
+    bench_compiled_vs_naive,
+    bench_avala_hot_loop
 );
 criterion_main!(benches);

@@ -9,18 +9,87 @@
 use redep_algorithms::annealing::AnnealingConfig;
 use redep_algorithms::genetic::GeneticConfig;
 use redep_algorithms::{
-    AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm, GeneticAlgorithm,
-    RedeploymentAlgorithm, StochasticAlgorithm,
+    AlgoResult, AnnealingAlgorithm, AvalaAlgorithm, DecApAlgorithm, ExactAlgorithm,
+    GeneticAlgorithm, HierarchicalConfig, MonitoringExchange, RedeploymentAlgorithm,
+    StochasticAlgorithm,
 };
 use redep_bench::{print_table, ExpReport};
 use redep_model::{Availability, Generator, GeneratorConfig, Objective, Uncompiled};
 use std::time::Instant;
 
+/// E3d generator config: beyond ~100 hosts the default densities produce
+/// quadratically many links, which measures the generator, not the
+/// algorithms. Cap the expected degree at ~16 on both layers (the spanning
+/// tree keeps the network connected regardless).
+fn sparse(hosts: usize, comps: usize, seed: u64) -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::sized(hosts, comps).with_seed(seed);
+    cfg.physical_density = cfg.physical_density.min(16.0 / hosts as f64);
+    cfg.logical_density = cfg.logical_density.min(16.0 / comps as f64);
+    // The default memory ranges assume ~3 components per host (≈30%
+    // utilization); denser ratios would make packing infeasible, so scale
+    // host memory to keep utilization constant.
+    let ratio = comps as f64 / hosts.max(1) as f64;
+    if ratio > 3.0 {
+        let f = ratio / 3.0;
+        cfg.host_memory = redep_model::Range::new(80.0 * f, 120.0 * f);
+    }
+    cfg
+}
+
+/// The four hierarchical variants under test, freshly configured.
+fn hier_algos(hcfg: HierarchicalConfig) -> Vec<(&'static str, Box<dyn RedeploymentAlgorithm>)> {
+    vec![
+        (
+            "avala",
+            Box::new(AvalaAlgorithm::new().with_hierarchy(hcfg)),
+        ),
+        (
+            "decap",
+            Box::new(
+                DecApAlgorithm::new()
+                    .with_hierarchy(hcfg)
+                    .with_exchange(MonitoringExchange::Gossip { hops: 1 }),
+            ),
+        ),
+        (
+            "stochastic",
+            Box::new(StochasticAlgorithm::with_config(20, 0).with_hierarchy(hcfg)),
+        ),
+        (
+            "annealing",
+            Box::new(
+                AnnealingAlgorithm::with_config(AnnealingConfig {
+                    iterations: 2_000,
+                    ..AnnealingConfig::default()
+                })
+                .with_hierarchy(hcfg),
+            ),
+        ),
+    ]
+}
+
+/// Deployment scorings per second: full and delta evaluations both price a
+/// complete deployment, so their sum over wall time is the uniform E3d
+/// throughput metric for flat and hierarchical paths alike.
+fn scorings_per_sec(r: &AlgoResult, secs: f64) -> f64 {
+    (r.full_evaluations + r.delta_evaluations) as f64 / secs.max(1e-9)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
     let mut report = ExpReport::new(
         "algorithms",
         "E3: algorithm scaling and compiled-core speedup",
     );
+    if quick {
+        run_e3d(&mut report, true)?;
+        report.note("quick mode: E3d 200x2000 avala-h only");
+        if let Some(file) = report.emit_if_requested()? {
+            println!("\nwrote {file}");
+        }
+        println!("\nE3 quick PASS: hierarchical avala completed 200x2000.");
+        return Ok(());
+    }
     // --- Exact's wall: k^n growth -------------------------------------
     let mut rows = Vec::new();
     for (hosts, comps) in [
@@ -166,10 +235,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["search", "compiled", "naive", "speedup", "delta/full evals"],
         &rows,
     );
-    report.set_passed(min_speedup >= 5.0);
     report.note(format!(
         "e3c acceptance: compiled annealing+genetic must be ≥5× the naive path \
          on 8×32 (worst observed {min_speedup:.1}×)"
+    ));
+
+    let hier_speedup = run_e3d(&mut report, false)?;
+    report.set_passed(min_speedup >= 5.0 && hier_speedup >= 10.0);
+    report.note(format!(
+        "e3d acceptance: hierarchical avala+decap must price deployments ≥10× \
+         faster than the flat path on 20×160 (worst observed {hier_speedup:.1}×); \
+         throughput counts full+delta scorings uniformly on both paths"
     ));
 
     if let Some(file) = report.emit_if_requested()? {
@@ -178,7 +254,166 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nE3 PASS: Exact explodes past ~10⁶ placements while the \
          approximative algorithms handle 20×160 in milliseconds-to-seconds; \
-         the compiled core runs the mutation searches {min_speedup:.1}×+ faster."
+         the compiled core runs the mutation searches {min_speedup:.1}×+ faster \
+         and the hierarchical engine reaches 1000×10000."
     );
     Ok(())
+}
+
+/// E3d: the hierarchical placement engine. Returns the worst observed
+/// avala/decap hierarchical-vs-flat throughput ratio at 20×160 (the
+/// acceptance gate); `quick` runs only the 200×2000 avala-h cell.
+fn run_e3d(report: &mut ExpReport, quick: bool) -> Result<f64, Box<dyn std::error::Error>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let hcfg = HierarchicalConfig {
+        threads,
+        ..HierarchicalConfig::default()
+    };
+
+    // --- 200×2000: every hierarchical algorithm completes ---------------
+    let system = Generator::generate(&sparse(200, 2000, 5))?;
+    let mut rows = Vec::new();
+    for (name, algo) in hier_algos(hcfg) {
+        if quick && name != "avala" {
+            continue;
+        }
+        let started = Instant::now();
+        let r = algo.run(
+            &system.model,
+            &Availability,
+            system.model.constraints(),
+            Some(&system.initial),
+        )?;
+        let elapsed = started.elapsed().as_secs_f64();
+        report.metric(
+            format!("e3d.{name}.200x2000.evals_per_sec"),
+            scorings_per_sec(&r, elapsed),
+        );
+        report.metric(format!("e3d.{name}.200x2000.wall_ms"), elapsed * 1e3);
+        report.metric(format!("e3d.{name}.200x2000.value"), r.value);
+        rows.push(vec![
+            r.algorithm.clone(),
+            format!("{:.0}ms", elapsed * 1e3),
+            format!("{:.3}", r.value),
+            r.hierarchy_clusters.to_string(),
+            r.pruned_evaluations.to_string(),
+        ]);
+    }
+    print_table(
+        "E3d: hierarchical engine at 200×2000 — super-node decomposition",
+        &[
+            "algorithm",
+            "wall",
+            "value",
+            "clusters",
+            "pruned candidates",
+        ],
+        &rows,
+    );
+    if quick {
+        return Ok(f64::INFINITY);
+    }
+
+    // --- 20×160: hierarchical vs flat throughput (the ≥10× gate) --------
+    let system = Generator::generate(&GeneratorConfig::sized(20, 160).with_seed(2))?;
+    let flat_algos: Vec<(&str, Box<dyn RedeploymentAlgorithm>)> = vec![
+        ("avala", Box::new(AvalaAlgorithm::new())),
+        ("decap", Box::new(DecApAlgorithm::new())),
+        (
+            "stochastic",
+            Box::new(StochasticAlgorithm::with_config(20, 0)),
+        ),
+        (
+            "annealing",
+            Box::new(AnnealingAlgorithm::with_config(AnnealingConfig {
+                iterations: 2_000,
+                ..AnnealingConfig::default()
+            })),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut gate_speedup = f64::INFINITY;
+    for ((name, flat), (_, hier)) in flat_algos.into_iter().zip(hier_algos(hcfg)) {
+        let time_of = |algo: &dyn RedeploymentAlgorithm| -> Result<(f64, AlgoResult), Box<dyn std::error::Error>> {
+            // Median-of-5 wall time for stability outside Criterion.
+            let mut times = Vec::new();
+            let mut last = None;
+            for _ in 0..5 {
+                let started = Instant::now();
+                let r = algo.run(
+                    &system.model,
+                    &Availability,
+                    system.model.constraints(),
+                    Some(&system.initial),
+                )?;
+                times.push(started.elapsed().as_secs_f64());
+                last = Some(r);
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            Ok((times[2], last.expect("five runs")))
+        };
+        let (flat_secs, flat_r) = time_of(flat.as_ref())?;
+        let (hier_secs, hier_r) = time_of(hier.as_ref())?;
+        let flat_rate = scorings_per_sec(&flat_r, flat_secs);
+        let hier_rate = scorings_per_sec(&hier_r, hier_secs);
+        let speedup = hier_rate / flat_rate.max(1e-9);
+        if name == "avala" || name == "decap" {
+            gate_speedup = gate_speedup.min(speedup);
+        }
+        report.metric(format!("e3d.{name}.20x160.flat_evals_per_sec"), flat_rate);
+        report.metric(format!("e3d.{name}.20x160.hier_evals_per_sec"), hier_rate);
+        report.metric(format!("e3d.{name}.20x160.speedup_vs_flat"), speedup);
+        report.metric(format!("e3d.{name}.20x160.flat_wall_ms"), flat_secs * 1e3);
+        report.metric(format!("e3d.{name}.20x160.hier_wall_ms"), hier_secs * 1e3);
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.1}ms ({:.3})", flat_secs * 1e3, flat_r.value),
+            format!("{:.1}ms ({:.3})", hier_secs * 1e3, hier_r.value),
+            format!("{:.0}/s vs {:.0}/s", hier_rate, flat_rate),
+            format!("{speedup:.1}×"),
+        ]);
+    }
+    print_table(
+        "E3d: hierarchical vs flat at 20×160 — scorings/s (median of 5)",
+        &[
+            "algorithm",
+            "flat (value)",
+            "hier (value)",
+            "throughput",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    // --- 1000×10000: the scale row ---------------------------------------
+    let system = Generator::generate(&sparse(1000, 10_000, 6))?;
+    let algo = AvalaAlgorithm::new().with_hierarchy(hcfg);
+    let started = Instant::now();
+    let r = algo.run(
+        &system.model,
+        &Availability,
+        system.model.constraints(),
+        Some(&system.initial),
+    )?;
+    let elapsed = started.elapsed().as_secs_f64();
+    report.metric("e3d.avala.1000x10000.wall_secs", elapsed);
+    report.metric(
+        "e3d.avala.1000x10000.evals_per_sec",
+        scorings_per_sec(&r, elapsed),
+    );
+    report.metric("e3d.avala.1000x10000.value", r.value);
+    print_table(
+        "E3d: scale row — 1000 hosts × 10000 components (avala-h)",
+        &["wall", "value", "clusters", "pruned candidates"],
+        &[vec![
+            format!("{elapsed:.1}s"),
+            format!("{:.3}", r.value),
+            r.hierarchy_clusters.to_string(),
+            r.pruned_evaluations.to_string(),
+        ]],
+    );
+
+    Ok(gate_speedup)
 }

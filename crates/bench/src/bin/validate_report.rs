@@ -11,10 +11,77 @@
 //! Report-specific gates: a *full-mode* pipeline report (one carrying the
 //! `speedup_vs_seed_single_shard` metric) must clear the sharded-engine
 //! acceptance — ≥ 4× the seed single-shard baseline at 256×1024 — and must
-//! include the 1024×8192 sharded scale row. Quick-mode (CI smoke) reports
-//! omit those metrics and skip the gate.
+//! include the 1024×8192 sharded scale row. A full-mode *algorithms* report
+//! (one carrying `e3d.avala.20x160.speedup_vs_flat`) must clear the
+//! hierarchical-engine acceptance — ≥ 10× evals/s over the flat path for
+//! avala and decap, all four hierarchical algorithms completing 200×2000,
+//! and the 1000×10000 scale row. A full-mode *faults* report (one carrying
+//! `.avala.` cells) must show every `*.decap.final` availability ≥ 0.90 —
+//! the partial-view starvation fix the hierarchical auctions exist for.
+//! Quick-mode (CI smoke) reports omit those metrics and skip the gates.
 
 use redep_bench::ExpReport;
+
+/// Enforces the hierarchical-engine acceptance on full-mode algorithm
+/// reports.
+fn check_algorithms_gates(file: &str, report: &ExpReport) -> Result<(), String> {
+    if !report
+        .metrics
+        .contains_key("e3d.avala.20x160.speedup_vs_flat")
+    {
+        return Ok(()); // quick-mode report: nothing to gate
+    }
+    for algo in ["avala", "decap"] {
+        let key = format!("e3d.{algo}.20x160.speedup_vs_flat");
+        let speedup = report
+            .metrics
+            .get(&key)
+            .copied()
+            .ok_or_else(|| format!("{file}: full-mode algorithms report is missing {key}"))?;
+        if speedup < 10.0 {
+            return Err(format!(
+                "{file}: hierarchical {algo} speedup {speedup:.2}× is below \
+                 the 10× flat-path gate"
+            ));
+        }
+    }
+    for algo in ["avala", "decap", "stochastic", "annealing"] {
+        let key = format!("e3d.{algo}.200x2000.evals_per_sec");
+        if !report.metrics.contains_key(&key) {
+            return Err(format!(
+                "{file}: full-mode algorithms report is missing the 200x2000 \
+                 row for {algo} ({key})"
+            ));
+        }
+    }
+    if !report
+        .metrics
+        .contains_key("e3d.avala.1000x10000.wall_secs")
+    {
+        return Err(format!(
+            "{file}: full-mode algorithms report is missing the 1000x10000 \
+             scale row"
+        ));
+    }
+    Ok(())
+}
+
+/// Enforces the decentralized-recovery acceptance on full-mode fault
+/// reports: no fault class may leave DecAp below 0.90 final availability.
+fn check_faults_gates(file: &str, report: &ExpReport) -> Result<(), String> {
+    if !report.metrics.keys().any(|k| k.contains(".avala.")) {
+        return Ok(()); // quick-mode report: nothing to gate
+    }
+    for (key, &value) in &report.metrics {
+        if key.ends_with(".decap.final") && value < 0.90 {
+            return Err(format!(
+                "{file}: {key} = {value:.4} is below the 0.90 final-availability \
+                 gate for hierarchical DecAp"
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// Enforces the sharded-pipeline acceptance on full-mode pipeline reports.
 fn check_pipeline_gates(file: &str, report: &ExpReport) -> Result<(), String> {
@@ -68,6 +135,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         if report.experiment == "pipeline" {
             check_pipeline_gates(file, &report)?;
+        }
+        if report.experiment == "algorithms" {
+            check_algorithms_gates(file, &report)?;
+        }
+        if report.experiment == "faults" {
+            check_faults_gates(file, &report)?;
         }
         println!(
             "{file}: ok (experiment '{}', {} metrics)",

@@ -231,6 +231,15 @@ impl CentralizedFramework {
             metrics
                 .counter("algo.eval.delta")
                 .add(d.record.result.delta_evaluations);
+            metrics
+                .counter("algo.eval.pruned")
+                .add(d.record.result.pruned_evaluations);
+            metrics
+                .counter("algo.hierarchy.clusters")
+                .add(d.record.result.hierarchy_clusters);
+            metrics
+                .counter("algo.hierarchy.refine_rounds")
+                .add(d.record.result.refine_rounds);
             if d.accepted {
                 let effect_start = self.runtime.sim().now();
                 let redeploy_ctx = self.tracer.child(&cycle_ctx);

@@ -12,7 +12,8 @@ use crate::error::CoreError;
 use crate::recovery::RecoveryPolicy;
 use crate::runtime::{RuntimeConfig, SystemRuntime};
 use redep_algorithms::{
-    CoordinationProtocol, DecApAlgorithm, RedeploymentAlgorithm, VotingProtocol,
+    CoordinationProtocol, DecApAlgorithm, HierarchicalConfig, MonitoringExchange,
+    RedeploymentAlgorithm, VotingProtocol,
 };
 use redep_desi::{MiddlewareAdapter, SystemData};
 use redep_model::{Availability, AwarenessGraph, Deployment, DeploymentModel, HostId, Objective};
@@ -205,8 +206,16 @@ impl DecentralizedFramework {
         let current = self.system.deployment().clone();
         let availability_before = Availability.evaluate(&model, &current);
 
+        // Hierarchical auctions with gossip exchange: one auction per
+        // super-node cluster per round (rotating the conducting host, so
+        // wide awareness no longer hands every auction to the same host)
+        // while the monitoring layer forwards host inventories to aware
+        // peers between rounds, widening partial views instead of starving
+        // poorly connected hosts.
         let result = DecApAlgorithm::new()
             .with_awareness(self.awareness.clone())
+            .with_exchange(MonitoringExchange::Gossip { hops: 1 })
+            .with_hierarchy(HierarchicalConfig::default())
             .run(&model, objective, model.constraints(), Some(&current))?;
         let proposed = result.deployment.clone();
         let availability_proposed = Availability.evaluate(&model, &proposed);

@@ -13,9 +13,10 @@
 //!   hosts/components flattened to dense `u32` indices, logical links in a
 //!   flat `Vec<CompiledLink>` plus a per-component incident-link CSR index,
 //!   and host-pair reliability/security/delay/bandwidth as dense n×n
-//!   matrices. It also precomputes the all-pairs best-path reliability
-//!   matrix, turning [`PathAwareAvailability`] from a Dijkstra per pair into
-//!   an O(1) lookup per link.
+//!   matrices. On first use it computes (and caches) the all-pairs best-path
+//!   reliability matrix, turning [`PathAwareAvailability`] from a Dijkstra
+//!   per pair into an O(1) lookup per link while objectives that never need
+//!   paths skip the O(n²) build entirely.
 //! * [`CompiledObjective`] — the flattened form of the six built-in
 //!   objectives (obtained via [`Objective::compiled`]).
 //! * [`IncrementalScore`] — `score_full` / `set` / `peek` delta scoring:
@@ -51,6 +52,7 @@ use crate::deployment::Deployment;
 use crate::ids::{ComponentId, HostId};
 use crate::model::DeploymentModel;
 use crate::objectives::Direction;
+use std::sync::OnceLock;
 
 /// Sentinel host index marking an unassigned component in a dense
 /// assignment vector.
@@ -87,7 +89,7 @@ impl CompiledLink {
 ///
 /// Compile once per analysis, then evaluate millions of candidate
 /// assignments against it. The snapshot does not observe later model edits.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct CompiledModel {
     host_ids: Vec<HostId>,
     comp_ids: Vec<ComponentId>,
@@ -102,12 +104,67 @@ pub struct CompiledModel {
     delay: Vec<f64>,
     bandwidth: Vec<f64>,
     connected: Vec<bool>,
-    path_reliability: Vec<f64>,
+    /// All-pairs best-path reliability, computed lazily on first use: the
+    /// O(n²) best-path replay is prohibitive at fleet scale and only
+    /// [`PathAwareAvailability`](crate::PathAwareAvailability) needs it.
+    path_reliability: OnceLock<Vec<f64>>,
     /// Σ frequency over links with positive frequency, in link order — the
     /// denominator shared by the frequency-weighted objectives.
     total_weight: f64,
     comp_memory: Vec<f64>,
     host_memory: Vec<f64>,
+}
+
+impl PartialEq for CompiledModel {
+    /// Structural equality; the lazily-built path-reliability cache is
+    /// derived data and deliberately excluded so an evaluated snapshot still
+    /// equals a fresh compile of the same model.
+    fn eq(&self, other: &Self) -> bool {
+        self.host_ids == other.host_ids
+            && self.comp_ids == other.comp_ids
+            && self.links == other.links
+            && self.reliability == other.reliability
+            && self.security == other.security
+            && self.delay == other.delay
+            && self.bandwidth == other.bandwidth
+            && self.connected == other.connected
+            && self.total_weight == other.total_weight
+            && self.comp_memory == other.comp_memory
+            && self.host_memory == other.host_memory
+    }
+}
+
+/// Builds the per-component incident-link CSR index. Because `links` are
+/// sorted by (lo, hi) pairs, each component's incident list — taking the
+/// `hi` role first, then the `lo` role — comes out ordered ascending by the
+/// opposite endpoint, matching `logical_neighbors` order.
+fn build_incident_index(links: &[CompiledLink], n_comps: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut degree = vec![0u32; n_comps];
+    for l in links {
+        degree[l.a as usize] += 1;
+        degree[l.b as usize] += 1;
+    }
+    let mut incident_offsets = vec![0u32; n_comps + 1];
+    for c in 0..n_comps {
+        incident_offsets[c + 1] = incident_offsets[c] + degree[c];
+    }
+    let mut incident_links = vec![0u32; incident_offsets[n_comps] as usize];
+    let mut cursor: Vec<u32> = incident_offsets[..n_comps].to_vec();
+    // Pass 1: links where the component is the higher endpoint (the
+    // opposite endpoint is *smaller*), in link order — ascending other.
+    for (li, l) in links.iter().enumerate() {
+        let c = l.b as usize;
+        incident_links[cursor[c] as usize] = li as u32;
+        cursor[c] += 1;
+    }
+    // Pass 2: links where the component is the lower endpoint (the
+    // opposite endpoint is *larger*), in link order — ascending other.
+    for (li, l) in links.iter().enumerate() {
+        let c = l.a as usize;
+        incident_links[cursor[c] as usize] = li as u32;
+        cursor[c] += 1;
+    }
+    (incident_offsets, incident_links)
 }
 
 impl CompiledModel {
@@ -170,36 +227,7 @@ impl CompiledModel {
             });
         }
 
-        // Per-component incident-link CSR index. Because links are sorted by
-        // (lo, hi) pairs, each component's incident list — taking the `lo`
-        // role first, then the `hi` role — comes out ordered ascending by
-        // the opposite endpoint, matching `logical_neighbors` order.
-        let n_comps = comp_ids.len();
-        let mut degree = vec![0u32; n_comps];
-        for l in &links {
-            degree[l.a as usize] += 1;
-            degree[l.b as usize] += 1;
-        }
-        let mut incident_offsets = vec![0u32; n_comps + 1];
-        for c in 0..n_comps {
-            incident_offsets[c + 1] = incident_offsets[c] + degree[c];
-        }
-        let mut incident_links = vec![0u32; incident_offsets[n_comps] as usize];
-        let mut cursor: Vec<u32> = incident_offsets[..n_comps].to_vec();
-        // Pass 1: links where the component is the higher endpoint (the
-        // opposite endpoint is *smaller*), in link order — ascending other.
-        for (li, l) in links.iter().enumerate() {
-            let c = l.b as usize;
-            incident_links[cursor[c] as usize] = li as u32;
-            cursor[c] += 1;
-        }
-        // Pass 2: links where the component is the lower endpoint (the
-        // opposite endpoint is *larger*), in link order — ascending other.
-        for (li, l) in links.iter().enumerate() {
-            let c = l.a as usize;
-            incident_links[cursor[c] as usize] = li as u32;
-            cursor[c] += 1;
-        }
+        let (incident_offsets, incident_links) = build_incident_index(&links, comp_ids.len());
 
         let comp_memory = comp_ids
             .iter()
@@ -215,7 +243,7 @@ impl CompiledModel {
             .map(|&h| model.host(h).map(|x| x.memory()).unwrap_or(0.0))
             .collect();
 
-        let mut cm = CompiledModel {
+        CompiledModel {
             host_ids,
             comp_ids,
             links,
@@ -226,13 +254,55 @@ impl CompiledModel {
             delay,
             bandwidth,
             connected,
-            path_reliability: Vec::new(),
+            path_reliability: OnceLock::new(),
             total_weight,
             comp_memory,
             host_memory,
-        };
-        cm.path_reliability = cm.all_pairs_path_reliability();
-        cm
+        }
+    }
+
+    /// Assembles a snapshot directly from dense parts — the hierarchy pass
+    /// uses this to build the super-node coarse model without materializing
+    /// a naive [`DeploymentModel`]. `host_ids` and `comp_ids` must be
+    /// ascending; matrices are row-major `n×n` over `host_ids`.
+    #[allow(clippy::too_many_arguments)] // dense assembly mirrors the struct
+    pub(crate) fn from_parts(
+        host_ids: Vec<HostId>,
+        comp_ids: Vec<ComponentId>,
+        links: Vec<CompiledLink>,
+        reliability: Vec<f64>,
+        security: Vec<f64>,
+        delay: Vec<f64>,
+        bandwidth: Vec<f64>,
+        connected: Vec<bool>,
+        comp_memory: Vec<f64>,
+        host_memory: Vec<f64>,
+    ) -> CompiledModel {
+        debug_assert!(host_ids.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(comp_ids.windows(2).all(|w| w[0] < w[1]));
+        let mut total_weight = 0.0;
+        for l in &links {
+            if l.frequency > 0.0 || l.frequency.is_nan() {
+                total_weight += l.frequency;
+            }
+        }
+        let (incident_offsets, incident_links) = build_incident_index(&links, comp_ids.len());
+        CompiledModel {
+            host_ids,
+            comp_ids,
+            links,
+            incident_offsets,
+            incident_links,
+            reliability,
+            security,
+            delay,
+            bandwidth,
+            connected,
+            path_reliability: OnceLock::new(),
+            total_weight,
+            comp_memory,
+            host_memory,
+        }
     }
 
     /// All-pairs best-path reliabilities, replaying
@@ -353,9 +423,16 @@ impl CompiledModel {
 
     /// Best-path reliability between two dense host indices (1.0 on the
     /// diagonal, 0.0 when unreachable).
+    ///
+    /// The underlying all-pairs matrix is built on first call (O(n²)
+    /// best-path replays) and cached; snapshots that never score a
+    /// path-aware objective never pay for it.
     #[inline]
     pub fn path_reliability(&self, a: u32, b: u32) -> f64 {
-        self.path_reliability[a as usize * self.host_ids.len() + b as usize]
+        let matrix = self
+            .path_reliability
+            .get_or_init(|| self.all_pairs_path_reliability());
+        matrix[a as usize * self.host_ids.len() + b as usize]
     }
 
     /// Σ frequency over positive-frequency links, the shared denominator of
@@ -970,6 +1047,115 @@ impl CompiledConstraints {
             }
         }
         true
+    }
+
+    /// The per-host memory load of an assignment: Σ required memory of the
+    /// components currently assigned to each host. Callers that place many
+    /// components in sequence maintain this vector incrementally and use
+    /// [`admits_with_load`](Self::admits_with_load) to turn the O(n_comps)
+    /// memory rescan inside [`admits`](Self::admits) into an O(1) lookup.
+    pub fn load_of(&self, assign: &[u32]) -> Vec<f64> {
+        let mut load = vec![0.0; self.n_hosts];
+        for (c, &h) in assign.iter().enumerate() {
+            if h != UNASSIGNED {
+                load[h as usize] += self.comp_memory[c];
+            }
+        }
+        load
+    }
+
+    /// [`admits`](Self::admits) with the memory scan replaced by a
+    /// caller-maintained per-host load vector. `load` must account for every
+    /// assigned component — including `comp` at its current host, which is
+    /// subtracted out here, mirroring the naive checker's exclusion of the
+    /// component being placed. Returns exactly what `admits` returns, in
+    /// O(groups(comp)) instead of O(n_comps).
+    pub fn admits_with_load(&self, assign: &[u32], load: &[f64], comp: u32, host: u32) -> bool {
+        let c = comp as usize;
+        let h = host as usize;
+        if !self.allowed[c * self.n_hosts + h] {
+            return false;
+        }
+        for &g in &self.member_groups[c] {
+            let (kind, members) = &self.groups[g as usize];
+            match kind {
+                GroupKind::Collocated => {
+                    for &p in members {
+                        let hp = assign[p as usize];
+                        if hp != UNASSIGNED && hp != host {
+                            return false;
+                        }
+                    }
+                }
+                GroupKind::Separated => {
+                    for &p in members {
+                        if p != comp && assign[p as usize] == host {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        if self.enforce_memory {
+            let mut used = load[h];
+            if assign[c] == host {
+                used -= self.comp_memory[c];
+            }
+            if used + self.comp_memory[c] > self.host_memory[h] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Projects the checker onto super-node clusters for the coarse phase of
+    /// hierarchical placement: "host" `k` of the projection is cluster `k`.
+    ///
+    /// * a component may go to a cluster iff at least one of the cluster's
+    ///   hosts allows it;
+    /// * collocated groups survive (same host ⇒ same cluster);
+    /// * separated groups are dropped — distinct hosts may share a cluster,
+    ///   so the projection cannot express them (refinement re-checks against
+    ///   the exact constraints);
+    /// * the memory check compares against aggregate cluster capacity.
+    ///
+    /// The result is a *relaxation*: every assignment the exact checker
+    /// admits maps to an admitted cluster assignment, never the other way
+    /// around, so coarse solutions always need the within-cluster
+    /// refinement + repair pass to become exact.
+    pub fn project_to_clusters(
+        &self,
+        cluster_of: &[u32],
+        n_clusters: usize,
+        cluster_capacity: &[f64],
+    ) -> CompiledConstraints {
+        debug_assert_eq!(cluster_of.len(), self.n_hosts);
+        debug_assert_eq!(cluster_capacity.len(), n_clusters);
+        let mut allowed = vec![false; self.n_comps * n_clusters];
+        for c in 0..self.n_comps {
+            for h in 0..self.n_hosts {
+                if self.allowed[c * self.n_hosts + h] {
+                    allowed[c * n_clusters + cluster_of[h] as usize] = true;
+                }
+            }
+        }
+        let mut projected = CompiledConstraints {
+            n_hosts: n_clusters,
+            n_comps: self.n_comps,
+            require_complete: self.require_complete,
+            allowed,
+            groups: Vec::new(),
+            member_groups: vec![Vec::new(); self.n_comps],
+            enforce_memory: self.enforce_memory,
+            comp_memory: self.comp_memory.clone(),
+            host_memory: cluster_capacity.to_vec(),
+        };
+        for (kind, members) in &self.groups {
+            if *kind == GroupKind::Collocated {
+                projected.add_group(GroupKind::Collocated, members.clone());
+            }
+        }
+        projected
     }
 
     /// Number of hosts in the compiled model this checker was built for.

@@ -1,0 +1,383 @@
+//! Host hierarchy: super-node decomposition for hierarchical placement.
+//!
+//! Fleet-scale placement cannot afford to treat every host as a peer: the
+//! paper's algorithms score candidates against all `k` hosts, so their cost
+//! grows with the full host count even though most host pairs are
+//! interchangeable from a single component's point of view. This module
+//! computes a deterministic partition of the hosts into *clusters*
+//! (super-nodes) plus aggregated cluster-pair link matrices, so a placement
+//! engine can first solve the small comp→cluster problem on a coarse model
+//! and then refine host choices within each cluster independently.
+//!
+//! Clustering follows the same recipe as `netsim::shard`'s partitioner:
+//! hosts joined by low-delay links (delay ≤ [`HierarchyConfig::delay_threshold`])
+//! are unioned into connectivity communities with a path-halving union-find,
+//! and the resulting units are folded round-robin — in ascending order of
+//! their smallest host index — into the target number of clusters. The
+//! whole construction is a pure function of the compiled model and the
+//! config: no RNG, no iteration-order dependence, so hierarchical results
+//! stay byte-identical at any thread count.
+
+use crate::eval::{CompiledLink, CompiledModel};
+use crate::ids::HostId;
+
+/// Configuration of the host-clustering pass.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HierarchyConfig {
+    /// Hosts joined by a physical link with delay ≤ this threshold are
+    /// placed in the same cluster (zero/low-delay connectivity communities).
+    /// The default `0.0` unions only zero-delay links.
+    pub delay_threshold: f64,
+    /// Desired number of clusters. Communities beyond this count are folded
+    /// round-robin; `0` picks `⌈√hosts⌉` automatically, which balances the
+    /// coarse problem (k clusters) against the refinement problems
+    /// (~k hosts each).
+    pub target_clusters: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            delay_threshold: 0.0,
+            target_clusters: 0,
+        }
+    }
+}
+
+/// A deterministic partition of a [`CompiledModel`]'s hosts into super-node
+/// clusters, with aggregated cluster-pair link matrices.
+///
+/// Aggregation is optimistic: cross-cluster reliability/security/bandwidth
+/// take the best link between the two clusters, delay the smallest — the
+/// coarse model answers "how well could these clusters talk", and the
+/// within-cluster refinement settles which concrete hosts do.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Hierarchy {
+    /// Cluster index per dense host index.
+    cluster_of: Vec<u32>,
+    /// Dense host indices per cluster, ascending within each cluster.
+    clusters: Vec<Vec<u32>>,
+    /// Aggregate memory capacity per cluster (Σ host memory).
+    capacity: Vec<f64>,
+    /// k×k best cross-link reliability (1.0 on the diagonal).
+    reliability: Vec<f64>,
+    /// k×k best cross-link security (1.0 on the diagonal).
+    security: Vec<f64>,
+    /// k×k least cross-link delay (0.0 on the diagonal, ∞ when unlinked).
+    delay: Vec<f64>,
+    /// k×k best cross-link bandwidth (∞ on the diagonal, 0.0 when unlinked).
+    bandwidth: Vec<f64>,
+    /// k×k cross-link existence (false on the diagonal, like host matrices).
+    connected: Vec<bool>,
+}
+
+impl Hierarchy {
+    /// Clusters the snapshot's hosts. Pure in `(model, config)`.
+    pub fn build(model: &CompiledModel, config: &HierarchyConfig) -> Hierarchy {
+        let n = model.n_hosts();
+        if n == 0 {
+            return Hierarchy {
+                cluster_of: Vec::new(),
+                clusters: Vec::new(),
+                capacity: Vec::new(),
+                reliability: Vec::new(),
+                security: Vec::new(),
+                delay: Vec::new(),
+                bandwidth: Vec::new(),
+                connected: Vec::new(),
+            };
+        }
+
+        // Union-find with path halving over low-delay links, exactly the
+        // machinery netsim::shard partitions simulation shards with.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if model.connected(a as u32, b as u32)
+                    && model.delay(a as u32, b as u32) <= config.delay_threshold
+                {
+                    let (ra, rb) = (find(&mut parent, a as u32), find(&mut parent, b as u32));
+                    if ra != rb {
+                        // Deterministic orientation: smaller root wins.
+                        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                        parent[hi as usize] = lo;
+                    }
+                }
+            }
+        }
+
+        // Units in ascending order of their smallest member (= their root,
+        // because unions always keep the smaller index as root).
+        let mut unit_of_root = vec![u32::MAX; n];
+        let mut units: Vec<Vec<u32>> = Vec::new();
+        for h in 0..n as u32 {
+            let r = find(&mut parent, h) as usize;
+            if unit_of_root[r] == u32::MAX {
+                unit_of_root[r] = units.len() as u32;
+                units.push(Vec::new());
+            }
+            units[unit_of_root[r] as usize].push(h);
+        }
+
+        // Fold units round-robin into the target cluster count.
+        let target = if config.target_clusters == 0 {
+            (n as f64).sqrt().ceil() as usize
+        } else {
+            config.target_clusters
+        }
+        .clamp(1, n);
+        let k = units.len().min(target);
+        let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (i, unit) in units.into_iter().enumerate() {
+            clusters[i % k].extend(unit);
+        }
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        let mut cluster_of = vec![0u32; n];
+        for (ci, hosts) in clusters.iter().enumerate() {
+            for &h in hosts {
+                cluster_of[h as usize] = ci as u32;
+            }
+        }
+
+        // Aggregated cluster-pair matrices, mirroring the host-matrix
+        // conventions (reliability/security 1.0 on the diagonal, delay 0.0,
+        // bandwidth ∞, connected false).
+        let capacity: Vec<f64> = clusters
+            .iter()
+            .map(|hosts| hosts.iter().map(|&h| model.host_memory()[h as usize]).sum())
+            .collect();
+        let mut reliability = vec![0.0f64; k * k];
+        let mut security = vec![0.0f64; k * k];
+        let mut delay = vec![f64::INFINITY; k * k];
+        let mut bandwidth = vec![0.0; k * k];
+        let mut connected = vec![false; k * k];
+        for i in 0..k {
+            reliability[i * k + i] = 1.0;
+            security[i * k + i] = 1.0;
+            delay[i * k + i] = 0.0;
+            bandwidth[i * k + i] = f64::INFINITY;
+        }
+        for a in 0..n as u32 {
+            let ca = cluster_of[a as usize] as usize;
+            for b in 0..n as u32 {
+                let cb = cluster_of[b as usize] as usize;
+                if ca == cb || !model.connected(a, b) {
+                    continue;
+                }
+                let cell = ca * k + cb;
+                connected[cell] = true;
+                reliability[cell] = reliability[cell].max(model.reliability(a, b));
+                security[cell] = security[cell].max(model.security(a, b));
+                delay[cell] = delay[cell].min(model.delay(a, b));
+                bandwidth[cell] = bandwidth[cell].max(model.bandwidth(a, b));
+            }
+        }
+
+        Hierarchy {
+            cluster_of,
+            clusters,
+            capacity,
+            reliability,
+            security,
+            delay,
+            bandwidth,
+            connected,
+        }
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The cluster a dense host index belongs to.
+    #[inline]
+    pub fn cluster_of(&self, host: u32) -> u32 {
+        self.cluster_of[host as usize]
+    }
+
+    /// Cluster index per dense host index.
+    #[inline]
+    pub fn cluster_map(&self) -> &[u32] {
+        &self.cluster_of
+    }
+
+    /// The dense host indices of one cluster, ascending.
+    #[inline]
+    pub fn hosts(&self, cluster: u32) -> &[u32] {
+        &self.clusters[cluster as usize]
+    }
+
+    /// Aggregate memory capacity per cluster.
+    #[inline]
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacity
+    }
+
+    /// The coarse super-node model: one pseudo-host per cluster carrying the
+    /// aggregated matrices and capacity, with the original components and
+    /// logical links. Pseudo-host ids are the cluster indices — meaningful
+    /// only inside the coarse problem, never decoded back into a
+    /// [`crate::Deployment`].
+    pub fn coarse_model(&self, model: &CompiledModel) -> CompiledModel {
+        let host_ids: Vec<HostId> = (0..self.clusters.len())
+            .map(|i| HostId::new(i as u32))
+            .collect();
+        let links: Vec<CompiledLink> = model.links().to_vec();
+        CompiledModel::from_parts(
+            host_ids,
+            model.comp_ids().to_vec(),
+            links,
+            self.reliability.clone(),
+            self.security.clone(),
+            self.delay.clone(),
+            self.bandwidth.clone(),
+            self.connected.clone(),
+            model.comp_memory().to_vec(),
+            self.capacity.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, GeneratorConfig};
+    use crate::model::DeploymentModel;
+
+    fn compiled(hosts: usize, comps: usize, seed: u64) -> CompiledModel {
+        let s = Generator::generate(&GeneratorConfig::sized(hosts, comps).with_seed(seed)).unwrap();
+        CompiledModel::compile(&s.model)
+    }
+
+    #[test]
+    fn every_host_lands_in_exactly_one_cluster() {
+        let cm = compiled(20, 40, 1);
+        let h = Hierarchy::build(&cm, &HierarchyConfig::default());
+        assert!(h.n_clusters() >= 1);
+        let mut seen = vec![false; cm.n_hosts()];
+        for k in 0..h.n_clusters() as u32 {
+            for &host in h.hosts(k) {
+                assert!(!seen[host as usize], "host {host} in two clusters");
+                seen[host as usize] = true;
+                assert_eq!(h.cluster_of(host), k);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "a host was dropped");
+    }
+
+    #[test]
+    fn default_target_is_sqrt_of_hosts() {
+        let cm = compiled(20, 10, 2);
+        let h = Hierarchy::build(&cm, &HierarchyConfig::default());
+        assert_eq!(h.n_clusters(), 5); // ⌈√20⌉
+        let h3 = Hierarchy::build(
+            &cm,
+            &HierarchyConfig {
+                target_clusters: 3,
+                ..HierarchyConfig::default()
+            },
+        );
+        assert_eq!(h3.n_clusters(), 3);
+    }
+
+    #[test]
+    fn zero_delay_communities_stay_together() {
+        // Two zero-delay pairs joined by a slow bridge: with the default
+        // threshold the pairs must not be split across clusters.
+        let mut m = DeploymentModel::new();
+        let hs: Vec<_> = (0..4)
+            .map(|i| m.add_host(format!("h{i}")).unwrap())
+            .collect();
+        m.set_physical_link(hs[0], hs[1], |l| l.set_delay(0.0))
+            .unwrap();
+        m.set_physical_link(hs[2], hs[3], |l| l.set_delay(0.0))
+            .unwrap();
+        m.set_physical_link(hs[1], hs[2], |l| l.set_delay(9.0))
+            .unwrap();
+        let cm = CompiledModel::compile(&m);
+        let h = Hierarchy::build(&cm, &HierarchyConfig::default());
+        assert_eq!(h.n_clusters(), 2);
+        assert_eq!(h.cluster_of(0), h.cluster_of(1));
+        assert_eq!(h.cluster_of(2), h.cluster_of(3));
+        assert_ne!(h.cluster_of(0), h.cluster_of(2));
+    }
+
+    #[test]
+    fn aggregates_take_the_best_cross_link() {
+        let mut m = DeploymentModel::new();
+        let hs: Vec<_> = (0..3)
+            .map(|i| m.add_host(format!("h{i}")).unwrap())
+            .collect();
+        // h0 | h1,h2 — two links from h0 into the other cluster.
+        m.set_physical_link(hs[0], hs[1], |l| {
+            l.set_reliability(0.5);
+            l.set_delay(4.0);
+            l.set_bandwidth(10.0);
+        })
+        .unwrap();
+        m.set_physical_link(hs[0], hs[2], |l| {
+            l.set_reliability(0.9);
+            l.set_delay(2.0);
+            l.set_bandwidth(5.0);
+        })
+        .unwrap();
+        m.set_physical_link(hs[1], hs[2], |l| l.set_delay(0.0))
+            .unwrap();
+        let cm = CompiledModel::compile(&m);
+        let h = Hierarchy::build(
+            &cm,
+            &HierarchyConfig {
+                target_clusters: 2,
+                ..HierarchyConfig::default()
+            },
+        );
+        assert_eq!(h.n_clusters(), 2);
+        let coarse = h.coarse_model(&cm);
+        let (a, b) = (h.cluster_of(0), h.cluster_of(1));
+        assert_eq!(coarse.reliability(a, b), 0.9);
+        assert_eq!(coarse.delay(a, b), 2.0);
+        assert_eq!(coarse.bandwidth(a, b), 10.0);
+        assert!(coarse.connected(a, b));
+        assert_eq!(coarse.reliability(a, a), 1.0);
+        assert_eq!(coarse.delay(a, a), 0.0);
+    }
+
+    #[test]
+    fn coarse_model_preserves_components_and_capacity() {
+        let cm = compiled(12, 30, 3);
+        let h = Hierarchy::build(&cm, &HierarchyConfig::default());
+        let coarse = h.coarse_model(&cm);
+        assert_eq!(coarse.n_hosts(), h.n_clusters());
+        assert_eq!(coarse.n_comps(), cm.n_comps());
+        assert_eq!(coarse.links().len(), cm.links().len());
+        assert_eq!(coarse.total_weight(), cm.total_weight());
+        for k in 0..h.n_clusters() {
+            let sum: f64 = h
+                .hosts(k as u32)
+                .iter()
+                .map(|&x| cm.host_memory()[x as usize])
+                .sum();
+            assert_eq!(coarse.host_memory()[k], sum);
+            assert_eq!(h.capacities()[k], sum);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let cm = compiled(16, 8, 4);
+        let a = Hierarchy::build(&cm, &HierarchyConfig::default());
+        let b = Hierarchy::build(&cm, &HierarchyConfig::default());
+        assert_eq!(a, b);
+    }
+}

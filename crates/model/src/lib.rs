@@ -69,6 +69,7 @@ pub mod deployment;
 pub mod error;
 pub mod eval;
 pub mod generator;
+pub mod hierarchy;
 pub mod ids;
 pub mod links;
 pub mod model;
@@ -90,6 +91,7 @@ pub use eval::{
     IncrementalScore, PartKind, Uncompiled, UNASSIGNED,
 };
 pub use generator::{GeneratedSystem, Generator, GeneratorConfig, Range};
+pub use hierarchy::{Hierarchy, HierarchyConfig};
 pub use ids::{ComponentId, HostId};
 pub use links::{ComponentPair, HostPair, LogicalLink, PhysicalLink};
 pub use model::{DeploymentModel, PathQuality};

@@ -866,6 +866,14 @@ impl PrismHost {
     /// previous hop for directly received frames, or the original source
     /// recovered from a [`WireMsg::Forward`] envelope.
     fn handle_frame(&mut self, origin: HostId, frame: WireMsg) {
+        // Any frame from `origin` proves the path from it works right now;
+        // stop probing that peer at the backoff cap and retry pending
+        // frames at the base RTO (recovers in-flight control traffic
+        // quickly once a partition heals or a lossy streak ends).
+        if let Some(ch) = self.services.channels.get_mut(&origin) {
+            let (now, rto) = (self.services.now, self.services.rto);
+            ch.on_peer_activity(now, rto);
+        }
         match frame {
             WireMsg::Forward { src, dst, frame } => {
                 if dst == self.arch.host() {

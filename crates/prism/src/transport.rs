@@ -127,6 +127,12 @@ struct PendingFrame {
 /// (64× the base RTO), so a long outage costs a trickle, not a flood.
 const MAX_BACKOFF_SHIFT: u32 = 6;
 
+/// A frame this many attempts in (16× the base RTO between probes) is
+/// considered stalled by an outage rather than ordinary link loss; peer
+/// activity collapses its backoff (see
+/// [`ReliableChannel::on_peer_activity`]).
+const STALLED_ATTEMPTS: u32 = 4;
+
 /// Sender/receiver state of one reliable channel to a single peer.
 ///
 /// At-least-once retransmission plus receiver-side deduplication gives
@@ -236,6 +242,26 @@ impl ReliableChannel {
             }
         }
         due
+    }
+
+    /// Fresh evidence that the path to this peer works again (a frame just
+    /// arrived from it): collapse the exponential backoff of frames deep in
+    /// backoff so they retry at the base RTO instead of the outage-rate
+    /// trickle. A long partition otherwise leaves surviving frames probing
+    /// at the backoff cap for the rest of the run, turning a healed link
+    /// into minutes of stalled control traffic. Ordinary lossy-link retries
+    /// (one or two attempts in) keep their schedule, and the restarts are
+    /// staggered one RTO apart so the healed link is not hit by a
+    /// thundering herd of simultaneous retransmissions.
+    pub(crate) fn on_peer_activity(&mut self, now: SimTime, rto: Duration) {
+        let mut i = 0u32;
+        for frame in self.pending.values_mut() {
+            if frame.attempts >= STALLED_ATTEMPTS {
+                frame.attempts = 0;
+                i += 1;
+                frame.next_due = frame.next_due.min(now + rto.saturating_mul(i as u64));
+            }
+        }
     }
 
     /// Every unacknowledged frame, oldest first, regardless of backoff
