@@ -44,6 +44,14 @@ struct CellOutcome {
     journal_dropped: u64,
     /// Structural trace-invariant violations found in the cell's journal.
     trace_violations: Vec<String>,
+    /// Crash recoveries performed (durable checkpoint + journal replays).
+    recovery_reports: usize,
+    /// Total per-operation verdicts those recoveries handed out.
+    recovery_verdicts: usize,
+    /// 1.0 iff every recovery's rebuilt state matched the pre-crash state.
+    recovery_state_equiv: f64,
+    /// Concatenated durable-store digests of every host (determinism probe).
+    durable_digest: Vec<u8>,
 }
 
 /// Campaign horizons (simulated seconds).
@@ -278,6 +286,27 @@ fn run_cell(
     let trace_violations = redep_telemetry::trace::check_journal(&events);
     let journal_dropped = fw.runtime().telemetry().journal().dropped();
 
+    // Durable-recovery outcome: every restarted host left a report with an
+    // explicit verdict per in-flight operation and a state-equivalence
+    // self-check; the concatenated store digests feed the determinism probe.
+    let rt = fw.runtime();
+    let mut recovery_reports = 0usize;
+    let mut recovery_verdicts = 0usize;
+    let mut recovery_state_equiv = 1.0f64;
+    let mut durable_digest = Vec::new();
+    for &hid in rt.hosts() {
+        if let Some(host) = rt.host(hid) {
+            for r in host.recovery_reports() {
+                recovery_reports += 1;
+                recovery_verdicts += r.verdicts.len();
+                if !r.state_equiv {
+                    recovery_state_equiv = 0.0;
+                }
+            }
+            durable_digest.extend(host.durable_digest());
+        }
+    }
+
     Ok(CellOutcome {
         baseline,
         dip,
@@ -289,6 +318,10 @@ fn run_cell(
         availability_samples: samples.iter().map(|&(_, a)| a).collect(),
         journal_dropped,
         trace_violations,
+        recovery_reports,
+        recovery_verdicts,
+        recovery_state_equiv,
+        durable_digest,
     })
 }
 
@@ -308,6 +341,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?;
     if let Some(dir) = &journal_dir {
         std::fs::create_dir_all(dir)?;
+    }
+    // `--only <class>`: restrict the matrix to one fault class (the CI
+    // crash-recovery smoke runs `--only crash`).
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or("--only requires a fault class argument")
+        })
+        .transpose()?;
+    let classes: Vec<&str> = FAULT_CLASSES
+        .iter()
+        .copied()
+        .filter(|c| only.as_deref().is_none_or(|o| o == *c))
+        .collect();
+    if classes.is_empty() {
+        return Err(format!(
+            "--only {}: unknown fault class (expected one of {FAULT_CLASSES:?})",
+            only.unwrap_or_default()
+        )
+        .into());
     }
     let algorithms: &[&str] = if quick {
         &["stochastic", "decap"]
@@ -329,11 +385,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut all_recovered = true;
     let mut total_violations = 0;
     let mut total_trace_violations = 0usize;
-    for &class in &FAULT_CLASSES {
+    let mut crash_recovery_ok = true;
+    for &class in &classes {
         for &algo in algorithms {
             let cell = run_cell(class, algo, quick)?;
             all_recovered &= cell.recovered;
             total_violations += cell.consistency_violations;
+            if class == "crash" {
+                // The crash cell must actually exercise durable recovery:
+                // the victim restarts, replays its store, self-checks state
+                // equivalence, and hands out at least one verdict.
+                crash_recovery_ok &= cell.recovery_reports >= 1
+                    && cell.recovery_verdicts >= 1
+                    && cell.recovery_state_equiv >= 1.0;
+            }
             for violation in &cell.trace_violations {
                 eprintln!("trace invariant [{class}.{algo}]: {violation}");
             }
@@ -344,6 +409,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.metric(format!("{key}.dip"), cell.dip);
             report.metric(format!("{key}.recovery_secs"), cell.recovery_secs);
             report.metric(format!("{key}.final"), cell.final_availability);
+            report.metric(
+                format!("{key}.recover.reports"),
+                cell.recovery_reports as f64,
+            );
+            report.metric(
+                format!("{key}.recover.verdicts"),
+                cell.recovery_verdicts as f64,
+            );
+            report.metric(
+                format!("{key}.recover.state_equiv"),
+                cell.recovery_state_equiv,
+            );
             report.percentiles_of(format!("{key}.availability"), &cell.availability_samples);
             if let Some(dir) = &journal_dir {
                 std::fs::write(format!("{dir}/{class}_{algo}.jsonl"), &cell.journal)?;
@@ -374,26 +451,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Determinism: the same seed and the same plan must produce the same
-    // run, byte for byte, in the machine-readable journal.
+    // run, byte for byte, in the machine-readable journal — and leave
+    // byte-identical durable stores (checkpoints + write-ahead journals) on
+    // every host, crash recovery included.
     let a = run_cell("crash", algorithms[0], quick)?;
     let b = run_cell("crash", algorithms[0], quick)?;
-    let deterministic = a.journal == b.journal && !a.journal.is_empty();
+    let deterministic = a.journal == b.journal
+        && !a.journal.is_empty()
+        && a.durable_digest == b.durable_digest
+        && !a.durable_digest.is_empty();
     println!(
-        "\ndeterminism: two identical crash runs -> journals {} ({} bytes)",
-        if deterministic { "identical" } else { "DIFFER" },
-        a.journal.len()
+        "\ndeterminism: two identical crash runs -> journals {} ({} bytes), durable stores {} ({} digest bytes)",
+        if a.journal == b.journal { "identical" } else { "DIFFER" },
+        a.journal.len(),
+        if a.durable_digest == b.durable_digest { "identical" } else { "DIFFER" },
+        a.durable_digest.len()
     );
 
     report.metric("consistency.violations", total_violations as f64);
     report.metric("trace.violations", total_trace_violations as f64);
     report.metric("determinism.identical", f64::from(u8::from(deterministic)));
     report.set_passed(
-        all_recovered && total_violations == 0 && total_trace_violations == 0 && deterministic,
+        all_recovered
+            && total_violations == 0
+            && total_trace_violations == 0
+            && deterministic
+            && crash_recovery_ok,
     );
 
     assert!(
         all_recovered,
         "fault campaign FAILED: a fault class did not recover"
+    );
+    assert!(
+        crash_recovery_ok,
+        "fault campaign FAILED: a crash cell recovered without durable reports, \
+         verdicts, or state equivalence"
     );
     assert_eq!(
         total_violations, 0,

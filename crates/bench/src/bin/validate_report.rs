@@ -18,7 +18,10 @@
 //! and the 1000×10000 scale row. A full-mode *faults* report (one carrying
 //! `.avala.` cells) must show every `*.decap.final` availability ≥ 0.90 —
 //! the partial-view starvation fix the hierarchical auctions exist for.
-//! Quick-mode (CI smoke) reports omit those metrics and skip the gates.
+//! Quick-mode (CI smoke) reports omit those metrics and skip the gates —
+//! except the durable-recovery gate, which fires on *any* faults report
+//! carrying crash cells: every `crash.<algo>` cell must show ≥ 1 recovery
+//! report, ≥ 1 verdict, and `recover.state_equiv == 1.0`.
 
 use redep_bench::ExpReport;
 
@@ -69,6 +72,7 @@ fn check_algorithms_gates(file: &str, report: &ExpReport) -> Result<(), String> 
 /// Enforces the decentralized-recovery acceptance on full-mode fault
 /// reports: no fault class may leave DecAp below 0.90 final availability.
 fn check_faults_gates(file: &str, report: &ExpReport) -> Result<(), String> {
+    check_crash_recovery_gates(file, report)?;
     if !report.metrics.keys().any(|k| k.contains(".avala.")) {
         return Ok(()); // quick-mode report: nothing to gate
     }
@@ -78,6 +82,43 @@ fn check_faults_gates(file: &str, report: &ExpReport) -> Result<(), String> {
                 "{file}: {key} = {value:.4} is below the 0.90 final-availability \
                  gate for hierarchical DecAp"
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Enforces the durable-recovery acceptance on any fault report carrying
+/// crash cells (quick-mode smoke included): each crash cell must show at
+/// least one durable recovery (checkpoint + journal replay), at least one
+/// per-operation verdict, and a perfect state-equivalence self-check.
+fn check_crash_recovery_gates(file: &str, report: &ExpReport) -> Result<(), String> {
+    let algos: Vec<String> = report
+        .metrics
+        .keys()
+        .filter_map(|k| {
+            k.strip_prefix("crash.")
+                .and_then(|rest| rest.strip_suffix(".final"))
+                .map(str::to_owned)
+        })
+        .collect();
+    for algo in &algos {
+        for (suffix, minimum) in [
+            ("recover.reports", 1.0),
+            ("recover.verdicts", 1.0),
+            ("recover.state_equiv", 1.0),
+        ] {
+            let key = format!("crash.{algo}.{suffix}");
+            let value = report
+                .metrics
+                .get(&key)
+                .copied()
+                .ok_or_else(|| format!("{file}: crash cell is missing {key}"))?;
+            if value < minimum {
+                return Err(format!(
+                    "{file}: {key} = {value} is below the durable-recovery \
+                     gate ({minimum})"
+                ));
+            }
         }
     }
     Ok(())

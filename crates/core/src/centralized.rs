@@ -183,6 +183,26 @@ impl CentralizedFramework {
         let cycle_start = self.runtime.sim().now();
         let cycle_ctx = self.tracer.root();
         self.runtime.run_for(monitor_for);
+        // Surface crash recoveries (durable checkpoint + journal replays)
+        // that happened while the system ran: the cycle's decisions should
+        // see verified facts about what each restarted host recovered, not
+        // infer them from monitoring silence.
+        for report in self.runtime.drain_recovery_reports() {
+            // Timestamped at the drain (the restart itself happened outside
+            // this cycle's span); the restart instant rides in a field.
+            self.telemetry
+                .event("core.recovery", self.runtime.sim().now().as_micros())
+                .field("mode", "crash-replay")
+                .field("recovered_at_us", report.at.as_micros())
+                .field("host", report.host.raw())
+                .field("checkpoint_seq", report.checkpoint_seq)
+                .field("replayed", report.replayed)
+                .field("state_equiv", report.state_equiv)
+                .field("verdicts", report.verdicts.len())
+                .field("completed", report.completed())
+                .trace(self.tracer.child(&cycle_ctx))
+                .emit();
+        }
         let snapshots = self
             .adapter
             .pull_monitoring_data(self.runtime.sim(), self.desi.system_mut())?;

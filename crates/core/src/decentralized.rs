@@ -156,6 +156,32 @@ impl DecentralizedFramework {
         self.runtime.run_for(span);
     }
 
+    /// Drains fresh crash-recovery reports (durable checkpoint + journal
+    /// replays), journals each as a `core.recovery` crash-replay event, and
+    /// returns them so callers can consult the per-operation verdicts.
+    fn drain_recoveries(&mut self, cycle_ctx: TraceCtx) -> Vec<redep_prism::RecoveryReport> {
+        let reports = self.runtime.drain_recovery_reports();
+        let telemetry = self.runtime.telemetry().clone();
+        let now_us = self.runtime.sim().now().as_micros();
+        for report in &reports {
+            // Timestamped at the drain (the restart itself happened outside
+            // this cycle's span); the restart instant rides in a field.
+            telemetry
+                .event("core.recovery", now_us)
+                .field("mode", "crash-replay")
+                .field("recovered_at_us", report.at.as_micros())
+                .field("host", report.host.raw())
+                .field("checkpoint_seq", report.checkpoint_seq)
+                .field("replayed", report.replayed)
+                .field("state_equiv", report.state_equiv)
+                .field("verdicts", report.verdicts.len())
+                .field("completed", report.completed())
+                .trace(self.tracer.child(&cycle_ctx))
+                .emit();
+        }
+        reports
+    }
+
     /// Collects the latest snapshot of every host's local monitor.
     fn collect_snapshots(&self) -> Vec<MonitoringSnapshot> {
         self.runtime
@@ -196,6 +222,14 @@ impl DecentralizedFramework {
         let cycle_start = self.runtime.sim().now();
         let cycle_ctx = self.tracer.root();
         self.runtime.run_for(monitor_for);
+        // Moves whose landing a restarted host *proved* by replaying the
+        // migrant's attach record from its durable journal. Seeded from
+        // crashes during the monitoring phase, extended during effecting.
+        let mut recovered_landed: std::collections::BTreeSet<String> = self
+            .drain_recoveries(cycle_ctx)
+            .iter()
+            .flat_map(|r| r.completed_moves().map(str::to_owned))
+            .collect();
         let snapshots = self.collect_snapshots();
         let hosts_reporting = snapshots.len();
         self.adapter
@@ -321,12 +355,24 @@ impl DecentralizedFramework {
             let mut done = false;
             for attempt in 1..=self.recovery.effect_attempts() {
                 if attempt > 1 {
+                    // Consult durable recovery verdicts before chasing: a
+                    // destination that crashed and replayed the migrant's
+                    // attach from its journal verifiably holds it, so a
+                    // re-request would only spawn a duplicate transfer.
+                    recovered_landed.extend(
+                        self.drain_recoveries(cycle_ctx)
+                            .iter()
+                            .flat_map(|r| r.completed_moves().map(str::to_owned)),
+                    );
                     let actual = self.runtime.actual_deployment();
                     for m in &migrations {
                         if landed(&self.runtime, m) {
                             continue;
                         }
                         let name = names[&m.component].clone();
+                        if recovered_landed.contains(&name) {
+                            continue;
+                        }
                         if let Some(&holder) = actual.get(&name) {
                             if holder != m.to {
                                 // Re-requests carry the move's own span, so

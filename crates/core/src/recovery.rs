@@ -23,6 +23,14 @@ pub enum RecoveryPolicy {
     /// (each re-effect opens a fresh redeployment epoch), then reconcile
     /// the model with the running system's actual placement and report a
     /// degraded-but-consistent cycle instead of an error.
+    ///
+    /// `max_effect_attempts` must be at least 1 — the initial effect *is*
+    /// the first attempt, so 0 is unsatisfiable. Build through
+    /// [`RecoveryPolicy::reconcile`] to reject 0 at construction;
+    /// [`RecoveryPolicy::effect_attempts`] additionally `debug_assert`s on
+    /// a 0 smuggled in through the struct literal, and floors it to 1 in
+    /// release builds (the historical behavior, now loud instead of
+    /// silent).
     Reconcile {
         /// Total `effect` attempts per cycle (the initial effect counts as
         /// the first attempt).
@@ -39,6 +47,25 @@ impl Default for RecoveryPolicy {
 }
 
 impl RecoveryPolicy {
+    /// Builds a [`RecoveryPolicy::Reconcile`], rejecting the unsatisfiable
+    /// `max_effect_attempts == 0` at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_effect_attempts` is 0: the initial effect counts as
+    /// the first attempt, so a budget of 0 cannot be honored and would
+    /// otherwise be silently treated as 1.
+    pub fn reconcile(max_effect_attempts: u32) -> Self {
+        assert!(
+            max_effect_attempts >= 1,
+            "Reconcile requires max_effect_attempts >= 1 (the initial effect \
+             is the first attempt; 0 would silently behave as 1)"
+        );
+        RecoveryPolicy::Reconcile {
+            max_effect_attempts,
+        }
+    }
+
     /// Total effect attempts this policy allows per cycle (1 under
     /// [`RecoveryPolicy::Abort`]).
     pub fn effect_attempts(self) -> u32 {
@@ -46,7 +73,14 @@ impl RecoveryPolicy {
             RecoveryPolicy::Abort => 1,
             RecoveryPolicy::Reconcile {
                 max_effect_attempts,
-            } => max_effect_attempts.max(1),
+            } => {
+                debug_assert!(
+                    max_effect_attempts >= 1,
+                    "Reconcile {{ max_effect_attempts: 0 }} is a \
+                     misconfiguration; use RecoveryPolicy::reconcile(n)"
+                );
+                max_effect_attempts.max(1)
+            }
         }
     }
 }
@@ -67,14 +101,34 @@ mod tests {
     }
 
     #[test]
-    fn attempt_floor_is_one() {
+    fn attempt_floor_is_one_for_abort() {
         assert_eq!(RecoveryPolicy::Abort.effect_attempts(), 1);
+    }
+
+    #[test]
+    fn reconcile_constructor_accepts_positive_budgets() {
         assert_eq!(
+            RecoveryPolicy::reconcile(3),
             RecoveryPolicy::Reconcile {
-                max_effect_attempts: 0
+                max_effect_attempts: 3
             }
-            .effect_attempts(),
-            1
         );
+        assert_eq!(RecoveryPolicy::reconcile(1).effect_attempts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_effect_attempts >= 1")]
+    fn reconcile_constructor_rejects_zero() {
+        let _ = RecoveryPolicy::reconcile(0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "misconfiguration")]
+    fn zero_attempts_smuggled_via_literal_is_loud() {
+        let _ = RecoveryPolicy::Reconcile {
+            max_effect_attempts: 0,
+        }
+        .effect_attempts();
     }
 }

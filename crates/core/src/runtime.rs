@@ -240,6 +240,21 @@ impl SystemRuntime {
             }
         }
     }
+
+    /// Drains every host's fresh [`redep_prism::RecoveryReport`]s — crash
+    /// recoveries (checkpoint + journal replays) the frameworks have not
+    /// consulted yet. Each report carries an explicit completed/not-completed
+    /// verdict per operation that was in flight at the crash, so recovery
+    /// decisions read durable facts instead of guessing from silence.
+    pub fn drain_recovery_reports(&mut self) -> Vec<redep_prism::RecoveryReport> {
+        let mut out = Vec::new();
+        for h in self.hosts.clone() {
+            if let Some(host) = self.host_mut(h) {
+                out.extend(host.take_fresh_recovery_reports());
+            }
+        }
+        out
+    }
 }
 
 /// Output of [`assemble_hosts`]: configured hosts in model order plus the

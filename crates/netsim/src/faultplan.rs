@@ -351,6 +351,141 @@ mod tests {
             .expand();
     }
 
+    // ---- episode-boundary ordering ---------------------------------------
+    //
+    // A `HostCrash` episode `[start, start + duration)` is closed at its
+    // start and open at its end: an event landing exactly at the crash
+    // instant is lost, one landing exactly at the restart instant is
+    // processed. The tests below pin that contract — the fault action for an
+    // instant is scheduled at plan-install time, so its queue sequence number
+    // is lower than any same-instant event scheduled later during the run,
+    // and the `(time, seq)` calendar order makes it win the tie.
+
+    use crate::node::{Node, NodeCtx};
+    use crate::sim::Simulator;
+    use crate::time::{Duration, SimTime};
+    use crate::topology::LinkSpec;
+    use crate::Message;
+
+    /// Sends a 0-byte message to `to` over a zero-delay link at each armed
+    /// instant, so arrival time equals send time exactly.
+    struct BoundarySender {
+        to: HostId,
+    }
+    impl Node for BoundarySender {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration::from_secs_f64(1.0), 0);
+            ctx.set_timer(Duration::from_secs_f64(2.0), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+            let stamp = format!("msg@{}", ctx.now().as_micros());
+            ctx.send(self.to, stamp.into_bytes(), 0);
+        }
+    }
+
+    /// Records every callback with its instant, in execution order.
+    #[derive(Default)]
+    struct BoundaryVictim {
+        log: Vec<(u64, String)>,
+    }
+    impl Node for BoundaryVictim {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            // Token 1 lands exactly at the crash instant, token 2 exactly at
+            // the restart instant.
+            ctx.set_timer(Duration::from_secs_f64(1.0), 1);
+            ctx.set_timer(Duration::from_secs_f64(2.0), 2);
+        }
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, msg: Message) {
+            let text = String::from_utf8_lossy(&msg.payload).into_owned();
+            self.log.push((ctx.now().as_micros(), text));
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+            self.log
+                .push((ctx.now().as_micros(), format!("timer:{token}")));
+        }
+        fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+            self.log.push((ctx.now().as_micros(), "restart".into()));
+        }
+    }
+
+    /// Runs a 2-host sim with host 1 crashed over `[1s, 2s)` and returns
+    /// host 1's callback log.
+    fn boundary_run() -> Vec<(u64, String)> {
+        let mut sim = Simulator::new(7);
+        sim.add_host(h(0), BoundarySender { to: h(1) });
+        sim.add_host(h(1), BoundaryVictim::default());
+        sim.set_link(
+            h(0),
+            h(1),
+            LinkSpec {
+                reliability: 1.0,
+                bandwidth: 1e12,
+                delay: 0.0,
+            },
+        );
+        sim.install_fault_plan(&FaultPlan::new().episode(
+            1.0,
+            1.0,
+            FaultKind::HostCrash { host: h(1) },
+        ));
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        sim.node_ref::<BoundaryVictim>(h(1)).unwrap().log.clone()
+    }
+
+    #[test]
+    fn message_at_crash_instant_is_dropped_at_restart_instant_delivered() {
+        let log = boundary_run();
+        let texts: Vec<&str> = log.iter().map(|(_, s)| s.as_str()).collect();
+        // t == crash start: the HostDown action (installed early, lower seq)
+        // beats the same-instant delivery, which is dropped.
+        assert!(
+            !texts.contains(&"msg@1000000"),
+            "message at the crash instant must be lost: {texts:?}"
+        );
+        // t == restart: the HostUp action wins the tie the same way, so the
+        // same-instant delivery goes through.
+        assert!(
+            texts.contains(&"msg@2000000"),
+            "message at the restart instant must be delivered: {texts:?}"
+        );
+    }
+
+    #[test]
+    fn timer_at_crash_instant_is_deferred_to_the_restart_instant() {
+        let log = boundary_run();
+        // Token 1 was due exactly at the crash instant: not dropped, but
+        // deferred and replayed at restart time.
+        let fired: Vec<u64> = log
+            .iter()
+            .filter(|(_, s)| s == "timer:1")
+            .map(|&(t, _)| t)
+            .collect();
+        assert_eq!(
+            fired,
+            vec![2_000_000],
+            "deferred token replays once: {log:?}"
+        );
+    }
+
+    #[test]
+    fn restart_instant_order_is_hook_then_due_timer_then_deferred_replay() {
+        let log = boundary_run();
+        let at_restart: Vec<&str> = log
+            .iter()
+            .filter(|&&(t, _)| t == 2_000_000)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        // The restart hook runs inside the HostUp action; a timer due
+        // exactly at the restart instant (armed pre-crash, so an older
+        // sequence number) beats the freshly-scheduled deferred replay; the
+        // same-instant message (sent after the fault action) comes last.
+        assert_eq!(
+            at_restart,
+            vec!["restart", "timer:2", "timer:1", "msg@2000000"],
+            "restart-instant ordering changed: {log:?}"
+        );
+    }
+
     #[test]
     #[should_panic(expected = "at least two groups")]
     fn degenerate_partition_panics() {

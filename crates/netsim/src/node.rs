@@ -33,6 +33,20 @@ pub trait Node: Any + Send {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
         let _ = (ctx, token);
     }
+
+    /// Called when this host comes back up after a crash
+    /// ([`Simulator::set_host_up`](crate::Simulator::set_host_up) with
+    /// `up = true` after a down period).
+    ///
+    /// Runs *before* any timer deferred during the outage is replayed and
+    /// before any same-instant queued event is delivered, so a durable node
+    /// can rebuild its state (e.g. replay a checkpoint + journal) and have
+    /// everything that follows observe the recovered state. The default does
+    /// nothing: a node without durable state simply resumes with whatever it
+    /// held in memory, which is the pre-durability simulator behavior.
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
 }
 
 /// What a node asked the simulator to do during a callback.

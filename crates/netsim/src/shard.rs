@@ -733,6 +733,7 @@ impl ShardCore {
         root: &TraceCtx,
     ) {
         let dense = self.plan.dense(host);
+        let was_up = self.host_up[dense as usize];
         self.host_up[dense as usize] = up;
         if journal {
             self.telemetry
@@ -743,6 +744,11 @@ impl ShardCore {
                 .emit();
         }
         if up && self.plan.shard_of_dense(dense) == self.idx {
+            // Restart hook before deferred replay: same ordering contract as
+            // `Simulator::set_host_up`, so sharded runs recover identically.
+            if !was_up {
+                self.run_callback(host, |node, ctx| node.on_restart(ctx));
+            }
             if let Some(tokens) = self.deferred_timers.remove(&dense) {
                 if journal {
                     self.telemetry

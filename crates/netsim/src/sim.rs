@@ -221,6 +221,7 @@ impl Simulator {
     /// immediately when the host comes back up (so periodic loops resume
     /// after a restart instead of dying with the crash).
     pub fn set_host_up(&mut self, host: HostId, up: bool) {
+        let was_up = self.topology.host_is_up(host);
         self.topology.set_host_up(host, up);
         let ctx = self.fault_child();
         self.telemetry
@@ -230,6 +231,13 @@ impl Simulator {
             .trace_opt(ctx)
             .emit();
         if up {
+            // Restart hook first: the node rebuilds its state (durable
+            // replay) before any deferred timer fires and before any
+            // same-instant queued event is delivered. A redundant "up" on a
+            // host that never went down is not a restart.
+            if !was_up {
+                self.run_callback(host, |node, ctx| node.on_restart(ctx));
+            }
             if let Some(tokens) = self.deferred_timers.remove(&host) {
                 let replay_ctx = self.fault_child();
                 self.telemetry
@@ -1094,6 +1102,56 @@ mod tests {
         );
         // And the down window really silenced it: ~20 ticks, not ~30.
         assert!(after < 25, "crash window did not suppress ticks: {after}");
+    }
+
+    /// Records the order in which restart and timer callbacks run.
+    struct RestartProbe {
+        log: Vec<&'static str>,
+    }
+    impl Node for RestartProbe {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration::from_millis(100), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+            self.log.push("timer");
+            ctx.set_timer(Duration::from_millis(100), 0);
+        }
+        fn on_restart(&mut self, _ctx: &mut NodeCtx<'_>) {
+            self.log.push("restart");
+        }
+    }
+
+    #[test]
+    fn restart_hook_runs_before_deferred_timer_replay() {
+        use crate::faultplan::{FaultKind, FaultPlan};
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), RestartProbe { log: Vec::new() });
+        sim.install_fault_plan(&FaultPlan::new().episode(
+            1.0,
+            1.0,
+            FaultKind::HostCrash { host: h(0) },
+        ));
+        sim.run_until(SimTime::from_secs_f64(2.05));
+        let log = &sim.node_ref::<RestartProbe>(h(0)).unwrap().log;
+        let restart = log
+            .iter()
+            .position(|&s| s == "restart")
+            .expect("on_restart ran");
+        // Ticks before the crash, then the restart hook, then the deferred
+        // replay — recovery always observes the world before new callbacks.
+        assert!(log[..restart].iter().all(|&s| s == "timer"));
+        assert_eq!(log[restart + 1], "timer", "deferred replay follows hook");
+    }
+
+    #[test]
+    fn redundant_host_up_is_not_a_restart() {
+        let mut sim = Simulator::new(1);
+        sim.add_host(h(0), RestartProbe { log: Vec::new() });
+        sim.set_host_up(h(0), true);
+        assert!(
+            sim.node_ref::<RestartProbe>(h(0)).unwrap().log.is_empty(),
+            "up -> up must not invoke the restart hook"
+        );
     }
 
     #[test]

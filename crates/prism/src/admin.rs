@@ -38,6 +38,7 @@
 
 use crate::architecture::Architecture;
 use crate::brick::{BrickId, ComponentFactory};
+use crate::durable::JournalRecord;
 use crate::event::Event;
 use crate::host::{HostConfig, HostServices, ADMIN_ADDRESS, DEPLOYER_ADDRESS};
 use crate::monitor::{EventFrequencyMonitor, MonitoringSnapshot};
@@ -135,6 +136,30 @@ impl RedeploymentStatus {
     }
 }
 
+/// The serde shape of [`AdminComponent::durable_blob`].
+#[derive(Serialize, Deserialize, Default)]
+struct AdminDurable {
+    reliabilities: BTreeMap<HostId, f64>,
+    reports_sent: u64,
+    /// The last assembled [`MonitoringSnapshot`], pre-encoded.
+    last_snapshot: Option<Vec<u8>>,
+}
+
+/// A [`TraceCtx`] flattened for serde (trace id, span id, parent span id).
+type DurableCtx = (u64, u64, Option<u64>);
+
+fn ctx_durable(ctx: Option<TraceCtx>) -> Option<DurableCtx> {
+    ctx.map(|c| (c.trace_id, c.span_id, c.parent_id))
+}
+
+fn ctx_restore(ctx: Option<DurableCtx>) -> Option<TraceCtx> {
+    ctx.map(|(trace_id, span_id, parent_id)| TraceCtx {
+        trace_id,
+        span_id,
+        parent_id,
+    })
+}
+
 /// A deployment command: where each named component should live.
 pub type DeploymentCommand = BTreeMap<String, HostId>;
 
@@ -191,6 +216,33 @@ impl AdminComponent {
     /// Latest per-peer reliability estimates.
     pub fn reliability_estimates(&self) -> &BTreeMap<HostId, f64> {
         &self.latest_reliabilities
+    }
+
+    /// Serializes the admin's durable state (persisted in every checkpoint
+    /// and every `MonitorWindow` journal record). The stability gauges and
+    /// the *open* window's raw interaction counts are deliberately volatile:
+    /// the window in flight at a crash is lost, which is exactly what the
+    /// recovery report's `MonitorWindow` not-completed verdict says.
+    pub(crate) fn durable_blob(&self) -> Vec<u8> {
+        let durable = AdminDurable {
+            reliabilities: self.latest_reliabilities.clone(),
+            reports_sent: self.reports_sent,
+            last_snapshot: self.last_snapshot.as_ref().and_then(|s| s.encode().ok()),
+        };
+        serde_json::to_vec(&durable).expect("admin durable state serializes")
+    }
+
+    /// Restores the durable half of the admin from a [`Self::durable_blob`]
+    /// (monitors and gauges restart empty). Malformed blobs are ignored.
+    pub(crate) fn restore_durable(&mut self, blob: &[u8]) {
+        let Ok(durable) = serde_json::from_slice::<AdminDurable>(blob) else {
+            return;
+        };
+        self.latest_reliabilities = durable.reliabilities;
+        self.reports_sent = durable.reports_sent;
+        self.last_snapshot = durable
+            .last_snapshot
+            .and_then(|bytes| MonitoringSnapshot::decode(&bytes).ok());
     }
 
     /// Records one named interaction (called by the host runtime for every
@@ -368,6 +420,9 @@ impl AdminComponent {
             send_nack(services, &component, epoch, "absent", ctx);
             return;
         };
+        services.journal(JournalRecord::ComponentDetached {
+            name: component.clone(),
+        });
         let doc = TransferDoc {
             name: component,
             type_name,
@@ -410,9 +465,20 @@ impl AdminComponent {
             return;
         };
         let _ = arch.weld(id, app_connector);
+        services.journal(JournalRecord::ComponentAttached {
+            name: doc.name.clone(),
+            type_name: doc.type_name.clone(),
+            state: doc.state.clone(),
+        });
         services.directory_set(doc.name.clone(), self.host);
-        // Replay events buffered while the component was in flight.
+        // Replay events buffered while the component was in flight. Each
+        // replayed event is journaled like any other local delivery, so
+        // crash recovery re-applies it to the migrant's recovered state.
         for buffered in services.take_buffered(&doc.name) {
+            services.journal(JournalRecord::Delivery {
+                component: doc.name.clone(),
+                event: buffered.encode().expect("events serialize"),
+            });
             let _ = arch.publish(&doc.name, buffered);
         }
         send_ack(services, &doc.name, doc.epoch, ctx);
@@ -477,6 +543,38 @@ struct PendingMove {
     /// Whether the span was already settled (framework abandon at
     /// reconcile); settling is idempotent per move.
     settled: bool,
+}
+
+/// The serde shape of one [`PendingMove`] inside [`DeployerDurable`].
+#[derive(Serialize, Deserialize)]
+struct PendingMoveDurable {
+    dest: HostId,
+    holder: HostId,
+    attempts: u32,
+    deadline_us: u64,
+    started_us: u64,
+    settled: bool,
+    ctx: Option<DurableCtx>,
+}
+
+/// The serde shape of [`DeployerComponent::durable_blob`]: everything the
+/// deployer needs to keep steering the *current epoch* across a crash.
+/// Replacing the whole blob on every deployer transition is coarse on
+/// purpose — transitions are rare, and a full snapshot is simpler to get
+/// exactly right than per-field deltas.
+#[derive(Serialize, Deserialize, Default)]
+struct DeployerDurable {
+    epoch: u64,
+    requested: u64,
+    confirmed: u64,
+    target_directory: BTreeMap<String, HostId>,
+    known_hosts: Vec<HostId>,
+    /// Encoded [`MonitoringSnapshot`]s (each names its own host).
+    snapshots: Vec<Vec<u8>>,
+    pending: Vec<(String, PendingMoveDurable)>,
+    failed: Vec<(String, String)>,
+    failed_ctx: Vec<(String, DurableCtx)>,
+    epoch_ctx: Option<DurableCtx>,
 }
 
 /// The master-host deployer (the paper's `DeployerComponent` — the
@@ -593,6 +691,100 @@ impl DeployerComponent {
                 .expect("still pending")
                 .settled = true;
         }
+    }
+
+    /// Serializes the deployer's durable state (journaled after every
+    /// deployer transition and persisted in checkpoints). The per-move
+    /// deadline and attempt budget come from [`HostConfig`], and the span-id
+    /// allocator restarts deterministically, so neither is persisted.
+    pub(crate) fn durable_blob(&self) -> Vec<u8> {
+        let durable = DeployerDurable {
+            epoch: self.epoch,
+            requested: self.requested,
+            confirmed: self.confirmed,
+            target_directory: self.target_directory.clone(),
+            known_hosts: self.known_hosts.iter().copied().collect(),
+            snapshots: self
+                .snapshots
+                .values()
+                .filter_map(|s| s.encode().ok())
+                .collect(),
+            pending: self
+                .pending
+                .iter()
+                .map(|(component, mv)| {
+                    (
+                        component.clone(),
+                        PendingMoveDurable {
+                            dest: mv.dest,
+                            holder: mv.holder,
+                            attempts: mv.attempts,
+                            deadline_us: mv.deadline.as_micros(),
+                            started_us: mv.started.as_micros(),
+                            settled: mv.settled,
+                            ctx: ctx_durable(mv.ctx),
+                        },
+                    )
+                })
+                .collect(),
+            failed: self
+                .failed
+                .iter()
+                .map(|(c, r)| (c.clone(), r.clone()))
+                .collect(),
+            failed_ctx: self
+                .failed_ctx
+                .iter()
+                .filter_map(|(c, ctx)| ctx_durable(Some(*ctx)).map(|d| (c.clone(), d)))
+                .collect(),
+            epoch_ctx: ctx_durable(self.epoch_ctx),
+        };
+        serde_json::to_vec(&durable).expect("deployer durable state serializes")
+    }
+
+    /// Restores the deployer from a [`Self::durable_blob`]. Malformed blobs
+    /// are ignored (the deployer then restarts with an empty epoch 0, and
+    /// the recovery report's not-completed verdicts say what was dropped).
+    pub(crate) fn restore_durable(&mut self, blob: &[u8]) {
+        let Ok(durable) = serde_json::from_slice::<DeployerDurable>(blob) else {
+            return;
+        };
+        self.epoch = durable.epoch;
+        self.requested = durable.requested;
+        self.confirmed = durable.confirmed;
+        self.target_directory = durable.target_directory;
+        self.known_hosts = durable.known_hosts.into_iter().collect();
+        self.snapshots = durable
+            .snapshots
+            .iter()
+            .filter_map(|bytes| MonitoringSnapshot::decode(bytes).ok())
+            .map(|s| (s.host, s))
+            .collect();
+        self.pending = durable
+            .pending
+            .into_iter()
+            .map(|(component, mv)| {
+                (
+                    component,
+                    PendingMove {
+                        dest: mv.dest,
+                        holder: mv.holder,
+                        attempts: mv.attempts,
+                        deadline: SimTime::from_micros(mv.deadline_us),
+                        started: SimTime::from_micros(mv.started_us),
+                        settled: mv.settled,
+                        ctx: ctx_restore(mv.ctx),
+                    },
+                )
+            })
+            .collect();
+        self.failed = durable.failed.into_iter().collect();
+        self.failed_ctx = durable
+            .failed_ctx
+            .into_iter()
+            .filter_map(|(c, d)| ctx_restore(Some(d)).map(|ctx| (c, ctx)))
+            .collect();
+        self.epoch_ctx = ctx_restore(durable.epoch_ctx);
     }
 
     /// Monitoring snapshots collected from every reporting host.

@@ -387,6 +387,23 @@ impl Architecture {
             .collect()
     }
 
+    /// `(instance name, type name, state snapshot)` of every component, in
+    /// name order, *without* detaching anything — the checkpoint path of the
+    /// durable store and the state-equivalence witness of crash recovery.
+    pub fn component_snapshots(&self) -> Vec<(String, String, Vec<u8>)> {
+        self.by_name
+            .iter()
+            .map(|(name, id)| {
+                let slot = self.component_slot(*id).expect("maps in sync");
+                (
+                    name.clone(),
+                    slot.behavior.type_name().to_owned(),
+                    slot.behavior.snapshot(),
+                )
+            })
+            .collect()
+    }
+
     /// Number of components.
     pub fn component_count(&self) -> usize {
         self.by_name.len()

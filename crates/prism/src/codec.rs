@@ -130,12 +130,12 @@ fn get_symbol(bytes: &[u8], pos: &mut usize) -> Result<Symbol, PrismError> {
     Symbol::from_id(id).ok_or_else(|| codec_err("unknown symbol id"))
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     put_varint(out, b.len() as u64);
     out.extend_from_slice(b);
 }
 
-fn get_bytes<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], PrismError> {
+pub(crate) fn get_bytes<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], PrismError> {
     let len = get_varint(bytes, pos)? as usize;
     let end = pos
         .checked_add(len)

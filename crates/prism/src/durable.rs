@@ -1,0 +1,1053 @@
+//! Per-host durability: a write-ahead journal plus periodic checkpoints, so
+//! a crashed host restarts by *replay* instead of from nothing — and can say
+//! exactly which in-flight operations completed.
+//!
+//! # Store layout
+//!
+//! A [`DurableStore`] owns two byte streams behind a [`DurableBackend`]:
+//!
+//! * the **checkpoint**: one [`Checkpoint`] snapshot of the host's full
+//!   durable state (components, directory, buffers, channel sequence state,
+//!   component timers, admin/deployer blobs), replaced atomically on every
+//!   [`DurableStore::checkpoint`] call, which also truncates the journal;
+//! * the **journal**: an append-only sequence of [`JournalRecord`]s, each
+//!   framed as a LEB128 length prefix followed by the record body (the same
+//!   varint primitives as the wire codec in [`crate::codec`]).
+//!
+//! Recovery ([`DurableStore::recover`]) decodes the checkpoint, then decodes
+//! journal records until the bytes run out *or a record is torn* — a partial
+//! final record (a crash mid-append) decodes as a truncated varint or
+//! truncated byte slice, and recovery simply stops there: everything before
+//! the torn record is replayed, the tail is ignored and its length reported.
+//!
+//! # Determinism rules
+//!
+//! The default backend is in-memory and the store is driven only by the
+//! deterministic simulation, so **two identical runs produce byte-identical
+//! checkpoint + journal contents** ([`DurableStore::digest`] is the
+//! equality witness the fault campaign checks). Nothing in this module reads
+//! clocks, RNGs, or iteration orders that are not already deterministic
+//! (`BTreeMap` everywhere in the host state it serializes).
+//!
+//! # Detectable recovery
+//!
+//! In the memento style, recovery does not merely restore state — it reports
+//! a verdict for every operation that was in flight at the crash:
+//! [`OpVerdict`] says whether a migration move, a buffered event, or the
+//! open monitoring window completed, and [`RecoveryReport`] carries the
+//! verdict set plus a self-check (`state_equiv`) that the replayed state is
+//! identical to the state the host actually held at the crash instant.
+
+use crate::codec::{get_bytes, get_varint, put_bytes, put_varint};
+use crate::error::PrismError;
+use redep_model::HostId;
+use redep_netsim::SimTime;
+use redep_telemetry::Counter;
+
+/// One durable mutation of host state, appended to the write-ahead journal
+/// *after* the in-memory effect is applied (the journal is a redo log; every
+/// record is idempotent to re-apply on a freshly wiped host).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JournalRecord {
+    /// An application event was published into a local component. Replay
+    /// re-publishes it and pumps the architecture; the internal emission
+    /// cascade re-runs deterministically.
+    Delivery {
+        /// Target component instance name.
+        component: String,
+        /// The encoded [`Event`](crate::Event).
+        event: Vec<u8>,
+    },
+    /// A component timer with this id fired (and was consumed).
+    TimerFired {
+        /// The host-level timer id (`TOKEN_COMPONENT_BASE + n`).
+        id: u64,
+    },
+    /// A component armed a timer: id → (component, component-level token).
+    TimerArmed {
+        /// The host-level timer id.
+        id: u64,
+        /// Component instance name the timer belongs to.
+        component: String,
+        /// The component-level token to deliver when it fires.
+        token: u64,
+    },
+    /// One directory entry was written (component → host).
+    DirectorySet {
+        /// Component instance name.
+        component: String,
+        /// Raw id of the host now holding it.
+        host: u32,
+    },
+    /// The whole directory was replaced.
+    DirectoryReplaced {
+        /// The full new mapping (component name, raw host id).
+        directory: Vec<(String, u32)>,
+    },
+    /// An event was parked for a component that is absent (mid-migration).
+    EventBuffered {
+        /// Component the event waits for.
+        component: String,
+        /// The encoded [`Event`](crate::Event).
+        event: Vec<u8>,
+    },
+    /// A component's parked events were all drained (replayed on arrival).
+    BufferDrained {
+        /// Component whose buffer emptied.
+        component: String,
+    },
+    /// A reliable-channel send to this peer consumed a sequence number.
+    /// Replay restores the sender-side `next_seq` exactly, so a recovered
+    /// host never reuses a sequence number its peer has already seen (which
+    /// the receiver's dedup watermark would silently swallow — a deadlock).
+    ChannelSend {
+        /// Raw id of the peer host.
+        peer: u32,
+    },
+    /// A migrant component landed here: the transfer was applied and acked.
+    /// Its presence in the journal tail is the *completed* verdict for that
+    /// migration move.
+    ComponentAttached {
+        /// Component instance name.
+        name: String,
+        /// Factory type name used to rebuild it.
+        type_name: String,
+        /// Serialized component state.
+        state: Vec<u8>,
+    },
+    /// A component was detached and shipped away.
+    ComponentDetached {
+        /// Component instance name.
+        name: String,
+    },
+    /// A monitoring window closed; carries the admin component's durable
+    /// state as of the close. The window *in flight* at a crash has no such
+    /// record — its counts are lost by design, which is exactly what the
+    /// `MonitorWindow` not-completed verdict reports.
+    MonitorWindow {
+        /// Serialized admin durable state (see `AdminComponent`).
+        admin: Vec<u8>,
+    },
+    /// The deployer's durable state after deployer activity (an epoch
+    /// opened, an ack/nack processed, a retry tick). Coarse-grained on
+    /// purpose: deployer transitions are rare, and replacing the whole blob
+    /// is simpler to get exactly right than replaying per-field deltas.
+    DeployerState {
+        /// Serialized deployer durable state (see `DeployerComponent`).
+        blob: Vec<u8>,
+    },
+}
+
+const TAG_DELIVERY: u64 = 0;
+const TAG_TIMER_FIRED: u64 = 1;
+const TAG_TIMER_ARMED: u64 = 2;
+const TAG_DIRECTORY_SET: u64 = 3;
+const TAG_DIRECTORY_REPLACED: u64 = 4;
+const TAG_EVENT_BUFFERED: u64 = 5;
+const TAG_BUFFER_DRAINED: u64 = 6;
+const TAG_CHANNEL_SEND: u64 = 7;
+const TAG_COMPONENT_ATTACHED: u64 = 8;
+const TAG_COMPONENT_DETACHED: u64 = 9;
+const TAG_MONITOR_WINDOW: u64 = 10;
+const TAG_DEPLOYER_STATE: u64 = 11;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String, PrismError> {
+    let b = get_bytes(bytes, pos)?;
+    String::from_utf8(b.to_vec()).map_err(|_| PrismError::Codec("invalid utf-8".into()))
+}
+
+impl JournalRecord {
+    /// Encodes the record body (tag + fields) into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            JournalRecord::Delivery { component, event } => {
+                put_varint(out, TAG_DELIVERY);
+                put_str(out, component);
+                put_bytes(out, event);
+            }
+            JournalRecord::TimerFired { id } => {
+                put_varint(out, TAG_TIMER_FIRED);
+                put_varint(out, *id);
+            }
+            JournalRecord::TimerArmed {
+                id,
+                component,
+                token,
+            } => {
+                put_varint(out, TAG_TIMER_ARMED);
+                put_varint(out, *id);
+                put_str(out, component);
+                put_varint(out, *token);
+            }
+            JournalRecord::DirectorySet { component, host } => {
+                put_varint(out, TAG_DIRECTORY_SET);
+                put_str(out, component);
+                put_varint(out, u64::from(*host));
+            }
+            JournalRecord::DirectoryReplaced { directory } => {
+                put_varint(out, TAG_DIRECTORY_REPLACED);
+                put_varint(out, directory.len() as u64);
+                for (component, host) in directory {
+                    put_str(out, component);
+                    put_varint(out, u64::from(*host));
+                }
+            }
+            JournalRecord::EventBuffered { component, event } => {
+                put_varint(out, TAG_EVENT_BUFFERED);
+                put_str(out, component);
+                put_bytes(out, event);
+            }
+            JournalRecord::BufferDrained { component } => {
+                put_varint(out, TAG_BUFFER_DRAINED);
+                put_str(out, component);
+            }
+            JournalRecord::ChannelSend { peer } => {
+                put_varint(out, TAG_CHANNEL_SEND);
+                put_varint(out, u64::from(*peer));
+            }
+            JournalRecord::ComponentAttached {
+                name,
+                type_name,
+                state,
+            } => {
+                put_varint(out, TAG_COMPONENT_ATTACHED);
+                put_str(out, name);
+                put_str(out, type_name);
+                put_bytes(out, state);
+            }
+            JournalRecord::ComponentDetached { name } => {
+                put_varint(out, TAG_COMPONENT_DETACHED);
+                put_str(out, name);
+            }
+            JournalRecord::MonitorWindow { admin } => {
+                put_varint(out, TAG_MONITOR_WINDOW);
+                put_bytes(out, admin);
+            }
+            JournalRecord::DeployerState { blob } => {
+                put_varint(out, TAG_DEPLOYER_STATE);
+                put_bytes(out, blob);
+            }
+        }
+    }
+
+    /// Decodes one record body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::Codec`] on a truncated or unknown record.
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Result<Self, PrismError> {
+        let tag = get_varint(bytes, pos)?;
+        let rec = match tag {
+            TAG_DELIVERY => JournalRecord::Delivery {
+                component: get_str(bytes, pos)?,
+                event: get_bytes(bytes, pos)?.to_vec(),
+            },
+            TAG_TIMER_FIRED => JournalRecord::TimerFired {
+                id: get_varint(bytes, pos)?,
+            },
+            TAG_TIMER_ARMED => JournalRecord::TimerArmed {
+                id: get_varint(bytes, pos)?,
+                component: get_str(bytes, pos)?,
+                token: get_varint(bytes, pos)?,
+            },
+            TAG_DIRECTORY_SET => JournalRecord::DirectorySet {
+                component: get_str(bytes, pos)?,
+                host: u32::try_from(get_varint(bytes, pos)?)
+                    .map_err(|_| PrismError::Codec("host id out of range".into()))?,
+            },
+            TAG_DIRECTORY_REPLACED => {
+                let n = get_varint(bytes, pos)? as usize;
+                let mut directory = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let component = get_str(bytes, pos)?;
+                    let host = u32::try_from(get_varint(bytes, pos)?)
+                        .map_err(|_| PrismError::Codec("host id out of range".into()))?;
+                    directory.push((component, host));
+                }
+                JournalRecord::DirectoryReplaced { directory }
+            }
+            TAG_EVENT_BUFFERED => JournalRecord::EventBuffered {
+                component: get_str(bytes, pos)?,
+                event: get_bytes(bytes, pos)?.to_vec(),
+            },
+            TAG_BUFFER_DRAINED => JournalRecord::BufferDrained {
+                component: get_str(bytes, pos)?,
+            },
+            TAG_CHANNEL_SEND => JournalRecord::ChannelSend {
+                peer: u32::try_from(get_varint(bytes, pos)?)
+                    .map_err(|_| PrismError::Codec("host id out of range".into()))?,
+            },
+            TAG_COMPONENT_ATTACHED => JournalRecord::ComponentAttached {
+                name: get_str(bytes, pos)?,
+                type_name: get_str(bytes, pos)?,
+                state: get_bytes(bytes, pos)?.to_vec(),
+            },
+            TAG_COMPONENT_DETACHED => JournalRecord::ComponentDetached {
+                name: get_str(bytes, pos)?,
+            },
+            TAG_MONITOR_WINDOW => JournalRecord::MonitorWindow {
+                admin: get_bytes(bytes, pos)?.to_vec(),
+            },
+            TAG_DEPLOYER_STATE => JournalRecord::DeployerState {
+                blob: get_bytes(bytes, pos)?.to_vec(),
+            },
+            other => {
+                return Err(PrismError::Codec(format!("unknown journal tag {other}")));
+            }
+        };
+        Ok(rec)
+    }
+}
+
+/// Magic prefix of an encoded [`Checkpoint`].
+const CKPT_MAGIC: &[u8; 4] = b"RDCP";
+/// Checkpoint format version.
+const CKPT_VERSION: u64 = 1;
+
+/// A full snapshot of one host's durable state, written periodically (every
+/// `checkpoint_interval_windows` monitoring windows) and at start.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Checkpoint {
+    /// Monotonic checkpoint sequence number (0 = the at-start snapshot).
+    pub seq: u64,
+    /// Simulated instant the snapshot was taken, in microseconds.
+    pub at_us: u64,
+    /// Every attached app component: (instance name, type name, state).
+    pub components: Vec<(String, String, Vec<u8>)>,
+    /// The host's component directory: (component name, raw host id).
+    pub directory: Vec<(String, u32)>,
+    /// Parked events per absent component: (component, encoded events).
+    pub buffered: Vec<(String, Vec<Vec<u8>>)>,
+    /// Reliable-channel sequence state per peer:
+    /// (raw peer id, sender `next_seq`, receiver `next_expected`).
+    ///
+    /// In-flight (unacked) frames are *not* persisted: the peer's
+    /// retransmission sweep, the NACK path, and the deployer's holder
+    /// re-resolution recover anything that mattered — that loss is exactly
+    /// what the not-completed verdicts make visible.
+    pub channels: Vec<(u32, u64, u64)>,
+    /// Live component timers: (host-level id, component, component token).
+    pub timers: Vec<(u64, String, u64)>,
+    /// Next component-timer ordinal (so recovered ids never collide).
+    pub next_timer: u64,
+    /// The admin component's durable state blob.
+    pub admin: Vec<u8>,
+    /// The deployer's durable state blob, on the master host.
+    pub deployer: Option<Vec<u8>>,
+}
+
+impl Checkpoint {
+    /// Encodes the checkpoint.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(CKPT_MAGIC);
+        put_varint(&mut out, CKPT_VERSION);
+        put_varint(&mut out, self.seq);
+        put_varint(&mut out, self.at_us);
+        put_varint(&mut out, self.components.len() as u64);
+        for (name, type_name, state) in &self.components {
+            put_str(&mut out, name);
+            put_str(&mut out, type_name);
+            put_bytes(&mut out, state);
+        }
+        put_varint(&mut out, self.directory.len() as u64);
+        for (component, host) in &self.directory {
+            put_str(&mut out, component);
+            put_varint(&mut out, u64::from(*host));
+        }
+        put_varint(&mut out, self.buffered.len() as u64);
+        for (component, events) in &self.buffered {
+            put_str(&mut out, component);
+            put_varint(&mut out, events.len() as u64);
+            for event in events {
+                put_bytes(&mut out, event);
+            }
+        }
+        put_varint(&mut out, self.channels.len() as u64);
+        for (peer, next_seq, next_expected) in &self.channels {
+            put_varint(&mut out, u64::from(*peer));
+            put_varint(&mut out, *next_seq);
+            put_varint(&mut out, *next_expected);
+        }
+        put_varint(&mut out, self.timers.len() as u64);
+        for (id, component, token) in &self.timers {
+            put_varint(&mut out, *id);
+            put_str(&mut out, component);
+            put_varint(&mut out, *token);
+        }
+        put_varint(&mut out, self.next_timer);
+        put_bytes(&mut out, &self.admin);
+        match &self.deployer {
+            None => put_varint(&mut out, 0),
+            Some(blob) => {
+                put_varint(&mut out, 1);
+                put_bytes(&mut out, blob);
+            }
+        }
+        out
+    }
+
+    /// Decodes a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::Codec`] on a missing magic, unknown version, or
+    /// truncated field.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PrismError> {
+        if bytes.len() < 4 || &bytes[..4] != CKPT_MAGIC {
+            return Err(PrismError::Codec("bad checkpoint magic".into()));
+        }
+        let mut pos = 4usize;
+        let pos = &mut pos;
+        let version = get_varint(bytes, pos)?;
+        if version != CKPT_VERSION {
+            return Err(PrismError::Codec(format!(
+                "unknown checkpoint version {version}"
+            )));
+        }
+        let seq = get_varint(bytes, pos)?;
+        let at_us = get_varint(bytes, pos)?;
+        let n = get_varint(bytes, pos)? as usize;
+        let mut components = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = get_str(bytes, pos)?;
+            let type_name = get_str(bytes, pos)?;
+            let state = get_bytes(bytes, pos)?.to_vec();
+            components.push((name, type_name, state));
+        }
+        let n = get_varint(bytes, pos)? as usize;
+        let mut directory = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let component = get_str(bytes, pos)?;
+            let host = u32::try_from(get_varint(bytes, pos)?)
+                .map_err(|_| PrismError::Codec("host id out of range".into()))?;
+            directory.push((component, host));
+        }
+        let n = get_varint(bytes, pos)? as usize;
+        let mut buffered = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let component = get_str(bytes, pos)?;
+            let m = get_varint(bytes, pos)? as usize;
+            let mut events = Vec::with_capacity(m.min(1024));
+            for _ in 0..m {
+                events.push(get_bytes(bytes, pos)?.to_vec());
+            }
+            buffered.push((component, events));
+        }
+        let n = get_varint(bytes, pos)? as usize;
+        let mut channels = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let peer = u32::try_from(get_varint(bytes, pos)?)
+                .map_err(|_| PrismError::Codec("host id out of range".into()))?;
+            let next_seq = get_varint(bytes, pos)?;
+            let next_expected = get_varint(bytes, pos)?;
+            channels.push((peer, next_seq, next_expected));
+        }
+        let n = get_varint(bytes, pos)? as usize;
+        let mut timers = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let id = get_varint(bytes, pos)?;
+            let component = get_str(bytes, pos)?;
+            let token = get_varint(bytes, pos)?;
+            timers.push((id, component, token));
+        }
+        let next_timer = get_varint(bytes, pos)?;
+        let admin = get_bytes(bytes, pos)?.to_vec();
+        let deployer = match get_varint(bytes, pos)? {
+            0 => None,
+            1 => Some(get_bytes(bytes, pos)?.to_vec()),
+            other => {
+                return Err(PrismError::Codec(format!(
+                    "bad deployer presence flag {other}"
+                )));
+            }
+        };
+        Ok(Checkpoint {
+            seq,
+            at_us,
+            components,
+            directory,
+            buffered,
+            channels,
+            timers,
+            next_timer,
+            admin,
+            deployer,
+        })
+    }
+}
+
+/// Where checkpoint and journal bytes physically live.
+///
+/// The simulator uses the deterministic in-memory backend; real deployments
+/// can opt into the file-backed one behind the `durable-file` feature.
+pub trait DurableBackend: Send {
+    /// Atomically replaces the checkpoint and truncates the journal.
+    fn write_checkpoint(&mut self, bytes: &[u8]);
+    /// Appends one framed record to the journal.
+    fn append(&mut self, bytes: &[u8]);
+    /// The current checkpoint bytes, if a checkpoint was ever written.
+    fn read_checkpoint(&self) -> Option<Vec<u8>>;
+    /// The journal bytes appended since the last checkpoint.
+    fn read_journal(&self) -> Vec<u8>;
+}
+
+/// Deterministic in-memory backend: the simulator default.
+#[derive(Default, Debug)]
+pub struct MemBackend {
+    checkpoint: Option<Vec<u8>>,
+    journal: Vec<u8>,
+}
+
+impl DurableBackend for MemBackend {
+    fn write_checkpoint(&mut self, bytes: &[u8]) {
+        self.checkpoint = Some(bytes.to_vec());
+        self.journal.clear();
+    }
+
+    fn append(&mut self, bytes: &[u8]) {
+        self.journal.extend_from_slice(bytes);
+    }
+
+    fn read_checkpoint(&self) -> Option<Vec<u8>> {
+        self.checkpoint.clone()
+    }
+
+    fn read_journal(&self) -> Vec<u8> {
+        self.journal.clone()
+    }
+}
+
+/// File-backed backend: `host-<id>.ckpt` (replaced via temp file + rename)
+/// and `host-<id>.wal` (append + flush per record) under one directory.
+#[cfg(feature = "durable-file")]
+pub struct FileBackend {
+    ckpt_path: std::path::PathBuf,
+    wal_path: std::path::PathBuf,
+    wal: std::fs::File,
+}
+
+#[cfg(feature = "durable-file")]
+impl FileBackend {
+    /// Opens (creating as needed) the per-host store under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the directory or WAL cannot be created.
+    pub fn open(dir: &std::path::Path, host: HostId) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let ckpt_path = dir.join(format!("host-{}.ckpt", host.raw()));
+        let wal_path = dir.join(format!("host-{}.wal", host.raw()));
+        let wal = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)?;
+        Ok(FileBackend {
+            ckpt_path,
+            wal_path,
+            wal,
+        })
+    }
+}
+
+#[cfg(feature = "durable-file")]
+impl DurableBackend for FileBackend {
+    fn write_checkpoint(&mut self, bytes: &[u8]) {
+        use std::io::Write as _;
+        let tmp = self.ckpt_path.with_extension("ckpt.tmp");
+        // Crash-safe replace: write the new snapshot fully, then rename over
+        // the old one; the journal is only truncated after the snapshot is
+        // durably in place.
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &self.ckpt_path).is_ok() {
+            if let Ok(f) = std::fs::OpenOptions::new()
+                .write(true)
+                .truncate(true)
+                .create(true)
+                .open(&self.wal_path)
+            {
+                drop(std::mem::replace(&mut self.wal, f));
+            }
+            let _ = self.wal.flush();
+        }
+    }
+
+    fn append(&mut self, bytes: &[u8]) {
+        use std::io::Write as _;
+        let _ = self.wal.write_all(bytes);
+        let _ = self.wal.flush();
+    }
+
+    fn read_checkpoint(&self) -> Option<Vec<u8>> {
+        std::fs::read(&self.ckpt_path).ok()
+    }
+
+    fn read_journal(&self) -> Vec<u8> {
+        std::fs::read(&self.wal_path).unwrap_or_default()
+    }
+}
+
+/// Everything a recovery found in the store.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RecoveredState {
+    /// The last checkpoint, if any was written (and decodable).
+    pub checkpoint: Option<Checkpoint>,
+    /// Journal records appended after that checkpoint, in append order,
+    /// up to (excluding) the first torn record.
+    pub tail: Vec<JournalRecord>,
+    /// Bytes ignored at the end of the journal because the final record was
+    /// torn (partially written at the crash). 0 on a clean journal.
+    pub torn_bytes: usize,
+}
+
+/// The per-host durable store: write-ahead journal + checkpoint snapshots.
+pub struct DurableStore {
+    backend: Box<dyn DurableBackend>,
+    scratch: Vec<u8>,
+    records: u64,
+    bytes: u64,
+    checkpoints: u64,
+    record_counter: Counter,
+    byte_counter: Counter,
+    checkpoint_counter: Counter,
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("records", &self.records)
+            .field("bytes", &self.bytes)
+            .field("checkpoints", &self.checkpoints)
+            .finish()
+    }
+}
+
+impl Default for DurableStore {
+    fn default() -> Self {
+        DurableStore::in_memory()
+    }
+}
+
+impl DurableStore {
+    /// Creates a store over the deterministic in-memory backend.
+    pub fn in_memory() -> Self {
+        DurableStore::with_backend(Box::new(MemBackend::default()))
+    }
+
+    /// Creates a store over an explicit backend.
+    pub fn with_backend(backend: Box<dyn DurableBackend>) -> Self {
+        DurableStore {
+            backend,
+            scratch: Vec::new(),
+            records: 0,
+            bytes: 0,
+            checkpoints: 0,
+            record_counter: Counter::default(),
+            byte_counter: Counter::default(),
+            checkpoint_counter: Counter::default(),
+        }
+    }
+
+    /// Creates a file-backed store under `dir` for `host`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the backing files cannot be opened.
+    #[cfg(feature = "durable-file")]
+    pub fn file_backed(dir: &std::path::Path, host: HostId) -> std::io::Result<Self> {
+        Ok(DurableStore::with_backend(Box::new(FileBackend::open(
+            dir, host,
+        )?)))
+    }
+
+    /// Installs the telemetry counters bumped on every append/checkpoint
+    /// (`prism.durable.journal.records`, `.journal.bytes`,
+    /// `.checkpoint.count`).
+    pub fn set_counters(&mut self, records: Counter, bytes: Counter, checkpoints: Counter) {
+        self.record_counter = records;
+        self.byte_counter = bytes;
+        self.checkpoint_counter = checkpoints;
+    }
+
+    /// Appends one record to the journal (length-prefixed framing).
+    pub fn append(&mut self, record: &JournalRecord) {
+        self.scratch.clear();
+        record.encode_into(&mut self.scratch);
+        let mut frame = Vec::with_capacity(self.scratch.len() + 5);
+        put_bytes(&mut frame, &self.scratch);
+        self.backend.append(&frame);
+        self.records += 1;
+        self.bytes += frame.len() as u64;
+        self.record_counter.inc();
+        self.byte_counter.add(frame.len() as u64);
+    }
+
+    /// Writes a checkpoint, truncating the journal.
+    pub fn checkpoint(&mut self, checkpoint: &Checkpoint) {
+        self.backend.write_checkpoint(&checkpoint.encode());
+        self.checkpoints += 1;
+        self.checkpoint_counter.inc();
+    }
+
+    /// Reads back checkpoint + journal tail, tolerating a torn final record.
+    pub fn recover(&self) -> RecoveredState {
+        let checkpoint = self
+            .backend
+            .read_checkpoint()
+            .and_then(|bytes| Checkpoint::decode(&bytes).ok());
+        let journal = self.backend.read_journal();
+        let mut tail = Vec::new();
+        let mut pos = 0usize;
+        while pos < journal.len() {
+            let start = pos;
+            let record =
+                get_bytes(&journal, &mut pos).and_then(|body| JournalRecord::decode(body, &mut 0));
+            match record {
+                Ok(rec) => tail.push(rec),
+                Err(_) => {
+                    // Torn tail: the final record was only partially
+                    // appended when the crash hit. Everything before it is
+                    // intact; ignore the fragment and report its size.
+                    return RecoveredState {
+                        checkpoint,
+                        tail,
+                        torn_bytes: journal.len() - start,
+                    };
+                }
+            }
+        }
+        RecoveredState {
+            checkpoint,
+            tail,
+            torn_bytes: 0,
+        }
+    }
+
+    /// Total records appended since the store was created.
+    pub fn records_appended(&self) -> u64 {
+        self.records
+    }
+
+    /// Total journal bytes appended since the store was created.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total checkpoints written since the store was created.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// The store's current contents — checkpoint bytes then journal bytes —
+    /// the byte-identity witness for double-run determinism checks.
+    pub fn digest(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let ckpt = self.backend.read_checkpoint();
+        match &ckpt {
+            None => put_varint(&mut out, 0),
+            Some(bytes) => {
+                put_varint(&mut out, 1);
+                put_bytes(&mut out, bytes);
+            }
+        }
+        let journal = self.backend.read_journal();
+        put_bytes(&mut out, &journal);
+        out
+    }
+}
+
+/// The kind of in-flight operation a recovery verdict is about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// A migration move of one component (either side of the transfer).
+    MigrationMove,
+    /// An event parked for an absent component.
+    BufferedEvent,
+    /// The monitoring window that was open at the crash.
+    MonitorWindow,
+}
+
+impl OpKind {
+    /// Stable lower-case label for telemetry fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::MigrationMove => "migration_move",
+            OpKind::BufferedEvent => "buffered_event",
+            OpKind::MonitorWindow => "monitor_window",
+        }
+    }
+}
+
+/// One explicit completed/not-completed verdict for an operation that was in
+/// flight when the host crashed — the detectable half of detectable
+/// recovery.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpVerdict {
+    /// What kind of operation this is about.
+    pub kind: OpKind,
+    /// The operation's subject (component name, or `"window"`).
+    pub subject: String,
+    /// Whether the operation verifiably completed before the crash.
+    pub completed: bool,
+}
+
+/// What one crash recovery did and found, reported by the host to the
+/// framework layer (which consults the verdicts instead of blindly
+/// re-effecting).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecoveryReport {
+    /// The host that recovered.
+    pub host: HostId,
+    /// The restart instant.
+    pub at: SimTime,
+    /// Sequence number of the checkpoint replayed (0 when none existed).
+    pub checkpoint_seq: u64,
+    /// Journal records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Bytes of torn journal tail ignored (0 on a clean journal).
+    pub torn_bytes: usize,
+    /// Self-check: replayed state is byte-identical to the state the host
+    /// held at the crash instant (components + directory).
+    pub state_equiv: bool,
+    /// One verdict per in-flight operation.
+    pub verdicts: Vec<OpVerdict>,
+}
+
+impl RecoveryReport {
+    /// Number of verdicts that report `completed == true`.
+    pub fn completed(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.completed).count()
+    }
+
+    /// Component names whose migration move verifiably completed (landed
+    /// here) before or despite the crash.
+    pub fn completed_moves(&self) -> impl Iterator<Item = &str> {
+        self.verdicts.iter().filter_map(|v| {
+            (v.kind == OpKind::MigrationMove && v.completed).then_some(v.subject.as_str())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Delivery {
+                component: "a".into(),
+                event: vec![1, 2, 3],
+            },
+            JournalRecord::TimerFired { id: 1007 },
+            JournalRecord::TimerArmed {
+                id: 1008,
+                component: "a".into(),
+                token: 2,
+            },
+            JournalRecord::DirectorySet {
+                component: "b".into(),
+                host: 3,
+            },
+            JournalRecord::DirectoryReplaced {
+                directory: vec![("a".into(), 0), ("b".into(), 3)],
+            },
+            JournalRecord::EventBuffered {
+                component: "c".into(),
+                event: vec![9],
+            },
+            JournalRecord::BufferDrained {
+                component: "c".into(),
+            },
+            JournalRecord::ChannelSend { peer: 2 },
+            JournalRecord::ComponentAttached {
+                name: "c".into(),
+                type_name: "workload".into(),
+                state: vec![4, 5],
+            },
+            JournalRecord::ComponentDetached { name: "b".into() },
+            JournalRecord::MonitorWindow {
+                admin: vec![7, 7, 7],
+            },
+            JournalRecord::DeployerState { blob: vec![8] },
+        ]
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            seq: 4,
+            at_us: 20_000_000,
+            components: vec![("a".into(), "workload".into(), vec![1, 2])],
+            directory: vec![("a".into(), 0), ("b".into(), 1)],
+            buffered: vec![("c".into(), vec![vec![3], vec![4, 5]])],
+            channels: vec![(1, 7, 5), (2, 0, 9)],
+            timers: vec![(1001, "a".into(), 0)],
+            next_timer: 2,
+            admin: vec![6, 6],
+            deployer: Some(vec![9, 9, 9]),
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for rec in sample_records() {
+            let mut bytes = Vec::new();
+            rec.encode_into(&mut bytes);
+            let back = JournalRecord::decode(&bytes, &mut 0).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let ckpt = sample_checkpoint();
+        assert_eq!(Checkpoint::decode(&ckpt.encode()).unwrap(), ckpt);
+        let empty = Checkpoint::default();
+        assert_eq!(Checkpoint::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage() {
+        assert!(Checkpoint::decode(b"").is_err());
+        assert!(Checkpoint::decode(b"NOPE").is_err());
+        let mut bytes = sample_checkpoint().encode();
+        bytes.truncate(bytes.len() / 2);
+        assert!(Checkpoint::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn store_recovers_checkpoint_and_tail() {
+        let mut store = DurableStore::in_memory();
+        // Records before the checkpoint must vanish with it.
+        store.append(&JournalRecord::TimerFired { id: 1000 });
+        store.checkpoint(&sample_checkpoint());
+        for rec in sample_records() {
+            store.append(&rec);
+        }
+        let rec = store.recover();
+        assert_eq!(rec.checkpoint, Some(sample_checkpoint()));
+        assert_eq!(rec.tail, sample_records());
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(store.checkpoints_written(), 1);
+        assert_eq!(store.records_appended(), 1 + sample_records().len() as u64);
+    }
+
+    #[test]
+    fn empty_store_recovers_empty() {
+        let store = DurableStore::in_memory();
+        assert_eq!(store.recover(), RecoveredState::default());
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_state_sensitive() {
+        let build = |extra: bool| {
+            let mut store = DurableStore::in_memory();
+            store.checkpoint(&sample_checkpoint());
+            store.append(&JournalRecord::ChannelSend { peer: 1 });
+            if extra {
+                store.append(&JournalRecord::TimerFired { id: 1001 });
+            }
+            store.digest()
+        };
+        assert_eq!(build(false), build(false));
+        assert_ne!(build(false), build(true));
+    }
+
+    proptest! {
+        /// Any record sequence survives framing, and truncating the framed
+        /// journal anywhere inside the final record drops exactly that
+        /// record: recovery returns the intact prefix and reports the torn
+        /// fragment instead of erroring or inventing data.
+        #[test]
+        fn torn_tail_is_ignored(
+            picks in proptest::collection::vec(0usize..12, 1..20),
+            cut in 1usize..64,
+        ) {
+            let all = sample_records();
+            let records: Vec<JournalRecord> =
+                picks.iter().map(|&i| all[i].clone()).collect();
+            let mut backend = MemBackend::default();
+            let mut frames = Vec::new();
+            let mut framed = Vec::new();
+            for rec in &records {
+                let mut body = Vec::new();
+                rec.encode_into(&mut body);
+                let mut frame = Vec::new();
+                put_bytes(&mut frame, &body);
+                framed.extend_from_slice(&frame);
+                frames.push(frame.len());
+            }
+            let last = *frames.last().unwrap();
+            // Cut strictly inside the final record's frame.
+            let cut = cut.min(last - 1).max(1);
+            backend.append(&framed[..framed.len() - cut]);
+            let store = DurableStore::with_backend(Box::new(backend));
+            let rec = store.recover();
+            prop_assert_eq!(&rec.tail[..], &records[..records.len() - 1]);
+            prop_assert_eq!(rec.torn_bytes, last - cut);
+        }
+
+        /// Checkpoints round-trip for arbitrary contents.
+        #[test]
+        fn checkpoint_roundtrip_prop(
+            seq in 0u64..1000,
+            at_us in 0u64..u64::MAX / 2,
+            names in proptest::collection::vec("[a-z]{1,8}", 0..5),
+            state in proptest::collection::vec(any::<u8>(), 0..32),
+            next_timer in 0u64..100,
+        ) {
+            let ckpt = Checkpoint {
+                seq,
+                at_us,
+                components: names
+                    .iter()
+                    .map(|n| (n.clone(), "workload".to_owned(), state.clone()))
+                    .collect(),
+                directory: names.iter().map(|n| (n.clone(), 1u32)).collect(),
+                buffered: vec![("x".into(), vec![state.clone()])],
+                channels: vec![(0, seq, at_us % 97)],
+                timers: names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (1000 + i as u64, n.clone(), i as u64))
+                    .collect(),
+                next_timer,
+                admin: state.clone(),
+                deployer: if seq % 2 == 0 { None } else { Some(state.clone()) },
+            };
+            prop_assert_eq!(Checkpoint::decode(&ckpt.encode()).unwrap(), ckpt);
+        }
+
+        /// A store recovered from checkpoint-only equals one recovered from
+        /// an earlier checkpoint + a tail, once the tail is folded in — at
+        /// the store level, folding means the recovered pair (checkpoint,
+        /// tail) is exactly what was written, in order, with nothing lost
+        /// and nothing reordered.
+        #[test]
+        fn recover_returns_exactly_what_was_written(
+            picks in proptest::collection::vec(0usize..12, 0..24),
+            with_ckpt in any::<bool>(),
+        ) {
+            let all = sample_records();
+            let records: Vec<JournalRecord> =
+                picks.iter().map(|&i| all[i].clone()).collect();
+            let mut store = DurableStore::in_memory();
+            if with_ckpt {
+                store.checkpoint(&sample_checkpoint());
+            }
+            for rec in &records {
+                store.append(rec);
+            }
+            let rec = store.recover();
+            prop_assert_eq!(
+                rec.checkpoint,
+                with_ckpt.then(sample_checkpoint)
+            );
+            prop_assert_eq!(rec.tail, records);
+            prop_assert_eq!(rec.torn_bytes, 0);
+        }
+    }
+}

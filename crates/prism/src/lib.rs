@@ -40,6 +40,7 @@ pub mod architecture;
 pub mod brick;
 pub mod codec;
 pub mod connector;
+pub mod durable;
 pub mod error;
 pub mod event;
 pub mod host;
@@ -54,6 +55,10 @@ pub use architecture::Architecture;
 pub use brick::{BrickId, ComponentBehavior, ComponentCtx, ComponentFactory};
 pub use codec::{set_wire_codec, wire_codec, WireCodec};
 pub use connector::Connector;
+pub use durable::{
+    Checkpoint, DurableBackend, DurableStore, JournalRecord, OpKind, OpVerdict, RecoveredState,
+    RecoveryReport,
+};
 pub use error::PrismError;
 pub use event::{Event, EventKind};
 pub use host::{HostServices, PrismHost};

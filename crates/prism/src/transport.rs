@@ -165,6 +165,35 @@ impl ReliableChannel {
         self.pending.len()
     }
 
+    /// The channel's durable sequence state: `(next_seq, next_expected)`.
+    ///
+    /// Pending (unacked) frames and the out-of-order set are deliberately
+    /// not part of it — after a crash, retransmission and the migration
+    /// protocol's NACK/holder-re-resolution paths regenerate what mattered.
+    /// What *must* survive exactly is the sender-side `next_seq`: reusing a
+    /// sequence number the peer has already delivered would be silently
+    /// swallowed by its dedup watermark, deadlocking the channel.
+    pub(crate) fn durable_state(&self) -> (u64, u64) {
+        (self.next_seq, self.next_expected)
+    }
+
+    /// Rebuilds a channel from durable sequence state (empty pending and
+    /// out-of-order sets — see [`ReliableChannel::durable_state`]).
+    pub(crate) fn restore(next_seq: u64, next_expected: u64) -> Self {
+        ReliableChannel {
+            next_seq,
+            pending: BTreeMap::new(),
+            next_expected,
+            out_of_order: BTreeSet::new(),
+        }
+    }
+
+    /// Journal-replay bump of the sender sequence: one `ChannelSend` record
+    /// re-applied means one sequence number was consumed before the crash.
+    pub(crate) fn bump_next_seq(&mut self) {
+        self.next_seq += 1;
+    }
+
     /// Size of the receiver's out-of-order set — the only dedup state that
     /// is not O(1). Bounded by the reorder window of the link, not by the
     /// number of frames ever delivered.
